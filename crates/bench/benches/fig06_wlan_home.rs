@@ -1,0 +1,40 @@
+//! FIG-1.6 — regenerates home-WLAN saturation throughput vs station
+//! count (with the RTS/CTS and CW ablations) and times the DCF kernel.
+
+use criterion::{black_box, Criterion};
+use wn_bench::{criterion_fast, print_figure, print_report};
+use wn_core::scenarios::{fig_1_6_wlan_home, wlan_saturation_mbps};
+use wn_phy::modulation::PhyStandard;
+
+fn bench(c: &mut Criterion) {
+    let (fig, report) = fig_1_6_wlan_home(42);
+    print_figure(&fig);
+    print_report(&report);
+
+    // Ablation: per-standard single-sender MAC efficiency.
+    println!("MAC efficiency ablation (1 saturated sender):");
+    for std in [
+        PhyStandard::Dot11b,
+        PhyStandard::Dot11g,
+        PhyStandard::Dot11a,
+    ] {
+        let mbps = wlan_saturation_mbps(std, 1, false, 9);
+        println!(
+            "  {:<9} {:>6.1} Mbps of {:>6.1} PHY ({:.0}%)",
+            std.name(),
+            mbps,
+            std.max_rate().mbps(),
+            mbps / std.max_rate().mbps() * 100.0
+        );
+    }
+
+    c.bench_function("fig06/dcf_4sta_1s", |b| {
+        b.iter(|| black_box(wlan_saturation_mbps(PhyStandard::Dot11g, 4, false, 11)))
+    });
+}
+
+fn main() {
+    let mut c = criterion_fast();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,43 @@
+//! FIG-1.11/1.12 — regenerates the MAC frame anatomy/overhead data and
+//! times the bit-exact codec (serialise + FCS + parse).
+
+use criterion::{black_box, Criterion};
+use wn_bench::{criterion_fast, print_figure, print_report};
+use wn_core::scenarios::fig_1_12_frame_overhead;
+use wn_mac80211::addr::MacAddr;
+use wn_mac80211::frame::{DsBits, Frame, SequenceControl};
+
+fn bench(c: &mut Criterion) {
+    let (fig, report) = fig_1_12_frame_overhead();
+    print_figure(&fig);
+    print_report(&report);
+
+    let frame = Frame::data(
+        DsBits::ToAp,
+        MacAddr::station(2),
+        MacAddr::station(1),
+        MacAddr::access_point(0),
+        SequenceControl {
+            fragment: 0,
+            sequence: 1234,
+        },
+        vec![0xAB; 1500],
+    );
+    c.bench_function("fig12/serialize_1500B", |b| {
+        b.iter(|| black_box(frame.to_bytes()))
+    });
+    let wire = frame.to_bytes();
+    c.bench_function("fig12/parse_and_verify_fcs_1500B", |b| {
+        b.iter(|| black_box(Frame::from_bytes(&wire).expect("valid frame")))
+    });
+    c.bench_function("fig12/roundtrip_ack", |b| {
+        let ack = Frame::ack(MacAddr::station(7));
+        b.iter(|| black_box(Frame::from_bytes(&ack.to_bytes()).expect("valid ack")))
+    });
+}
+
+fn main() {
+    let mut c = criterion_fast();
+    bench(&mut c);
+    c.final_summary();
+}

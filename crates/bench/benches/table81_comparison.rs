@@ -1,0 +1,37 @@
+//! TAB-8.1 — regenerates the closing "Comparison of wireless networks
+//! types" table, paper vs measured, and times a full table rebuild.
+
+use criterion::{black_box, Criterion};
+use wn_bench::{criterion_fast, print_report};
+use wn_core::registry::comparison_table;
+use wn_core::scenarios::table_8_1;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "\n{:<16} {:<6} {:<28} {:>13} {:>13} {:>11} {:>11}",
+        "name", "class", "standard", "paper rate", "measured", "paper rng", "measured"
+    );
+    for row in comparison_table() {
+        println!(
+            "{:<16} {:<6} {:<28} {:>13} {:>13} {:>10.0}m {:>10.0}m",
+            row.name,
+            row.class.abbrev(),
+            row.standard,
+            row.paper_max_rate.to_string(),
+            row.measured_max_rate.to_string(),
+            row.paper_range_m,
+            row.measured_range_m
+        );
+    }
+    print_report(&table_8_1());
+
+    c.bench_function("table81/full_rebuild", |b| {
+        b.iter(|| black_box(comparison_table().len()))
+    });
+}
+
+fn main() {
+    let mut c = criterion_fast();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,33 @@
+//! Shared helpers for the figure/table benches.
+//!
+//! Every bench target in this crate regenerates one figure or table of
+//! the source text: it prints the series/report (the reproduction) and
+//! then times the underlying simulation kernel with Criterion.
+
+use criterion::Criterion;
+use wn_core::experiment::ExperimentReport;
+use wn_sim::stats::Figure;
+
+/// Prints a regenerated figure as an aligned table.
+pub fn print_figure(fig: &Figure) {
+    println!("\n{}", fig.to_table());
+}
+
+/// Prints an experiment report and asserts it reproduced the paper.
+pub fn print_report(report: &ExperimentReport) {
+    println!("{}", report.to_markdown());
+    assert!(
+        report.passed(),
+        "experiment {} did not reproduce",
+        report.id
+    );
+}
+
+/// A Criterion instance tuned for heavyweight simulation kernels.
+pub fn criterion_fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args()
+}

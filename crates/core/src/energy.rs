@@ -1,0 +1,239 @@
+//! Energy modelling for the §2.1 "low power demands" claim.
+//!
+//! The text positions the WPAN technologies by power: ZigBee targets
+//! "low-power and low-data rate wireless device networks", Bluetooth
+//! was "designed for low power consumption", while Wi-Fi buys range
+//! and rate with wattage. This module makes that executable: radio
+//! power profiles for each technology, the energy cost of a duty-cycled
+//! telemetry workload, and the resulting battery life.
+
+use crate::registry::Technology;
+
+/// A radio's power profile (typical chipset values).
+#[derive(Clone, Copy, Debug)]
+pub struct PowerProfile {
+    /// Transmit power draw, milliwatts (circuit + PA).
+    pub tx_mw: f64,
+    /// Receive/listen draw, milliwatts.
+    pub rx_mw: f64,
+    /// Sleep draw, milliwatts.
+    pub sleep_mw: f64,
+    /// Time to wake from sleep and settle, seconds.
+    pub wakeup_s: f64,
+    /// Net air rate used for telemetry, bits per second.
+    pub rate_bps: f64,
+}
+
+impl PowerProfile {
+    /// Typical profile for a technology (datasheet-class numbers).
+    pub fn for_technology(tech: Technology) -> Option<PowerProfile> {
+        match tech {
+            Technology::Zigbee => Some(PowerProfile {
+                // CC2420-class: ~17 mA TX @3V, ~20 mA RX, ~1 µA sleep.
+                tx_mw: 52.0,
+                rx_mw: 59.0,
+                sleep_mw: 0.003,
+                wakeup_s: 0.002,
+                rate_bps: 250_000.0,
+            }),
+            Technology::Bluetooth => Some(PowerProfile {
+                // Class-2 BR/EDR module.
+                tx_mw: 90.0,
+                rx_mw: 80.0,
+                sleep_mw: 0.09,
+                wakeup_s: 0.003,
+                rate_bps: 723_000.0,
+            }),
+            Technology::WiFi(_) => Some(PowerProfile {
+                // 802.11 b/g station module.
+                tx_mw: 750.0,
+                rx_mw: 300.0,
+                sleep_mw: 1.0,
+                wakeup_s: 0.010,
+                rate_bps: 11_000_000.0,
+            }),
+            Technology::Irda => Some(PowerProfile {
+                tx_mw: 45.0,
+                rx_mw: 15.0,
+                sleep_mw: 0.001,
+                wakeup_s: 0.001,
+                rate_bps: 4_000_000.0,
+            }),
+            Technology::Uwb => Some(PowerProfile {
+                tx_mw: 250.0,
+                rx_mw: 250.0,
+                sleep_mw: 0.3,
+                wakeup_s: 0.005,
+                rate_bps: 110_000_000.0,
+            }),
+            _ => None, // Infrastructure-side technologies.
+        }
+    }
+}
+
+/// A periodic telemetry workload: `report_bytes` every `interval_s`,
+/// with `overhead_bytes` of protocol framing per report.
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryWorkload {
+    /// Application payload per report.
+    pub report_bytes: usize,
+    /// Protocol overhead per report (headers, ACK listen).
+    pub overhead_bytes: usize,
+    /// Seconds between reports.
+    pub interval_s: f64,
+}
+
+impl TelemetryWorkload {
+    /// The classic sensor shape: 32 bytes every 60 s.
+    pub fn sensor() -> Self {
+        TelemetryWorkload {
+            report_bytes: 32,
+            overhead_bytes: 40,
+            interval_s: 60.0,
+        }
+    }
+}
+
+/// Average power draw (mW) of a duty-cycled node running `work` on
+/// `profile` — wake, transmit, listen briefly for the ACK, sleep.
+pub fn average_power_mw(profile: &PowerProfile, work: &TelemetryWorkload) -> f64 {
+    let bits = (work.report_bytes + work.overhead_bytes) as f64 * 8.0;
+    let tx_s = bits / profile.rate_bps;
+    // ACK/turnaround listen: 2 ms or one frame time, whichever is more.
+    let rx_s = (bits / profile.rate_bps).max(0.002);
+    let awake_s = profile.wakeup_s + tx_s + rx_s;
+    let sleep_s = (work.interval_s - awake_s).max(0.0);
+    let energy_mj = profile.wakeup_s * profile.rx_mw
+        + tx_s * profile.tx_mw
+        + rx_s * profile.rx_mw
+        + sleep_s * profile.sleep_mw;
+    energy_mj / work.interval_s
+}
+
+/// Battery life in days on a `capacity_mwh` cell (a CR2450 coin cell
+/// stores ≈ 1860 mWh; a AA pair ≈ 7000 mWh).
+pub fn battery_life_days(
+    profile: &PowerProfile,
+    work: &TelemetryWorkload,
+    capacity_mwh: f64,
+) -> f64 {
+    capacity_mwh / average_power_mw(profile, work) / 24.0
+}
+
+/// Energy per delivered payload byte, microjoules.
+pub fn energy_per_byte_uj(profile: &PowerProfile, work: &TelemetryWorkload) -> f64 {
+    let avg_mw = average_power_mw(profile, work);
+    let joules_per_interval = avg_mw / 1000.0 * work.interval_s;
+    joules_per_interval * 1e6 / work.report_bytes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wn_phy::modulation::PhyStandard;
+
+    const COIN_CELL_MWH: f64 = 1860.0;
+    const AA_PAIR_MWH: f64 = 7000.0;
+
+    fn zb() -> PowerProfile {
+        PowerProfile::for_technology(Technology::Zigbee).expect("profiled")
+    }
+
+    fn bt() -> PowerProfile {
+        PowerProfile::for_technology(Technology::Bluetooth).expect("profiled")
+    }
+
+    fn wifi() -> PowerProfile {
+        PowerProfile::for_technology(Technology::WiFi(PhyStandard::Dot11b)).expect("profiled")
+    }
+
+    #[test]
+    fn infrastructure_technologies_have_no_node_profile() {
+        assert!(PowerProfile::for_technology(Technology::Wimax).is_none());
+        assert!(PowerProfile::for_technology(Technology::Satellite).is_none());
+        assert!(PowerProfile::for_technology(Technology::Cellular).is_none());
+    }
+
+    #[test]
+    fn zigbee_sensor_lasts_years_on_a_coin_cell() {
+        // The §2.1 positioning: "low-cost, low-power" monitoring.
+        let days = battery_life_days(&zb(), &TelemetryWorkload::sensor(), COIN_CELL_MWH);
+        assert!(
+            days > 2.0 * 365.0,
+            "ZigBee coin-cell life {days:.0} days — expected years"
+        );
+    }
+
+    #[test]
+    fn wifi_sensor_drains_fast_by_comparison() {
+        let z = battery_life_days(&zb(), &TelemetryWorkload::sensor(), AA_PAIR_MWH);
+        let w = battery_life_days(&wifi(), &TelemetryWorkload::sensor(), AA_PAIR_MWH);
+        assert!(
+            z > w * 5.0,
+            "ZigBee should outlast Wi-Fi many times over: {z:.0} vs {w:.0} days"
+        );
+    }
+
+    #[test]
+    fn power_ordering_matches_the_texts_positioning() {
+        let work = TelemetryWorkload::sensor();
+        let z = average_power_mw(&zb(), &work);
+        let b = average_power_mw(&bt(), &work);
+        let w = average_power_mw(&wifi(), &work);
+        assert!(z < b, "ZigBee below Bluetooth: {z:.4} vs {b:.4} mW");
+        assert!(b < w, "Bluetooth below Wi-Fi: {b:.4} vs {w:.4} mW");
+    }
+
+    #[test]
+    fn sleep_dominates_at_long_intervals() {
+        // At hourly reporting the average power approaches the sleep
+        // floor — duty cycling works.
+        let hourly = TelemetryWorkload {
+            interval_s: 3600.0,
+            ..TelemetryWorkload::sensor()
+        };
+        let p = average_power_mw(&zb(), &hourly);
+        assert!(
+            p < 0.01,
+            "hourly ZigBee average {p:.5} mW should be sleep-dominated"
+        );
+        // At 1 s reporting the radio dominates.
+        let fast = TelemetryWorkload {
+            interval_s: 1.0,
+            ..TelemetryWorkload::sensor()
+        };
+        let pf = average_power_mw(&zb(), &fast);
+        assert!(
+            pf > 10.0 * p,
+            "fast reporting must cost much more: {pf:.4} vs {p:.5}"
+        );
+    }
+
+    #[test]
+    fn energy_per_byte_favours_faster_radios_for_bulk() {
+        // Per *byte*, a fast radio can win (it sleeps sooner) — which is
+        // why UWB exists for bulk transfer while ZigBee wins telemetry.
+        let bulk = TelemetryWorkload {
+            report_bytes: 100_000,
+            overhead_bytes: 200,
+            interval_s: 60.0,
+        };
+        let uwb = PowerProfile::for_technology(Technology::Uwb).expect("profiled");
+        let z_cost = energy_per_byte_uj(&zb(), &bulk);
+        let u_cost = energy_per_byte_uj(&uwb, &bulk);
+        assert!(
+            u_cost < z_cost,
+            "UWB should be cheaper per bulk byte: {u_cost:.2} vs {z_cost:.2} µJ/B"
+        );
+    }
+
+    #[test]
+    fn average_power_bounded_by_profile_extremes() {
+        let work = TelemetryWorkload::sensor();
+        for p in [zb(), bt(), wifi()] {
+            let avg = average_power_mw(&p, &work);
+            assert!(avg >= p.sleep_mw * 0.99, "below sleep floor");
+            assert!(avg <= p.tx_mw, "above TX ceiling");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Paper-vs-measured reporting.
+//!
+//! Every experiment produces an [`ExperimentReport`]: an id (the figure
+//! or table it reproduces), a set of claim/measured pairs, and a
+//! pass/fail judgement under a relative tolerance. `EXPERIMENTS.md` is
+//! generated from these.
+
+use std::fmt;
+
+/// One compared quantity.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// What is being compared (e.g. "802.11g peak rate, Mbps").
+    pub quantity: String,
+    /// The paper's value.
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// Acceptable relative deviation (e.g. 0.5 = within 2×).
+    pub tolerance: f64,
+}
+
+impl Comparison {
+    /// Creates a comparison.
+    pub fn new(quantity: impl Into<String>, paper: f64, measured: f64, tolerance: f64) -> Self {
+        Comparison {
+            quantity: quantity.into(),
+            paper,
+            measured,
+            tolerance,
+        }
+    }
+
+    /// Whether the measurement falls inside the tolerance band.
+    pub fn holds(&self) -> bool {
+        if self.paper == 0.0 {
+            return self.measured.abs() <= self.tolerance;
+        }
+        let rel = (self.measured - self.paper).abs() / self.paper.abs();
+        rel <= self.tolerance
+    }
+}
+
+/// A full experiment report.
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentReport {
+    /// Experiment id, e.g. "FIG-1.13" or "TAB-8.1".
+    pub id: String,
+    /// One-line description.
+    pub title: String,
+    /// The compared quantities.
+    pub comparisons: Vec<Comparison>,
+    /// Qualitative observations (crossovers, orderings) recorded as
+    /// booleans with labels.
+    pub claims: Vec<(String, bool)>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        ExperimentReport {
+            id: id.into(),
+            title: title.into(),
+            comparisons: Vec::new(),
+            claims: Vec::new(),
+        }
+    }
+
+    /// Adds a quantitative comparison.
+    pub fn compare(
+        &mut self,
+        quantity: impl Into<String>,
+        paper: f64,
+        measured: f64,
+        tolerance: f64,
+    ) -> &mut Self {
+        self.comparisons
+            .push(Comparison::new(quantity, paper, measured, tolerance));
+        self
+    }
+
+    /// Records a qualitative claim ("mesh beats star at N>12": true).
+    pub fn claim(&mut self, label: impl Into<String>, holds: bool) -> &mut Self {
+        self.claims.push((label.into(), holds));
+        self
+    }
+
+    /// `true` when every comparison and claim holds.
+    pub fn passed(&self) -> bool {
+        self.comparisons.iter().all(Comparison::holds) && self.claims.iter().all(|&(_, h)| h)
+    }
+
+    /// Renders as a Markdown section for EXPERIMENTS.md.
+    pub fn to_markdown(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let status = if self.passed() { "PASS" } else { "CHECK" };
+        let _ = writeln!(out, "### {} — {} [{}]\n", self.id, self.title, status);
+        if !self.comparisons.is_empty() {
+            let _ = writeln!(out, "| quantity | paper | measured | ok |");
+            let _ = writeln!(out, "|---|---|---|---|");
+            for c in &self.comparisons {
+                let _ = writeln!(
+                    out,
+                    "| {} | {:.4} | {:.4} | {} |",
+                    c.quantity,
+                    c.paper,
+                    c.measured,
+                    if c.holds() { "yes" } else { "NO" }
+                );
+            }
+        }
+        for (label, holds) in &self.claims {
+            let _ = writeln!(
+                out,
+                "- {} — {}",
+                label,
+                if *holds { "holds" } else { "FAILS" }
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_tolerance() {
+        assert!(Comparison::new("x", 100.0, 120.0, 0.25).holds());
+        assert!(!Comparison::new("x", 100.0, 160.0, 0.25).holds());
+        assert!(Comparison::new("zero", 0.0, 0.0, 0.1).holds());
+        assert!(!Comparison::new("zero", 0.0, 5.0, 0.1).holds());
+    }
+
+    #[test]
+    fn report_pass_fail() {
+        let mut r = ExperimentReport::new("T", "test");
+        r.compare("a", 10.0, 11.0, 0.2).claim("ordering", true);
+        assert!(r.passed());
+        r.claim("broken", false);
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let mut r = ExperimentReport::new("FIG-X", "demo");
+        r.compare("rate [Mbps]", 54.0, 26.0, 1.0)
+            .claim("g beats b", true);
+        let md = r.to_markdown();
+        assert!(md.contains("FIG-X"));
+        assert!(md.contains("rate [Mbps]"));
+        assert!(md.contains("g beats b"));
+        assert!(md.contains("PASS"));
+    }
+}

@@ -1,0 +1,29 @@
+//! `wn-core` — the unified wireless-networks API.
+//!
+//! This crate is the text's primary contribution made executable: a
+//! complete, coherent model of the four wireless network classes and
+//! their technologies, backed by the substrate crates
+//! (`wn-sim`/`wn-phy`/`wn-mac80211`/`wn-net80211`/`wn-wpan`/`wn-wman`/
+//! `wn-wwan`/`wn-security`).
+//!
+//! - [`taxonomy`] — the Fig. 1.1 classification: WPAN / WLAN / WMAN /
+//!   WWAN, short-range vs long-range, licensing.
+//! - [`registry`] — the closing comparison table as data *and* as
+//!   simulation: every row carries the text's claimed numbers and a
+//!   `measure()` that reproduces them from the simulators.
+//! - [`scenarios`] — one function per figure of the text, returning
+//!   [`wn_sim::stats::Figure`] data the benches print.
+//! - [`experiment`] — paper-vs-measured reporting for EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod experiment;
+pub mod registry;
+pub mod scenarios;
+pub mod taxonomy;
+pub mod traffic;
+
+pub use registry::{Technology, TechnologyRow};
+pub use taxonomy::NetworkClass;

@@ -1,0 +1,131 @@
+//! The Fig. 1.1 classification of wireless networks.
+//!
+//! "Wireless networks can be classified into four specific groups
+//! according to the area of application and the signal range: WPAN,
+//! WLANs, WMAN, and WWANs. … In addition, wireless networks can be
+//! also divided into two broad segments: short-range and long-range."
+
+use std::fmt;
+
+/// The four classes, ordered by reach.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NetworkClass {
+    /// Wireless personal-area network (~10 m).
+    Wpan,
+    /// Wireless local-area network (~100 m).
+    Wlan,
+    /// Wireless metropolitan-area network (~50 km).
+    Wman,
+    /// Wireless wide-area network (beyond 50 km).
+    Wwan,
+}
+
+impl NetworkClass {
+    /// All classes in reach order.
+    pub const ALL: [NetworkClass; 4] = [
+        NetworkClass::Wpan,
+        NetworkClass::Wlan,
+        NetworkClass::Wman,
+        NetworkClass::Wwan,
+    ];
+
+    /// Expanded name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkClass::Wpan => "Wireless Personal-Area Network",
+            NetworkClass::Wlan => "Wireless Local-Area Network",
+            NetworkClass::Wman => "Wireless Metropolitan-Area Network",
+            NetworkClass::Wwan => "Wireless Wide-Area Network",
+        }
+    }
+
+    /// Abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            NetworkClass::Wpan => "WPAN",
+            NetworkClass::Wlan => "WLAN",
+            NetworkClass::Wman => "WMAN",
+            NetworkClass::Wwan => "WWAN",
+        }
+    }
+
+    /// Representative reach in metres (the classification axis of
+    /// Fig. 1.1).
+    pub fn nominal_reach_m(self) -> f64 {
+        match self {
+            NetworkClass::Wpan => 10.0,
+            NetworkClass::Wlan => 100.0,
+            NetworkClass::Wman => 50_000.0,
+            NetworkClass::Wwan => 100_000.0,
+        }
+    }
+
+    /// "Short-range wireless pertains to networks that are confined to
+    /// a limited area" — WPAN + WLAN.
+    pub fn is_short_range(self) -> bool {
+        matches!(self, NetworkClass::Wpan | NetworkClass::Wlan)
+    }
+
+    /// "In long-range networks, connectivity is typically provided by
+    /// companies that sell the wireless connectivity as a service."
+    pub fn is_service_provided(self) -> bool {
+        !self.is_short_range()
+    }
+
+    /// Classifies a link distance into the owning class.
+    pub fn for_distance_m(d: f64) -> NetworkClass {
+        if d <= 10.0 {
+            NetworkClass::Wpan
+        } else if d <= 250.0 {
+            NetworkClass::Wlan
+        } else if d <= 50_000.0 {
+            NetworkClass::Wman
+        } else {
+            NetworkClass::Wwan
+        }
+    }
+}
+
+impl fmt::Display for NetworkClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reach_ordering() {
+        let mut prev = 0.0;
+        for c in NetworkClass::ALL {
+            assert!(c.nominal_reach_m() > prev);
+            prev = c.nominal_reach_m();
+        }
+    }
+
+    #[test]
+    fn short_vs_long_segmentation() {
+        assert!(NetworkClass::Wpan.is_short_range());
+        assert!(NetworkClass::Wlan.is_short_range());
+        assert!(!NetworkClass::Wman.is_short_range());
+        assert!(!NetworkClass::Wwan.is_short_range());
+        assert!(NetworkClass::Wman.is_service_provided());
+    }
+
+    #[test]
+    fn distance_classifier() {
+        assert_eq!(NetworkClass::for_distance_m(1.0), NetworkClass::Wpan);
+        assert_eq!(NetworkClass::for_distance_m(50.0), NetworkClass::Wlan);
+        assert_eq!(NetworkClass::for_distance_m(5_000.0), NetworkClass::Wman);
+        assert_eq!(NetworkClass::for_distance_m(80_000.0), NetworkClass::Wwan);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(NetworkClass::Wpan.abbrev(), "WPAN");
+        assert!(NetworkClass::Wlan.name().contains("Local"));
+        assert_eq!(NetworkClass::Wman.to_string(), "WMAN");
+    }
+}

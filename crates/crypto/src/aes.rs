@@ -1,0 +1,391 @@
+//! AES block cipher (FIPS-197), the mandatory cipher of WPA2 (§5.2).
+//!
+//! Supports 128-, 192- and 256-bit keys. The S-box is *derived* at
+//! construction time from its mathematical definition (GF(2⁸) inversion
+//! followed by the affine transform) rather than pasted as a table —
+//! fewer opportunities for a silent typo, and the derivation itself is
+//! unit-tested against the FIPS-197 table entries.
+
+/// Number of 32-bit words in an AES state/block.
+const NB: usize = 4;
+
+/// Multiplies two elements of GF(2⁸) modulo the AES polynomial x⁸+x⁴+x³+x+1.
+pub(crate) fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Computes the multiplicative inverse in GF(2⁸) (0 maps to 0).
+fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 = a^-1 in GF(2^8): square-and-multiply over the exponent 254.
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+/// Public re-export of GF(2⁸) multiplication for sibling modules (TKIP
+/// derives its 16-bit S-box from the AES S-box).
+pub fn gf_mul_pub(a: u8, b: u8) -> u8 {
+    gf_mul(a, b)
+}
+
+/// Returns the AES S-box table (derived, not pasted).
+pub fn sbox_table() -> [u8; 256] {
+    build_sbox()
+}
+
+/// Builds the AES S-box from first principles.
+fn build_sbox() -> [u8; 256] {
+    let mut sbox = [0u8; 256];
+    for (i, slot) in sbox.iter_mut().enumerate() {
+        let inv = gf_inv(i as u8);
+        // Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63.
+        let mut x = inv;
+        let mut acc = inv;
+        for _ in 0..4 {
+            x = x.rotate_left(1);
+            acc ^= x;
+        }
+        *slot = acc ^ 0x63;
+    }
+    sbox
+}
+
+fn invert_sbox(sbox: &[u8; 256]) -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &v) in sbox.iter().enumerate() {
+        inv[v as usize] = i as u8;
+    }
+    inv
+}
+
+/// An expanded-key AES instance.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+    rounds: usize,
+}
+
+impl std::fmt::Debug for Aes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Aes")
+            .field("rounds", &self.rounds)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Aes {
+    /// Creates an AES instance from a 16-, 24- or 32-byte key.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other key length.
+    pub fn new(key: &[u8]) -> Self {
+        let nk = match key.len() {
+            16 => 4,
+            24 => 6,
+            32 => 8,
+            n => panic!("AES key must be 16/24/32 bytes, got {n}"),
+        };
+        let rounds = nk + 6;
+        let sbox = build_sbox();
+        let inv_sbox = invert_sbox(&sbox);
+
+        // Key expansion (FIPS-197 §5.2).
+        let total_words = NB * (rounds + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        let mut rcon: u8 = 1;
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = sbox[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            } else if nk > 6 && i % nk == 4 {
+                for b in temp.iter_mut() {
+                    *b = sbox[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let round_keys: Vec<[u8; 16]> = w
+            .chunks(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                for (i, word) in c.iter().enumerate() {
+                    rk[4 * i..4 * i + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        Aes {
+            round_keys,
+            sbox,
+            inv_sbox,
+            rounds,
+        }
+    }
+
+    /// Number of rounds (10/12/14 for AES-128/192/256).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(&self, state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = self.sbox[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(&self, state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = self.inv_sbox[*b as usize];
+        }
+    }
+
+    /// State layout: column-major — state[r + 4c] is row r, column c,
+    /// i.e. the block byte order used directly.
+    fn shift_rows(state: &mut [u8; 16]) {
+        // Row r is bytes state[r], state[r+4], state[r+8], state[r+12].
+        for r in 1..4 {
+            let row = [state[r], state[r + 4], state[r + 8], state[r + 12]];
+            for c in 0..4 {
+                state[r + 4 * c] = row[(c + r) % 4];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let row = [state[r], state[r + 4], state[r + 8], state[r + 12]];
+            for c in 0..4 {
+                state[r + 4 * c] = row[(c + 4 - r) % 4];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
+            state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+            state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
+            state[4 * c] =
+                gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+            state[4 * c + 1] =
+                gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+            state[4 * c + 2] =
+                gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+            state[4 * c + 3] =
+                gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+        }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[0]);
+        for round in 1..self.rounds {
+            self.sub_bytes(block);
+            Self::shift_rows(block);
+            Self::mix_columns(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+        }
+        self.sub_bytes(block);
+        Self::shift_rows(block);
+        Self::add_round_key(block, &self.round_keys[self.rounds]);
+    }
+
+    /// Decrypts one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[self.rounds]);
+        for round in (1..self.rounds).rev() {
+            Self::inv_shift_rows(block);
+            self.inv_sub_bytes(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+            Self::inv_mix_columns(block);
+        }
+        Self::inv_shift_rows(block);
+        self.inv_sub_bytes(block);
+        Self::add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Encrypts a copy of `block`.
+    pub fn encrypt(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut out = *block;
+        self.encrypt_block(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn derived_sbox_matches_fips_entries() {
+        let sbox = build_sbox();
+        assert_eq!(sbox[0x00], 0x63);
+        assert_eq!(sbox[0x01], 0x7C);
+        assert_eq!(sbox[0x53], 0xED);
+        assert_eq!(sbox[0xFF], 0x16);
+        assert_eq!(sbox[0x9A], 0xB8);
+        let inv = invert_sbox(&sbox);
+        for i in 0..256 {
+            assert_eq!(inv[sbox[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn gf_arithmetic() {
+        // FIPS-197 example: {57} · {83} = {c1}.
+        assert_eq!(gf_mul(0x57, 0x83), 0xC1);
+        assert_eq!(gf_mul(0x57, 0x13), 0xFE);
+        // Every nonzero element times its inverse is 1.
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn fips197_aes128_vector() {
+        let key = from_hex("000102030405060708090a0b0c0d0e0f");
+        let mut block: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
+        let aes = Aes::new(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(hex(&block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        aes.decrypt_block(&mut block);
+        assert_eq!(hex(&block), "00112233445566778899aabbccddeeff");
+    }
+
+    #[test]
+    fn fips197_aes192_vector() {
+        let key = from_hex("000102030405060708090a0b0c0d0e0f1011121314151617");
+        let mut block: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
+        let aes = Aes::new(&key);
+        assert_eq!(aes.rounds(), 12);
+        aes.encrypt_block(&mut block);
+        assert_eq!(hex(&block), "dda97ca4864cdfe06eaf70a0ec0d7191");
+    }
+
+    #[test]
+    fn fips197_aes256_vector() {
+        let key = from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let mut block: [u8; 16] = from_hex("00112233445566778899aabbccddeeff")
+            .try_into()
+            .unwrap();
+        let aes = Aes::new(&key);
+        assert_eq!(aes.rounds(), 14);
+        aes.encrypt_block(&mut block);
+        assert_eq!(hex(&block), "8ea2b7ca516745bfeafc49904b496089");
+        aes.decrypt_block(&mut block);
+        assert_eq!(hex(&block), "00112233445566778899aabbccddeeff");
+    }
+
+    #[test]
+    fn nist_sp800_38a_ecb_vector() {
+        let key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let mut block: [u8; 16] = from_hex("6bc1bee22e409f96e93d7e117393172a")
+            .try_into()
+            .unwrap();
+        Aes::new(&key).encrypt_block(&mut block);
+        assert_eq!(hex(&block), "3ad77bb40d7a3660a89ecaf32466ef97");
+    }
+
+    #[test]
+    fn roundtrip_random_blocks() {
+        let aes = Aes::new(b"0123456789abcdef");
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        for _ in 0..100 {
+            let mut block = [0u8; 16];
+            for b in block.iter_mut() {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *b = (seed >> 56) as u8;
+            }
+            let original = block;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, original);
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, original);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "AES key must be")]
+    fn bad_key_length_panics() {
+        let _ = Aes::new(b"short");
+    }
+}

@@ -1,0 +1,181 @@
+//! IEEE CRC-32 (polynomial `0x04C11DB7`, reflected form `0xEDB88320`).
+//!
+//! This single algorithm plays two roles in the source text:
+//!
+//! 1. The 802.11 **frame check sequence** (FCS) — §4.2: "The
+//!    transmitting STA uses a cyclic redundancy check (CRC) over all the
+//!    fields of the MAC header and the frame body field".
+//! 2. The WEP **integrity check value** (ICV) — §5.1 points out the FCS
+//!    "are not considered secure"; the [`fn@crate::crc32`] linearity that
+//!    [`bit_flip_delta`] exposes is exactly why.
+
+/// The reflected IEEE CRC-32 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// A 256-entry lookup table computed at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Computes the IEEE CRC-32 of `data` (init `0xFFFF_FFFF`, final xor).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(wn_crypto::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Continues a CRC computation over another chunk.
+///
+/// `state` is the *raw* register (pre-final-xor); start from
+/// `0xFFFF_FFFF` and xor with `0xFFFF_FFFF` when done.
+pub fn update(state: u32, data: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// An incremental CRC-32 hasher.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs more bytes.
+    pub fn write(&mut self, data: &[u8]) {
+        self.state = update(self.state, data);
+    }
+
+    /// Finishes and returns the CRC value.
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// The CRC delta produced by xoring `mask` into a message at any
+/// position, exploiting CRC linearity: `crc(m ⊕ d) = crc(m) ⊕ L(d)`
+/// where `L` depends only on `d` and the tail length.
+///
+/// This is the arithmetic heart of the WEP bit-flipping attack the text
+/// alludes to ("An attacker, however, could recalculate the ordinary
+/// FCS ... to hide their deliberate alteration of a packet").
+/// `tail_len` is the number of message bytes *after* the flipped bytes.
+pub fn bit_flip_delta(mask: &[u8], tail_len: usize) -> u32 {
+    // CRC of the mask with `tail_len` zero bytes appended, computed with
+    // an all-zero register so only the linear part contributes.
+    let mut reg = update(0, mask);
+    for _ in 0..tail_len {
+        reg = (reg >> 8) ^ TABLE[(reg & 0xFF) as usize];
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_vector() {
+        // The canonical CRC-32/ISO-HDLC check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn known_strings() {
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data = b"hello wireless world";
+        let mut h = Crc32::new();
+        h.write(&data[..7]);
+        h.write(&data[7..]);
+        assert_eq!(h.finish(), crc32(data));
+    }
+
+    #[test]
+    fn crc_detects_single_bit_errors() {
+        let msg = b"management frame body".to_vec();
+        let good = crc32(&msg);
+        for byte in 0..msg.len() {
+            for bit in 0..8 {
+                let mut bad = msg.clone();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(crc32(&bad), good, "missed flip at {byte}.{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn linearity_bit_flip_delta() {
+        // crc(m ^ mask_at_p) == crc(m) ^ bit_flip_delta(mask, tail).
+        let msg = b"confidential payload under weak WEP".to_vec();
+        let good = crc32(&msg);
+        let pos = 5;
+        let mask = [0x80u8, 0x01, 0xFF];
+        let tail = msg.len() - pos - mask.len();
+        let mut tampered = msg.clone();
+        for (i, &m) in mask.iter().enumerate() {
+            tampered[pos + i] ^= m;
+        }
+        assert_eq!(crc32(&tampered), good ^ bit_flip_delta(&mask, tail));
+    }
+
+    #[test]
+    fn linearity_holds_for_every_position() {
+        let msg: Vec<u8> = (0..32).collect();
+        let good = crc32(&msg);
+        let mask = [0xA5u8];
+        for pos in 0..msg.len() {
+            let mut t = msg.clone();
+            t[pos] ^= mask[0];
+            let delta = bit_flip_delta(&mask, msg.len() - pos - 1);
+            assert_eq!(crc32(&t), good ^ delta, "pos {pos}");
+        }
+    }
+}

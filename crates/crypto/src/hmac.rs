@@ -1,0 +1,177 @@
+//! HMAC-SHA1 (RFC 2104), validated against the RFC 2202 vectors.
+
+use crate::sha1::Sha1;
+
+const BLOCK: usize = 64;
+
+/// Computes `HMAC-SHA1(key, message)`.
+pub fn hmac_sha1(key: &[u8], message: &[u8]) -> [u8; 20] {
+    let mut k = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d = Sha1::digest(key);
+        k[..20].copy_from_slice(&d);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5Cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= k[i];
+        opad[i] ^= k[i];
+    }
+    let mut inner = Sha1::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha1::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Streaming HMAC-SHA1 for multi-part messages.
+#[derive(Clone, Debug)]
+pub struct HmacSha1 {
+    inner: Sha1,
+    opad: [u8; BLOCK],
+}
+
+impl HmacSha1 {
+    /// Creates a keyed MAC instance.
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            let d = Sha1::digest(key);
+            k[..20].copy_from_slice(&d);
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; BLOCK];
+        let mut opad = [0x5Cu8; BLOCK];
+        for i in 0..BLOCK {
+            ipad[i] ^= k[i];
+            opad[i] ^= k[i];
+        }
+        let mut inner = Sha1::new();
+        inner.update(&ipad);
+        HmacSha1 { inner, opad }
+    }
+
+    /// Absorbs more message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the 20-byte tag.
+    pub fn finalize(self) -> [u8; 20] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha1::new();
+        outer.update(&self.opad);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+/// Constant-shape tag comparison (length then bytes, no early exit).
+pub fn verify_tag(expected: &[u8], actual: &[u8]) -> bool {
+    if expected.len() != actual.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(actual.iter()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc2202_case1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha1(&key, b"Hi There");
+        assert_eq!(hex(&tag), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+
+    #[test]
+    fn rfc2202_case2() {
+        let tag = hmac_sha1(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(hex(&tag), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+    }
+
+    #[test]
+    fn rfc2202_case3() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        let tag = hmac_sha1(&key, &data);
+        assert_eq!(hex(&tag), "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+    }
+
+    #[test]
+    fn rfc2202_case4() {
+        let key: Vec<u8> = (0x01..=0x19).collect();
+        let data = [0xcd; 50];
+        let tag = hmac_sha1(&key, &data);
+        assert_eq!(hex(&tag), "4c9007f4026250c6bc8414f9bf50c86c2d7235da");
+    }
+
+    #[test]
+    fn rfc2202_case5() {
+        let key = [0x0c; 20];
+        let tag = hmac_sha1(&key, b"Test With Truncation");
+        assert_eq!(hex(&tag), "4c1a03424b55e07fe7f27be1d58bb9324a9a5a04");
+    }
+
+    #[test]
+    fn rfc2202_case7_long_key_long_data() {
+        let key = [0xaa; 80];
+        let tag = hmac_sha1(
+            &key,
+            b"Test Using Larger Than Block-Size Key and Larger Than One Block-Size Data",
+        );
+        assert_eq!(hex(&tag), "e8e99d0f45237d786d6bbaa7965c7808bbff1a91");
+    }
+
+    #[test]
+    fn rfc2202_case6_long_key() {
+        let key = [0xaa; 80];
+        let tag = hmac_sha1(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(hex(&tag), "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let key = b"pairwise master key";
+        let msg = b"PTK expansion || AA || SPA || ANonce || SNonce";
+        let mut h = HmacSha1::new(key);
+        h.update(&msg[..10]);
+        h.update(&msg[10..]);
+        assert_eq!(h.finalize(), hmac_sha1(key, msg));
+    }
+
+    #[test]
+    fn verify_tag_behaviour() {
+        let t1 = hmac_sha1(b"k", b"m");
+        let mut t2 = t1;
+        assert!(verify_tag(&t1, &t2));
+        t2[19] ^= 1;
+        assert!(!verify_tag(&t1, &t2));
+        assert!(!verify_tag(&t1, &t1[..19]));
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        let a = hmac_sha1(b"key-a", b"msg");
+        let b = hmac_sha1(b"key-b", b"msg");
+        assert_ne!(a, b);
+    }
+}

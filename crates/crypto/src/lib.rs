@@ -1,0 +1,46 @@
+//! `wn-crypto` — from-scratch cryptographic primitives for the Wi-Fi
+//! security generations described in §5 of the source text.
+//!
+//! Everything here is implemented directly from the published
+//! algorithms, with no external crypto dependencies, and validated
+//! against public test vectors where they exist (FIPS-197 for AES,
+//! RFC 2202 for HMAC-SHA1, RFC 6070 for PBKDF2, the classic RC4 and
+//! CRC-32 vectors):
+//!
+//! - [`mod@crc32`] — IEEE CRC-32, used both as the 802.11 frame check
+//!   sequence (FCS) and as WEP's (in)famous ICV.
+//! - [`rc4`] — the RC4 stream cipher underlying WEP and TKIP.
+//! - [`aes`] — AES-128/192/256 block cipher (FIPS-197), the mandatory
+//!   cipher of WPA2.
+//! - [`ccm`] — CCM authenticated encryption (RFC 3610), the mode CCMP
+//!   wraps around AES.
+//! - [`sha1`] / [`hmac`] / [`pbkdf2`] — the hash stack used to derive
+//!   the WPA/WPA2 pairwise master key from a passphrase.
+//! - [`michael`] — TKIP's Michael message integrity code.
+//! - [`tkip`] — TKIP per-packet key mixing (structurally faithful
+//!   two-phase mixing; see module docs for the one substitution made).
+//!
+//! # Security note
+//!
+//! These implementations exist to *simulate and demonstrate* the
+//! security properties (and failures) the text describes — e.g. WEP
+//! keystream reuse and CRC malleability. They are not hardened against
+//! side channels and must not be used to protect real traffic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod ccm;
+pub mod crc32;
+pub mod hmac;
+pub mod michael;
+pub mod pbkdf2;
+pub mod rc4;
+pub mod sha1;
+pub mod tkip;
+
+pub use aes::Aes;
+pub use crc32::crc32;
+pub use rc4::Rc4;
+pub use sha1::Sha1;

@@ -1,0 +1,124 @@
+//! Michael — TKIP's message integrity code (IEEE 802.11i §8.3.2.3).
+//!
+//! §5.2: WPA added "message integrity checks (to determine if an
+//! attacker had captured or altered packets)". Michael is that check: a
+//! deliberately lightweight 64-bit MAC designed to run on first-
+//! generation WEP hardware. Its weakness (≈2²⁰ security) is why WPA
+//! pairs it with countermeasures, and why CCMP replaced it.
+
+fn xswap(x: u32) -> u32 {
+    // Swap the bytes within each 16-bit half.
+    ((x & 0x00FF_00FF) << 8) | ((x & 0xFF00_FF00) >> 8)
+}
+
+/// The Michael block function.
+fn block(l: &mut u32, r: &mut u32) {
+    *r ^= l.rotate_left(17);
+    *l = l.wrapping_add(*r);
+    *r ^= xswap(*l);
+    *l = l.wrapping_add(*r);
+    *r ^= l.rotate_left(3);
+    *l = l.wrapping_add(*r);
+    *r ^= l.rotate_right(2);
+    *l = l.wrapping_add(*r);
+}
+
+/// Computes the 8-byte Michael MIC of `message` under a 64-bit key.
+///
+/// The key is the two little-endian words `(k0, k1)`; the message is
+/// padded with `0x5A` and zeros to a multiple of four bytes, per spec.
+pub fn michael(key: &[u8; 8], message: &[u8]) -> [u8; 8] {
+    let mut l = u32::from_le_bytes(key[0..4].try_into().expect("4 bytes"));
+    let mut r = u32::from_le_bytes(key[4..8].try_into().expect("4 bytes"));
+
+    // Pad with 0x5A then 4–7 zero bytes to a multiple of four (Ferguson's
+    // Michael spec — the minimum of four zeros is load-bearing).
+    let mut padded = message.to_vec();
+    padded.push(0x5A);
+    padded.extend_from_slice(&[0, 0, 0, 0]);
+    while padded.len() % 4 != 0 {
+        padded.push(0x00);
+    }
+    for chunk in padded.chunks_exact(4) {
+        l ^= u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+        block(&mut l, &mut r);
+    }
+    let mut out = [0u8; 8];
+    out[0..4].copy_from_slice(&l.to_le_bytes());
+    out[4..8].copy_from_slice(&r.to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annex_vectors() {
+        // IEEE 802.11i Annex G Michael test vectors: the chained series
+        // where each MIC keys the next computation over "", "M",
+        // "Mi", ... The first two links are checked here.
+        let k0 = [0u8; 8];
+        let m0 = michael(&k0, b"");
+        assert_eq!(m0, [0x82, 0x92, 0x5c, 0x1c, 0xa1, 0xd1, 0x30, 0xb8]);
+        let m1 = michael(&m0, b"M");
+        assert_eq!(m1, [0x43, 0x47, 0x21, 0xca, 0x40, 0x63, 0x9b, 0x3f]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let key = [1, 2, 3, 4, 5, 6, 7, 8];
+        assert_eq!(michael(&key, b"hello"), michael(&key, b"hello"));
+    }
+
+    #[test]
+    fn key_sensitivity() {
+        let a = michael(&[0; 8], b"frame body");
+        let b = michael(&[1, 0, 0, 0, 0, 0, 0, 0], b"frame body");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn message_sensitivity_every_position() {
+        let key = [9, 8, 7, 6, 5, 4, 3, 2];
+        let msg = b"data data data data".to_vec();
+        let good = michael(&key, &msg);
+        for i in 0..msg.len() {
+            let mut bad = msg.clone();
+            bad[i] ^= 0x01;
+            assert_ne!(michael(&key, &bad), good, "flip at {i} undetected");
+        }
+    }
+
+    #[test]
+    fn length_extension_is_detected() {
+        // Unlike plain CRC, appending bytes changes the MIC even when
+        // the appended bytes are the pad byte value.
+        let key = [0xAA; 8];
+        let a = michael(&key, b"abc");
+        let b = michael(&key, b"abc\x5A");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn avalanche_is_reasonable() {
+        // Michael is weak, but single-bit input changes should still
+        // flip a substantial number of output bits on average.
+        let key = [0x55; 8];
+        let base = michael(&key, b"avalanche-probe-message");
+        let mut total_flips = 0u32;
+        let msg = b"avalanche-probe-message".to_vec();
+        for i in 0..msg.len() {
+            let mut m = msg.clone();
+            m[i] ^= 0x80;
+            let out = michael(&key, &m);
+            total_flips += base
+                .iter()
+                .zip(out.iter())
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum::<u32>();
+        }
+        let avg = total_flips as f64 / msg.len() as f64;
+        assert!(avg > 16.0, "average flips {avg} too low for a 64-bit MIC");
+    }
+}

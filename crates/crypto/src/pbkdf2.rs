@@ -1,0 +1,112 @@
+//! PBKDF2-HMAC-SHA1 (RFC 2898), validated against RFC 6070 vectors.
+//!
+//! WPA and WPA2 personal mode derive their 256-bit pairwise master key
+//! as `PBKDF2(passphrase, ssid, 4096 iterations, 32 bytes)` — this is
+//! the "256-bit keys used by WPA" of §5.2 and the reason offline
+//! dictionary attacks against weak passphrases work (simulated in
+//! `wn-security`).
+
+use crate::hmac::hmac_sha1;
+
+/// Derives `dk_len` bytes from a password and salt.
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero or `dk_len` is zero.
+pub fn pbkdf2_hmac_sha1(password: &[u8], salt: &[u8], iterations: u32, dk_len: usize) -> Vec<u8> {
+    assert!(iterations > 0, "iterations must be positive");
+    assert!(dk_len > 0, "dk_len must be positive");
+    let mut out = Vec::with_capacity(dk_len);
+    let blocks = dk_len.div_ceil(20);
+    for block_index in 1..=blocks as u32 {
+        let mut salted = salt.to_vec();
+        salted.extend_from_slice(&block_index.to_be_bytes());
+        let mut u = hmac_sha1(password, &salted);
+        let mut t = u;
+        for _ in 1..iterations {
+            u = hmac_sha1(password, &u);
+            for (ti, ui) in t.iter_mut().zip(u.iter()) {
+                *ti ^= ui;
+            }
+        }
+        out.extend_from_slice(&t);
+    }
+    out.truncate(dk_len);
+    out
+}
+
+/// Derives the WPA/WPA2 pairwise master key from a passphrase and SSID.
+///
+/// This is exactly the IEEE 802.11i PSK mapping: 4096 iterations of
+/// PBKDF2-HMAC-SHA1 producing 32 bytes.
+pub fn wpa_psk(passphrase: &str, ssid: &str) -> [u8; 32] {
+    let dk = pbkdf2_hmac_sha1(passphrase.as_bytes(), ssid.as_bytes(), 4096, 32);
+    dk.try_into().expect("requested 32 bytes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc6070_one_iteration() {
+        let dk = pbkdf2_hmac_sha1(b"password", b"salt", 1, 20);
+        assert_eq!(hex(&dk), "0c60c80f961f0e71f3a9b524af6012062fe037a6");
+    }
+
+    #[test]
+    fn rfc6070_two_iterations() {
+        let dk = pbkdf2_hmac_sha1(b"password", b"salt", 2, 20);
+        assert_eq!(hex(&dk), "ea6c014dc72d6f8ccd1ed92ace1d41f0d8de8957");
+    }
+
+    #[test]
+    fn rfc6070_4096_iterations() {
+        let dk = pbkdf2_hmac_sha1(b"password", b"salt", 4096, 20);
+        assert_eq!(hex(&dk), "4b007901b765489abead49d926f721d065a429c1");
+    }
+
+    #[test]
+    fn rfc6070_multi_block_output() {
+        let dk = pbkdf2_hmac_sha1(
+            b"passwordPASSWORDpassword",
+            b"saltSALTsaltSALTsaltSALTsaltSALTsalt",
+            4096,
+            25,
+        );
+        assert_eq!(
+            hex(&dk),
+            "3d2eec4fe41c849b80c8d83662c0e44a8b291a964cf2f07038"
+        );
+    }
+
+    #[test]
+    fn wpa_psk_ieee_vector() {
+        // IEEE 802.11i Annex H PSK test vector.
+        let psk = wpa_psk("password", "IEEE");
+        assert_eq!(
+            hex(&psk),
+            "f42c6fc52df0ebef9ebb4b90b38a5f902e83fe1b135a70e23aed762e9710a12e"
+        );
+    }
+
+    #[test]
+    fn different_ssid_different_psk() {
+        // The SSID acts as a salt: same passphrase, different network,
+        // different key — this is why rainbow tables must be per-SSID.
+        let a = wpa_psk("correct horse battery", "HomeNet");
+        let b = wpa_psk("correct horse battery", "CoffeeShop");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn truncation_is_prefix() {
+        let long = pbkdf2_hmac_sha1(b"p", b"s", 3, 40);
+        let short = pbkdf2_hmac_sha1(b"p", b"s", 3, 16);
+        assert_eq!(&long[..16], &short[..]);
+    }
+}

@@ -1,0 +1,171 @@
+//! The RC4 stream cipher.
+//!
+//! RC4 is the cipher inside both WEP and TKIP (§5.2). Its key schedule
+//! (KSA) is famously weak for related keys — WEP prepends a public
+//! 24-bit IV to the secret key, which is what the FMS-class attacks in
+//! `wn-security` exploit.
+
+/// RC4 keystream generator state.
+#[derive(Clone)]
+pub struct Rc4 {
+    s: [u8; 256],
+    i: u8,
+    j: u8,
+}
+
+impl std::fmt::Debug for Rc4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print internal cipher state.
+        f.debug_struct("Rc4").finish_non_exhaustive()
+    }
+}
+
+impl Rc4 {
+    /// Initialises RC4 with `key` via the key-scheduling algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is empty or longer than 256 bytes.
+    pub fn new(key: &[u8]) -> Self {
+        assert!(
+            !key.is_empty() && key.len() <= 256,
+            "RC4 key length {} out of range 1..=256",
+            key.len()
+        );
+        let mut s = [0u8; 256];
+        for (i, v) in s.iter_mut().enumerate() {
+            *v = i as u8;
+        }
+        let mut j: u8 = 0;
+        for i in 0..256 {
+            j = j.wrapping_add(s[i]).wrapping_add(key[i % key.len()]);
+            s.swap(i, j as usize);
+        }
+        Rc4 { s, i: 0, j: 0 }
+    }
+
+    /// Returns the next keystream byte (PRGA step).
+    pub fn next_byte(&mut self) -> u8 {
+        self.i = self.i.wrapping_add(1);
+        self.j = self.j.wrapping_add(self.s[self.i as usize]);
+        self.s.swap(self.i as usize, self.j as usize);
+        let t = self.s[self.i as usize].wrapping_add(self.s[self.j as usize]);
+        self.s[t as usize]
+    }
+
+    /// Fills `out` with keystream bytes.
+    pub fn keystream(&mut self, out: &mut [u8]) {
+        for b in out.iter_mut() {
+            *b = self.next_byte();
+        }
+    }
+
+    /// Generates `n` keystream bytes.
+    pub fn keystream_vec(&mut self, n: usize) -> Vec<u8> {
+        let mut v = vec![0u8; n];
+        self.keystream(&mut v);
+        v
+    }
+
+    /// Encrypts/decrypts `data` in place (RC4 is an involution given the
+    /// same key position).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for b in data.iter_mut() {
+            *b ^= self.next_byte();
+        }
+    }
+
+    /// Convenience: one-shot encrypt/decrypt with a fresh state.
+    pub fn cipher(key: &[u8], data: &[u8]) -> Vec<u8> {
+        let mut rc4 = Rc4::new(key);
+        let mut out = data.to_vec();
+        rc4.apply(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02X}")).collect()
+    }
+
+    #[test]
+    fn vector_key_plaintext() {
+        // Classic published RC4 vector.
+        assert_eq!(
+            hex(&Rc4::cipher(b"Key", b"Plaintext")),
+            "BBF316E8D940AF0AD3"
+        );
+    }
+
+    #[test]
+    fn vector_wiki_pedia() {
+        assert_eq!(hex(&Rc4::cipher(b"Wiki", b"pedia")), "1021BF0420");
+    }
+
+    #[test]
+    fn vector_secret_attack() {
+        assert_eq!(
+            hex(&Rc4::cipher(b"Secret", b"Attack at dawn")),
+            "45A01F645FC35B383552544B9BF5"
+        );
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let key = b"wep-key-40";
+        let msg = b"association request from STA 02:00:00:00:00:07";
+        let ct = Rc4::cipher(key, msg);
+        assert_ne!(&ct[..], &msg[..]);
+        let pt = Rc4::cipher(key, &ct);
+        assert_eq!(&pt[..], &msg[..]);
+    }
+
+    #[test]
+    fn same_key_same_keystream() {
+        // The property WEP IV collisions expose: identical keys produce
+        // identical keystream, so xor of two ciphertexts = xor of the
+        // two plaintexts.
+        let key = [0x01, 0x02, 0x03, 0xAA, 0xBB];
+        let p1 = b"first secret message!";
+        let p2 = b"second hidden payload";
+        let c1 = Rc4::cipher(&key, p1);
+        let c2 = Rc4::cipher(&key, p2);
+        for i in 0..p1.len() {
+            assert_eq!(c1[i] ^ c2[i], p1[i] ^ p2[i]);
+        }
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let a = Rc4::cipher(b"key-a", &[0u8; 64]);
+        let b = Rc4::cipher(b"key-b", &[0u8; 64]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn keystream_vec_matches_apply() {
+        let mut k1 = Rc4::new(b"stream");
+        let ks = k1.keystream_vec(16);
+        let mut k2 = Rc4::new(b"stream");
+        let mut data = vec![0u8; 16];
+        k2.apply(&mut data);
+        assert_eq!(ks, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn empty_key_panics() {
+        let _ = Rc4::new(b"");
+    }
+
+    #[test]
+    fn debug_hides_state() {
+        let s = format!("{:?}", Rc4::new(b"secret"));
+        assert!(!s.contains("secret"));
+        assert!(s.contains(".."));
+    }
+}

@@ -1,0 +1,166 @@
+//! IEEE 802 MAC addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// The all-zero address (unassigned).
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// A deterministic locally-administered unicast address from an
+    /// index — handy for simulations (`02:00:00:xx:xx:xx`).
+    pub fn station(index: u32) -> MacAddr {
+        let b = index.to_be_bytes();
+        MacAddr([0x02, 0x00, b[1], b[2], b[3], 0x01])
+    }
+
+    /// A deterministic AP address namespace (`02:AP:…`).
+    pub fn access_point(index: u32) -> MacAddr {
+        let b = index.to_be_bytes();
+        MacAddr([0x02, 0xAB, b[1], b[2], b[3], 0x01])
+    }
+
+    /// `true` for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == MacAddr::BROADCAST
+    }
+
+    /// `true` for group (multicast/broadcast) addresses — I/G bit set.
+    pub fn is_group(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// `true` for locally administered addresses — U/L bit set. §4.2:
+    /// an IBSS BSSID is "the randomly generated, locally administered
+    /// MAC address" of the starting STA.
+    pub fn is_locally_administered(self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// Generates a locally-administered IBSS BSSID from a seed.
+    pub fn random_ibss_bssid(seed: u64) -> MacAddr {
+        let mut h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let b = h.to_be_bytes();
+        // Set U/L, clear I/G.
+        MacAddr([(b[0] | 0x02) & !0x01, b[1], b[2], b[3], b[4], b[5]])
+    }
+
+    /// The raw bytes.
+    pub fn bytes(self) -> [u8; 6] {
+        self.0
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+/// Error parsing a MAC address from text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AddrParseError;
+
+impl fmt::Display for AddrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address syntax")
+    }
+}
+
+impl std::error::Error for AddrParseError {}
+
+impl FromStr for MacAddr {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut out = [0u8; 6];
+        let mut parts = s.split(':');
+        for slot in out.iter_mut() {
+            let p = parts.next().ok_or(AddrParseError)?;
+            if p.len() != 2 {
+                return Err(AddrParseError);
+            }
+            *slot = u8::from_str_radix(p, 16).map_err(|_| AddrParseError)?;
+        }
+        if parts.next().is_some() {
+            return Err(AddrParseError);
+        }
+        Ok(MacAddr(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let a = MacAddr([0x02, 0x1A, 0x2B, 0x3C, 0x4D, 0x5E]);
+        assert_eq!(a.to_string(), "02:1a:2b:3c:4d:5e");
+        assert_eq!("02:1a:2b:3c:4d:5e".parse::<MacAddr>().unwrap(), a);
+        assert_eq!("02:1A:2B:3C:4D:5E".parse::<MacAddr>().unwrap(), a);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<MacAddr>().is_err());
+        assert!("02:1a:2b:3c:4d".parse::<MacAddr>().is_err());
+        assert!("02:1a:2b:3c:4d:5e:6f".parse::<MacAddr>().is_err());
+        assert!("02:1a:2b:3c:4d:zz".parse::<MacAddr>().is_err());
+        assert!("021a:2b:3c:4d:5e".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn broadcast_properties() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_group());
+        assert!(!MacAddr::station(1).is_broadcast());
+    }
+
+    #[test]
+    fn station_addresses_unique_and_unicast() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            let a = MacAddr::station(i);
+            assert!(!a.is_group());
+            assert!(a.is_locally_administered());
+            assert!(seen.insert(a));
+        }
+    }
+
+    #[test]
+    fn ap_and_station_namespaces_disjoint() {
+        for i in 0..100 {
+            assert_ne!(MacAddr::station(i), MacAddr::access_point(i));
+        }
+    }
+
+    #[test]
+    fn ibss_bssid_is_local_unicast() {
+        for seed in 0..50u64 {
+            let b = MacAddr::random_ibss_bssid(seed);
+            assert!(b.is_locally_administered(), "{b}");
+            assert!(!b.is_group(), "{b}");
+        }
+        assert_ne!(MacAddr::random_ibss_bssid(1), MacAddr::random_ibss_bssid(2));
+    }
+}

@@ -1,0 +1,123 @@
+//! Receiver-side duplicate detection.
+//!
+//! When an ACK is lost the sender retransmits with the Retry bit set
+//! (§4.2), and the receiver must not deliver the same MSDU twice. The
+//! standard's duplicate cache keys on (transmitter, sequence, fragment).
+
+use std::collections::HashMap;
+
+use crate::addr::MacAddr;
+use crate::frame::SequenceControl;
+
+/// A per-receiver duplicate-detection cache.
+#[derive(Clone, Debug, Default)]
+pub struct DedupCache {
+    last_seen: HashMap<MacAddr, SequenceControl>,
+}
+
+impl DedupCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a received frame and reports whether it is a duplicate.
+    ///
+    /// Per the standard, a frame is a duplicate when the Retry bit is
+    /// set *and* its sequence control equals the last accepted frame
+    /// from the same transmitter.
+    pub fn check(&mut self, transmitter: MacAddr, seq: SequenceControl, retry: bool) -> bool {
+        let dup = retry && self.last_seen.get(&transmitter) == Some(&seq);
+        if !dup {
+            self.last_seen.insert(transmitter, seq);
+        }
+        dup
+    }
+
+    /// Forgets a transmitter (e.g. on disassociation).
+    pub fn forget(&mut self, transmitter: MacAddr) {
+        self.last_seen.remove(&transmitter);
+    }
+
+    /// Number of transmitters tracked.
+    pub fn len(&self) -> usize {
+        self.last_seen.len()
+    }
+
+    /// `true` when no transmitters are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.last_seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc(seq: u16, frag: u8) -> SequenceControl {
+        SequenceControl {
+            sequence: seq,
+            fragment: frag,
+        }
+    }
+
+    #[test]
+    fn retransmission_detected() {
+        let mut c = DedupCache::new();
+        let tx = MacAddr::station(1);
+        assert!(!c.check(tx, sc(10, 0), false));
+        // The retry of the same frame is a duplicate.
+        assert!(c.check(tx, sc(10, 0), true));
+        // And again.
+        assert!(c.check(tx, sc(10, 0), true));
+    }
+
+    #[test]
+    fn new_sequence_not_duplicate() {
+        let mut c = DedupCache::new();
+        let tx = MacAddr::station(1);
+        assert!(!c.check(tx, sc(10, 0), false));
+        assert!(!c.check(tx, sc(11, 0), false));
+        // A retry of a *different* frame is not a duplicate.
+        assert!(!c.check(tx, sc(12, 0), true));
+    }
+
+    #[test]
+    fn fragments_tracked_separately() {
+        let mut c = DedupCache::new();
+        let tx = MacAddr::station(1);
+        assert!(!c.check(tx, sc(10, 0), false));
+        assert!(!c.check(tx, sc(10, 1), false));
+        assert!(c.check(tx, sc(10, 1), true));
+    }
+
+    #[test]
+    fn transmitters_independent() {
+        let mut c = DedupCache::new();
+        let a = MacAddr::station(1);
+        let b = MacAddr::station(2);
+        assert!(!c.check(a, sc(5, 0), false));
+        // Same sequence from another STA is fine.
+        assert!(!c.check(b, sc(5, 0), true));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn retry_without_prior_sighting_accepted() {
+        // First copy lost entirely; the retry is the first we see.
+        let mut c = DedupCache::new();
+        assert!(!c.check(MacAddr::station(3), sc(7, 0), true));
+    }
+
+    #[test]
+    fn forget_clears_state() {
+        let mut c = DedupCache::new();
+        let tx = MacAddr::station(1);
+        c.check(tx, sc(10, 0), false);
+        c.forget(tx);
+        assert!(c.is_empty());
+        // After forgetting, even an exact retry is accepted (fresh
+        // association ⇒ fresh counters).
+        assert!(!c.check(tx, sc(10, 0), true));
+    }
+}

@@ -1,0 +1,157 @@
+//! Airtime and NAV (Duration field) arithmetic.
+//!
+//! §4.2: the Duration/ID field "indicates the remaining duration
+//! needed to receive the next frame transmission". These helpers compute
+//! frame airtimes from PHY rates and the NAV values for the
+//! RTS→CTS→DATA→ACK and fragment-burst sequences.
+
+use wn_phy::modulation::{MacTiming, PhyStandard, RateStep};
+use wn_sim::SimDuration;
+
+/// Length in bytes of an ACK/CTS control frame on the air.
+pub const ACK_LEN: usize = 14;
+/// Length in bytes of an RTS control frame on the air.
+pub const RTS_LEN: usize = 20;
+
+/// Airtime of a frame of `wire_len` bytes at `rate`, including the PHY
+/// preamble/PLCP overhead.
+pub fn airtime(timing: &MacTiming, rate: RateStep, wire_len: usize) -> SimDuration {
+    let payload = SimDuration::for_bits(wire_len as u64 * 8, rate.rate.bps());
+    SimDuration::from_nanos((timing.preamble_us * 1_000.0) as u64) + payload
+}
+
+/// Airtime of an ACK sent at the standard's base rate.
+pub fn ack_airtime(std: PhyStandard) -> SimDuration {
+    airtime(&std.mac_timing(), std.base_rate(), ACK_LEN)
+}
+
+/// Airtime of a CTS at the base rate (same length as an ACK).
+pub fn cts_airtime(std: PhyStandard) -> SimDuration {
+    ack_airtime(std)
+}
+
+/// Airtime of an RTS at the base rate.
+pub fn rts_airtime(std: PhyStandard) -> SimDuration {
+    airtime(&std.mac_timing(), std.base_rate(), RTS_LEN)
+}
+
+/// SIFS as a [`SimDuration`].
+pub fn sifs(std: PhyStandard) -> SimDuration {
+    SimDuration::from_nanos((std.mac_timing().sifs_us * 1_000.0) as u64)
+}
+
+/// DIFS as a [`SimDuration`].
+pub fn difs(std: PhyStandard) -> SimDuration {
+    SimDuration::from_nanos((std.mac_timing().difs_us() * 1_000.0) as u64)
+}
+
+/// One slot as a [`SimDuration`].
+pub fn slot(std: PhyStandard) -> SimDuration {
+    SimDuration::from_nanos((std.mac_timing().slot_us * 1_000.0) as u64)
+}
+
+/// Clamps a duration to the 15-bit µs range of the Duration field.
+fn to_duration_field(d: SimDuration) -> u16 {
+    (d.as_micros_f64().ceil() as u64).min(0x7FFF) as u16
+}
+
+/// NAV value for a unicast data/management frame: SIFS + ACK, plus the
+/// remainder of the fragment burst when more fragments follow.
+pub fn data_duration(
+    std: PhyStandard,
+    more_fragments: bool,
+    next_fragment_airtime: Option<SimDuration>,
+) -> u16 {
+    let mut d = sifs(std) + ack_airtime(std);
+    if more_fragments {
+        // Cover the next fragment and its ACK too (§4.2 More Fragments).
+        d += sifs(std)
+            + next_fragment_airtime.unwrap_or(SimDuration::ZERO)
+            + sifs(std)
+            + ack_airtime(std);
+    }
+    to_duration_field(d)
+}
+
+/// NAV value for an RTS: CTS + DATA + ACK + 3×SIFS.
+pub fn rts_duration(std: PhyStandard, data_airtime: SimDuration) -> u16 {
+    let d = sifs(std) + cts_airtime(std) + sifs(std) + data_airtime + sifs(std) + ack_airtime(std);
+    to_duration_field(d)
+}
+
+/// NAV value for a CTS, derived from the RTS it answers:
+/// `rts_duration − SIFS − CTS_airtime`.
+pub fn cts_duration(std: PhyStandard, rts_duration_us: u16) -> u16 {
+    let consumed = (sifs(std) + cts_airtime(std)).as_micros_f64().ceil() as u16;
+    rts_duration_us.saturating_sub(consumed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn airtime_includes_preamble() {
+        let std = PhyStandard::Dot11b;
+        let t = std.mac_timing();
+        let base = std.base_rate();
+        // 100 bytes at 1 Mbps = 800 µs, plus 192 µs preamble.
+        let a = airtime(&t, base, 100);
+        assert!((a.as_micros_f64() - 992.0).abs() < 1.0, "{a}");
+    }
+
+    #[test]
+    fn ack_airtime_reasonable_for_g() {
+        // ACK at 6 Mbps: 14 B = 18.7 µs + 20 µs preamble ≈ 39 µs.
+        let a = ack_airtime(PhyStandard::Dot11g);
+        assert!((a.as_micros_f64() - 38.7).abs() < 1.0, "{a}");
+    }
+
+    #[test]
+    fn nav_ordering() {
+        // RTS reserves the whole exchange, so its NAV exceeds a data
+        // frame's NAV, which exceeds zero.
+        let std = PhyStandard::Dot11g;
+        let data_air = SimDuration::from_micros(300);
+        let rts = rts_duration(std, data_air);
+        let data = data_duration(std, false, None);
+        assert!(rts > data, "rts={rts} data={data}");
+        assert!(data > 0);
+    }
+
+    #[test]
+    fn cts_duration_counts_down() {
+        // Each stage of the exchange shortens the NAV by what has been
+        // consumed — the countdown §4.2 describes.
+        let std = PhyStandard::Dot11g;
+        let rts = rts_duration(std, SimDuration::from_micros(300));
+        let cts = cts_duration(std, rts);
+        assert!(cts < rts);
+        // Remaining after CTS: SIFS + DATA + SIFS + ACK ≈ rts − sifs − cts_air.
+        let expect = rts - (sifs(std) + cts_airtime(std)).as_micros_f64().ceil() as u16;
+        assert_eq!(cts, expect);
+    }
+
+    #[test]
+    fn fragment_nav_extends_over_next_fragment() {
+        let std = PhyStandard::Dot11g;
+        let plain = data_duration(std, false, None);
+        let frag = data_duration(std, true, Some(SimDuration::from_micros(200)));
+        assert!(frag > plain + 200, "frag NAV must cover the next fragment");
+    }
+
+    #[test]
+    fn duration_field_clamped_to_15_bits() {
+        let std = PhyStandard::Dot11;
+        // An absurdly long data frame at 1 Mbps.
+        let d = rts_duration(std, SimDuration::from_millis(100));
+        assert!(d <= 0x7FFF);
+    }
+
+    #[test]
+    fn sifs_shorter_than_difs() {
+        for s in PhyStandard::ALL {
+            assert!(sifs(s) < difs(s), "{s:?}");
+        }
+    }
+}

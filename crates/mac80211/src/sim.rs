@@ -1,0 +1,2017 @@
+//! The shared-medium 802.11 MAC simulation.
+//!
+//! This module binds the frame codec, DCF timing, duplicate detection
+//! and ARF together into an event-driven model of one collision domain:
+//!
+//! - **Physical carrier sense** — a station defers while any
+//!   transmission it can hear (above the CS threshold) is in the air.
+//! - **Virtual carrier sense (NAV)** — Duration fields of overheard
+//!   frames reserve the medium (§4.2), enabling RTS/CTS protection.
+//! - **DCF** — DIFS + binary-exponential-backoff slotted contention,
+//!   freeze-and-resume on busy, post-transmission backoff.
+//! - **Reliability** — ACKs after SIFS, retries with the Retry bit,
+//!   short/long retry limits, CW doubling and reset.
+//! - **Fragmentation** — §4.2 More Fragments / fragment numbers; a
+//!   fragment burst holds the medium with SIFS gaps.
+//! - **Reception** — SINR-based error sampling over the interferer set,
+//!   with the capture effect switchable (a DESIGN.md ablation).
+//!
+//! Higher layers (association, beacons, the distribution system — the
+//! `wn-net80211` crate) plug in through the [`UpperLayer`] trait and
+//! drive the MAC with [`Command`]s.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::addr::MacAddr;
+use crate::arf::{Arf, ArfParams};
+use crate::dedup::DedupCache;
+use crate::duration::{ack_airtime, airtime, cts_airtime, data_duration, rts_duration};
+use crate::frame::{Frame, FrameType, SequenceControl, SequenceCounter, Subtype};
+use wn_phy::geom::Point;
+use wn_phy::medium::{LinkBudget, Radio};
+use wn_phy::modulation::{PhyStandard, RateStep};
+use wn_phy::propagation::{LogDistance, PathLoss};
+use wn_phy::units::{sum_powers, Db, Dbm, Hertz};
+use wn_sim::trace::Trace;
+use wn_sim::{Rng, Scheduler, SimDuration, SimTime, World};
+
+/// Index of a station within a [`WlanWorld`].
+pub type StationId = usize;
+
+/// MAC-level configuration shared by all stations in the world.
+#[derive(Clone, Debug)]
+pub struct MacConfig {
+    /// The PHY generation everyone runs.
+    pub standard: PhyStandard,
+    /// Frames at least this long (bytes) are protected with RTS/CTS.
+    pub rts_threshold: usize,
+    /// MSDUs longer than this (bytes) are fragmented.
+    pub frag_threshold: usize,
+    /// Retry limit for short frames (below the RTS threshold) and RTS.
+    pub retry_limit_short: u32,
+    /// Retry limit for long frames.
+    pub retry_limit_long: u32,
+    /// Carrier-sense threshold: transmissions weaker than this at a
+    /// receiver are inaudible (and become hidden-terminal interference).
+    pub cs_threshold: Dbm,
+    /// `true` → SINR-based capture; `false` → any overlap destroys the
+    /// frame (the pure collision model).
+    pub capture: bool,
+    /// Enable ARF rate adaptation (off pins the top rate).
+    pub arf: bool,
+    /// Use AARF (adaptive probe backoff) instead of classic ARF.
+    pub arf_adaptive: bool,
+    /// Per-station transmit queue limit (MSDUs); overflow is dropped.
+    pub queue_limit: usize,
+    /// RNG seed for backoff draws and error sampling.
+    pub seed: u64,
+    /// Override the PHY's CWmin (binary-exponential-backoff ablation).
+    pub cw_min_override: Option<u32>,
+    /// Override the PHY's CWmax.
+    pub cw_max_override: Option<u32>,
+}
+
+impl MacConfig {
+    /// A sensible default configuration for the given standard.
+    pub fn new(standard: PhyStandard) -> Self {
+        MacConfig {
+            standard,
+            rts_threshold: usize::MAX,
+            frag_threshold: usize::MAX,
+            retry_limit_short: 7,
+            retry_limit_long: 4,
+            cs_threshold: Dbm(-82.0),
+            capture: true,
+            arf: true,
+            arf_adaptive: false,
+            queue_limit: 64,
+            seed: 1,
+            cw_min_override: None,
+            cw_max_override: None,
+        }
+    }
+
+    /// The effective CWmin after overrides.
+    pub fn cw_min(&self) -> u32 {
+        self.cw_min_override
+            .unwrap_or(self.standard.mac_timing().cw_min)
+    }
+
+    /// The effective CWmax after overrides.
+    pub fn cw_max(&self) -> u32 {
+        self.cw_max_override
+            .unwrap_or(self.standard.mac_timing().cw_max)
+    }
+}
+
+/// Commands an [`UpperLayer`] issues back into the MAC.
+#[derive(Debug)]
+pub enum Command {
+    /// Queue a frame for transmission (the MAC assigns sequence
+    /// numbers and handles fragmentation, retries and rate control).
+    SendFrame(Frame),
+    /// Request an [`UpperLayer::on_timer`] callback after a delay.
+    SetTimer {
+        /// Delay from now.
+        delay: SimDuration,
+        /// Opaque tag returned in the callback.
+        tag: u64,
+    },
+    /// Set the Power Management bit on subsequent frames (§4.2).
+    SetPowerManagement(bool),
+    /// Doze or wake the radio: a dozing station neither receives nor
+    /// carrier-senses.
+    SetAwake(bool),
+    /// Switch to another channel (1–14 at 2.4 GHz); transmissions on
+    /// other channels are neither heard nor interfering.
+    SetChannel(u8),
+    /// Deliver an [`UpperLayer::on_timer`] callback to *another*
+    /// station after `delay` — the out-of-band signalling path of a
+    /// wired distribution system (§3.1: "In nearly all commercial
+    /// products, wired Ethernet is used as the backbone").
+    SignalStation {
+        /// Target station.
+        station: StationId,
+        /// Opaque tag delivered to the target.
+        tag: u64,
+        /// Wire latency.
+        delay: SimDuration,
+    },
+}
+
+/// Context handed to [`UpperLayer`] callbacks.
+pub struct UpperCtx<'a> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// This station's MAC address.
+    pub addr: MacAddr,
+    /// This station's id.
+    pub id: StationId,
+    commands: &'a mut Vec<Command>,
+}
+
+impl UpperCtx<'_> {
+    /// Queues a frame for transmission.
+    pub fn send(&mut self, frame: Frame) {
+        self.commands.push(Command::SendFrame(frame));
+    }
+
+    /// Requests a timer callback.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.commands.push(Command::SetTimer { delay, tag });
+    }
+
+    /// Issues any other command.
+    pub fn command(&mut self, cmd: Command) {
+        self.commands.push(cmd);
+    }
+}
+
+/// The interface the architecture layer implements on top of the MAC.
+pub trait UpperLayer {
+    /// Called once when the simulation boots.
+    fn on_start(&mut self, ctx: &mut UpperCtx) {
+        let _ = ctx;
+    }
+
+    /// A decoded, deduplicated frame addressed to this station (or
+    /// broadcast), with its received signal strength. Control
+    /// ACK/RTS/CTS are consumed by the MAC and not delivered; PS-Poll
+    /// *is* delivered (the AP must react).
+    fn on_frame(&mut self, ctx: &mut UpperCtx, frame: &Frame, rssi: Dbm) {
+        let _ = (ctx, frame, rssi);
+    }
+
+    /// Final outcome of a queued frame: delivered (ACKed / broadcast
+    /// sent) or dropped after the retry limit.
+    fn on_tx_result(&mut self, ctx: &mut UpperCtx, frame: &Frame, success: bool) {
+        let _ = (ctx, frame, success);
+    }
+
+    /// A timer requested via [`Command::SetTimer`] fired.
+    fn on_timer(&mut self, ctx: &mut UpperCtx, tag: u64) {
+        let _ = (ctx, tag);
+    }
+}
+
+/// A do-nothing upper layer for raw-MAC experiments.
+#[derive(Default)]
+pub struct NullUpper;
+
+impl UpperLayer for NullUpper {}
+
+/// Per-station counters exposed to experiments.
+#[derive(Clone, Debug, Default)]
+pub struct StationStats {
+    /// Data/management MSDUs queued.
+    pub queued: u64,
+    /// MSDUs dropped on queue overflow.
+    pub queue_drops: u64,
+    /// Frames put on the air (including control and retries).
+    pub tx_frames: u64,
+    /// Retransmissions.
+    pub retries: u64,
+    /// MSDUs abandoned at the retry limit.
+    pub tx_failures: u64,
+    /// MSDUs successfully completed (ACKed, or broadcast sent).
+    pub tx_completions: u64,
+    /// Frames decoded and accepted (addressed to us, not duplicate).
+    pub rx_accepted: u64,
+    /// Duplicates discarded.
+    pub rx_duplicates: u64,
+    /// Frames destroyed by collision/noise at this receiver.
+    pub rx_errors: u64,
+    /// Payload bytes delivered up the stack.
+    pub rx_payload_bytes: u64,
+    /// Sum of MAC access delays (µs) over completions.
+    pub access_delay_us_sum: f64,
+}
+
+/// One MSDU queued for transmission.
+struct Msdu {
+    frame: Frame,
+    enqueued: SimTime,
+}
+
+/// The in-flight attempt for the head-of-line MSDU.
+struct Attempt {
+    msdu: Msdu,
+    /// Remaining fragment bodies (index 0 = next to send).
+    fragments: VecDeque<Vec<u8>>,
+    frag_number: u8,
+    total_frags: u8,
+    short_retries: u32,
+    long_retries: u32,
+    use_rts: bool,
+    cts_received: bool,
+    rate: RateStep,
+    is_retry: bool,
+}
+
+/// What the station is currently waiting for after transmitting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Expecting {
+    Cts,
+    Ack,
+}
+
+/// A scheduled SIFS response (ACK/CTS) or follow-on fragment.
+enum PendingTx {
+    Control(Frame),
+    NextFragment,
+    DataAfterCts,
+}
+
+struct Station {
+    addr: MacAddr,
+    pos: Point,
+    radio: Radio,
+    channel: u8,
+    awake: bool,
+    power_mgmt: bool,
+    upper: Option<Box<dyn UpperLayer>>,
+    queue: VecDeque<Msdu>,
+    current: Option<Attempt>,
+    seq: SequenceCounter,
+    dedup: DedupCache,
+    arf: Arf,
+    reassembly: HashMap<(MacAddr, u16), Vec<u8>>,
+    nav_until: SimTime,
+    audible: Vec<u64>,
+    transmitting: Option<u64>,
+    /// Remaining backoff slots; `None` means no access procedure armed.
+    backoff_slots: Option<u32>,
+    /// When the currently-armed access timer started counting.
+    access_armed_at: Option<SimTime>,
+    cw: u32,
+    timer_gen: u64,
+    expecting: Option<(Expecting, u64)>,
+    pending: Option<(PendingTx, u64)>,
+    stats: StationStats,
+}
+
+/// A transmission on the medium (possibly already finished, retained
+/// briefly for interference bookkeeping).
+struct TxRecord {
+    id: u64,
+    src: StationId,
+    channel: u8,
+    frame: Frame,
+    rate: RateStep,
+    start: SimTime,
+    end: SimTime,
+    /// Received power at every station, by id.
+    rx_power: Vec<Dbm>,
+    done: bool,
+}
+
+/// Events driving the MAC world.
+pub enum MacEvent {
+    /// Deliver `UpperLayer::on_start` to every station.
+    Boot,
+    /// A transmission finished; receivers decide reception.
+    TxEnd {
+        /// Record id.
+        tx_id: u64,
+    },
+    /// DIFS + backoff completed; transmit if still valid.
+    AccessTimer {
+        /// Station whose timer fired.
+        station: StationId,
+        /// Generation guard against stale timers.
+        gen: u64,
+    },
+    /// CTS/ACK did not arrive in time.
+    ResponseTimeout {
+        /// Waiting station.
+        station: StationId,
+        /// Generation guard.
+        gen: u64,
+    },
+    /// A SIFS-spaced response or burst continuation is due.
+    SifsAction {
+        /// Responding station.
+        station: StationId,
+        /// Generation guard.
+        gen: u64,
+    },
+    /// The NAV reservation expired; re-evaluate channel access.
+    NavExpired {
+        /// Station whose NAV ended.
+        station: StationId,
+    },
+    /// An upper-layer timer fired.
+    UpperTimer {
+        /// Target station.
+        station: StationId,
+        /// Opaque tag.
+        tag: u64,
+    },
+    /// Move a station (mobility models schedule these).
+    SetPosition {
+        /// Target station.
+        station: StationId,
+        /// New position.
+        pos: Point,
+    },
+    /// Inject an application frame into a station's queue.
+    Inject {
+        /// Sending station.
+        station: StationId,
+        /// The frame to queue.
+        frame: Frame,
+    },
+}
+
+/// The shared-medium world; drive it with [`wn_sim::Simulation`].
+pub struct WlanWorld {
+    cfg: MacConfig,
+    budget: LinkBudget,
+    loss: Box<dyn Fn(Point, Point, Hertz, SimTime) -> Db + Send>,
+    stations: Vec<Station>,
+    records: Vec<TxRecord>,
+    next_tx_id: u64,
+    rng: Rng,
+    /// Protocol trace for tests and debugging.
+    pub trace: Trace,
+    sifs: SimDuration,
+    difs: SimDuration,
+    slot: SimDuration,
+    booted: bool,
+}
+
+impl WlanWorld {
+    /// Creates a world with the default consumer radio and indoor
+    /// log-distance propagation.
+    pub fn new(cfg: MacConfig) -> Self {
+        let std = cfg.standard;
+        let budget = LinkBudget::for_standard(std, Radio::consumer_wifi());
+        let model = LogDistance::indoor();
+        let rng = Rng::new(cfg.seed);
+        WlanWorld {
+            budget,
+            loss: Box::new(move |a, b, f, _t| model.loss(a.distance_to(b), f)),
+            stations: Vec::new(),
+            records: Vec::new(),
+            next_tx_id: 0,
+            rng,
+            trace: Trace::new(8192),
+            sifs: crate::duration::sifs(std),
+            difs: crate::duration::difs(std),
+            slot: crate::duration::slot(std),
+            booted: false,
+            cfg,
+        }
+    }
+
+    /// Replaces the propagation model (position- and time-aware; the
+    /// time argument enables fading models).
+    pub fn set_loss_model(&mut self, loss: Box<dyn Fn(Point, Point, Hertz, SimTime) -> Db + Send>) {
+        self.loss = loss;
+    }
+
+    /// Adds a station; returns its id. All stations must be added
+    /// before the `Boot` event runs.
+    pub fn add_station(
+        &mut self,
+        addr: MacAddr,
+        pos: Point,
+        upper: Box<dyn UpperLayer>,
+    ) -> StationId {
+        let id = self.stations.len();
+        self.stations.push(Station {
+            addr,
+            pos,
+            radio: Radio::consumer_wifi(),
+            channel: 1,
+            awake: true,
+            power_mgmt: false,
+            upper: Some(upper),
+            queue: VecDeque::new(),
+            current: None,
+            seq: SequenceCounter::default(),
+            dedup: DedupCache::new(),
+            arf: Arf::new(
+                self.cfg.standard,
+                if self.cfg.arf_adaptive {
+                    ArfParams::aarf()
+                } else {
+                    ArfParams::default()
+                },
+                self.cfg.arf,
+            ),
+            reassembly: HashMap::new(),
+            nav_until: SimTime::ZERO,
+            audible: Vec::new(),
+            transmitting: None,
+            backoff_slots: None,
+            access_armed_at: None,
+            cw: self.cfg.cw_min(),
+            timer_gen: 0,
+            expecting: None,
+            pending: None,
+            stats: StationStats::default(),
+        });
+        id
+    }
+
+    /// Station id by MAC address.
+    pub fn station_by_addr(&self, addr: MacAddr) -> Option<StationId> {
+        self.stations.iter().position(|s| s.addr == addr)
+    }
+
+    /// A station's statistics.
+    pub fn stats(&self, id: StationId) -> &StationStats {
+        &self.stations[id].stats
+    }
+
+    /// A station's MAC address.
+    pub fn addr(&self, id: StationId) -> MacAddr {
+        self.stations[id].addr
+    }
+
+    /// A station's current position.
+    pub fn position(&self, id: StationId) -> Point {
+        self.stations[id].pos
+    }
+
+    /// Sets a station's radio parameters (before boot).
+    pub fn set_radio(&mut self, id: StationId, radio: Radio) {
+        self.stations[id].radio = radio;
+    }
+
+    /// Sets a station's channel directly (scenario setup).
+    pub fn set_channel(&mut self, id: StationId, channel: u8) {
+        self.stations[id].channel = channel;
+    }
+
+    /// Number of stations.
+    pub fn station_count(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Aggregate delivered payload bytes across all stations.
+    pub fn total_delivered_bytes(&self) -> u64 {
+        self.stations.iter().map(|s| s.stats.rx_payload_bytes).sum()
+    }
+
+    // ----- internals -----
+
+    fn rx_power_at(&self, src: StationId, dst: StationId, now: SimTime) -> Dbm {
+        let a = &self.stations[src];
+        let b = &self.stations[dst];
+        let loss = (self.loss)(a.pos, b.pos, self.budget.frequency, now);
+        a.radio.tx_power + a.radio.tx_gain + b.radio.rx_gain - loss
+    }
+
+    fn audible_at(&self, power: Dbm) -> bool {
+        power.value() >= self.cfg.cs_threshold.value()
+    }
+
+    /// Spectral overlap between two 2.4 GHz channels (1.0 co-channel,
+    /// 0.0 orthogonal) — adjacent channels leak energy into each other,
+    /// the §6 interference mechanism behind the 1/6/11 channel plan.
+    fn channel_overlap(a: u8, b: u8) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        match (
+            wn_phy::bands::Channel::ism24(a),
+            wn_phy::bands::Channel::ism24(b),
+        ) {
+            (Ok(ca), Ok(cb)) => ca.overlap_with(cb),
+            _ => 0.0,
+        }
+    }
+
+    /// Received power of a cross-channel emission after the spectral
+    /// mask discount; `None` when fully orthogonal.
+    fn leaked_power(power: Dbm, overlap: f64) -> Option<Dbm> {
+        if overlap >= 1.0 {
+            Some(power)
+        } else if overlap <= 0.0 {
+            None
+        } else {
+            Some(Dbm(power.value() + 10.0 * overlap.log10()))
+        }
+    }
+
+    fn medium_idle(&self, id: StationId, now: SimTime) -> bool {
+        let s = &self.stations[id];
+        s.audible.is_empty() && s.transmitting.is_none() && s.nav_until <= now
+    }
+
+    fn with_upper<F>(&mut self, id: StationId, now: SimTime, sched: &mut Scheduler<MacEvent>, f: F)
+    where
+        F: FnOnce(&mut dyn UpperLayer, &mut UpperCtx),
+    {
+        let Some(mut upper) = self.stations[id].upper.take() else {
+            return;
+        };
+        let mut commands = Vec::new();
+        {
+            let mut ctx = UpperCtx {
+                now,
+                addr: self.stations[id].addr,
+                id,
+                commands: &mut commands,
+            };
+            f(upper.as_mut(), &mut ctx);
+        }
+        self.stations[id].upper = Some(upper);
+        for cmd in commands {
+            self.apply_command(id, now, sched, cmd);
+        }
+    }
+
+    fn apply_command(
+        &mut self,
+        id: StationId,
+        now: SimTime,
+        sched: &mut Scheduler<MacEvent>,
+        cmd: Command,
+    ) {
+        match cmd {
+            Command::SendFrame(frame) => self.enqueue(id, frame, now, sched),
+            Command::SetTimer { delay, tag } => {
+                sched.schedule_in(delay, MacEvent::UpperTimer { station: id, tag });
+            }
+            Command::SetPowerManagement(on) => self.stations[id].power_mgmt = on,
+            Command::SetAwake(awake) => {
+                let s = &mut self.stations[id];
+                s.awake = awake;
+                if !awake {
+                    // A dozing radio hears nothing.
+                    s.audible.clear();
+                }
+            }
+            Command::SetChannel(ch) => {
+                let s = &mut self.stations[id];
+                s.channel = ch;
+                s.audible.clear();
+                s.nav_until = now;
+            }
+            Command::SignalStation {
+                station,
+                tag,
+                delay,
+            } => {
+                sched.schedule_in(delay, MacEvent::UpperTimer { station, tag });
+            }
+        }
+    }
+
+    /// Queues a frame for transmission from `id`.
+    pub fn enqueue(
+        &mut self,
+        id: StationId,
+        mut frame: Frame,
+        now: SimTime,
+        sched: &mut Scheduler<MacEvent>,
+    ) {
+        frame.fc.power_management = self.stations[id].power_mgmt;
+        let s = &mut self.stations[id];
+        s.stats.queued += 1;
+        if s.queue.len() >= self.cfg.queue_limit {
+            s.stats.queue_drops += 1;
+            return;
+        }
+        s.queue.push_back(Msdu {
+            frame,
+            enqueued: now,
+        });
+        self.maybe_start_next(id, now, sched);
+    }
+
+    fn maybe_start_next(&mut self, id: StationId, now: SimTime, sched: &mut Scheduler<MacEvent>) {
+        if self.stations[id].current.is_some() {
+            return;
+        }
+        let Some(mut msdu) = self.stations[id].queue.pop_front() else {
+            return;
+        };
+        // Assign a sequence number and split into fragments.
+        let seq_no = self.stations[id].seq.next();
+        let body = std::mem::take(&mut msdu.frame.body);
+        let frag_threshold = self.cfg.frag_threshold;
+        let can_fragment = msdu.frame.fc.subtype.frame_type() == FrameType::Data
+            && !msdu.frame.receiver().is_group();
+        let mut fragments: VecDeque<Vec<u8>> = VecDeque::new();
+        if can_fragment && body.len() > frag_threshold {
+            let mut rest = &body[..];
+            while rest.len() > frag_threshold {
+                fragments.push_back(rest[..frag_threshold].to_vec());
+                rest = &rest[frag_threshold..];
+            }
+            fragments.push_back(rest.to_vec());
+        } else {
+            fragments.push_back(body);
+        }
+        let total = fragments.len() as u8;
+        msdu.frame.seq = Some(SequenceControl {
+            fragment: 0,
+            sequence: seq_no,
+        });
+        let use_rts = !msdu.frame.receiver().is_group()
+            && fragments.front().map_or(0, |f| f.len()) + 28 >= self.cfg.rts_threshold;
+        let peer = msdu.frame.receiver();
+        let rate = if peer.is_group() {
+            self.cfg.standard.base_rate()
+        } else {
+            self.stations[id].arf.current_rate(peer)
+        };
+        self.stations[id].current = Some(Attempt {
+            msdu,
+            fragments,
+            frag_number: 0,
+            total_frags: total,
+            short_retries: 0,
+            long_retries: 0,
+            use_rts,
+            cts_received: false,
+            rate,
+            is_retry: false,
+        });
+        self.begin_access(id, now, sched);
+    }
+
+    /// Starts (or restarts) the DIFS+backoff procedure.
+    fn begin_access(&mut self, id: StationId, now: SimTime, sched: &mut Scheduler<MacEvent>) {
+        let cw = self.stations[id].cw;
+        let slots = self.rng.below(cw as u64 + 1) as u32;
+        self.stations[id].backoff_slots = Some(slots);
+        self.try_arm_access(id, now, sched);
+    }
+
+    fn try_arm_access(&mut self, id: StationId, now: SimTime, sched: &mut Scheduler<MacEvent>) {
+        if self.stations[id].backoff_slots.is_none() {
+            return;
+        }
+        if !self.medium_idle(id, now) {
+            // Will re-arm on the idle edge / NAV expiry.
+            if self.stations[id].nav_until > now {
+                sched.schedule_at(
+                    self.stations[id].nav_until,
+                    MacEvent::NavExpired { station: id },
+                );
+            }
+            return;
+        }
+        let s = &mut self.stations[id];
+        if s.access_armed_at.is_some() {
+            return;
+        }
+        s.timer_gen += 1;
+        let gen = s.timer_gen;
+        s.access_armed_at = Some(now);
+        let slots = s.backoff_slots.expect("checked above");
+        let delay = self.difs + self.slot * slots as u64;
+        sched.schedule_in(delay, MacEvent::AccessTimer { station: id, gen });
+    }
+
+    /// A busy edge interrupts a counting-down access timer.
+    fn freeze_access(&mut self, id: StationId, now: SimTime) {
+        let (difs, slot) = (self.difs, self.slot);
+        let s = &mut self.stations[id];
+        let Some(armed_at) = s.access_armed_at else {
+            return;
+        };
+        if let Some(slots) = s.backoff_slots {
+            // CSMA vulnerable window: a station whose backoff expires
+            // within the CCA detection time of the busy edge has already
+            // committed to transmit and cannot react — so two stations
+            // whose counters reach zero in the same slot genuinely
+            // collide. The window is ~1 µs (energy-detect turnaround),
+            // far below a slot, so sub-slot grid offsets still defer.
+            let fire_at = armed_at + difs + slot * slots as u64;
+            if fire_at <= now + SimDuration::from_micros(1) {
+                return;
+            }
+            let difs_end = armed_at + difs;
+            let consumed = if now <= difs_end {
+                0
+            } else {
+                ((now - difs_end).as_nanos() / slot.as_nanos().max(1)) as u32
+            };
+            s.backoff_slots = Some(slots.saturating_sub(consumed));
+        }
+        s.access_armed_at = None;
+        s.timer_gen += 1; // Invalidate the pending AccessTimer.
+    }
+
+    fn start_transmission(
+        &mut self,
+        id: StationId,
+        frame: Frame,
+        rate: RateStep,
+        now: SimTime,
+        sched: &mut Scheduler<MacEvent>,
+    ) -> u64 {
+        let timing = self.cfg.standard.mac_timing();
+        let dur = airtime(&timing, rate, frame.wire_len());
+        let tx_id = self.next_tx_id;
+        self.next_tx_id += 1;
+        let rx_power: Vec<Dbm> = (0..self.stations.len())
+            .map(|r| {
+                if r == id {
+                    Dbm(f64::INFINITY)
+                } else {
+                    self.rx_power_at(id, r, now)
+                }
+            })
+            .collect();
+        let channel = self.stations[id].channel;
+        self.trace.debug(
+            now,
+            "mac",
+            format!(
+                "tx {} {:?} {} -> {} len={} rate={}",
+                tx_id,
+                frame.fc.subtype,
+                self.stations[id].addr,
+                frame.receiver(),
+                frame.wire_len(),
+                rate.rate
+            ),
+        );
+        self.records.push(TxRecord {
+            id: tx_id,
+            src: id,
+            channel,
+            frame,
+            rate,
+            start: now,
+            end: now + dur,
+            rx_power,
+            done: false,
+        });
+        self.stations[id].transmitting = Some(tx_id);
+        self.stations[id].stats.tx_frames += 1;
+        // Busy edges at every audible same-channel station.
+        for r in 0..self.stations.len() {
+            if r == id {
+                continue;
+            }
+            let power = self.records.last().expect("just pushed").rx_power[r];
+            let s = &self.stations[r];
+            let overlap = Self::channel_overlap(channel, s.channel);
+            let heard = Self::leaked_power(power, overlap)
+                .map(|p| self.audible_at(p))
+                .unwrap_or(false);
+            if s.awake && heard {
+                self.stations[r].audible.push(tx_id);
+                if self.stations[r].audible.len() == 1 {
+                    self.freeze_access(r, now);
+                }
+            }
+        }
+        sched.schedule_in(dur, MacEvent::TxEnd { tx_id });
+        tx_id
+    }
+
+    /// Transmits the next protocol unit of the current attempt (RTS or
+    /// the pending fragment).
+    fn transmit_current(&mut self, id: StationId, now: SimTime, sched: &mut Scheduler<MacEvent>) {
+        let std = self.cfg.standard;
+        let timing = std.mac_timing();
+        let (frame, rate, expect) = {
+            let s = &mut self.stations[id];
+            let Some(at) = s.current.as_mut() else {
+                return;
+            };
+            if at.use_rts && !at.cts_received {
+                // RTS first. Its NAV covers the whole exchange.
+                let body_len = at.fragments.front().map_or(0, |b| b.len());
+                let data_len = at.msdu.frame.header_len() + body_len + 4;
+                let data_air = airtime(&timing, at.rate, data_len);
+                let ra = at.msdu.frame.receiver();
+                let rts = Frame::rts(ra, s.addr, rts_duration(std, data_air));
+                (rts, std.base_rate(), Some(Expecting::Cts))
+            } else {
+                let mut f = at.msdu.frame.clone();
+                f.body = at.fragments.front().cloned().unwrap_or_default();
+                let more = at.fragments.len() > 1;
+                f.fc.more_fragments = more;
+                f.fc.retry = at.is_retry;
+                f.seq = Some(SequenceControl {
+                    fragment: at.frag_number,
+                    sequence: at.msdu.frame.seq.expect("assigned at queue").sequence,
+                });
+                let next_air = at
+                    .fragments
+                    .get(1)
+                    .map(|b| airtime(&timing, at.rate, at.msdu.frame.header_len() + b.len() + 4));
+                f.duration_id = if f.receiver().is_group() {
+                    0
+                } else {
+                    data_duration(std, more, next_air)
+                };
+                let expect = (!f.receiver().is_group()).then_some(Expecting::Ack);
+                (f, at.rate, expect)
+            }
+        };
+        self.start_transmission(id, frame, rate, now, sched);
+        // The response timeout is armed when our transmission *ends*
+        // (handled in TxEnd for the source); remember what we expect.
+        if let Some(e) = expect {
+            let s = &mut self.stations[id];
+            s.timer_gen += 1;
+            s.expecting = Some((e, s.timer_gen));
+        } else {
+            self.stations[id].expecting = None;
+        }
+    }
+
+    fn schedule_sifs(&mut self, id: StationId, action: PendingTx, sched: &mut Scheduler<MacEvent>) {
+        let s = &mut self.stations[id];
+        s.timer_gen += 1;
+        let gen = s.timer_gen;
+        s.pending = Some((action, gen));
+        sched.schedule_in(self.sifs, MacEvent::SifsAction { station: id, gen });
+    }
+
+    fn handle_tx_end(&mut self, tx_id: u64, now: SimTime, sched: &mut Scheduler<MacEvent>) {
+        let Some(idx) = self.records.iter().position(|r| r.id == tx_id) else {
+            return;
+        };
+        self.records[idx].done = true;
+        let src = self.records[idx].src;
+        let channel = self.records[idx].channel;
+        self.stations[src].transmitting = None;
+
+        // Decide reception at every station.
+        let n = self.stations.len();
+        let mut decoded: Vec<(StationId, Frame, Dbm)> = Vec::new();
+        for r in 0..n {
+            if r == src {
+                continue;
+            }
+            let power = self.records[idx].rx_power[r];
+            let s = &self.stations[r];
+            let was_audible = s.audible.contains(&tx_id);
+            if was_audible {
+                let st = &mut self.stations[r];
+                st.audible.retain(|&t| t != tx_id);
+            }
+            let s = &self.stations[r];
+            if !s.awake || s.channel != channel {
+                continue;
+            }
+            if !self.audible_at(power) && !was_audible {
+                continue;
+            }
+            // Half-duplex: a station that transmitted during any part
+            // of the frame cannot receive it.
+            let rec = &self.records[idx];
+            let self_tx = self
+                .records
+                .iter()
+                .any(|o| o.src == r && o.start < rec.end && o.end > rec.start);
+            if self_tx {
+                self.stations[r].stats.rx_errors += 1;
+                continue;
+            }
+            // Interference: all other same-channel transmissions
+            // overlapping in time, summed in the linear domain.
+            let interferers: Vec<Dbm> = self
+                .records
+                .iter()
+                .filter(|o| o.id != tx_id && o.src != r && o.start < rec.end && o.end > rec.start)
+                .filter_map(|o| {
+                    let ov = Self::channel_overlap(o.channel, channel);
+                    Self::leaked_power(o.rx_power[r], ov)
+                })
+                .collect();
+            let success = if !self.cfg.capture && !interferers.is_empty() {
+                false
+            } else {
+                let noise = self.budget.noise_floor();
+                let denom = match sum_powers(&interferers) {
+                    None => noise,
+                    Some(i) => sum_powers(&[noise, i]).expect("two terms"),
+                };
+                let sinr = power - denom;
+                let p_ok = rec
+                    .rate
+                    .success_prob(sinr.value(), rec.frame.wire_len() as u64 * 8);
+                self.rng.chance(p_ok)
+            };
+            if success {
+                decoded.push((r, self.records[idx].frame.clone(), power));
+            } else {
+                self.stations[r].stats.rx_errors += 1;
+            }
+        }
+
+        // Source-side continuation: arm response timeout or complete.
+        self.continue_after_own_tx(src, tx_id, now, sched);
+
+        // Receiver-side processing.
+        for (r, frame, power) in decoded {
+            self.process_decoded(r, frame, power, now, sched);
+        }
+
+        // Idle edges: resume frozen access procedures.
+        for r in 0..n {
+            if self.medium_idle(r, now) && self.stations[r].backoff_slots.is_some() {
+                self.try_arm_access(r, now, sched);
+            }
+        }
+
+        // Prune stale records (keep a 50 ms interference horizon).
+        let horizon = now.saturating_duration_since(SimTime::ZERO);
+        if horizon.as_nanos() > 50_000_000 {
+            let cutoff = now - SimDuration::from_millis(50);
+            self.records.retain(|rec| !rec.done || rec.end > cutoff);
+        }
+    }
+
+    fn continue_after_own_tx(
+        &mut self,
+        src: StationId,
+        tx_id: u64,
+        now: SimTime,
+        sched: &mut Scheduler<MacEvent>,
+    ) {
+        let Some(rec) = self.records.iter().find(|r| r.id == tx_id) else {
+            return;
+        };
+        let subtype = rec.frame.fc.subtype;
+        let is_group = rec.frame.receiver().is_group();
+        match subtype {
+            Subtype::Ack | Subtype::Cts => {
+                // Control responses need no follow-up from us.
+            }
+            _ => {
+                if self.stations[src].current.is_some() {
+                    if is_group {
+                        // Broadcast: complete immediately, no ACK.
+                        self.complete_attempt(src, true, now, sched);
+                    } else if let Some((exp, gen)) = self.stations[src].expecting {
+                        // Arm the CTS/ACK timeout.
+                        let resp_air = match exp {
+                            Expecting::Cts => cts_airtime(self.cfg.standard),
+                            Expecting::Ack => ack_airtime(self.cfg.standard),
+                        };
+                        let timeout = self.sifs + resp_air + self.slot * 2;
+                        sched.schedule_in(timeout, MacEvent::ResponseTimeout { station: src, gen });
+                    }
+                }
+            }
+        }
+    }
+
+    fn process_decoded(
+        &mut self,
+        r: StationId,
+        frame: Frame,
+        rssi: Dbm,
+        now: SimTime,
+        sched: &mut Scheduler<MacEvent>,
+    ) {
+        let my_addr = self.stations[r].addr;
+        let for_me = frame.receiver() == my_addr || frame.receiver().is_group();
+        if !for_me {
+            // Virtual carrier sense: honour the Duration field (§4.2).
+            if frame.duration_id & 0x8000 == 0 && frame.duration_id > 0 {
+                let nav = now + SimDuration::from_micros(frame.duration_id as u64);
+                if nav > self.stations[r].nav_until {
+                    self.stations[r].nav_until = nav;
+                    self.freeze_access(r, now);
+                    sched.schedule_at(nav, MacEvent::NavExpired { station: r });
+                }
+            }
+            return;
+        }
+        match frame.fc.subtype {
+            Subtype::Ack => self.on_ack(r, now, sched),
+            Subtype::Cts => self.on_cts(r, now, sched),
+            Subtype::Rts => {
+                // Respond with CTS after SIFS if our NAV permits.
+                if self.stations[r].nav_until <= now {
+                    let std = self.cfg.standard;
+                    let cts = Frame::cts(
+                        frame.transmitter().expect("RTS carries TA"),
+                        crate::duration::cts_duration(std, frame.duration_id),
+                    );
+                    self.schedule_sifs(r, PendingTx::Control(cts), sched);
+                }
+            }
+            Subtype::PsPoll => {
+                self.stations[r].stats.rx_accepted += 1;
+                self.with_upper(r, now, sched, |u, ctx| u.on_frame(ctx, &frame, rssi));
+            }
+            _ => {
+                // Data / management.
+                let unicast = !frame.receiver().is_group();
+                if unicast {
+                    // ACK after SIFS — even for duplicates (the original
+                    // ACK may be the thing that got lost).
+                    let ack = Frame::ack(frame.transmitter().expect("data carries TA"));
+                    self.schedule_sifs(r, PendingTx::Control(ack), sched);
+                }
+                let tx = frame.transmitter().expect("data carries TA");
+                let seq = frame.seq.expect("data carries sequence control");
+                if unicast && self.stations[r].dedup.check(tx, seq, frame.fc.retry) {
+                    self.stations[r].stats.rx_duplicates += 1;
+                    return;
+                }
+                // Fragment reassembly (§4.2 More Fragments).
+                if frame.fc.more_fragments || seq.fragment > 0 {
+                    let key = (tx, seq.sequence);
+                    let buf = self.stations[r].reassembly.entry(key).or_default();
+                    buf.extend_from_slice(&frame.body);
+                    if frame.fc.more_fragments {
+                        return;
+                    }
+                    let full = self.stations[r].reassembly.remove(&key).unwrap_or_default();
+                    let mut complete = frame.clone();
+                    complete.body = full;
+                    complete.fc.more_fragments = false;
+                    self.deliver(r, complete, rssi, now, sched);
+                } else {
+                    self.deliver(r, frame, rssi, now, sched);
+                }
+            }
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        r: StationId,
+        frame: Frame,
+        rssi: Dbm,
+        now: SimTime,
+        sched: &mut Scheduler<MacEvent>,
+    ) {
+        let s = &mut self.stations[r];
+        s.stats.rx_accepted += 1;
+        s.stats.rx_payload_bytes += frame.body.len() as u64;
+        self.trace.debug(
+            now,
+            "mac",
+            format!(
+                "deliver {:?} to {} len={}",
+                frame.fc.subtype,
+                s.addr,
+                frame.body.len()
+            ),
+        );
+        self.with_upper(r, now, sched, |u, ctx| u.on_frame(ctx, &frame, rssi));
+    }
+
+    fn on_ack(&mut self, id: StationId, now: SimTime, sched: &mut Scheduler<MacEvent>) {
+        let Some((Expecting::Ack, _)) = self.stations[id].expecting else {
+            return;
+        };
+        self.stations[id].expecting = None;
+        self.stations[id].timer_gen += 1; // Cancel the timeout.
+        let peer = self.stations[id]
+            .current
+            .as_ref()
+            .map(|a| a.msdu.frame.receiver());
+        if let Some(p) = peer {
+            self.stations[id].arf.on_success(p);
+        }
+        let more = {
+            let at = self.stations[id]
+                .current
+                .as_mut()
+                .expect("ACK implies attempt");
+            at.fragments.pop_front();
+            at.short_retries = 0;
+            at.long_retries = 0;
+            at.is_retry = false;
+            if !at.fragments.is_empty() {
+                at.frag_number += 1;
+                true
+            } else {
+                false
+            }
+        };
+        if more {
+            // Continue the burst SIFS-spaced without re-contending.
+            self.schedule_sifs(id, PendingTx::NextFragment, sched);
+        } else {
+            self.complete_attempt(id, true, now, sched);
+        }
+    }
+
+    fn on_cts(&mut self, id: StationId, now: SimTime, sched: &mut Scheduler<MacEvent>) {
+        let _ = now;
+        let Some((Expecting::Cts, _)) = self.stations[id].expecting else {
+            return;
+        };
+        self.stations[id].expecting = None;
+        self.stations[id].timer_gen += 1;
+        if let Some(at) = self.stations[id].current.as_mut() {
+            at.cts_received = true;
+        }
+        self.schedule_sifs(id, PendingTx::DataAfterCts, sched);
+    }
+
+    fn complete_attempt(
+        &mut self,
+        id: StationId,
+        success: bool,
+        now: SimTime,
+        sched: &mut Scheduler<MacEvent>,
+    ) {
+        let cw_min = self.cfg.cw_min();
+        let Some(at) = self.stations[id].current.take() else {
+            return;
+        };
+        {
+            let s = &mut self.stations[id];
+            s.expecting = None;
+            if success {
+                s.stats.tx_completions += 1;
+                s.stats.access_delay_us_sum += now
+                    .saturating_duration_since(at.msdu.enqueued)
+                    .as_micros_f64();
+                s.cw = cw_min;
+            } else {
+                s.stats.tx_failures += 1;
+                s.cw = cw_min;
+            }
+        }
+        let mut frame = at.msdu.frame;
+        frame.fc.more_fragments = at.total_frags > 1;
+        self.trace.debug(
+            now,
+            "mac",
+            format!("complete {} success={}", self.stations[id].addr, success),
+        );
+        self.with_upper(id, now, sched, |u, ctx| {
+            u.on_tx_result(ctx, &frame, success)
+        });
+        // Post-transmission backoff, then next MSDU.
+        self.maybe_start_next(id, now, sched);
+    }
+
+    fn handle_response_timeout(
+        &mut self,
+        id: StationId,
+        gen: u64,
+        now: SimTime,
+        sched: &mut Scheduler<MacEvent>,
+    ) {
+        let Some((exp, g)) = self.stations[id].expecting else {
+            return;
+        };
+        if g != gen {
+            return;
+        }
+        self.stations[id].expecting = None;
+
+        let peer = self.stations[id]
+            .current
+            .as_ref()
+            .map(|a| a.msdu.frame.receiver());
+        if let Some(p) = peer {
+            self.stations[id].arf.on_failure(p);
+        }
+        let cfg_short = self.cfg.retry_limit_short;
+        let cfg_long = self.cfg.retry_limit_long;
+        let exceeded = {
+            let Some(at) = self.stations[id].current.as_mut() else {
+                return;
+            };
+            at.is_retry = true;
+            match exp {
+                Expecting::Cts => {
+                    at.short_retries += 1;
+                    at.cts_received = false;
+                    at.short_retries > cfg_short
+                }
+                Expecting::Ack => {
+                    if at.use_rts {
+                        at.long_retries += 1;
+                        at.cts_received = false;
+                        at.long_retries > cfg_long
+                    } else {
+                        at.short_retries += 1;
+                        at.short_retries > cfg_short
+                    }
+                }
+            }
+        };
+        if exceeded {
+            self.complete_attempt(id, false, now, sched);
+        } else {
+            self.stations[id].stats.retries += 1;
+            // Double the contention window and re-contend (BEB).
+            let s = &mut self.stations[id];
+            s.cw = ((s.cw + 1) * 2 - 1).min(self.cfg.cw_max());
+            self.begin_access(id, now, sched);
+        }
+    }
+
+    fn handle_sifs_action(
+        &mut self,
+        id: StationId,
+        gen: u64,
+        now: SimTime,
+        sched: &mut Scheduler<MacEvent>,
+    ) {
+        let Some((action, g)) = self.stations[id].pending.take() else {
+            return;
+        };
+        if g != gen {
+            return;
+        }
+        if self.stations[id].transmitting.is_some() {
+            return; // Half-duplex guard.
+        }
+        match action {
+            PendingTx::Control(frame) => {
+                let rate = self.cfg.standard.base_rate();
+                self.start_transmission(id, frame, rate, now, sched);
+            }
+            PendingTx::NextFragment | PendingTx::DataAfterCts => {
+                self.transmit_current(id, now, sched);
+            }
+        }
+    }
+}
+
+impl World for WlanWorld {
+    type Event = MacEvent;
+
+    fn handle(&mut self, now: SimTime, event: MacEvent, sched: &mut Scheduler<MacEvent>) {
+        match event {
+            MacEvent::Boot => {
+                if !self.booted {
+                    self.booted = true;
+                    for id in 0..self.stations.len() {
+                        self.with_upper(id, now, sched, |u, ctx| u.on_start(ctx));
+                    }
+                }
+            }
+            MacEvent::TxEnd { tx_id } => self.handle_tx_end(tx_id, now, sched),
+            MacEvent::AccessTimer { station, gen } => {
+                if self.stations[station].timer_gen != gen {
+                    return;
+                }
+                self.stations[station].access_armed_at = None;
+                self.stations[station].backoff_slots = None;
+                if self.stations[station].current.is_some() {
+                    self.transmit_current(station, now, sched);
+                }
+            }
+            MacEvent::ResponseTimeout { station, gen } => {
+                self.handle_response_timeout(station, gen, now, sched);
+            }
+            MacEvent::SifsAction { station, gen } => {
+                self.handle_sifs_action(station, gen, now, sched);
+            }
+            MacEvent::NavExpired { station } => {
+                if self.stations[station].backoff_slots.is_some() && self.medium_idle(station, now)
+                {
+                    self.try_arm_access(station, now, sched);
+                }
+            }
+            MacEvent::UpperTimer { station, tag } => {
+                self.with_upper(station, now, sched, |u, ctx| u.on_timer(ctx, tag));
+            }
+            MacEvent::SetPosition { station, pos } => {
+                self.stations[station].pos = pos;
+            }
+            MacEvent::Inject { station, frame } => {
+                self.enqueue(station, frame, now, sched);
+            }
+        }
+    }
+}
+
+/// Schedules the boot event; call once after building the world.
+pub fn boot(sim: &mut wn_sim::Simulation<WlanWorld>) {
+    sim.scheduler_mut()
+        .schedule_at(SimTime::ZERO, MacEvent::Boot);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::DsBits;
+    use wn_sim::Simulation;
+
+    fn world(n: usize, spacing_m: f64) -> Simulation<WlanWorld> {
+        let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+        cfg.seed = 7;
+        let mut w = WlanWorld::new(cfg);
+        for i in 0..n {
+            w.add_station(
+                MacAddr::station(i as u32),
+                Point::new(spacing_m * i as f64, 0.0),
+                Box::new(NullUpper),
+            );
+        }
+        let mut sim = Simulation::new(w);
+        boot(&mut sim);
+        sim
+    }
+
+    fn data_frame(from: u32, to: u32, len: usize) -> Frame {
+        Frame::data(
+            DsBits::Ibss,
+            MacAddr::station(to),
+            MacAddr::station(from),
+            MacAddr::random_ibss_bssid(1),
+            SequenceControl::default(),
+            vec![0xAA; len],
+        )
+    }
+
+    fn inject(sim: &mut Simulation<WlanWorld>, at_ms: u64, station: StationId, frame: Frame) {
+        sim.scheduler_mut().schedule_at(
+            SimTime::from_millis(at_ms),
+            MacEvent::Inject { station, frame },
+        );
+    }
+
+    #[test]
+    fn single_frame_delivered_and_acked() {
+        let mut sim = world(2, 10.0);
+        inject(&mut sim, 1, 0, data_frame(0, 1, 500));
+        sim.run_until(SimTime::from_secs(1));
+        let w = sim.world();
+        assert_eq!(w.stats(0).tx_completions, 1);
+        assert_eq!(w.stats(0).tx_failures, 0);
+        assert_eq!(w.stats(1).rx_accepted, 1);
+        assert_eq!(w.stats(1).rx_payload_bytes, 500);
+        // Two frames on the air: data + ACK.
+        assert_eq!(w.stats(0).tx_frames, 1);
+        assert_eq!(w.stats(1).tx_frames, 1);
+    }
+
+    #[test]
+    fn broadcast_needs_no_ack() {
+        let mut sim = world(3, 10.0);
+        let f = Frame::data(
+            DsBits::Ibss,
+            MacAddr::BROADCAST,
+            MacAddr::station(0),
+            MacAddr::random_ibss_bssid(1),
+            SequenceControl::default(),
+            vec![1; 100],
+        );
+        inject(&mut sim, 1, 0, f);
+        sim.run_until(SimTime::from_secs(1));
+        let w = sim.world();
+        assert_eq!(w.stats(0).tx_completions, 1);
+        assert_eq!(w.stats(1).rx_accepted, 1);
+        assert_eq!(w.stats(2).rx_accepted, 1);
+        // No ACK came back.
+        assert_eq!(w.stats(1).tx_frames, 0);
+        assert_eq!(w.stats(2).tx_frames, 0);
+    }
+
+    #[test]
+    fn out_of_range_peer_fails_after_retries() {
+        let mut sim = world(2, 50_000.0);
+        inject(&mut sim, 1, 0, data_frame(0, 1, 500));
+        sim.run_until(SimTime::from_secs(2));
+        let w = sim.world();
+        assert_eq!(w.stats(0).tx_completions, 0);
+        assert_eq!(w.stats(0).tx_failures, 1);
+        // Initial + 7 short retries.
+        assert_eq!(w.stats(0).tx_frames, 8);
+        assert_eq!(w.stats(1).rx_accepted, 0);
+    }
+
+    #[test]
+    fn many_frames_all_delivered() {
+        let mut sim = world(2, 10.0);
+        for i in 0..50 {
+            inject(&mut sim, 1 + i, 0, data_frame(0, 1, 1000));
+        }
+        sim.run_until(SimTime::from_secs(5));
+        let w = sim.world();
+        assert_eq!(w.stats(0).tx_completions, 50);
+        assert_eq!(w.stats(1).rx_accepted, 50);
+        assert_eq!(w.stats(1).rx_payload_bytes, 50_000);
+    }
+
+    #[test]
+    fn two_contending_senders_both_finish() {
+        let mut sim = world(3, 10.0);
+        // Stations 0 and 2 both flood station 1 starting simultaneously.
+        for i in 0..30 {
+            inject(&mut sim, 1 + i, 0, data_frame(0, 1, 800));
+            inject(&mut sim, 1 + i, 2, data_frame(2, 1, 800));
+        }
+        sim.run_until(SimTime::from_secs(10));
+        let w = sim.world();
+        assert_eq!(w.stats(0).tx_completions + w.stats(0).tx_failures, 30);
+        assert_eq!(w.stats(2).tx_completions + w.stats(2).tx_failures, 30);
+        assert_eq!(
+            w.stats(0).tx_completions,
+            30,
+            "close range: all should succeed"
+        );
+        assert_eq!(w.stats(2).tx_completions, 30);
+        assert_eq!(w.stats(1).rx_accepted, 60);
+    }
+
+    #[test]
+    fn fragmentation_reassembles() {
+        let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+        cfg.frag_threshold = 400;
+        cfg.seed = 3;
+        let mut w = WlanWorld::new(cfg);
+        w.add_station(
+            MacAddr::station(0),
+            Point::new(0.0, 0.0),
+            Box::new(NullUpper),
+        );
+        w.add_station(
+            MacAddr::station(1),
+            Point::new(5.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let mut sim = Simulation::new(w);
+        boot(&mut sim);
+        inject(&mut sim, 1, 0, data_frame(0, 1, 1000));
+        sim.run_until(SimTime::from_secs(1));
+        let w = sim.world();
+        // 1000 B splits into 400+400+200: three fragments, three ACKs.
+        assert_eq!(w.stats(0).tx_frames, 3);
+        assert_eq!(w.stats(1).tx_frames, 3);
+        assert_eq!(w.stats(0).tx_completions, 1);
+        // Receiver sees ONE reassembled MSDU of the full kilobyte.
+        assert_eq!(w.stats(1).rx_accepted, 1);
+        assert_eq!(w.stats(1).rx_payload_bytes, 1000);
+    }
+
+    #[test]
+    fn rts_cts_exchange_happens_below_threshold() {
+        let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+        cfg.rts_threshold = 100;
+        cfg.seed = 5;
+        let mut w = WlanWorld::new(cfg);
+        w.add_station(
+            MacAddr::station(0),
+            Point::new(0.0, 0.0),
+            Box::new(NullUpper),
+        );
+        w.add_station(
+            MacAddr::station(1),
+            Point::new(5.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let mut sim = Simulation::new(w);
+        boot(&mut sim);
+        inject(&mut sim, 1, 0, data_frame(0, 1, 600));
+        sim.run_until(SimTime::from_secs(1));
+        let w = sim.world();
+        assert_eq!(w.stats(0).tx_completions, 1);
+        // Sender: RTS + DATA; receiver: CTS + ACK.
+        assert_eq!(w.stats(0).tx_frames, 2);
+        assert_eq!(w.stats(1).tx_frames, 2);
+        assert!(w.trace.happened_before("Rts", "Cts"));
+        assert!(w.trace.happened_before("Cts", "Data"));
+    }
+
+    #[test]
+    fn hidden_terminal_collisions_without_rts() {
+        // A --- R --- B: A and B hear R but not each other.
+        let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+        cfg.seed = 11;
+        cfg.capture = false;
+        let mut w = WlanWorld::new(cfg);
+        let a = w.add_station(
+            MacAddr::station(0),
+            Point::new(0.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let r = w.add_station(
+            MacAddr::station(1),
+            Point::new(120.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let b = w.add_station(
+            MacAddr::station(2),
+            Point::new(240.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let mut sim = Simulation::new(w);
+        boot(&mut sim);
+        for i in 0..40 {
+            inject(&mut sim, 1 + i * 3, a, data_frame(0, 1, 1400));
+            inject(&mut sim, 1 + i * 3, b, data_frame(2, 1, 1400));
+        }
+        sim.run_until(SimTime::from_secs(20));
+        let w = sim.world();
+        let retries = w.stats(a).retries + w.stats(b).retries;
+        assert!(
+            retries > 10,
+            "hidden terminals should collide repeatedly, got {retries} retries"
+        );
+        let _ = r;
+    }
+
+    #[test]
+    fn rts_cts_rescues_hidden_terminals() {
+        let run = |rts: usize| -> (u64, u64) {
+            let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+            cfg.seed = 11;
+            cfg.capture = false;
+            cfg.rts_threshold = rts;
+            let mut w = WlanWorld::new(cfg);
+            let a = w.add_station(
+                MacAddr::station(0),
+                Point::new(0.0, 0.0),
+                Box::new(NullUpper),
+            );
+            let _r = w.add_station(
+                MacAddr::station(1),
+                Point::new(120.0, 0.0),
+                Box::new(NullUpper),
+            );
+            let b = w.add_station(
+                MacAddr::station(2),
+                Point::new(240.0, 0.0),
+                Box::new(NullUpper),
+            );
+            let mut sim = Simulation::new(w);
+            boot(&mut sim);
+            for i in 0..40 {
+                inject(&mut sim, 1 + i * 3, a, data_frame(0, 1, 1400));
+                inject(&mut sim, 1 + i * 3, b, data_frame(2, 1, 1400));
+            }
+            sim.run_until(SimTime::from_secs(30));
+            let w = sim.world();
+            (
+                w.stats(a).tx_completions + w.stats(b).tx_completions,
+                w.stats(a).tx_failures + w.stats(b).tx_failures,
+            )
+        };
+        let (no_rts_ok, no_rts_fail) = run(usize::MAX);
+        let (rts_ok, rts_fail) = run(0);
+        // With RTS/CTS the exchange is protected; deliveries rise and/or
+        // failures fall versus the unprotected run.
+        assert!(
+            rts_ok > no_rts_ok || rts_fail < no_rts_fail,
+            "rts: ok={rts_ok} fail={rts_fail}; bare: ok={no_rts_ok} fail={no_rts_fail}"
+        );
+        assert_eq!(rts_ok + rts_fail, 80);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut sim = world(3, 20.0);
+            for i in 0..20 {
+                inject(&mut sim, 1 + i, 0, data_frame(0, 1, 700));
+                inject(&mut sim, 1 + i, 2, data_frame(2, 1, 700));
+            }
+            sim.run_until(SimTime::from_secs(5));
+            let w = sim.world();
+            (
+                w.stats(0).tx_frames,
+                w.stats(2).tx_frames,
+                w.stats(1).rx_accepted,
+                w.stats(0).retries,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+        cfg.queue_limit = 4;
+        let mut w = WlanWorld::new(cfg);
+        w.add_station(
+            MacAddr::station(0),
+            Point::new(0.0, 0.0),
+            Box::new(NullUpper),
+        );
+        w.add_station(
+            MacAddr::station(1),
+            Point::new(5.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let mut sim = Simulation::new(w);
+        boot(&mut sim);
+        // All at the same instant: 1 goes in-flight, 4 queue, rest drop.
+        for _ in 0..10 {
+            inject(&mut sim, 1, 0, data_frame(0, 1, 8000));
+        }
+        sim.run_until(SimTime::from_secs(2));
+        let w = sim.world();
+        assert!(
+            w.stats(0).queue_drops >= 5,
+            "drops = {}",
+            w.stats(0).queue_drops
+        );
+        assert_eq!(w.stats(0).tx_completions + w.stats(0).queue_drops, 10);
+    }
+
+    #[test]
+    fn channels_isolate_traffic() {
+        let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+        cfg.seed = 13;
+        let mut w = WlanWorld::new(cfg);
+        let a = w.add_station(
+            MacAddr::station(0),
+            Point::new(0.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let b = w.add_station(
+            MacAddr::station(1),
+            Point::new(5.0, 0.0),
+            Box::new(NullUpper),
+        );
+        w.set_channel(a, 1);
+        w.set_channel(b, 6);
+        let mut sim = Simulation::new(w);
+        boot(&mut sim);
+        inject(&mut sim, 1, a, data_frame(0, 1, 500));
+        sim.run_until(SimTime::from_secs(1));
+        let w = sim.world();
+        // Different channels: B never hears A.
+        assert_eq!(w.stats(b).rx_accepted, 0);
+        assert_eq!(w.stats(a).tx_failures, 1);
+    }
+
+    #[test]
+    fn retry_bit_set_on_retransmission() {
+        // Receiver exists but is just out of decodable range often
+        // enough to force retries — instead, force it determinstically:
+        // the peer is on another channel so nothing is ever ACKed.
+        let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+        cfg.seed = 17;
+        let mut w = WlanWorld::new(cfg);
+        let a = w.add_station(
+            MacAddr::station(0),
+            Point::new(0.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let b = w.add_station(
+            MacAddr::station(1),
+            Point::new(5.0, 0.0),
+            Box::new(NullUpper),
+        );
+        w.set_channel(b, 6);
+        let mut sim = Simulation::new(w);
+        boot(&mut sim);
+        inject(&mut sim, 1, a, data_frame(0, 1, 300));
+        sim.run_until(SimTime::from_secs(2));
+        let w = sim.world();
+        assert_eq!(w.stats(a).retries, 7);
+        assert_eq!(w.stats(a).tx_failures, 1);
+    }
+
+    #[test]
+    fn power_save_station_misses_frames_while_dozing() {
+        struct Doze;
+        impl UpperLayer for Doze {
+            fn on_start(&mut self, ctx: &mut UpperCtx) {
+                ctx.command(Command::SetAwake(false));
+            }
+        }
+        let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+        let mut w = WlanWorld::new(cfg.clone());
+        let a = w.add_station(
+            MacAddr::station(0),
+            Point::new(0.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let b = w.add_station(MacAddr::station(1), Point::new(5.0, 0.0), Box::new(Doze));
+        let mut sim = Simulation::new(w);
+        boot(&mut sim);
+        inject(&mut sim, 1, a, data_frame(0, 1, 300));
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(
+            sim.world().stats(b).rx_accepted,
+            0,
+            "dozing STA must not receive"
+        );
+        assert_eq!(sim.world().stats(a).tx_failures, 1);
+        let _ = &mut cfg;
+    }
+
+    #[test]
+    fn nav_defers_third_station() {
+        // With RTS/CTS on, a third station in range must not transmit
+        // during the protected exchange; its access is NAV-deferred.
+        let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+        cfg.rts_threshold = 0;
+        cfg.seed = 23;
+        let mut w = WlanWorld::new(cfg);
+        let a = w.add_station(
+            MacAddr::station(0),
+            Point::new(0.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let b = w.add_station(
+            MacAddr::station(1),
+            Point::new(10.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let c = w.add_station(
+            MacAddr::station(2),
+            Point::new(5.0, 5.0),
+            Box::new(NullUpper),
+        );
+        let mut sim = Simulation::new(w);
+        boot(&mut sim);
+        for i in 0..10 {
+            inject(&mut sim, 1 + i * 2, a, data_frame(0, 1, 1200));
+            inject(&mut sim, 1 + i * 2, c, data_frame(2, 1, 1200));
+        }
+        sim.run_until(SimTime::from_secs(5));
+        let w = sim.world();
+        // Everyone close together + NAV ⇒ essentially no losses.
+        assert_eq!(w.stats(a).tx_completions, 10);
+        assert_eq!(w.stats(c).tx_completions, 10);
+        assert_eq!(w.stats(b).rx_accepted, 20);
+    }
+
+    #[test]
+    fn upper_layer_timer_and_tx_result_callbacks() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Log {
+            timers: u32,
+            results: Vec<bool>,
+        }
+        struct App(Rc<RefCell<Log>>);
+        impl UpperLayer for App {
+            fn on_start(&mut self, ctx: &mut UpperCtx) {
+                ctx.set_timer(SimDuration::from_millis(5), 42);
+            }
+            fn on_timer(&mut self, ctx: &mut UpperCtx, tag: u64) {
+                assert_eq!(tag, 42);
+                self.0.borrow_mut().timers += 1;
+                let f = Frame::data(
+                    DsBits::Ibss,
+                    MacAddr::station(1),
+                    ctx.addr,
+                    MacAddr::random_ibss_bssid(1),
+                    SequenceControl::default(),
+                    vec![7; 128],
+                );
+                ctx.send(f);
+            }
+            fn on_tx_result(&mut self, _ctx: &mut UpperCtx, _f: &Frame, ok: bool) {
+                self.0.borrow_mut().results.push(ok);
+            }
+        }
+        let log = Rc::new(RefCell::new(Log::default()));
+        let mut w = WlanWorld::new(MacConfig::new(PhyStandard::Dot11g));
+        w.add_station(
+            MacAddr::station(0),
+            Point::new(0.0, 0.0),
+            Box::new(App(log.clone())),
+        );
+        w.add_station(
+            MacAddr::station(1),
+            Point::new(5.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let mut sim = Simulation::new(w);
+        boot(&mut sim);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(log.borrow().timers, 1);
+        assert_eq!(log.borrow().results, vec![true]);
+    }
+
+    #[test]
+    fn rts_and_fragmentation_combine() {
+        // A large MSDU still RTS-protects the burst start, then
+        // SIFS-chains the fragments.
+        let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+        cfg.rts_threshold = 100;
+        cfg.frag_threshold = 500;
+        cfg.seed = 41;
+        let mut w = WlanWorld::new(cfg);
+        w.add_station(
+            MacAddr::station(0),
+            Point::new(0.0, 0.0),
+            Box::new(NullUpper),
+        );
+        w.add_station(
+            MacAddr::station(1),
+            Point::new(5.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let mut sim = Simulation::new(w);
+        boot(&mut sim);
+        inject(&mut sim, 1, 0, data_frame(0, 1, 1200));
+        sim.run_until(SimTime::from_secs(1));
+        let w = sim.world();
+        assert_eq!(w.stats(0).tx_completions, 1);
+        // RTS + 3 fragments from the sender; CTS + 3 ACKs back.
+        assert_eq!(w.stats(0).tx_frames, 4);
+        assert_eq!(w.stats(1).tx_frames, 4);
+        assert_eq!(w.stats(1).rx_payload_bytes, 1200);
+        assert!(w.trace.happened_before("Rts", "Cts"));
+        assert!(w.trace.happened_before("Cts", "Data"));
+    }
+
+    #[test]
+    fn arf_falls_back_on_marginal_link() {
+        // At ~72 m the 54 Mbps rung is marginal; ARF must settle lower
+        // and keep the link productive.
+        let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+        cfg.seed = 43;
+        let mut w = WlanWorld::new(cfg);
+        w.add_station(
+            MacAddr::station(0),
+            Point::new(0.0, 0.0),
+            Box::new(NullUpper),
+        );
+        w.add_station(
+            MacAddr::station(1),
+            Point::new(72.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let mut sim = Simulation::new(w);
+        boot(&mut sim);
+        for i in 0..100 {
+            inject(&mut sim, 1 + i * 5, 0, data_frame(0, 1, 1000));
+        }
+        sim.run_until(SimTime::from_secs(5));
+        let w = sim.world();
+        assert!(
+            w.stats(0).tx_completions >= 95,
+            "ARF should keep the marginal link productive: {} done, {} failed",
+            w.stats(0).tx_completions,
+            w.stats(0).tx_failures
+        );
+        // The trace shows transmissions below the top rate.
+        assert!(
+            w.trace.count_containing("rate=36.0")
+                + w.trace.count_containing("rate=24.0")
+                + w.trace.count_containing("rate=48.0")
+                > 0,
+            "no fallback rates ever used"
+        );
+    }
+
+    #[test]
+    fn signal_station_crosses_the_backbone() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // Station 0 signals station 1 out-of-band (the DS mechanism).
+        struct Sender;
+        impl UpperLayer for Sender {
+            fn on_start(&mut self, ctx: &mut UpperCtx) {
+                ctx.command(Command::SignalStation {
+                    station: 1,
+                    tag: 99,
+                    delay: SimDuration::from_micros(150),
+                });
+            }
+        }
+        #[derive(Default)]
+        struct Receiver(Rc<RefCell<Vec<(u64, SimTime)>>>);
+        impl UpperLayer for Receiver {
+            fn on_timer(&mut self, ctx: &mut UpperCtx, tag: u64) {
+                self.0.borrow_mut().push((tag, ctx.now));
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut w = WlanWorld::new(MacConfig::new(PhyStandard::Dot11g));
+        w.add_station(MacAddr::station(0), Point::new(0.0, 0.0), Box::new(Sender));
+        w.add_station(
+            MacAddr::station(1),
+            Point::new(5.0, 0.0),
+            Box::new(Receiver(log.clone())),
+        );
+        let mut sim = Simulation::new(w);
+        boot(&mut sim);
+        sim.run_until(SimTime::from_secs(1));
+        let got = log.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 99);
+        assert_eq!(got[0].1, SimTime::from_micros(150), "wire latency honoured");
+    }
+
+    #[test]
+    fn same_slot_commitment_collides() {
+        // Two stations arming at the same idle edge with CW 0 must both
+        // transmit (the CSMA vulnerable window) and collide.
+        let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+        cfg.seed = 47;
+        cfg.capture = false;
+        cfg.cw_min_override = Some(0);
+        cfg.cw_max_override = Some(0);
+        cfg.retry_limit_short = 1;
+        let mut w = WlanWorld::new(cfg);
+        let rx = w.add_station(
+            MacAddr::station(0),
+            Point::new(0.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let a = w.add_station(
+            MacAddr::station(1),
+            Point::new(5.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let b = w.add_station(
+            MacAddr::station(2),
+            Point::new(0.0, 5.0),
+            Box::new(NullUpper),
+        );
+        let mut sim = Simulation::new(w);
+        boot(&mut sim);
+        // Same instant, same CW=0: same fire time, guaranteed collision.
+        inject(&mut sim, 5, a, data_frame(1, 0, 800));
+        inject(&mut sim, 5, b, data_frame(2, 0, 800));
+        sim.run_until(SimTime::from_secs(1));
+        let w = sim.world();
+        assert!(
+            w.stats(rx).rx_errors >= 2,
+            "collisions expected: {}",
+            w.stats(rx).rx_errors
+        );
+        // With CW pinned to 0, retries collide again: both MSDUs die.
+        assert_eq!(w.stats(a).tx_failures + w.stats(b).tx_failures, 2);
+    }
+
+    #[test]
+    fn saturation_throughput_in_plausible_band() {
+        // One saturated 802.11g sender, 1500-B MSDUs: theory (no RTS,
+        // ideal channel) gives ~25-30 Mbps MAC throughput at 54 Mbps PHY.
+        let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+        cfg.seed = 31;
+        let mut w = WlanWorld::new(cfg);
+        let a = w.add_station(
+            MacAddr::station(0),
+            Point::new(0.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let b = w.add_station(
+            MacAddr::station(1),
+            Point::new(5.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let mut sim = Simulation::new(w);
+        boot(&mut sim);
+        for i in 0..2000u64 {
+            // Keep the queue fed.
+            sim.scheduler_mut().schedule_at(
+                SimTime::from_micros(i * 400),
+                MacEvent::Inject {
+                    station: a,
+                    frame: data_frame(0, 1, 1500),
+                },
+            );
+        }
+        sim.run_until(SimTime::from_secs(1));
+        let bytes = sim.world().stats(b).rx_payload_bytes;
+        let elapsed = 1.0;
+        let mbps = bytes as f64 * 8.0 / elapsed / 1e6;
+        assert!(
+            (15.0..40.0).contains(&mbps),
+            "802.11g saturation throughput {mbps} Mbps outside plausible band"
+        );
+    }
+}

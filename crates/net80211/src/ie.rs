@@ -1,0 +1,349 @@
+//! Management-frame bodies ("the data or information included in …
+//! management type … frames", §4.2).
+//!
+//! A compact tag-length-value encoding carrying the elements the
+//! architecture needs: SSID, beacon interval, the traffic indication
+//! map (TIM) for power save, authentication fields, and association
+//! status/AID.
+
+use crate::ssid::Ssid;
+
+const TAG_SSID: u8 = 0;
+const TAG_BEACON_INTERVAL: u8 = 1;
+const TAG_TIM: u8 = 2;
+const TAG_AUTH: u8 = 3;
+const TAG_ASSOC_STATUS: u8 = 4;
+const TAG_CHANNEL: u8 = 5;
+
+/// Decode errors for management bodies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IeError {
+    /// Body truncated mid-element.
+    Truncated,
+    /// A required element is missing.
+    Missing(u8),
+    /// An element's payload is malformed.
+    Malformed(u8),
+}
+
+impl std::fmt::Display for IeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IeError::Truncated => write!(f, "management body truncated"),
+            IeError::Missing(t) => write!(f, "missing information element {t}"),
+            IeError::Malformed(t) => write!(f, "malformed information element {t}"),
+        }
+    }
+}
+
+impl std::error::Error for IeError {}
+
+fn push_tlv(out: &mut Vec<u8>, tag: u8, value: &[u8]) {
+    debug_assert!(value.len() <= 255);
+    out.push(tag);
+    out.push(value.len() as u8);
+    out.extend_from_slice(value);
+}
+
+fn find_tlv(body: &[u8], tag: u8) -> Result<Option<&[u8]>, IeError> {
+    let mut rest = body;
+    while !rest.is_empty() {
+        if rest.len() < 2 {
+            return Err(IeError::Truncated);
+        }
+        let (t, len) = (rest[0], rest[1] as usize);
+        if rest.len() < 2 + len {
+            return Err(IeError::Truncated);
+        }
+        if t == tag {
+            return Ok(Some(&rest[2..2 + len]));
+        }
+        rest = &rest[2 + len..];
+    }
+    Ok(None)
+}
+
+/// The decoded contents of a beacon / probe-response body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BeaconBody {
+    /// The network name.
+    pub ssid: Ssid,
+    /// Beacon interval in milliseconds.
+    pub interval_ms: u16,
+    /// Channel the BSS operates on.
+    pub channel: u8,
+    /// AIDs with buffered frames at the AP (the TIM of §4.2's power
+    /// management discussion).
+    pub tim: Vec<u16>,
+}
+
+impl BeaconBody {
+    /// Encodes to frame-body bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        push_tlv(&mut out, TAG_SSID, self.ssid.bytes());
+        push_tlv(
+            &mut out,
+            TAG_BEACON_INTERVAL,
+            &self.interval_ms.to_le_bytes(),
+        );
+        push_tlv(&mut out, TAG_CHANNEL, &[self.channel]);
+        let tim: Vec<u8> = self.tim.iter().flat_map(|a| a.to_le_bytes()).collect();
+        push_tlv(&mut out, TAG_TIM, &tim);
+        out
+    }
+
+    /// Decodes from frame-body bytes.
+    pub fn decode(body: &[u8]) -> Result<Self, IeError> {
+        let ssid_raw = find_tlv(body, TAG_SSID)?.ok_or(IeError::Missing(TAG_SSID))?;
+        let ssid = Ssid::new(String::from_utf8_lossy(ssid_raw).into_owned())
+            .map_err(|_| IeError::Malformed(TAG_SSID))?;
+        let iv =
+            find_tlv(body, TAG_BEACON_INTERVAL)?.ok_or(IeError::Missing(TAG_BEACON_INTERVAL))?;
+        if iv.len() != 2 {
+            return Err(IeError::Malformed(TAG_BEACON_INTERVAL));
+        }
+        let interval_ms = u16::from_le_bytes([iv[0], iv[1]]);
+        let ch = find_tlv(body, TAG_CHANNEL)?.ok_or(IeError::Missing(TAG_CHANNEL))?;
+        if ch.len() != 1 {
+            return Err(IeError::Malformed(TAG_CHANNEL));
+        }
+        let tim_raw = find_tlv(body, TAG_TIM)?.unwrap_or(&[]);
+        if tim_raw.len() % 2 != 0 {
+            return Err(IeError::Malformed(TAG_TIM));
+        }
+        let tim = tim_raw
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        Ok(BeaconBody {
+            ssid,
+            interval_ms,
+            channel: ch[0],
+            tim,
+        })
+    }
+}
+
+/// Authentication algorithm identifiers (§5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuthAlgorithm {
+    /// Open System — no proof of identity.
+    OpenSystem,
+    /// Shared Key — the WEP challenge/response.
+    SharedKey,
+}
+
+/// An authentication frame body: algorithm, transaction seq, status.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AuthBody {
+    /// Which algorithm is in use.
+    pub algorithm: AuthAlgorithm,
+    /// Transaction sequence number (1 = request, 2 = response…).
+    pub transaction: u16,
+    /// 0 = success.
+    pub status: u16,
+    /// WEP challenge text for Shared Key transactions 2 and 3.
+    pub challenge: Vec<u8>,
+}
+
+impl AuthBody {
+    /// Encodes to frame-body bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        let alg: u16 = match self.algorithm {
+            AuthAlgorithm::OpenSystem => 0,
+            AuthAlgorithm::SharedKey => 1,
+        };
+        v.extend_from_slice(&alg.to_le_bytes());
+        v.extend_from_slice(&self.transaction.to_le_bytes());
+        v.extend_from_slice(&self.status.to_le_bytes());
+        v.extend_from_slice(&self.challenge);
+        let mut out = Vec::new();
+        push_tlv(&mut out, TAG_AUTH, &v);
+        out
+    }
+
+    /// Decodes from frame-body bytes.
+    pub fn decode(body: &[u8]) -> Result<Self, IeError> {
+        let raw = find_tlv(body, TAG_AUTH)?.ok_or(IeError::Missing(TAG_AUTH))?;
+        if raw.len() < 6 {
+            return Err(IeError::Malformed(TAG_AUTH));
+        }
+        let alg = u16::from_le_bytes([raw[0], raw[1]]);
+        let algorithm = match alg {
+            0 => AuthAlgorithm::OpenSystem,
+            1 => AuthAlgorithm::SharedKey,
+            _ => return Err(IeError::Malformed(TAG_AUTH)),
+        };
+        Ok(AuthBody {
+            algorithm,
+            transaction: u16::from_le_bytes([raw[2], raw[3]]),
+            status: u16::from_le_bytes([raw[4], raw[5]]),
+            challenge: raw[6..].to_vec(),
+        })
+    }
+}
+
+/// An association request body (carries the SSID being joined).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssocReqBody {
+    /// The SSID the STA wants to join.
+    pub ssid: Ssid,
+}
+
+impl AssocReqBody {
+    /// Encodes to frame-body bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        push_tlv(&mut out, TAG_SSID, self.ssid.bytes());
+        out
+    }
+
+    /// Decodes from frame-body bytes.
+    pub fn decode(body: &[u8]) -> Result<Self, IeError> {
+        let raw = find_tlv(body, TAG_SSID)?.ok_or(IeError::Missing(TAG_SSID))?;
+        let ssid = Ssid::new(String::from_utf8_lossy(raw).into_owned())
+            .map_err(|_| IeError::Malformed(TAG_SSID))?;
+        Ok(AssocReqBody { ssid })
+    }
+}
+
+/// An association response body: status and the assigned AID.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssocRespBody {
+    /// 0 = success.
+    pub status: u16,
+    /// Association ID (1-based; 0 when refused).
+    pub aid: u16,
+}
+
+impl AssocRespBody {
+    /// Encodes to frame-body bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        v.extend_from_slice(&self.status.to_le_bytes());
+        v.extend_from_slice(&self.aid.to_le_bytes());
+        let mut out = Vec::new();
+        push_tlv(&mut out, TAG_ASSOC_STATUS, &v);
+        out
+    }
+
+    /// Decodes from frame-body bytes.
+    pub fn decode(body: &[u8]) -> Result<Self, IeError> {
+        let raw = find_tlv(body, TAG_ASSOC_STATUS)?.ok_or(IeError::Missing(TAG_ASSOC_STATUS))?;
+        if raw.len() != 4 {
+            return Err(IeError::Malformed(TAG_ASSOC_STATUS));
+        }
+        Ok(AssocRespBody {
+            status: u16::from_le_bytes([raw[0], raw[1]]),
+            aid: u16::from_le_bytes([raw[2], raw[3]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ssid() -> Ssid {
+        Ssid::new("TestNet").unwrap()
+    }
+
+    #[test]
+    fn beacon_roundtrip() {
+        let b = BeaconBody {
+            ssid: ssid(),
+            interval_ms: 100,
+            channel: 6,
+            tim: vec![1, 5, 9],
+        };
+        assert_eq!(BeaconBody::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn beacon_empty_tim() {
+        let b = BeaconBody {
+            ssid: ssid(),
+            interval_ms: 50,
+            channel: 11,
+            tim: vec![],
+        };
+        let back = BeaconBody::decode(&b.encode()).unwrap();
+        assert!(back.tim.is_empty());
+    }
+
+    #[test]
+    fn auth_roundtrip_both_algorithms() {
+        for alg in [AuthAlgorithm::OpenSystem, AuthAlgorithm::SharedKey] {
+            let a = AuthBody {
+                algorithm: alg,
+                transaction: 2,
+                status: 0,
+                challenge: vec![9; 16],
+            };
+            assert_eq!(AuthBody::decode(&a.encode()).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn assoc_bodies_roundtrip() {
+        let req = AssocReqBody { ssid: ssid() };
+        assert_eq!(AssocReqBody::decode(&req.encode()).unwrap(), req);
+        let resp = AssocRespBody { status: 0, aid: 3 };
+        assert_eq!(AssocRespBody::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn missing_elements_detected() {
+        assert_eq!(BeaconBody::decode(&[]), Err(IeError::Missing(TAG_SSID)));
+        assert_eq!(AuthBody::decode(&[]), Err(IeError::Missing(TAG_AUTH)));
+        assert_eq!(
+            AssocRespBody::decode(&[]),
+            Err(IeError::Missing(TAG_ASSOC_STATUS))
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let b = BeaconBody {
+            ssid: ssid(),
+            interval_ms: 100,
+            channel: 1,
+            tim: vec![],
+        };
+        let enc = b.encode();
+        assert_eq!(
+            BeaconBody::decode(&enc[..enc.len() - 1]),
+            Err(IeError::Truncated)
+        );
+        assert_eq!(BeaconBody::decode(&[TAG_SSID]), Err(IeError::Truncated));
+    }
+
+    #[test]
+    fn malformed_lengths_detected() {
+        // Interval with the wrong width.
+        let mut out = Vec::new();
+        push_tlv(&mut out, TAG_SSID, b"x");
+        push_tlv(&mut out, TAG_BEACON_INTERVAL, &[1]);
+        assert_eq!(
+            BeaconBody::decode(&out),
+            Err(IeError::Malformed(TAG_BEACON_INTERVAL))
+        );
+    }
+
+    #[test]
+    fn foreign_elements_are_skipped() {
+        // Unknown tags before the ones we want are tolerated.
+        let mut enc = Vec::new();
+        push_tlv(&mut enc, 200, &[1, 2, 3]);
+        let b = BeaconBody {
+            ssid: ssid(),
+            interval_ms: 100,
+            channel: 1,
+            tim: vec![],
+        };
+        enc.extend_from_slice(&b.encode());
+        assert_eq!(BeaconBody::decode(&enc).unwrap(), b);
+    }
+}

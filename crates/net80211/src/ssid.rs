@@ -1,0 +1,93 @@
+//! Service set identifiers.
+//!
+//! §3.2: "A service set identification (SSID) is a 32-character
+//! (maximum) alphanumeric key identifying the name of the wireless
+//! local area network. … all devices must be configured with the same
+//! SSID."
+
+use std::fmt;
+
+/// A validated SSID ("network name").
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ssid(String);
+
+/// Errors constructing an [`Ssid`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SsidError {
+    /// Longer than the 32-character maximum.
+    TooLong(usize),
+    /// Empty SSIDs cannot be used to name a network.
+    Empty,
+}
+
+impl fmt::Display for SsidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsidError::TooLong(n) => write!(f, "SSID of {n} bytes exceeds the 32-byte maximum"),
+            SsidError::Empty => write!(f, "SSID must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for SsidError {}
+
+impl Ssid {
+    /// Creates an SSID, enforcing the 1–32 byte rule.
+    pub fn new(name: impl Into<String>) -> Result<Self, SsidError> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(SsidError::Empty);
+        }
+        if name.len() > 32 {
+            return Err(SsidError::TooLong(name.len()));
+        }
+        Ok(Ssid(name))
+    }
+
+    /// The SSID string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Raw bytes as carried in the SSID information element.
+    pub fn bytes(&self) -> &[u8] {
+        self.0.as_bytes()
+    }
+}
+
+impl fmt::Debug for Ssid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ssid({:?})", self.0)
+    }
+}
+
+impl fmt::Display for Ssid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_normal_names() {
+        assert_eq!(Ssid::new("HomeNet").unwrap().as_str(), "HomeNet");
+        assert!(Ssid::new("a").is_ok());
+        assert!(Ssid::new("x".repeat(32)).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_spec() {
+        assert_eq!(Ssid::new(""), Err(SsidError::Empty));
+        assert_eq!(Ssid::new("x".repeat(33)), Err(SsidError::TooLong(33)));
+    }
+
+    #[test]
+    fn equality_is_exact() {
+        // "all devices must be configured with the same SSID" — matching
+        // is byte-exact, case included.
+        assert_ne!(Ssid::new("HomeNet").unwrap(), Ssid::new("homenet").unwrap());
+    }
+}

@@ -1,0 +1,233 @@
+//! Frequency bands and channel plans.
+//!
+//! §2 of the source text: "The most common frequency bands are at
+//! 2.4 GHz and at 5 GHz, which are available across most of the globe."
+//! This module encodes those ISM bands, the licensed bands used by
+//! WiMAX/cellular, and the 802.11 channelisation (including the 2.4 GHz
+//! overlapping-channel geometry that drives the §6 interference
+//! experiment).
+
+use crate::units::Hertz;
+
+/// The spectrum segments used by the technologies of the text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Band {
+    /// 868 MHz European ZigBee band.
+    Ism868MHz,
+    /// 900/915 MHz ISM band (ZigBee, early cellular).
+    Ism900MHz,
+    /// 2.4 GHz ISM — Wi-Fi b/g/n, Bluetooth, ZigBee, microwave ovens.
+    Ism2_4GHz,
+    /// 5 GHz U-NII — Wi-Fi a/n/ac.
+    Unii5GHz,
+    /// 3.1–10.6 GHz UWB allocation (US).
+    Uwb3to10GHz,
+    /// 2–11 GHz WiMAX non-line-of-sight range.
+    Wimax2to11GHz,
+    /// 10–66 GHz WiMAX line-of-sight range.
+    Wimax10to66GHz,
+    /// Licensed cellular bands (700 MHz–2.6 GHz).
+    Cellular,
+    /// 3–30 GHz satellite (SHF).
+    Satellite,
+    /// 850–900 nm infrared window (IrDA) — not RF at all.
+    Infrared,
+}
+
+impl Band {
+    /// A representative carrier frequency for link-budget computations.
+    pub fn representative_frequency(self) -> Hertz {
+        match self {
+            Band::Ism868MHz => Hertz::from_mhz(868.0),
+            Band::Ism900MHz => Hertz::from_mhz(915.0),
+            Band::Ism2_4GHz => Hertz::from_ghz(2.442),
+            Band::Unii5GHz => Hertz::from_ghz(5.25),
+            Band::Uwb3to10GHz => Hertz::from_ghz(6.85),
+            Band::Wimax2to11GHz => Hertz::from_ghz(3.5),
+            Band::Wimax10to66GHz => Hertz::from_ghz(28.0),
+            Band::Cellular => Hertz::from_mhz(1900.0),
+            Band::Satellite => Hertz::from_ghz(12.0),
+            Band::Infrared => Hertz(3.4e14), // ~875 nm
+        }
+    }
+
+    /// Whether a licence is required to transmit (§2: ISM bands are
+    /// "unlicensed ... without charge").
+    pub fn is_licensed(self) -> bool {
+        matches!(
+            self,
+            Band::Cellular | Band::Satellite | Band::Wimax10to66GHz
+        )
+    }
+
+    /// Whether links in this band require line of sight in our models.
+    pub fn requires_line_of_sight(self) -> bool {
+        matches!(self, Band::Wimax10to66GHz | Band::Infrared)
+    }
+}
+
+/// An 802.11 channel within a band.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Channel {
+    /// The containing band.
+    pub band: Band,
+    /// Channel number within the band's plan.
+    pub number: u8,
+}
+
+/// Errors constructing channels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The channel number does not exist in the band's plan.
+    InvalidNumber(u8),
+    /// The band has no 802.11 channel plan.
+    NoPlan(Band),
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::InvalidNumber(n) => write!(f, "invalid channel number {n}"),
+            ChannelError::NoPlan(b) => write!(f, "band {b:?} has no 802.11 channel plan"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+impl Channel {
+    /// Creates a 2.4 GHz channel (1–14).
+    pub fn ism24(number: u8) -> Result<Self, ChannelError> {
+        if (1..=14).contains(&number) {
+            Ok(Channel {
+                band: Band::Ism2_4GHz,
+                number,
+            })
+        } else {
+            Err(ChannelError::InvalidNumber(number))
+        }
+    }
+
+    /// Creates a 5 GHz channel (the common 20 MHz U-NII numbers).
+    pub fn unii5(number: u8) -> Result<Self, ChannelError> {
+        const VALID: &[u8] = &[
+            36, 40, 44, 48, 52, 56, 60, 64, 100, 104, 108, 112, 116, 120, 124, 128, 132, 136, 140,
+            144, 149, 153, 157, 161, 165,
+        ];
+        if VALID.contains(&number) {
+            Ok(Channel {
+                band: Band::Unii5GHz,
+                number,
+            })
+        } else {
+            Err(ChannelError::InvalidNumber(number))
+        }
+    }
+
+    /// Centre frequency of this channel.
+    pub fn center_frequency(self) -> Hertz {
+        match self.band {
+            Band::Ism2_4GHz => {
+                if self.number == 14 {
+                    Hertz::from_mhz(2484.0)
+                } else {
+                    Hertz::from_mhz(2407.0 + 5.0 * self.number as f64)
+                }
+            }
+            Band::Unii5GHz => Hertz::from_mhz(5000.0 + 5.0 * self.number as f64),
+            _ => self.band.representative_frequency(),
+        }
+    }
+
+    /// Spectral overlap fraction with another channel assuming 22 MHz
+    /// DSSS masks at 2.4 GHz and 20 MHz OFDM masks at 5 GHz.
+    ///
+    /// 1.0 = co-channel, 0.0 = fully orthogonal. This is the quantity
+    /// behind the "use channels 1/6/11" folklore: adjacent 2.4 GHz
+    /// channels are only 5 MHz apart but 22 MHz wide.
+    pub fn overlap_with(self, other: Channel) -> f64 {
+        if self.band != other.band {
+            return 0.0;
+        }
+        let width = match self.band {
+            Band::Ism2_4GHz => 22.0,
+            _ => 20.0,
+        };
+        let fa = self.center_frequency().mhz();
+        let fb = other.center_frequency().mhz();
+        let sep = (fa - fb).abs();
+        ((width - sep) / width).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_1_6_11_frequencies() {
+        assert_eq!(Channel::ism24(1).unwrap().center_frequency().mhz(), 2412.0);
+        assert_eq!(Channel::ism24(6).unwrap().center_frequency().mhz(), 2437.0);
+        assert_eq!(Channel::ism24(11).unwrap().center_frequency().mhz(), 2462.0);
+        assert_eq!(Channel::ism24(14).unwrap().center_frequency().mhz(), 2484.0);
+    }
+
+    #[test]
+    fn invalid_channels_rejected() {
+        assert_eq!(Channel::ism24(0), Err(ChannelError::InvalidNumber(0)));
+        assert_eq!(Channel::ism24(15), Err(ChannelError::InvalidNumber(15)));
+        assert_eq!(Channel::unii5(37), Err(ChannelError::InvalidNumber(37)));
+        assert!(Channel::unii5(36).is_ok());
+    }
+
+    #[test]
+    fn unii_frequency() {
+        assert_eq!(Channel::unii5(36).unwrap().center_frequency().mhz(), 5180.0);
+        assert_eq!(
+            Channel::unii5(165).unwrap().center_frequency().mhz(),
+            5825.0
+        );
+    }
+
+    #[test]
+    fn overlap_structure_2_4ghz() {
+        let c1 = Channel::ism24(1).unwrap();
+        let c2 = Channel::ism24(2).unwrap();
+        let c6 = Channel::ism24(6).unwrap();
+        assert_eq!(c1.overlap_with(c1), 1.0);
+        // Adjacent channels overlap heavily.
+        assert!(c1.overlap_with(c2) > 0.7);
+        // Channels 1 and 6 (25 MHz apart, 22 MHz wide) do not overlap.
+        assert_eq!(c1.overlap_with(c6), 0.0);
+        // Symmetry.
+        assert_eq!(c1.overlap_with(c2), c2.overlap_with(c1));
+    }
+
+    #[test]
+    fn cross_band_no_overlap() {
+        let a = Channel::ism24(1).unwrap();
+        let b = Channel::unii5(36).unwrap();
+        assert_eq!(a.overlap_with(b), 0.0);
+    }
+
+    #[test]
+    fn licensing_matches_text() {
+        assert!(!Band::Ism2_4GHz.is_licensed());
+        assert!(!Band::Unii5GHz.is_licensed());
+        assert!(Band::Cellular.is_licensed());
+        assert!(Band::Satellite.is_licensed());
+    }
+
+    #[test]
+    fn los_requirements() {
+        assert!(Band::Wimax10to66GHz.requires_line_of_sight());
+        assert!(!Band::Wimax2to11GHz.requires_line_of_sight());
+        assert!(Band::Infrared.requires_line_of_sight());
+    }
+
+    #[test]
+    fn representative_frequencies_sane() {
+        assert!((Band::Ism2_4GHz.representative_frequency().ghz() - 2.442).abs() < 1e-9);
+        assert!(Band::Uwb3to10GHz.representative_frequency().ghz() > 3.0);
+    }
+}

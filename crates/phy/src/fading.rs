@@ -1,0 +1,191 @@
+//! Small-scale fading (multipath).
+//!
+//! §6's "interference … could lead to poor communication" is not only
+//! co-channel traffic: indoor links fade as reflections combine. This
+//! module models block fading — the channel holds for one *coherence
+//! time*, then redraws:
+//!
+//! - **Rayleigh** — no line of sight; received power is exponentially
+//!   distributed (deep fades are common).
+//! - **Rician(K)** — a dominant path plus scatter; larger K ⇒ shallower
+//!   fades, K → ∞ approaches no fading.
+//!
+//! Fades are deterministic per `(link, time-block, seed)`, so runs are
+//! reproducible and both directions of a link fade alike.
+
+use crate::geom::Point;
+use crate::units::Db;
+
+/// A block-fading process over links.
+#[derive(Clone, Copy, Debug)]
+pub struct Fading {
+    /// Rician K-factor (linear). 0 = Rayleigh.
+    pub k_factor: f64,
+    /// Coherence time in seconds: the fade redraws each block.
+    pub coherence_time_s: f64,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl Fading {
+    /// A Rayleigh (no-line-of-sight) process.
+    pub fn rayleigh(coherence_time_s: f64, seed: u64) -> Self {
+        Fading {
+            k_factor: 0.0,
+            coherence_time_s,
+            seed,
+        }
+    }
+
+    /// A Rician process with linear K-factor.
+    pub fn rician(k_factor: f64, coherence_time_s: f64, seed: u64) -> Self {
+        Fading {
+            k_factor,
+            coherence_time_s,
+            seed,
+        }
+    }
+
+    /// Two uniform draws hashed from (link, block).
+    fn uniforms(&self, a: Point, b: Point, block: u64) -> (f64, f64) {
+        let q = |v: f64| (v * 8.0).round() as i64 as u64;
+        let mut h = self.seed ^ 0xFAD1_C0DE_u64;
+        for part in [q(a.x + b.x), q(a.y + b.y), q(a.z + b.z), block] {
+            h ^= part.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h = h.rotate_left(29).wrapping_mul(0x94D0_49BB_1331_11EB);
+        }
+        let u1 = ((h >> 32) as f64 + 1.0) / (u32::MAX as f64 + 2.0);
+        let u2 = ((h & 0xFFFF_FFFF) as f64 + 1.0) / (u32::MAX as f64 + 2.0);
+        (u1, u2)
+    }
+
+    /// The linear power gain of the fade on link `a`↔`b` at time `t_s`
+    /// (mean 1.0 — fading redistributes power over time, it does not
+    /// remove it on average).
+    pub fn power_gain(&self, a: Point, b: Point, t_s: f64) -> f64 {
+        let block = (t_s / self.coherence_time_s).floor().max(0.0) as u64;
+        let (u1, u2) = self.uniforms(a, b, block);
+        // Complex Gaussian scatter component + LOS component.
+        // Scatter power 1/(K+1), LOS power K/(K+1).
+        let r = (-u1.ln()).sqrt(); // Rayleigh envelope of unit-power scatter.
+        let phase = std::f64::consts::TAU * u2;
+        let k = self.k_factor.max(0.0);
+        let los = (k / (k + 1.0)).sqrt();
+        let scatter = (1.0 / (k + 1.0)).sqrt() * r;
+        // |los + scatter·e^{jφ}|².
+        let re = los + scatter * phase.cos();
+        let im = scatter * phase.sin();
+        re * re + im * im
+    }
+
+    /// The fade expressed in dB (negative = deep fade).
+    pub fn fade_db(&self, a: Point, b: Point, t_s: f64) -> Db {
+        Db(10.0 * self.power_gain(a, b, t_s).max(1e-12).log10())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> (Point, Point) {
+        (Point::new(0.0, 0.0), Point::new(25.0, 10.0))
+    }
+
+    #[test]
+    fn constant_within_coherence_block() {
+        let f = Fading::rayleigh(0.01, 7);
+        let (a, b) = link();
+        let g1 = f.power_gain(a, b, 0.001);
+        let g2 = f.power_gain(a, b, 0.009);
+        assert_eq!(g1, g2, "same 10 ms block, same fade");
+        let g3 = f.power_gain(a, b, 0.011);
+        assert_ne!(g1, g3, "next block redraws");
+    }
+
+    #[test]
+    fn reciprocal() {
+        let f = Fading::rayleigh(0.01, 9);
+        let (a, b) = link();
+        assert_eq!(f.power_gain(a, b, 0.5), f.power_gain(b, a, 0.5));
+    }
+
+    #[test]
+    fn rayleigh_mean_power_is_unity() {
+        let f = Fading::rayleigh(0.001, 11);
+        let (a, b) = link();
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|i| f.power_gain(a, b, i as f64 * 0.001))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean power {mean}");
+    }
+
+    #[test]
+    fn rayleigh_has_deep_fades() {
+        // P(power < 0.1) = 1 − e^{−0.1} ≈ 9.5% for Rayleigh.
+        let f = Fading::rayleigh(0.001, 13);
+        let (a, b) = link();
+        let n = 20_000;
+        let deep = (0..n)
+            .filter(|&i| f.power_gain(a, b, i as f64 * 0.001) < 0.1)
+            .count();
+        let frac = deep as f64 / n as f64;
+        assert!((0.06..0.13).contains(&frac), "deep-fade fraction {frac}");
+    }
+
+    #[test]
+    fn rician_suppresses_deep_fades() {
+        let (a, b) = link();
+        let n = 20_000;
+        let deep = |k: f64| {
+            let f = Fading::rician(k, 0.001, 17);
+            (0..n)
+                .filter(|&i| f.power_gain(a, b, i as f64 * 0.001) < 0.1)
+                .count() as f64
+                / n as f64
+        };
+        let k0 = deep(0.0);
+        let k5 = deep(5.0);
+        let k20 = deep(20.0);
+        assert!(k5 < k0 / 2.0, "K=5 should halve deep fades: {k5} vs {k0}");
+        assert!(k20 < k5, "more LOS, fewer fades: {k20} vs {k5}");
+    }
+
+    #[test]
+    fn strong_rician_approaches_unity_gain() {
+        let f = Fading::rician(1000.0, 0.001, 19);
+        let (a, b) = link();
+        for i in 0..100 {
+            let g = f.power_gain(a, b, i as f64 * 0.001);
+            assert!(
+                (g - 1.0).abs() < 0.25,
+                "K→∞ should pin the gain near 1: {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn fade_db_matches_linear() {
+        let f = Fading::rayleigh(0.01, 21);
+        let (a, b) = link();
+        let g = f.power_gain(a, b, 0.02);
+        let db = f.fade_db(a, b, 0.02).value();
+        assert!((db - 10.0 * g.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_links_fade_independently() {
+        let f = Fading::rayleigh(0.01, 23);
+        let a = Point::new(0.0, 0.0);
+        let same_block_gains: Vec<f64> = (1..=20)
+            .map(|i| f.power_gain(a, Point::new(i as f64 * 3.0, 0.0), 0.005))
+            .collect();
+        // f64 keys: dedup via bit patterns.
+        let mut bits: Vec<u64> = same_block_gains.iter().map(|g| g.to_bits()).collect();
+        bits.sort_unstable();
+        bits.dedup();
+        assert_eq!(bits.len(), 20, "every link gets its own fade");
+    }
+}

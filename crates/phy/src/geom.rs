@@ -1,0 +1,232 @@
+//! Positions and movement in metres.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point (or displacement) in 3-D space, metres.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Point {
+    /// East coordinate in metres.
+    pub x: f64,
+    /// North coordinate in metres.
+    pub y: f64,
+    /// Height in metres.
+    pub z: f64,
+}
+
+impl Point {
+    /// The origin.
+    pub const ORIGIN: Point = Point {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a point from x/y with z = 0.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y, z: 0.0 }
+    }
+
+    /// Creates a point with an explicit height.
+    pub fn new3(x: f64, y: f64, z: f64) -> Self {
+        Point { x, y, z }
+    }
+
+    /// Euclidean distance to another point, metres.
+    pub fn distance_to(self, other: Point) -> f64 {
+        let d = other - self;
+        (d.x * d.x + d.y * d.y + d.z * d.z).sqrt()
+    }
+
+    /// Length of this vector, metres.
+    pub fn norm(self) -> f64 {
+        Point::ORIGIN.distance_to(self)
+    }
+
+    /// Unit vector toward `target`; `None` if coincident.
+    pub fn direction_to(self, target: Point) -> Option<Point> {
+        let d = target - self;
+        let n = d.norm();
+        if n == 0.0 {
+            None
+        } else {
+            Some(Point::new3(d.x / n, d.y / n, d.z / n))
+        }
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `target` at `t = 1`.
+    pub fn lerp(self, target: Point, t: f64) -> Point {
+        self + (target - self) * t
+    }
+
+    /// Angle in radians between the vectors `self→a` and `self→b`.
+    ///
+    /// Used for the IrDA <30° cone check. Returns 0 for degenerate
+    /// (zero-length) vectors.
+    pub fn angle_between(self, a: Point, b: Point) -> f64 {
+        let u = a - self;
+        let v = b - self;
+        let nu = u.norm();
+        let nv = v.norm();
+        if nu == 0.0 || nv == 0.0 {
+            return 0.0;
+        }
+        let cos = ((u.x * v.x + u.y * v.y + u.z * v.z) / (nu * nv)).clamp(-1.0, 1.0);
+        cos.acos()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, o: Point) -> Point {
+        Point::new3(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, o: Point) -> Point {
+        Point::new3(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    fn mul(self, s: f64) -> Point {
+        Point::new3(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.z == 0.0 {
+            write!(f, "({:.1}, {:.1})", self.x, self.y)
+        } else {
+            write!(f, "({:.1}, {:.1}, {:.1})", self.x, self.y, self.z)
+        }
+    }
+}
+
+/// An axis-aligned wall segment used by the indoor propagation model.
+///
+/// Walls are modelled as thin vertical rectangles; the model only needs
+/// to count how many walls the direct ray crosses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Wall {
+    /// One end of the wall in the horizontal plane.
+    pub a: Point,
+    /// The other end.
+    pub b: Point,
+    /// Attenuation added per crossing, dB.
+    pub loss_db: f64,
+}
+
+impl Wall {
+    /// Creates a wall between two floor points.
+    pub fn new(a: Point, b: Point, loss_db: f64) -> Self {
+        Wall { a, b, loss_db }
+    }
+
+    /// `true` if the 2-D segment `p→q` crosses this wall.
+    pub fn crossed_by(&self, p: Point, q: Point) -> bool {
+        segments_intersect(p, q, self.a, self.b)
+    }
+}
+
+fn orient(a: Point, b: Point, c: Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// 2-D proper segment intersection (shared endpoints count as crossing).
+fn segments_intersect(p1: Point, p2: Point, q1: Point, q2: Point) -> bool {
+    let d1 = orient(q1, q2, p1);
+    let d2 = orient(q1, q2, p2);
+    let d3 = orient(p1, p2, q1);
+    let d4 = orient(p1, p2, q2);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    let on = |a: Point, b: Point, c: Point, d: f64| {
+        d == 0.0
+            && c.x >= a.x.min(b.x)
+            && c.x <= a.x.max(b.x)
+            && c.y >= a.y.min(b.y)
+            && c.y <= a.y.max(b.y)
+    };
+    on(q1, q2, p1, d1) || on(q1, q2, p2, d2) || on(p1, p2, q1, d3) || on(p1, p2, q2, d4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_345() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance_to(b), 5.0);
+    }
+
+    #[test]
+    fn distance_3d() {
+        let a = Point::new3(1.0, 2.0, 2.0);
+        assert_eq!(Point::ORIGIN.distance_to(a), 3.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn direction_is_unit() {
+        let d = Point::new(1.0, 1.0)
+            .direction_to(Point::new(4.0, 5.0))
+            .unwrap();
+        assert!((d.norm() - 1.0).abs() < 1e-12);
+        assert!(Point::ORIGIN.direction_to(Point::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn angle_between_right_angle() {
+        let o = Point::ORIGIN;
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new(0.0, 1.0);
+        assert!((o.angle_between(a, b) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_between_colinear() {
+        let o = Point::ORIGIN;
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new(5.0, 0.0);
+        assert!(o.angle_between(a, b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_crossing_detection() {
+        // Vertical wall at x = 5 from y = 0 to y = 10.
+        let wall = Wall::new(Point::new(5.0, 0.0), Point::new(5.0, 10.0), 6.0);
+        assert!(wall.crossed_by(Point::new(0.0, 5.0), Point::new(10.0, 5.0)));
+        assert!(!wall.crossed_by(Point::new(0.0, 5.0), Point::new(4.0, 5.0)));
+        assert!(!wall.crossed_by(Point::new(0.0, 11.0), Point::new(10.0, 11.0)));
+    }
+
+    #[test]
+    fn parallel_segments_do_not_cross() {
+        let wall = Wall::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0), 3.0);
+        assert!(!wall.crossed_by(Point::new(0.0, 1.0), Point::new(10.0, 1.0)));
+    }
+
+    #[test]
+    fn touching_endpoint_counts() {
+        let wall = Wall::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0), 3.0);
+        assert!(wall.crossed_by(Point::new(5.0, 0.0), Point::new(5.0, 5.0)));
+    }
+}

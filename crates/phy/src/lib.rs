@@ -1,0 +1,34 @@
+//! `wn-phy` — radio physics and 802.11 PHY-sublayer models.
+//!
+//! This crate is the "air medium" substrate: everything the source text
+//! attributes to radio waves rather than protocols lives here.
+//!
+//! - [`units`] — decibel/milliwatt power arithmetic, frequencies, rates.
+//! - [`geom`] — positions in metres and simple trajectory helpers.
+//! - [`bands`] — the ISM/licensed bands and 802.11 channel plans of §2.
+//! - [`propagation`] — free-space, log-distance, two-ray and log-normal
+//!   shadowing path-loss models, plus wall attenuation for the §6
+//!   "black spot" experiments.
+//! - [`modulation`] — the FHSS/DSSS/OFDM rate ladders of Fig. 1.13 with
+//!   SNR thresholds, BER curves and frame error probability.
+//! - [`medium`] — link-budget and SINR computations binding the above
+//!   together, including the capture effect used by the MAC.
+//! - [`fading`] — Rayleigh/Rician block fading for time-varying links.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bands;
+pub mod fading;
+pub mod geom;
+pub mod medium;
+pub mod modulation;
+pub mod propagation;
+pub mod units;
+
+pub use bands::{Band, Channel};
+pub use geom::Point;
+pub use medium::LinkBudget;
+pub use modulation::{PhyStandard, RateStep};
+pub use propagation::PathLoss;
+pub use units::{DataRate, Db, Dbm, Hertz};

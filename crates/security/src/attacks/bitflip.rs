@@ -1,0 +1,101 @@
+//! CRC bit-flipping forgery against WEP.
+//!
+//! §5.1: "An attacker, however, could recalculate the ordinary FCS
+//! (for example, to hide their deliberate alteration of a packet they
+//! captured and retransmitted)." WEP's ICV is a plain CRC-32 — linear
+//! over XOR — and RC4 is an XOR stream cipher, so flipping ciphertext
+//! bits flips the same plaintext bits, and the ICV can be *compensated
+//! without knowing the key or the plaintext*.
+
+use crate::wep::WepFrame;
+use wn_crypto::crc32::bit_flip_delta;
+
+/// Flips `mask` into the payload at byte offset `pos` of a captured
+/// WEP frame and compensates the encrypted ICV so the receiver still
+/// accepts the frame. No key material required.
+///
+/// Returns `None` when the mask would run past the payload.
+pub fn flip_payload(frame: &WepFrame, pos: usize, mask: &[u8]) -> Option<WepFrame> {
+    let payload_len = frame.ciphertext.len().checked_sub(4)?;
+    if pos + mask.len() > payload_len {
+        return None;
+    }
+    let mut out = frame.clone();
+    for (i, &m) in mask.iter().enumerate() {
+        out.ciphertext[pos + i] ^= m;
+    }
+    // CRC linearity: crc(p ⊕ d) = crc(p) ⊕ L(d); the same relation holds
+    // under the stream cipher because XOR commutes through it.
+    let tail = payload_len - pos - mask.len();
+    let delta = bit_flip_delta(mask, tail);
+    for (i, db) in delta.to_le_bytes().iter().enumerate() {
+        out.ciphertext[payload_len + i] ^= db;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wep::{decrypt, encrypt, WepKey};
+
+    fn key() -> WepKey {
+        WepKey::new(b"13-byte-key!!").unwrap()
+    }
+
+    #[test]
+    fn forged_frame_passes_icv() {
+        let key = key();
+        let frame = encrypt(&key, [3, 1, 4], b"transfer=0010;to=alice....");
+        // Attacker flips "0010" → "9910" without the key: '0'^'9' = 0x09.
+        let forged = flip_payload(&frame, 9, &[0x09, 0x09]).unwrap();
+        let plain = decrypt(&key, &forged).expect("ICV must still verify — that's the flaw");
+        assert_eq!(&plain, b"transfer=9910;to=alice....");
+    }
+
+    #[test]
+    fn every_position_forgeable() {
+        let key = key();
+        let body = b"0123456789abcdef";
+        let frame = encrypt(&key, [1, 2, 3], body);
+        for pos in 0..body.len() {
+            let forged = flip_payload(&frame, pos, &[0xFF]).unwrap();
+            let plain = decrypt(&key, &forged).unwrap_or_else(|e| {
+                panic!("forgery at {pos} rejected: {e}");
+            });
+            assert_eq!(plain[pos], body[pos] ^ 0xFF);
+            // Everything else untouched.
+            for (i, (&a, &b)) in plain.iter().zip(body.iter()).enumerate() {
+                if i != pos {
+                    assert_eq!(a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_flip_without_compensation_fails() {
+        // Control: the ICV *does* catch flips when not compensated —
+        // the protection is real against noise, just not against math.
+        let key = key();
+        let mut frame = encrypt(&key, [1, 2, 3], b"some payload");
+        frame.ciphertext[0] ^= 0x01;
+        assert!(decrypt(&key, &frame).is_err());
+    }
+
+    #[test]
+    fn out_of_range_mask_rejected() {
+        let frame = encrypt(&key(), [1, 2, 3], b"tiny");
+        assert!(flip_payload(&frame, 3, &[1, 1]).is_none());
+        assert!(flip_payload(&frame, 0, &[1, 1, 1, 1, 1]).is_none());
+    }
+
+    #[test]
+    fn multibyte_masks_work() {
+        let key = key();
+        let frame = encrypt(&key, [7, 7, 7], b"AAAABBBBCCCC");
+        let forged = flip_payload(&frame, 4, &[0x03, 0x03, 0x03, 0x03]).unwrap();
+        let plain = decrypt(&key, &forged).unwrap();
+        assert_eq!(&plain, b"AAAAAAAACCCC"); // 'B' ^ 0x03 = 'A'.
+    }
+}

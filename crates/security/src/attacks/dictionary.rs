@@ -1,0 +1,95 @@
+//! Offline dictionary attack on the WPA/WPA2 4-way handshake.
+//!
+//! WPA-PSK's cryptography is sound; its weakness is human. An attacker
+//! who captures one handshake (four frames — or forces one with a
+//! deauth) can test passphrases offline at PBKDF2 speed: derive the
+//! PMK, expand the PTK, check the message-2 MIC. The 4096-iteration
+//! PBKDF2 slows each guess, but a passphrase in the dictionary falls
+//! anyway. (This is why the §5.2 ranking still puts WPA2+AES on top —
+//! *given a strong passphrase*.)
+
+use crate::handshake::{passphrase_matches, Handshake};
+
+/// Outcome of a dictionary run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DictionaryResult {
+    /// The recovered passphrase, if found.
+    pub passphrase: Option<String>,
+    /// Candidates tested before stopping.
+    pub guesses: u64,
+}
+
+/// Runs the offline attack over a word list.
+pub fn run(hs: &Handshake, ssid: &str, wordlist: &[&str]) -> DictionaryResult {
+    let mut guesses = 0;
+    for &w in wordlist {
+        guesses += 1;
+        if passphrase_matches(hs, ssid, w) {
+            return DictionaryResult {
+                passphrase: Some(w.to_string()),
+                guesses,
+            };
+        }
+    }
+    DictionaryResult {
+        passphrase: None,
+        guesses,
+    }
+}
+
+/// Estimated wall-clock for a dictionary of `words` at `guesses_per_s`
+/// (PBKDF2-bound; ~10⁴–10⁵/s on 2010s-era GPUs).
+pub fn estimated_seconds(words: u64, guesses_per_s: f64) -> f64 {
+    words as f64 / guesses_per_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handshake::run_handshake;
+
+    const AA: [u8; 6] = [2, 0xAB, 0, 0, 0, 1];
+    const SPA: [u8; 6] = [2, 0, 0, 0, 0, 7];
+
+    fn capture(passphrase: &str) -> Handshake {
+        let (_ptk, hs) = run_handshake(passphrase, "CoffeeShop", AA, SPA, [5; 32], [6; 32]);
+        hs
+    }
+
+    #[test]
+    fn weak_passphrase_falls() {
+        let hs = capture("dragon");
+        let words = ["123456", "password", "qwerty", "dragon", "letmein"];
+        let r = run(&hs, "CoffeeShop", &words);
+        assert_eq!(r.passphrase.as_deref(), Some("dragon"));
+        assert_eq!(r.guesses, 4);
+    }
+
+    #[test]
+    fn strong_passphrase_survives() {
+        let hs = capture("vQ9#xT2$mK8@pL5!");
+        let words = ["123456", "password", "qwerty", "dragon", "letmein"];
+        let r = run(&hs, "CoffeeShop", &words);
+        assert_eq!(r.passphrase, None);
+        assert_eq!(r.guesses, 5);
+    }
+
+    #[test]
+    fn wrong_ssid_never_matches() {
+        // The SSID salts the PMK, so rainbow tables are per-network.
+        let hs = capture("dragon");
+        let r = run(&hs, "OtherNet", &["dragon"]);
+        assert_eq!(r.passphrase, None);
+    }
+
+    #[test]
+    fn effort_estimates() {
+        // A 10M-word list at 50k guesses/s ≈ 200 s; full 8-char random
+        // space is computationally absurd — that asymmetry IS the §5.2
+        // ranking's justification.
+        assert!((estimated_seconds(10_000_000, 50_000.0) - 200.0).abs() < 1e-9);
+        let full_space = 95f64.powi(8);
+        let years = full_space / 50_000.0 / 86_400.0 / 365.0;
+        assert!(years > 1_000.0, "{years}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Keystream-reuse attacks on WEP (IV collisions).
+//!
+//! The IV is 24 bits and travels in clear. Once two frames share an IV
+//! (guaranteed within hours on a busy network, instantly on devices
+//! that reset the counter at power-up), the xor of the ciphertexts is
+//! the xor of the plaintexts — and any *known* plaintext (DHCP, ARP,
+//! the 0xAA SNAP header…) yields the keystream for that IV, which
+//! decrypts every other frame using it. This is "a hacker can easily
+//! listen to a network" made concrete.
+
+use crate::wep::WepFrame;
+use std::collections::HashMap;
+
+/// An eavesdropper's dictionary of recovered keystreams, by IV.
+#[derive(Clone, Debug, Default)]
+pub struct KeystreamDictionary {
+    streams: HashMap<[u8; 3], Vec<u8>>,
+}
+
+impl KeystreamDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recovers keystream from a frame whose plaintext is known
+    /// (chosen-plaintext: make the victim fetch something, or exploit
+    /// protocol constants). The ICV extends the known plaintext by its
+    /// CRC, so the whole ciphertext length is recovered.
+    pub fn learn_from_known_plaintext(&mut self, frame: &WepFrame, plaintext: &[u8]) {
+        let mut known = plaintext.to_vec();
+        known.extend_from_slice(&wn_crypto::crc32(plaintext).to_le_bytes());
+        let n = known.len().min(frame.ciphertext.len());
+        let stream: Vec<u8> = frame.ciphertext[..n]
+            .iter()
+            .zip(&known)
+            .map(|(c, p)| c ^ p)
+            .collect();
+        let entry = self.streams.entry(frame.iv).or_default();
+        if stream.len() > entry.len() {
+            *entry = stream;
+        }
+    }
+
+    /// Number of IVs with recovered keystream.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// `true` when nothing has been recovered yet.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// Attempts to decrypt a frame without the key.
+    ///
+    /// Succeeds whenever the frame's IV is in the dictionary and the
+    /// recovered keystream is long enough. The trailing 4 bytes (ICV)
+    /// are stripped.
+    pub fn decrypt(&self, frame: &WepFrame) -> Option<Vec<u8>> {
+        let stream = self.streams.get(&frame.iv)?;
+        if stream.len() < frame.ciphertext.len() {
+            return None;
+        }
+        let mut plain: Vec<u8> = frame
+            .ciphertext
+            .iter()
+            .zip(stream)
+            .map(|(c, k)| c ^ k)
+            .collect();
+        plain.truncate(plain.len() - 4);
+        Some(plain)
+    }
+
+    /// Forges a *valid* frame for an IV with known keystream: WEP has
+    /// no replay protection and the ICV is computable by anyone.
+    pub fn forge(&self, iv: [u8; 3], payload: &[u8]) -> Option<WepFrame> {
+        let stream = self.streams.get(&iv)?;
+        let mut buf = payload.to_vec();
+        buf.extend_from_slice(&wn_crypto::crc32(payload).to_le_bytes());
+        if stream.len() < buf.len() {
+            return None;
+        }
+        for (b, k) in buf.iter_mut().zip(stream) {
+            *b ^= k;
+        }
+        Some(WepFrame {
+            iv,
+            key_id: 0,
+            ciphertext: buf,
+        })
+    }
+}
+
+/// XORs two same-IV ciphertexts: the result is `p1 ⊕ p2`, on which
+/// classical cribbing works. Returns `None` when IVs differ.
+pub fn xor_of_plaintexts(a: &WepFrame, b: &WepFrame) -> Option<Vec<u8>> {
+    if a.iv != b.iv {
+        return None;
+    }
+    let n = a.ciphertext.len().min(b.ciphertext.len());
+    Some((0..n).map(|i| a.ciphertext[i] ^ b.ciphertext[i]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wep::{decrypt, encrypt, WepKey};
+
+    fn key() -> WepKey {
+        WepKey::new(b"13-byte-key!!").unwrap()
+    }
+
+    #[test]
+    fn known_plaintext_recovers_other_frames() {
+        let key = key();
+        let iv = [0x11, 0x22, 0x33];
+        // The attacker tricks the victim into sending a known payload…
+        let known = vec![b'K'; 32];
+        let f1 = encrypt(&key, iv, &known);
+        let mut dict = KeystreamDictionary::new();
+        dict.learn_from_known_plaintext(&f1, &known);
+        // …then decrypts a *secret* frame that reused the IV (same length).
+        let secret = b"password=hunter2&session=9f8e7d6";
+        assert_eq!(secret.len(), known.len()); // Same keystream coverage.
+        let f2 = encrypt(&key, iv, secret);
+        let plain = dict.decrypt(&f2).expect("IV is in the dictionary");
+        assert_eq!(&plain, secret);
+    }
+
+    #[test]
+    fn different_iv_not_decryptable() {
+        let key = key();
+        let mut dict = KeystreamDictionary::new();
+        let f1 = encrypt(&key, [1, 1, 1], b"known text");
+        dict.learn_from_known_plaintext(&f1, b"known text");
+        let f2 = encrypt(&key, [2, 2, 2], b"other text");
+        assert!(dict.decrypt(&f2).is_none());
+    }
+
+    #[test]
+    fn short_keystream_insufficient() {
+        let key = key();
+        let mut dict = KeystreamDictionary::new();
+        let f1 = encrypt(&key, [1, 1, 1], b"tiny");
+        dict.learn_from_known_plaintext(&f1, b"tiny");
+        let f2 = encrypt(&key, [1, 1, 1], b"a much longer secret message");
+        assert!(dict.decrypt(&f2).is_none(), "keystream too short to cover");
+    }
+
+    #[test]
+    fn forged_frame_accepted_by_receiver() {
+        // The devastating part: the attacker *injects* valid traffic
+        // without ever knowing the key.
+        let key = key();
+        let iv = [9, 8, 7];
+        let known = b"broadcast ARP who-has 10.0.0.1";
+        let f = encrypt(&key, iv, known);
+        let mut dict = KeystreamDictionary::new();
+        dict.learn_from_known_plaintext(&f, known);
+        let forged = dict.forge(iv, b"evil injected frame body 0000").unwrap();
+        let accepted = decrypt(&key, &forged).expect("receiver validates ICV fine");
+        assert_eq!(&accepted, b"evil injected frame body 0000");
+    }
+
+    #[test]
+    fn xor_of_plaintexts_leaks() {
+        let key = key();
+        let iv = [5, 5, 5];
+        let a = encrypt(&key, iv, b"attack at dawn!!");
+        let b = encrypt(&key, iv, b"attack at dusk!!");
+        let x = xor_of_plaintexts(&a, &b).unwrap();
+        // Positions where plaintexts agree xor to zero — structure leaks.
+        assert_eq!(&x[..11], &[0u8; 11][..]);
+        assert_ne!(x[11], 0); // 'a' ^ 'u'.
+        assert!(xor_of_plaintexts(&a, &encrypt(&key, [5, 5, 6], b"x")).is_none());
+    }
+}

@@ -1,0 +1,17 @@
+//! The attack suite behind §5's history: every breach the text
+//! mentions, implemented against our own protocol code.
+//!
+//! - [`keystream`] — IV-collision keystream reuse (WEP's 24-bit IV).
+//! - [`fms`] — Fluhrer–Mantin–Shamir weak-IV key recovery: the §5.2
+//!   "FBI … cracked WEP passwords in minutes" demonstration.
+//! - [`bitflip`] — CRC-linearity forgery: §5.1's attacker who "could
+//!   recalculate the ordinary FCS … to hide their deliberate
+//!   alteration".
+//! - [`dictionary`] — offline dictionary attack on the WPA/WPA2 4-way
+//!   handshake (why weak passphrases sink WPA-PSK).
+//! - (WPS PIN search lives in [`crate::wps`].)
+
+pub mod bitflip;
+pub mod dictionary;
+pub mod fms;
+pub mod keystream;

@@ -1,0 +1,38 @@
+//! `wn-security` — the three generations of Wi-Fi security from §5 and
+//! the attacks that drove each transition.
+//!
+//! Protocols:
+//! - [`wep`] — Wired Equivalent Privacy: RC4 with a 24-bit IV and a
+//!   CRC-32 ICV, in 64/128/256-bit key sizes.
+//! - [`wpa`] — WPA/TKIP: per-packet RC4 keys, the Michael MIC, TSC
+//!   replay protection and MIC-failure countermeasures.
+//! - [`wpa2`] — WPA2/CCMP: AES in CCM mode with a packet-number nonce
+//!   and replay window.
+//! - [`handshake`] — PSK derivation (PBKDF2) and a faithful 4-way
+//!   handshake with PTK expansion and MIC'd messages.
+//! - [`wps`] — the Wi-Fi Protected Setup PIN design flaw (the "2-14
+//!   hours of sustained effort" attack vector).
+//!
+//! Attacks ([`attacks`]):
+//! - keystream reuse from IV collisions (WEP),
+//! - FMS weak-IV key recovery — the "cracked … in minutes" demo,
+//! - CRC bit-flipping forgery (WEP integrity failure),
+//! - offline dictionary attack on the 4-way handshake,
+//! - WPS PIN search.
+//!
+//! [`ranking`] distils all of the above into the §5.2 best-to-worst
+//! list with simulated time-to-breach figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod handshake;
+pub mod ranking;
+pub mod wep;
+pub mod wpa;
+pub mod wpa2;
+pub mod wps;
+
+pub use ranking::{breach_ranking, SecurityMethod};
+pub use wep::{WepKey, WepKeySize};

@@ -1,0 +1,284 @@
+//! Wired Equivalent Privacy (§5.2).
+//!
+//! "WEP was ratified as a Wi-Fi security standard in September of
+//! 1999. The first versions … restricted … to only 64-bit encryption.
+//! When the restrictions were lifted, it was increased to 128-bit.
+//! Despite the introduction of 256-bit WEP encryption, 128-bit remains
+//! one of the most common implementations."
+//!
+//! The protocol exactly as deployed: a 24-bit public IV is prepended to
+//! the secret key to seed RC4; integrity is a CRC-32 ICV encrypted
+//! along with the payload. Both design choices are fatal — see
+//! [`crate::attacks`].
+
+use wn_crypto::{crc32, Rc4};
+
+/// The three §5.2 key sizes (secret portion; the advertised size adds
+/// the 24-bit IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WepKeySize {
+    /// "64-bit" WEP: 40-bit secret.
+    Wep64,
+    /// "128-bit" WEP: 104-bit secret — "one of the most common".
+    Wep128,
+    /// "256-bit" WEP: 232-bit secret.
+    Wep256,
+}
+
+impl WepKeySize {
+    /// Secret key length in bytes.
+    pub fn secret_len(self) -> usize {
+        match self {
+            WepKeySize::Wep64 => 5,
+            WepKeySize::Wep128 => 13,
+            WepKeySize::Wep256 => 29,
+        }
+    }
+
+    /// The advertised key size in bits (secret + IV).
+    pub fn advertised_bits(self) -> usize {
+        (self.secret_len() + 3) * 8
+    }
+}
+
+/// A WEP secret key.
+#[derive(Clone, PartialEq, Eq)]
+pub struct WepKey {
+    secret: Vec<u8>,
+}
+
+impl std::fmt::Debug for WepKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WepKey({} bits)", (self.secret.len() + 3) * 8)
+    }
+}
+
+/// Errors from WEP operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WepError {
+    /// Key bytes did not match a supported size.
+    BadKeyLength(usize),
+    /// Ciphertext shorter than IV + key id + ICV.
+    TooShort,
+    /// The decrypted ICV did not match — corrupted or forged… in
+    /// principle (see the bit-flip attack for why this check is weak).
+    BadIcv,
+}
+
+impl std::fmt::Display for WepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WepError::BadKeyLength(n) => write!(f, "unsupported WEP key length {n}"),
+            WepError::TooShort => write!(f, "WEP frame too short"),
+            WepError::BadIcv => write!(f, "WEP ICV check failed"),
+        }
+    }
+}
+
+impl std::error::Error for WepError {}
+
+impl WepKey {
+    /// Creates a key from raw secret bytes (5, 13 or 29).
+    pub fn new(secret: &[u8]) -> Result<Self, WepError> {
+        match secret.len() {
+            5 | 13 | 29 => Ok(WepKey {
+                secret: secret.to_vec(),
+            }),
+            n => Err(WepError::BadKeyLength(n)),
+        }
+    }
+
+    /// The key size class.
+    pub fn size(&self) -> WepKeySize {
+        match self.secret.len() {
+            5 => WepKeySize::Wep64,
+            13 => WepKeySize::Wep128,
+            _ => WepKeySize::Wep256,
+        }
+    }
+
+    /// The secret bytes (used by the key-recovery attack to verify).
+    pub fn secret(&self) -> &[u8] {
+        &self.secret
+    }
+
+    /// The RC4 seed for a given IV: `IV || secret` — the fatal
+    /// construction (the IV is public and the per-packet key is
+    /// related to the long-term secret).
+    pub fn seed(&self, iv: [u8; 3]) -> Vec<u8> {
+        let mut s = Vec::with_capacity(3 + self.secret.len());
+        s.extend_from_slice(&iv);
+        s.extend_from_slice(&self.secret);
+        s
+    }
+}
+
+/// An encrypted WEP frame body: IV (3) ‖ key-id (1) ‖ ciphertext ‖
+/// encrypted ICV (4).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WepFrame {
+    /// The public, cleartext IV.
+    pub iv: [u8; 3],
+    /// Key slot (0–3); always 0 here.
+    pub key_id: u8,
+    /// Ciphertext of payload ‖ ICV.
+    pub ciphertext: Vec<u8>,
+}
+
+impl WepFrame {
+    /// Total over-the-air body length.
+    pub fn wire_len(&self) -> usize {
+        4 + self.ciphertext.len()
+    }
+}
+
+/// Encrypts a payload under `key` with the chosen IV.
+pub fn encrypt(key: &WepKey, iv: [u8; 3], plaintext: &[u8]) -> WepFrame {
+    let mut buf = plaintext.to_vec();
+    let icv = crc32(plaintext);
+    buf.extend_from_slice(&icv.to_le_bytes());
+    let mut rc4 = Rc4::new(&key.seed(iv));
+    rc4.apply(&mut buf);
+    WepFrame {
+        iv,
+        key_id: 0,
+        ciphertext: buf,
+    }
+}
+
+/// Decrypts and verifies a frame; returns the payload.
+pub fn decrypt(key: &WepKey, frame: &WepFrame) -> Result<Vec<u8>, WepError> {
+    if frame.ciphertext.len() < 4 {
+        return Err(WepError::TooShort);
+    }
+    let mut buf = frame.ciphertext.clone();
+    let mut rc4 = Rc4::new(&key.seed(frame.iv));
+    rc4.apply(&mut buf);
+    let (payload, icv_bytes) = buf.split_at(buf.len() - 4);
+    let sent = u32::from_le_bytes(icv_bytes.try_into().expect("4 bytes"));
+    if crc32(payload) != sent {
+        return Err(WepError::BadIcv);
+    }
+    Ok(payload.to_vec())
+}
+
+/// A sequential IV generator — common in real devices and the reason
+/// IV collisions were guaranteed: the space is only 2²⁴ ≈ 16.7 M, and
+/// wraps "busy network" fast.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IvCounter(pub u32);
+
+impl IvCounter {
+    /// Next IV, wrapping at 2²⁴.
+    pub fn next(&mut self) -> [u8; 3] {
+        let v = self.0;
+        self.0 = (self.0 + 1) & 0x00FF_FFFF;
+        [
+            (v & 0xFF) as u8,
+            ((v >> 8) & 0xFF) as u8,
+            ((v >> 16) & 0xFF) as u8,
+        ]
+    }
+
+    /// Packets until the IV space wraps (collision is then certain).
+    pub fn packets_until_wrap(self) -> u32 {
+        0x0100_0000 - self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key128() -> WepKey {
+        WepKey::new(b"13-byte-key!!").unwrap()
+    }
+
+    #[test]
+    fn key_sizes_match_text() {
+        assert_eq!(WepKeySize::Wep64.advertised_bits(), 64);
+        assert_eq!(WepKeySize::Wep128.advertised_bits(), 128);
+        assert_eq!(WepKeySize::Wep256.advertised_bits(), 256);
+        assert_eq!(WepKey::new(b"12345").unwrap().size(), WepKeySize::Wep64);
+        assert_eq!(key128().size(), WepKeySize::Wep128);
+        assert!(matches!(
+            WepKey::new(b"bad"),
+            Err(WepError::BadKeyLength(3))
+        ));
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let key = key128();
+        let frame = encrypt(&key, [1, 2, 3], b"confidential association data");
+        assert_ne!(&frame.ciphertext[..29], b"confidential association data");
+        let back = decrypt(&key, &frame).unwrap();
+        assert_eq!(back, b"confidential association data");
+    }
+
+    #[test]
+    fn wrong_key_fails_icv() {
+        let frame = encrypt(&key128(), [9, 9, 9], b"payload");
+        let other = WepKey::new(b"other-13-key!").unwrap();
+        assert_eq!(decrypt(&other, &frame), Err(WepError::BadIcv));
+    }
+
+    #[test]
+    fn corruption_detected_by_icv() {
+        let key = key128();
+        let mut frame = encrypt(&key, [4, 5, 6], b"some frame body here");
+        frame.ciphertext[3] ^= 0x01;
+        assert_eq!(decrypt(&key, &frame), Err(WepError::BadIcv));
+    }
+
+    #[test]
+    fn same_iv_same_keystream_the_fatal_property() {
+        let key = key128();
+        let a = encrypt(&key, [7, 7, 7], b"AAAAAAAAAA");
+        let b = encrypt(&key, [7, 7, 7], b"BBBBBBBBBB");
+        // c1 ⊕ c2 == p1 ⊕ p2 when IVs collide.
+        for i in 0..10 {
+            assert_eq!(a.ciphertext[i] ^ b.ciphertext[i], b'A' ^ b'B');
+        }
+        // Distinct IVs do not exhibit this.
+        let c = encrypt(&key, [7, 7, 8], b"BBBBBBBBBB");
+        let equal = (0..10)
+            .filter(|&i| (a.ciphertext[i] ^ c.ciphertext[i]) == (b'A' ^ b'B'))
+            .count();
+        assert!(equal < 5);
+    }
+
+    #[test]
+    fn iv_counter_wraps_at_24_bits() {
+        let mut c = IvCounter(0x00FF_FFFF);
+        assert_eq!(c.next(), [0xFF, 0xFF, 0xFF]);
+        assert_eq!(c.next(), [0, 0, 0], "the 2^24 IV space wraps");
+    }
+
+    #[test]
+    fn iv_space_exhausts_in_hours_at_line_rate_math() {
+        // At ~5000 frames/s (saturated 802.11b), 2^24 IVs last under an
+        // hour — the arithmetic behind guaranteed keystream reuse.
+        let seconds = 0x0100_0000 as f64 / 5000.0;
+        assert!(seconds < 3600.0, "{seconds}");
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        let key = key128();
+        let frame = WepFrame {
+            iv: [0, 0, 0],
+            key_id: 0,
+            ciphertext: vec![1, 2, 3],
+        };
+        assert_eq!(decrypt(&key, &frame), Err(WepError::TooShort));
+    }
+
+    #[test]
+    fn debug_never_prints_secret() {
+        let key = WepKey::new(b"supersecret13") // 13 bytes.
+            .unwrap();
+        let s = format!("{key:?}");
+        assert!(!s.contains("supersecret"));
+    }
+}

@@ -1,0 +1,172 @@
+//! The Wi-Fi Protected Setup (WPS) PIN design flaw (§5.2).
+//!
+//! "the same vulnerability that is the biggest hole in the WPA armor,
+//! the attack vector through the Wi-Fi Protected Setup (WPS), remains
+//! in modern WPA2-capable access points. Although breaking into a
+//! WPA/WPA2 secured network using this vulnerability requires anywhere
+//! from 2-14 hours of sustained effort …"
+//!
+//! The flaw: the 8-digit PIN's last digit is a checksum, and the
+//! protocol confirms the two 4-digit halves *independently*, so the
+//! search space collapses from 10⁸ to 10⁴ + 10³ = 11 000 attempts.
+
+/// Computes the WPS checksum digit over the first 7 digits.
+pub fn checksum_digit(first7: u32) -> u32 {
+    let mut accum = 0u32;
+    let mut v = first7;
+    while v > 0 {
+        accum += 3 * (v % 10);
+        v /= 10;
+        accum += v % 10;
+        v /= 10;
+    }
+    (10 - accum % 10) % 10
+}
+
+/// A full 8-digit WPS PIN.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WpsPin(pub u32);
+
+impl WpsPin {
+    /// Builds a valid PIN from its first 7 digits.
+    pub fn from_first7(first7: u32) -> Self {
+        WpsPin(first7 * 10 + checksum_digit(first7))
+    }
+
+    /// The first half (digits 1–4).
+    pub fn half1(self) -> u32 {
+        self.0 / 10_000
+    }
+
+    /// The second half (digits 5–8, including the checksum).
+    pub fn half2(self) -> u32 {
+        self.0 % 10_000
+    }
+
+    /// `true` when the checksum digit is valid.
+    pub fn is_valid(self) -> bool {
+        checksum_digit(self.0 / 10) == self.0 % 10
+    }
+}
+
+/// An AP-side WPS registrar: confirms each half independently — the
+/// protocol flaw itself (M4/M6 responses leak per-half success).
+#[derive(Clone, Copy, Debug)]
+pub struct Registrar {
+    pin: WpsPin,
+}
+
+impl Registrar {
+    /// Creates a registrar with the given PIN.
+    pub fn new(pin: WpsPin) -> Self {
+        Registrar { pin }
+    }
+
+    /// M4 response: does the first half match?
+    pub fn check_half1(&self, half1: u32) -> bool {
+        self.pin.half1() == half1
+    }
+
+    /// M6 response: does the second half match? (Only reachable after
+    /// a correct first half in the real protocol.)
+    pub fn check_half2(&self, half2: u32) -> bool {
+        self.pin.half2() == half2
+    }
+}
+
+/// Result of the brute-force search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WpsAttackResult {
+    /// The recovered PIN.
+    pub pin: WpsPin,
+    /// Protocol attempts used.
+    pub attempts: u32,
+}
+
+/// Runs the Reaver-style split search: ≤10⁴ tries for half 1, then
+/// ≤10³ for the 3 free digits of half 2 (the checksum pins the 4th).
+pub fn brute_force(reg: &Registrar) -> WpsAttackResult {
+    let mut attempts = 0;
+    let mut half1 = 0;
+    for h1 in 0..10_000 {
+        attempts += 1;
+        if reg.check_half1(h1) {
+            half1 = h1;
+            break;
+        }
+    }
+    for h2_free in 0..1_000 {
+        attempts += 1;
+        // The last digit is forced by the checksum over the first 7.
+        let first7 = half1 * 1_000 + h2_free;
+        let pin = WpsPin::from_first7(first7);
+        if reg.check_half2(pin.half2()) {
+            return WpsAttackResult { pin, attempts };
+        }
+    }
+    unreachable!("the PIN space is fully covered");
+}
+
+/// Expected wall-clock duration of the attack at `seconds_per_attempt`
+/// (M1–M7 exchanges plus AP lockout throttling), for a worst-case and
+/// average-case attempt count.
+pub fn expected_duration_hours(seconds_per_attempt: f64) -> (f64, f64) {
+    let worst = 11_000.0 * seconds_per_attempt / 3600.0;
+    let average = 5_500.0 * seconds_per_attempt / 3600.0;
+    (average, worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_reference_values() {
+        // Known-valid WPS PINs: 12345670 is the canonical example.
+        assert_eq!(checksum_digit(1234567), 0);
+        assert!(WpsPin(12345670).is_valid());
+        assert!(!WpsPin(12345671).is_valid());
+    }
+
+    #[test]
+    fn from_first7_always_valid() {
+        for f7 in [0u32, 1, 9999999, 5551212, 8391024] {
+            assert!(WpsPin::from_first7(f7).is_valid(), "{f7}");
+        }
+    }
+
+    #[test]
+    fn halves_split_correctly() {
+        let pin = WpsPin(12345670);
+        assert_eq!(pin.half1(), 1234);
+        assert_eq!(pin.half2(), 5670);
+    }
+
+    #[test]
+    fn brute_force_recovers_any_pin() {
+        for f7 in [0u32, 123, 9999999, 4815162] {
+            let pin = WpsPin::from_first7(f7);
+            let result = brute_force(&Registrar::new(pin));
+            assert_eq!(result.pin, pin);
+        }
+    }
+
+    #[test]
+    fn attempts_bounded_by_11000() {
+        // The collapse from 10^8 to ≤ 11 000 — the whole point.
+        let worst = brute_force(&Registrar::new(WpsPin::from_first7(9_999_999)));
+        assert!(worst.attempts <= 11_000, "{}", worst.attempts);
+        let easy = brute_force(&Registrar::new(WpsPin::from_first7(0)));
+        assert!(easy.attempts <= 1_001, "{}", easy.attempts);
+    }
+
+    #[test]
+    fn duration_matches_texts_2_to_14_hours() {
+        // At ~1.3–4.5 s/attempt (protocol + throttling), the average
+        // and worst cases straddle the text's "2-14 hours".
+        let (avg_fast, _) = expected_duration_hours(1.3);
+        let (_, worst_slow) = expected_duration_hours(4.5);
+        assert!((1.9..2.1).contains(&avg_fast), "{avg_fast}");
+        assert!((13.0..14.5).contains(&worst_slow), "{worst_slow}");
+    }
+}

@@ -1,0 +1,386 @@
+//! The discrete-event engine.
+//!
+//! A [`Simulation`] owns a user-defined [`World`] (all mutable model
+//! state) and a [`Scheduler`] (the pending-event queue). The main loop
+//! repeatedly pops the earliest event and hands it to
+//! [`World::handle`], which may mutate the world and schedule further
+//! events. Events scheduled for the same instant are delivered in the
+//! order they were scheduled (FIFO), which makes runs fully
+//! deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Model state driven by the engine.
+///
+/// Implementors own every piece of mutable simulation state and react to
+/// events by mutating themselves and scheduling follow-up events.
+pub trait World {
+    /// The domain-specific event type.
+    type Event;
+
+    /// Handles one event at virtual time `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// A scheduled entry in the event queue.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first. `seq` breaks ties FIFO for determinism.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The pending-event queue plus the virtual clock.
+pub struct Scheduler<E> {
+    queue: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total number of events ever scheduled (monotone counter).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past — delivering an event before the
+    /// current instant would violate causality.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.queue.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` after a relative delay from now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        let at = self.now + delay;
+        self.schedule_at(at, event);
+    }
+
+    /// Schedules `event` at the current instant (delivered after all
+    /// events already queued for this instant).
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule_at(self.now, event);
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|s| s.at)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.queue.pop()?;
+        debug_assert!(s.at >= self.now, "heap yielded an event in the past");
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+}
+
+/// A complete simulation: a world plus its scheduler.
+pub struct Simulation<W: World> {
+    world: W,
+    sched: Scheduler<W::Event>,
+    processed: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Creates a simulation around `world` with an empty event queue.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            sched: Scheduler::new(),
+            processed: 0,
+        }
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (for setup and inspection).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Shared access to the scheduler.
+    pub fn scheduler(&self) -> &Scheduler<W::Event> {
+        &self.sched
+    }
+
+    /// Mutable access to the scheduler (for seeding initial events).
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler<W::Event> {
+        &mut self.sched
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Delivers the next event, if any. Returns `false` when the queue
+    /// is empty.
+    pub fn step(&mut self) -> bool {
+        match self.sched.pop() {
+            Some((now, ev)) => {
+                self.world.handle(now, ev, &mut self.sched);
+                self.processed += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event queue drains. Returns events processed.
+    pub fn run(&mut self) -> u64 {
+        let start = self.processed;
+        while self.step() {}
+        self.processed - start
+    }
+
+    /// Runs until the queue drains or virtual time would pass `deadline`.
+    ///
+    /// Events stamped exactly at `deadline` are delivered; later ones
+    /// remain queued. Returns events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let start = self.processed;
+        while let Some(t) = self.sched.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.processed - start
+    }
+
+    /// Runs until at most `limit` further events have been processed.
+    ///
+    /// Returns `true` if the queue drained before the limit was hit —
+    /// useful as a watchdog against accidental event storms in tests.
+    pub fn run_bounded(&mut self, limit: u64) -> bool {
+        for _ in 0..limit {
+            if !self.step() {
+                return true;
+            }
+        }
+        self.sched.pending() == 0
+    }
+
+    /// Consumes the simulation, returning the final world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A world that records the order and times of delivered tags.
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, _s: &mut Scheduler<u32>) {
+            self.seen.push((now, ev));
+        }
+    }
+
+    #[test]
+    fn events_deliver_in_time_order() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        sim.scheduler_mut().schedule_at(SimTime::from_millis(3), 3);
+        sim.scheduler_mut().schedule_at(SimTime::from_millis(1), 1);
+        sim.scheduler_mut().schedule_at(SimTime::from_millis(2), 2);
+        sim.run();
+        let tags: Vec<u32> = sim.world().seen.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        let t = SimTime::from_micros(10);
+        for tag in 0..100 {
+            sim.scheduler_mut().schedule_at(t, tag);
+        }
+        sim.run();
+        let tags: Vec<u32> = sim.world().seen.iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_to_event_times() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        sim.scheduler_mut().schedule_at(SimTime::from_secs(5), 0);
+        assert_eq!(sim.now(), SimTime::ZERO);
+        sim.run();
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        struct Bad;
+        impl World for Bad {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _: (), s: &mut Scheduler<()>) {
+                s.schedule_at(now - crate::SimDuration::from_nanos(1), ());
+            }
+        }
+        let mut sim = Simulation::new(Bad);
+        sim.scheduler_mut().schedule_at(SimTime::from_secs(1), ());
+        sim.run();
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        for ms in 1..=10 {
+            sim.scheduler_mut()
+                .schedule_at(SimTime::from_millis(ms), ms as u32);
+        }
+        let n = sim.run_until(SimTime::from_millis(4));
+        assert_eq!(n, 4);
+        assert_eq!(sim.scheduler().pending(), 6);
+        // Deadline-inclusive semantics: the event at exactly 4 ms ran.
+        assert_eq!(sim.world().seen.last().unwrap().1, 4);
+    }
+
+    #[test]
+    fn run_bounded_detects_event_storm() {
+        struct Storm;
+        impl World for Storm {
+            type Event = ();
+            fn handle(&mut self, _: SimTime, _: (), s: &mut Scheduler<()>) {
+                s.schedule_in(SimDuration::from_nanos(1), ());
+            }
+        }
+        let mut sim = Simulation::new(Storm);
+        sim.scheduler_mut().schedule_now(());
+        assert!(!sim.run_bounded(1000), "storm should not drain");
+    }
+
+    #[test]
+    fn self_scheduling_chain_runs_to_completion() {
+        struct Chain {
+            remaining: u32,
+        }
+        impl World for Chain {
+            type Event = ();
+            fn handle(&mut self, _: SimTime, _: (), s: &mut Scheduler<()>) {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    s.schedule_in(SimDuration::from_micros(100), ());
+                }
+            }
+        }
+        let mut sim = Simulation::new(Chain { remaining: 50 });
+        sim.scheduler_mut().schedule_now(());
+        let n = sim.run();
+        assert_eq!(n, 51);
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn schedule_now_runs_after_existing_same_instant_events() {
+        struct Nest {
+            order: Vec<u32>,
+        }
+        impl World for Nest {
+            type Event = u32;
+            fn handle(&mut self, _: SimTime, ev: u32, s: &mut Scheduler<u32>) {
+                self.order.push(ev);
+                if ev == 1 {
+                    s.schedule_now(99);
+                }
+            }
+        }
+        let mut sim = Simulation::new(Nest { order: vec![] });
+        sim.scheduler_mut().schedule_at(SimTime::ZERO, 1);
+        sim.scheduler_mut().schedule_at(SimTime::ZERO, 2);
+        sim.run();
+        assert_eq!(sim.world().order, vec![1, 2, 99]);
+    }
+
+    #[test]
+    fn processed_and_totals_track() {
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        for i in 0..5 {
+            sim.scheduler_mut()
+                .schedule_at(SimTime::from_millis(i), i as u32);
+        }
+        sim.run();
+        assert_eq!(sim.processed(), 5);
+        assert_eq!(sim.scheduler().scheduled_total(), 5);
+        assert_eq!(sim.scheduler().pending(), 0);
+    }
+}

@@ -1,0 +1,381 @@
+//! Virtual time types.
+//!
+//! Simulation time is an absolute instant ([`SimTime`]) measured in
+//! nanoseconds since the start of the run; [`SimDuration`] is the
+//! corresponding span type. Both are thin wrappers over `u64` so they are
+//! `Copy`, totally ordered, and hashable, and all arithmetic is explicit
+//! and saturating-free (overflow is a programmer error and panics in
+//! debug builds just like ordinary integer arithmetic).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant of virtual time, in nanoseconds since run start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The greatest representable instant; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates an instant from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates an instant from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Creates an instant from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid time {s}");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This instant expressed in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This instant expressed in fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        assert!(
+            earlier <= self,
+            "duration_since: {earlier:?} is after {self:?}"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// The span from `earlier` to `self`, or zero if `earlier` is later.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// The greatest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a span from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a span from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a span from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a span from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a span from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration {s}");
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// The time to serialize `bits` onto a link of `bits_per_sec`.
+    ///
+    /// This is the workhorse used by every MAC model to turn a frame
+    /// length and a PHY rate into airtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_sec` is zero or not finite.
+    pub fn for_bits(bits: u64, bits_per_sec: f64) -> Self {
+        assert!(
+            bits_per_sec.is_finite() && bits_per_sec > 0.0,
+            "invalid rate {bits_per_sec}"
+        );
+        SimDuration::from_secs_f64(bits as f64 / bits_per_sec)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This span expressed in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This span expressed in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This span expressed in fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Checked addition of two spans.
+    pub fn checked_add(self, other: SimDuration) -> Option<SimDuration> {
+        self.0.checked_add(other.0).map(SimDuration)
+    }
+
+    /// Saturating subtraction of two spans.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Mul<SimDuration> for u64 {
+    type Output = SimDuration;
+    fn mul(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self * rhs.0)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", format_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_ns(self.0))
+    }
+}
+
+/// Pretty-prints a nanosecond count with an adaptive unit.
+fn format_ns(ns: u64) -> String {
+    if ns == 0 {
+        "0s".to_string()
+    } else if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2_000));
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = SimTime::from_millis(5);
+        let d = SimDuration::from_micros(250);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn duration_since_works() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(3);
+        assert_eq!(b.duration_since(a), SimDuration::from_secs(2));
+        assert_eq!(a.saturating_duration_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn duration_since_panics_on_reversal() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(3);
+        let _ = a.duration_since(b);
+    }
+
+    #[test]
+    fn for_bits_matches_hand_calculation() {
+        // 1500 bytes at 54 Mbps = 12000 bits / 54e6 = 222.22.. us.
+        let d = SimDuration::for_bits(12_000, 54e6);
+        let us = d.as_micros_f64();
+        assert!((us - 222.222).abs() < 0.01, "got {us}");
+    }
+
+    #[test]
+    fn fractional_seconds_roundtrip() {
+        let d = SimDuration::from_secs_f64(0.001_234_567);
+        assert!((d.as_secs_f64() - 0.001_234_567).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_picks_adaptive_units() {
+        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimDuration::from_micros(9).to_string(), "9.000us");
+        assert_eq!(SimDuration::from_millis(3).to_string(), "3.000ms");
+        assert_eq!(SimDuration::from_secs(7).to_string(), "7.000s");
+        assert_eq!(SimDuration::ZERO.to_string(), "0s");
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let d = SimDuration::from_micros(10);
+        assert_eq!(d * 3, SimDuration::from_micros(30));
+        assert_eq!(3 * d, SimDuration::from_micros(30));
+        assert_eq!(d / 2, SimDuration::from_micros(5));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(2)),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            SimDuration::MAX.checked_add(SimDuration::from_nanos(1)),
+            None
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Bounded event tracing.
+//!
+//! A [`Trace`] is a ring buffer of timestamped, categorised strings. It
+//! exists for two reasons: interactive debugging of protocol exchanges
+//! (print the last N MAC events), and test assertions about *ordering*
+//! ("the CTS was sent after the RTS", "no data frame preceded
+//! association"). It is deliberately simple — no I/O, no globals.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Importance of a trace record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// High-volume per-frame detail.
+    Debug,
+    /// Normal protocol milestones (association, handoff, crack success).
+    Info,
+    /// Abnormal but recoverable conditions (retry limit, CRC failure).
+    Warn,
+}
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct Record {
+    /// Virtual time of the record.
+    pub at: SimTime,
+    /// Importance.
+    pub level: Level,
+    /// Short category tag, e.g. `"mac"`, `"phy"`, `"sec"`.
+    pub tag: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {:?} {}] {}",
+            self.at, self.level, self.tag, self.message
+        )
+    }
+}
+
+/// A bounded ring buffer of trace records.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    records: VecDeque<Record>,
+    capacity: usize,
+    min_level: Level,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+impl Trace {
+    /// Creates a trace retaining at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            records: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            min_level: Level::Debug,
+            dropped: 0,
+        }
+    }
+
+    /// Sets the minimum level retained; lower-level records are ignored.
+    pub fn set_min_level(&mut self, level: Level) {
+        self.min_level = level;
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn emit(&mut self, at: SimTime, level: Level, tag: &'static str, message: String) {
+        if level < self.min_level {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(Record {
+            at,
+            level,
+            tag,
+            message,
+        });
+    }
+
+    /// Convenience: emit at [`Level::Debug`].
+    pub fn debug(&mut self, at: SimTime, tag: &'static str, message: impl Into<String>) {
+        self.emit(at, Level::Debug, tag, message.into());
+    }
+
+    /// Convenience: emit at [`Level::Info`].
+    pub fn info(&mut self, at: SimTime, tag: &'static str, message: impl Into<String>) {
+        self.emit(at, Level::Info, tag, message.into());
+    }
+
+    /// Convenience: emit at [`Level::Warn`].
+    pub fn warn(&mut self, at: SimTime, tag: &'static str, message: impl Into<String>) {
+        self.emit(at, Level::Warn, tag, message.into());
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &Record> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Index of the first retained record whose message contains `needle`.
+    pub fn position_containing(&self, needle: &str) -> Option<usize> {
+        self.records.iter().position(|r| r.message.contains(needle))
+    }
+
+    /// `true` if a record containing `a` precedes one containing `b`.
+    ///
+    /// The canonical ordering assertion for protocol tests.
+    pub fn happened_before(&self, a: &str, b: &str) -> bool {
+        match (self.position_containing(a), self.position_containing(b)) {
+            (Some(ia), Some(ib)) => ia < ib,
+            _ => false,
+        }
+    }
+
+    /// Counts retained records whose message contains `needle`.
+    pub fn count_containing(&self, needle: &str) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.message.contains(needle))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn emits_and_reads_back() {
+        let mut tr = Trace::new(10);
+        tr.info(t(1), "mac", "rts sent");
+        tr.info(t(2), "mac", "cts sent");
+        assert_eq!(tr.len(), 2);
+        let msgs: Vec<&str> = tr.records().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["rts sent", "cts sent"]);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut tr = Trace::new(3);
+        for i in 0..5 {
+            tr.info(t(i), "x", format!("m{i}"));
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 2);
+        let msgs: Vec<&str> = tr.records().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["m2", "m3", "m4"]);
+    }
+
+    #[test]
+    fn level_filter_drops_below_min() {
+        let mut tr = Trace::new(10);
+        tr.set_min_level(Level::Info);
+        tr.debug(t(0), "x", "noise");
+        tr.info(t(1), "x", "signal");
+        tr.warn(t(2), "x", "alarm");
+        assert_eq!(tr.len(), 2);
+    }
+
+    #[test]
+    fn happened_before_orders_correctly() {
+        let mut tr = Trace::new(10);
+        tr.info(t(1), "mac", "rts to ap");
+        tr.info(t(2), "mac", "cts from ap");
+        tr.info(t(3), "mac", "data to ap");
+        assert!(tr.happened_before("rts", "cts"));
+        assert!(tr.happened_before("cts", "data"));
+        assert!(!tr.happened_before("data", "rts"));
+        assert!(!tr.happened_before("missing", "rts"));
+    }
+
+    #[test]
+    fn count_containing_counts() {
+        let mut tr = Trace::new(10);
+        tr.info(t(1), "mac", "retry 1");
+        tr.info(t(2), "mac", "retry 2");
+        tr.info(t(3), "mac", "ack");
+        assert_eq!(tr.count_containing("retry"), 2);
+        assert_eq!(tr.count_containing("nak"), 0);
+    }
+
+    #[test]
+    fn display_includes_time_and_tag() {
+        let mut tr = Trace::new(4);
+        tr.warn(t(5), "phy", "crc failure");
+        let s = tr.records().next().unwrap().to_string();
+        assert!(s.contains("phy"), "{s}");
+        assert!(s.contains("crc failure"), "{s}");
+        assert!(s.contains("5.000ms"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = Trace::new(0);
+    }
+}

@@ -1,0 +1,195 @@
+//! IrDA point-to-point infrared links (§2.1, Fig. 2).
+//!
+//! "IrDA is a low-power, low-cost, unidirectional (point to point),
+//! narrow angle (< 30º) cone, ad hoc data transmission standard
+//! designed to operate over a distance of up to 1 meter and at speeds
+//! of 9600 bps to 4 Mbps (currently), 16 Mbps (under development)."
+//!
+//! The model is geometric: a link closes only when the receiver sits
+//! inside the emitter's 30° half-angle cone and within 1 m; the
+//! negotiated rate steps down with distance (IR irradiance falls with
+//! d², and the standard's higher rates need more signal).
+
+use wn_phy::geom::Point;
+use wn_phy::units::DataRate;
+
+/// The IrDA cone half-angle (the text's "< 30º" narrow angle).
+pub const CONE_HALF_ANGLE_DEG: f64 = 15.0;
+
+/// Maximum operating distance, metres.
+pub const MAX_DISTANCE_M: f64 = 1.0;
+
+/// The IrDA rate ladder, slowest first (SIR → FIR → VFIR).
+pub const RATES_BPS: [f64; 7] = [
+    9_600.0,
+    115_200.0,
+    576_000.0,
+    1_152_000.0,
+    4_000_000.0,
+    // "16 Mbps (under development)" — the VFIR extension.
+    10_000_000.0,
+    16_000_000.0,
+];
+
+/// An infrared transceiver port: position plus pointing direction.
+#[derive(Clone, Copy, Debug)]
+pub struct IrPort {
+    /// Physical position.
+    pub pos: Point,
+    /// Unit-ish pointing direction (normalised internally).
+    pub facing: Point,
+}
+
+impl IrPort {
+    /// Creates a port at `pos` pointing toward `target`.
+    pub fn aimed_at(pos: Point, target: Point) -> Self {
+        let facing = pos.direction_to(target).unwrap_or(Point::new(1.0, 0.0));
+        IrPort { pos, facing }
+    }
+
+    /// The off-axis angle (radians) from this port's boresight to `p`.
+    pub fn off_axis_angle_to(&self, p: Point) -> f64 {
+        let boresight = self.pos + self.facing;
+        self.pos.angle_between(boresight, p)
+    }
+}
+
+/// Why an IrDA link cannot close.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IrdaLinkError {
+    /// Beyond the 1 m operating range.
+    TooFar {
+        /// Actual separation, metres.
+        distance_m: f64,
+    },
+    /// Receiver outside the emitter's cone.
+    OutsideCone {
+        /// Off-axis angle, degrees.
+        angle_deg: f64,
+    },
+}
+
+impl std::fmt::Display for IrdaLinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrdaLinkError::TooFar { distance_m } => {
+                write!(f, "IrDA link fails: {distance_m:.2} m exceeds 1 m")
+            }
+            IrdaLinkError::OutsideCone { angle_deg } => {
+                write!(
+                    f,
+                    "IrDA link fails: {angle_deg:.1}° outside the 15° half-angle cone"
+                )
+            }
+        }
+    }
+}
+
+/// Evaluates an IrDA link from `tx` to the receiver at `rx_pos`.
+///
+/// Returns the negotiated rate, or why the link cannot close. Rate
+/// negotiation: the full 16 Mbps inside 0.2 m, stepping down the ladder
+/// as irradiance falls, with at least 9.6 kbps anywhere inside spec.
+pub fn negotiate(tx: &IrPort, rx_pos: Point) -> Result<DataRate, IrdaLinkError> {
+    let d = tx.pos.distance_to(rx_pos);
+    if d > MAX_DISTANCE_M {
+        return Err(IrdaLinkError::TooFar { distance_m: d });
+    }
+    let angle = tx.off_axis_angle_to(rx_pos).to_degrees();
+    if angle > CONE_HALF_ANGLE_DEG {
+        return Err(IrdaLinkError::OutsideCone { angle_deg: angle });
+    }
+    // Irradiance ∝ 1/d²; map distance bands onto the ladder (top rate
+    // needs the most signal). Bands: each step of the ladder loses
+    // ~0.13 m of reach below the previous.
+    let idx = if d <= 0.2 {
+        RATES_BPS.len() - 1
+    } else {
+        // 0.2..1.0 m → ladder positions len-2 .. 0.
+        let frac = (MAX_DISTANCE_M - d) / (MAX_DISTANCE_M - 0.2);
+        ((RATES_BPS.len() - 1) as f64 * frac).floor() as usize
+    };
+    Ok(DataRate(RATES_BPS[idx]))
+}
+
+/// Time (seconds) to transfer `bytes` over a closed link, including a
+/// 10% IrLAP framing overhead.
+pub fn transfer_time_s(rate: DataRate, bytes: usize) -> f64 {
+    bytes as f64 * 8.0 * 1.1 / rate.bps()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn printer_at(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn aligned_close_link_gets_top_rate() {
+        // Fig. 2: PDA pointing straight at a printer 15 cm away.
+        let pda = IrPort::aimed_at(Point::new(0.0, 0.0), printer_at(0.15, 0.0));
+        let rate = negotiate(&pda, printer_at(0.15, 0.0)).unwrap();
+        assert_eq!(rate.bps(), 16_000_000.0);
+    }
+
+    #[test]
+    fn rate_steps_down_with_distance() {
+        let target = printer_at(1.0, 0.0);
+        let pda = IrPort::aimed_at(Point::new(0.0, 0.0), target);
+        let mut last = f64::INFINITY;
+        for d in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            let r = negotiate(&pda, printer_at(d, 0.0)).unwrap().bps();
+            assert!(r <= last, "rate must not rise with distance (d={d})");
+            last = r;
+        }
+        // At the full metre only the lowest rungs remain.
+        let edge = negotiate(&pda, printer_at(1.0, 0.0)).unwrap().bps();
+        assert!(edge <= 115_200.0, "edge rate {edge}");
+    }
+
+    #[test]
+    fn beyond_one_metre_fails() {
+        let pda = IrPort::aimed_at(Point::new(0.0, 0.0), printer_at(2.0, 0.0));
+        assert!(matches!(
+            negotiate(&pda, printer_at(1.01, 0.0)),
+            Err(IrdaLinkError::TooFar { .. })
+        ));
+    }
+
+    #[test]
+    fn outside_cone_fails() {
+        // Pointing along +x; receiver 30° off axis at 0.5 m.
+        let pda = IrPort::aimed_at(Point::new(0.0, 0.0), printer_at(1.0, 0.0));
+        let off = printer_at(0.5 * 0.866, 0.5 * 0.5); // 30° off.
+        match negotiate(&pda, off) {
+            Err(IrdaLinkError::OutsideCone { angle_deg }) => {
+                assert!((angle_deg - 30.0).abs() < 0.5, "{angle_deg}");
+            }
+            other => panic!("expected cone failure, got {other:?}"),
+        }
+        // 10° off axis still works.
+        let ok = printer_at(0.5 * 0.985, 0.5 * 0.174);
+        assert!(negotiate(&pda, ok).is_ok());
+    }
+
+    #[test]
+    fn misaimed_port_cannot_link_even_when_close() {
+        // Unidirectionality: pointing away breaks the link (unlike the
+        // omni-directional Bluetooth the text contrasts it with).
+        let pda = IrPort::aimed_at(Point::new(0.0, 0.0), printer_at(-1.0, 0.0));
+        assert!(matches!(
+            negotiate(&pda, printer_at(0.3, 0.0)),
+            Err(IrdaLinkError::OutsideCone { .. })
+        ));
+    }
+
+    #[test]
+    fn transfer_time_scales() {
+        let fast = transfer_time_s(DataRate(4_000_000.0), 1_000_000);
+        let slow = transfer_time_s(DataRate(9_600.0), 1_000_000);
+        assert!((fast - 2.2).abs() < 0.01, "{fast}");
+        assert!(slow / fast > 400.0);
+    }
+}

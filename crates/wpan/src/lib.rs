@@ -1,0 +1,23 @@
+//! `wn-wpan` — the §2.1 personal-area technologies.
+//!
+//! "These networks are characterized by low power demands and a low bit
+//! rate. Such kind of networks rely on technologies such as
+//! Bluetooth, IrDA, ZigBee or UWB."
+//!
+//! - [`bluetooth`] — piconets (master + up to 7 active slaves, TDD
+//!   polling, ~720 kbps shared) and scatternets bridged by dual-role
+//!   devices (Fig. 1.2).
+//! - [`zigbee`] — FFD/RFD node roles and the star / mesh / cluster-tree
+//!   topologies of Fig. 1.4, with multi-hop routing at 250 kbps.
+//! - [`irda`] — the 1 m, <30° cone, point-to-point infrared link
+//!   (Fig. 2), with rate negotiation from 9.6 kbps to 16 Mbps.
+//! - [`uwb`] — pulse-position-modulated ultra-wideband: 110–480 Mbps
+//!   over a few metres with very low spectral density (Fig. 1.5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bluetooth;
+pub mod irda;
+pub mod uwb;
+pub mod zigbee;

@@ -1,0 +1,183 @@
+//! Ultra-wideband (§2.1, Fig. 1.5).
+//!
+//! "UWB transmissions transmit information by generating radio energy
+//! at specific time intervals and occupying a large bandwidth …
+//! enabling pulse-position or time modulation. … UWB has a data
+//! transfer over 110 Mbps up to 480 Mbps at distances up to few
+//! meters."
+//!
+//! Two models live here:
+//!
+//! 1. A **spectral** model for Fig. 1.5 — total power spread across
+//!    7.5 GHz at the regulatory −41.3 dBm/MHz PSD cap versus a
+//!    narrowband signal concentrating power in tens of MHz.
+//! 2. A **link** model — pulse-position modulation rate ladder
+//!    (480/200/110 Mbps, the WiMedia bands) versus distance.
+
+use wn_phy::modulation::Modulation;
+use wn_phy::units::{DataRate, Db, Dbm, Hertz};
+
+/// FCC Part 15 UWB PSD limit: −41.3 dBm/MHz.
+pub const PSD_LIMIT_DBM_PER_MHZ: f64 = -41.3;
+
+/// US allocation: 3.1–10.6 GHz (§2.1).
+pub const US_BAND: (f64, f64) = (3.1e9, 10.6e9);
+
+/// Europe low band: 3.4–4.8 GHz.
+pub const EU_LOW_BAND: (f64, f64) = (3.4e9, 4.8e9);
+
+/// Europe high band: 6–8.5 GHz.
+pub const EU_HIGH_BAND: (f64, f64) = (6.0e9, 8.5e9);
+
+/// A (possibly ultra-) wideband emission described spectrally.
+#[derive(Clone, Copy, Debug)]
+pub struct Emission {
+    /// Occupied bandwidth.
+    pub bandwidth: Hertz,
+    /// Power spectral density.
+    pub psd_dbm_per_mhz: f64,
+}
+
+impl Emission {
+    /// A UWB emission across `band` at the regulatory PSD cap.
+    pub fn uwb(band: (f64, f64)) -> Emission {
+        Emission {
+            bandwidth: Hertz(band.1 - band.0),
+            psd_dbm_per_mhz: PSD_LIMIT_DBM_PER_MHZ,
+        }
+    }
+
+    /// A narrowband emission of `total_power` over `bandwidth`.
+    pub fn narrowband(total_power: Dbm, bandwidth: Hertz) -> Emission {
+        let mhz = bandwidth.hz() / 1e6;
+        Emission {
+            bandwidth,
+            psd_dbm_per_mhz: total_power.value() - 10.0 * mhz.log10(),
+        }
+    }
+
+    /// Total radiated power (integrated PSD).
+    pub fn total_power(&self) -> Dbm {
+        let mhz = self.bandwidth.hz() / 1e6;
+        Dbm(self.psd_dbm_per_mhz + 10.0 * mhz.log10())
+    }
+
+    /// Fractional bandwidth against a centre frequency — the formal
+    /// UWB criterion is > 0.2 (or > 500 MHz absolute).
+    pub fn fractional_bandwidth(&self, center: Hertz) -> f64 {
+        self.bandwidth.hz() / center.hz()
+    }
+
+    /// `true` if this emission qualifies as UWB.
+    pub fn is_uwb(&self, center: Hertz) -> bool {
+        self.bandwidth.hz() > 500e6 || self.fractional_bandwidth(center) > 0.2
+    }
+}
+
+/// The WiMedia-style UWB rate ladder vs distance.
+///
+/// "110 Mbps up to 480 Mbps at distances up to few meters": 480 Mbps
+/// to ~2 m, 200 Mbps to ~4 m, 110 Mbps to ~10 m.
+pub fn rate_at_distance(d_m: f64) -> Option<DataRate> {
+    if d_m <= 2.0 {
+        Some(DataRate::from_mbps(480.0))
+    } else if d_m <= 4.0 {
+        Some(DataRate::from_mbps(200.0))
+    } else if d_m <= 10.0 {
+        Some(DataRate::from_mbps(110.0))
+    } else {
+        None
+    }
+}
+
+/// Bit error rate of the binary-PPM UWB link at a given SNR.
+pub fn ppm_ber(snr: Db) -> f64 {
+    Modulation::Ppm.ber(snr.to_linear())
+}
+
+/// Time (s) to move `bytes` over a UWB link at distance `d_m`,
+/// including 20% protocol overhead; `None` when out of range.
+///
+/// This is the "movement of massive files at high data rates over
+/// short distances" use case — e.g. wireless USB.
+pub fn transfer_time_s(d_m: f64, bytes: u64) -> Option<f64> {
+    let r = rate_at_distance(d_m)?;
+    Some(bytes as f64 * 8.0 * 1.2 / r.bps())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uwb_psd_is_tiny_but_total_power_usable() {
+        let e = Emission::uwb(US_BAND);
+        // 7.5 GHz at −41.3 dBm/MHz integrates to ≈ −2.6 dBm (~0.55 mW).
+        let p = e.total_power().value();
+        assert!((p - (-2.55)).abs() < 0.3, "total {p} dBm");
+    }
+
+    #[test]
+    fn narrowband_concentrates_power() {
+        // 20 dBm Wi-Fi in 20 MHz: PSD ≈ +7 dBm/MHz — almost 50 dB above
+        // the UWB cap, which is why UWB looks like noise (Fig. 1.5).
+        let nb = Emission::narrowband(Dbm(20.0), Hertz::from_mhz(20.0));
+        assert!(
+            (nb.psd_dbm_per_mhz - 6.99).abs() < 0.1,
+            "{}",
+            nb.psd_dbm_per_mhz
+        );
+        let delta = nb.psd_dbm_per_mhz - PSD_LIMIT_DBM_PER_MHZ;
+        assert!(delta > 45.0, "PSD gap {delta} dB");
+        // Round-trips through total_power.
+        assert!((nb.total_power().value() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uwb_criterion() {
+        let us = Emission::uwb(US_BAND);
+        assert!(us.is_uwb(Hertz::from_ghz(6.85)));
+        assert!(us.fractional_bandwidth(Hertz::from_ghz(6.85)) > 1.0);
+        let wifi = Emission::narrowband(Dbm(20.0), Hertz::from_mhz(20.0));
+        assert!(!wifi.is_uwb(Hertz::from_ghz(2.4)));
+    }
+
+    #[test]
+    fn eu_band_structure() {
+        // "in Europe, the frequencies include two parts".
+        let low = Emission::uwb(EU_LOW_BAND);
+        let high = Emission::uwb(EU_HIGH_BAND);
+        assert!((low.bandwidth.hz() - 1.4e9).abs() < 1e6);
+        assert!((high.bandwidth.hz() - 2.5e9).abs() < 1e6);
+        // Each is individually far smaller than the US allocation.
+        let us = Emission::uwb(US_BAND);
+        assert!(low.bandwidth.hz() + high.bandwidth.hz() < us.bandwidth.hz());
+    }
+
+    #[test]
+    fn rate_ladder_matches_text() {
+        assert_eq!(rate_at_distance(1.0).unwrap().mbps(), 480.0);
+        assert_eq!(rate_at_distance(2.0).unwrap().mbps(), 480.0);
+        assert_eq!(rate_at_distance(3.0).unwrap().mbps(), 200.0);
+        assert_eq!(rate_at_distance(8.0).unwrap().mbps(), 110.0);
+        assert!(rate_at_distance(12.0).is_none());
+    }
+
+    #[test]
+    fn hd_movie_transfers_in_seconds_at_close_range() {
+        // The "audio and video delivery in home networking" use case:
+        // a 1-GB file at 1 m takes ~20 s; at 8 m it takes ~4× longer.
+        let close = transfer_time_s(1.0, 1_000_000_000).unwrap();
+        assert!((close - 20.0).abs() < 1.0, "{close}");
+        let far = transfer_time_s(8.0, 1_000_000_000).unwrap();
+        assert!(far / close > 4.0);
+        assert!(transfer_time_s(20.0, 1).is_none());
+    }
+
+    #[test]
+    fn ppm_ber_decreases_with_snr() {
+        assert!(ppm_ber(Db(0.0)) > ppm_ber(Db(10.0)));
+        assert!(ppm_ber(Db(10.0)) > ppm_ber(Db(20.0)));
+        assert!(ppm_ber(Db(20.0)) < 1e-3);
+    }
+}

@@ -1,0 +1,586 @@
+//! ZigBee networks (§2.1, Fig. 1.4).
+//!
+//! "Two different device types can participate in a ZigBee network:
+//! Full-function devices (FFD) and reduced-function devices (RFD). …
+//! ZigBee supports three different topologies: star, mesh, and cluster
+//! tree." RFDs "only intended for applications that are extremely
+//! simple" may attach only as leaves; any FFD can route.
+//!
+//! The model is a store-and-forward event simulation at the 802.15.4
+//! 2.4 GHz rate of 250 kbps, with per-hop CSMA backoff, bounded queues
+//! and per-topology routing (direct-to-coordinator, BFS mesh routes, or
+//! strict tree routes).
+
+use std::collections::VecDeque;
+
+use wn_phy::geom::Point;
+use wn_sim::{Rng, Scheduler, SimDuration, SimTime, World};
+
+/// 802.15.4 at 2.4 GHz: 250 kbps (§2.1).
+pub const RATE_BPS: f64 = 250_000.0;
+
+/// Maximum MAC payload per 802.15.4 frame (127 B PSDU minus overhead).
+pub const FRAME_PAYLOAD: usize = 102;
+
+/// Device roles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Full-function device — "can operate … serving as a WPAN
+    /// coordinator, coordinator or device"; may route.
+    Ffd,
+    /// Reduced-function device — leaf only.
+    Rfd,
+}
+
+/// The three Fig. 1.4 topologies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// All devices talk to the single WPAN coordinator.
+    Star,
+    /// "any device can communicate with any other device as long as
+    /// they are in range" — multi-hop over FFDs.
+    Mesh,
+    /// Mesh special case routed strictly along a tree of FFDs.
+    ClusterTree,
+}
+
+/// Node id.
+pub type NodeId = usize;
+
+/// Errors building a ZigBee network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZigbeeError {
+    /// RFDs cannot route or act as parents.
+    RfdCannotRoute(NodeId),
+    /// Node index unknown.
+    BadIndex,
+    /// The coordinator must be an FFD.
+    CoordinatorMustBeFfd,
+}
+
+impl std::fmt::Display for ZigbeeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZigbeeError::RfdCannotRoute(n) => write!(f, "RFD {n} cannot act as a router/parent"),
+            ZigbeeError::BadIndex => write!(f, "unknown node"),
+            ZigbeeError::CoordinatorMustBeFfd => write!(f, "the WPAN coordinator must be an FFD"),
+        }
+    }
+}
+
+impl std::error::Error for ZigbeeError {}
+
+struct Node {
+    pos: Point,
+    role: NodeRole,
+    parent: Option<NodeId>,
+    queue: VecDeque<Packet>,
+    busy: bool,
+    delivered: u64,
+    dropped: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Packet {
+    dst: NodeId,
+    bytes: usize,
+    hops: u32,
+    born: SimTime,
+}
+
+/// Measured outcomes of a run.
+#[derive(Clone, Debug, Default)]
+pub struct ZigbeeStats {
+    /// Packets delivered end-to-end.
+    pub delivered: u64,
+    /// Packets dropped (no route, queue overflow, hop limit).
+    pub dropped: u64,
+    /// Sum of hop counts over delivered packets.
+    pub hop_sum: u64,
+    /// Sum of end-to-end latencies (seconds) over delivered packets.
+    pub latency_sum_s: f64,
+    /// Payload bytes delivered.
+    pub bytes: u64,
+}
+
+impl ZigbeeStats {
+    /// Delivery ratio given the offered count.
+    pub fn delivery_ratio(&self, offered: u64) -> f64 {
+        if offered == 0 {
+            return 1.0;
+        }
+        self.delivered as f64 / offered as f64
+    }
+
+    /// Mean hops over delivered packets.
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            return 0.0;
+        }
+        self.hop_sum as f64 / self.delivered as f64
+    }
+
+    /// Mean end-to-end latency (s).
+    pub fn mean_latency_s(&self) -> f64 {
+        if self.delivered == 0 {
+            return 0.0;
+        }
+        self.latency_sum_s / self.delivered as f64
+    }
+}
+
+/// A ZigBee network world.
+pub struct ZigbeeNetwork {
+    nodes: Vec<Node>,
+    topology: Topology,
+    coordinator: NodeId,
+    /// Radio range between neighbours, metres (text: ~10 m).
+    pub range_m: f64,
+    /// Queue depth per node.
+    pub queue_limit: usize,
+    /// TTL in hops.
+    pub hop_limit: u32,
+    rng: Rng,
+    /// Aggregate statistics.
+    pub stats: ZigbeeStats,
+    offered: u64,
+}
+
+/// Events: a node finishes its backoff+transmission and forwards the
+/// head-of-queue packet one hop.
+pub enum ZigbeeEvent {
+    /// `node` completes service of its head packet.
+    ServiceDone {
+        /// The serving node.
+        node: NodeId,
+    },
+    /// Inject a packet.
+    Send {
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Payload size.
+        bytes: usize,
+    },
+}
+
+impl ZigbeeNetwork {
+    /// Creates a network with the given topology; node 0 is the
+    /// coordinator (added via [`ZigbeeNetwork::add_node`], must be FFD).
+    pub fn new(topology: Topology, seed: u64) -> Self {
+        ZigbeeNetwork {
+            nodes: Vec::new(),
+            topology,
+            coordinator: 0,
+            range_m: 10.0,
+            queue_limit: 16,
+            hop_limit: 16,
+            rng: Rng::new(seed),
+            stats: ZigbeeStats::default(),
+            offered: 0,
+        }
+    }
+
+    /// Adds a node. The first node is the WPAN coordinator.
+    pub fn add_node(&mut self, pos: Point, role: NodeRole) -> Result<NodeId, ZigbeeError> {
+        if self.nodes.is_empty() && role != NodeRole::Ffd {
+            return Err(ZigbeeError::CoordinatorMustBeFfd);
+        }
+        self.nodes.push(Node {
+            pos,
+            role,
+            parent: None,
+            queue: VecDeque::new(),
+            busy: false,
+            delivered: 0,
+            dropped: 0,
+        });
+        Ok(self.nodes.len() - 1)
+    }
+
+    /// Sets a tree parent (cluster-tree topology). The parent must be
+    /// an FFD: "a RFD may connect to a cluster-tree network as a leaf
+    /// node at the end of a branch."
+    pub fn set_parent(&mut self, child: NodeId, parent: NodeId) -> Result<(), ZigbeeError> {
+        if child >= self.nodes.len() || parent >= self.nodes.len() {
+            return Err(ZigbeeError::BadIndex);
+        }
+        if self.nodes[parent].role != NodeRole::Ffd {
+            return Err(ZigbeeError::RfdCannotRoute(parent));
+        }
+        self.nodes[child].parent = Some(parent);
+        Ok(())
+    }
+
+    fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        self.nodes[a].pos.distance_to(self.nodes[b].pos) <= self.range_m
+    }
+
+    /// Next hop under the configured topology.
+    fn next_hop(&self, at: NodeId, dst: NodeId) -> Option<NodeId> {
+        if at == dst {
+            return None;
+        }
+        match self.topology {
+            Topology::Star => {
+                // Everything relays through the coordinator.
+                if at == self.coordinator {
+                    self.in_range(at, dst).then_some(dst)
+                } else if self.in_range(at, self.coordinator) {
+                    Some(self.coordinator)
+                } else {
+                    None
+                }
+            }
+            Topology::Mesh => {
+                // BFS over in-range FFD links (RFDs only as endpoints).
+                let n = self.nodes.len();
+                let mut prev = vec![usize::MAX; n];
+                let mut seen = vec![false; n];
+                let mut q = VecDeque::from([at]);
+                seen[at] = true;
+                while let Some(u) = q.pop_front() {
+                    if u == dst {
+                        let mut cur = dst;
+                        while prev[cur] != at {
+                            cur = prev[cur];
+                            if cur == usize::MAX {
+                                return None;
+                            }
+                        }
+                        return Some(cur);
+                    }
+                    // Only FFDs forward; an RFD may originate (u == at)
+                    // or terminate (v == dst) but never relay.
+                    if u != at && self.nodes[u].role == NodeRole::Rfd {
+                        continue;
+                    }
+                    for v in 0..n {
+                        if v != u && !seen[v] && self.in_range(u, v) {
+                            seen[v] = true;
+                            prev[v] = u;
+                            q.push_back(v);
+                        }
+                    }
+                }
+                None
+            }
+            Topology::ClusterTree => {
+                // Up toward the root until the destination is in our
+                // subtree, then down — here simplified: up to the
+                // coordinator, then down the parent chain reversed.
+                let anc = |mut x: NodeId| -> Vec<NodeId> {
+                    let mut path = vec![x];
+                    while let Some(p) = self.nodes[x].parent {
+                        path.push(p);
+                        x = p;
+                        if path.len() > self.nodes.len() {
+                            break;
+                        }
+                    }
+                    path
+                };
+                let up = anc(at);
+                let down = anc(dst);
+                // Find the lowest common ancestor.
+                let lca = up.iter().find(|a| down.contains(a)).copied()?;
+                if at == lca {
+                    // Step down toward dst: the node just below lca on
+                    // dst's ancestor path.
+                    let i = down.iter().position(|&x| x == lca)?;
+                    if i == 0 {
+                        None
+                    } else {
+                        Some(down[i - 1])
+                    }
+                } else {
+                    self.nodes[at].parent
+                }
+            }
+        }
+    }
+
+    fn start_service_if_idle(&mut self, node: NodeId, sched: &mut Scheduler<ZigbeeEvent>) {
+        if self.nodes[node].busy || self.nodes[node].queue.is_empty() {
+            return;
+        }
+        self.nodes[node].busy = true;
+        let bytes = self.nodes[node].queue[0].bytes.min(FRAME_PAYLOAD);
+        // CSMA-CA backoff: uniform over [0.32, 4.8] ms plus airtime.
+        let backoff_s = self.rng.f64_range(0.000_32, 0.004_8);
+        let airtime_s = (bytes + 25) as f64 * 8.0 / RATE_BPS;
+        sched.schedule_in(
+            SimDuration::from_secs_f64(backoff_s + airtime_s),
+            ZigbeeEvent::ServiceDone { node },
+        );
+    }
+
+    /// Per-node delivered count.
+    pub fn delivered_at(&self, node: NodeId) -> u64 {
+        self.nodes[node].delivered
+    }
+
+    /// Offered packet count.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+}
+
+impl World for ZigbeeNetwork {
+    type Event = ZigbeeEvent;
+
+    fn handle(&mut self, now: SimTime, ev: ZigbeeEvent, sched: &mut Scheduler<ZigbeeEvent>) {
+        match ev {
+            ZigbeeEvent::Send { src, dst, bytes } => {
+                self.offered += 1;
+                if self.nodes[src].queue.len() >= self.queue_limit {
+                    self.nodes[src].dropped += 1;
+                    self.stats.dropped += 1;
+                    return;
+                }
+                self.nodes[src].queue.push_back(Packet {
+                    dst,
+                    bytes,
+                    hops: 0,
+                    born: now,
+                });
+                self.start_service_if_idle(src, sched);
+            }
+            ZigbeeEvent::ServiceDone { node } => {
+                self.nodes[node].busy = false;
+                let Some(mut pkt) = self.nodes[node].queue.pop_front() else {
+                    return;
+                };
+                pkt.hops += 1;
+                match self.next_hop(node, pkt.dst) {
+                    None => {
+                        self.nodes[node].dropped += 1;
+                        self.stats.dropped += 1;
+                    }
+                    Some(hop) if hop == pkt.dst => {
+                        self.nodes[pkt.dst].delivered += 1;
+                        self.stats.delivered += 1;
+                        self.stats.hop_sum += pkt.hops as u64;
+                        self.stats.bytes += pkt.bytes as u64;
+                        self.stats.latency_sum_s +=
+                            now.saturating_duration_since(pkt.born).as_secs_f64();
+                    }
+                    Some(hop) => {
+                        if pkt.hops >= self.hop_limit
+                            || self.nodes[hop].queue.len() >= self.queue_limit
+                        {
+                            self.nodes[node].dropped += 1;
+                            self.stats.dropped += 1;
+                        } else {
+                            self.nodes[hop].queue.push_back(pkt);
+                            self.start_service_if_idle(hop, sched);
+                        }
+                    }
+                }
+                self.start_service_if_idle(node, sched);
+            }
+        }
+    }
+}
+
+/// Builds the Fig. 1.4 star: coordinator at the centre, `n` devices on
+/// a circle of `radius_m`.
+pub fn star(n: usize, radius_m: f64, seed: u64) -> (ZigbeeNetwork, Vec<NodeId>) {
+    let mut net = ZigbeeNetwork::new(Topology::Star, seed);
+    net.add_node(Point::new(0.0, 0.0), NodeRole::Ffd)
+        .expect("coordinator");
+    let mut ids = Vec::new();
+    for i in 0..n {
+        let a = i as f64 / n as f64 * std::f64::consts::TAU;
+        let role = if i % 2 == 0 {
+            NodeRole::Rfd
+        } else {
+            NodeRole::Ffd
+        };
+        ids.push(
+            net.add_node(Point::new(radius_m * a.cos(), radius_m * a.sin()), role)
+                .expect("node"),
+        );
+    }
+    (net, ids)
+}
+
+/// Builds a mesh grid of FFDs spaced `spacing_m` apart.
+pub fn mesh_grid(cols: usize, rows: usize, spacing_m: f64, seed: u64) -> ZigbeeNetwork {
+    let mut net = ZigbeeNetwork::new(Topology::Mesh, seed);
+    for r in 0..rows {
+        for c in 0..cols {
+            net.add_node(
+                Point::new(c as f64 * spacing_m, r as f64 * spacing_m),
+                NodeRole::Ffd,
+            )
+            .expect("node");
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wn_sim::Simulation;
+
+    fn run(net: ZigbeeNetwork, sends: &[(NodeId, NodeId, usize)], secs: u64) -> ZigbeeNetwork {
+        let mut sim = Simulation::new(net);
+        for (i, &(src, dst, bytes)) in sends.iter().enumerate() {
+            sim.scheduler_mut().schedule_at(
+                SimTime::from_millis(i as u64),
+                ZigbeeEvent::Send { src, dst, bytes },
+            );
+        }
+        sim.run_until(SimTime::from_secs(secs));
+        sim.into_world()
+    }
+
+    #[test]
+    fn coordinator_must_be_ffd() {
+        let mut net = ZigbeeNetwork::new(Topology::Star, 1);
+        assert_eq!(
+            net.add_node(Point::new(0.0, 0.0), NodeRole::Rfd),
+            Err(ZigbeeError::CoordinatorMustBeFfd)
+        );
+    }
+
+    #[test]
+    fn star_routes_through_coordinator() {
+        let (net, ids) = star(6, 8.0, 2);
+        // Device→device goes via the hub: exactly 2 hops.
+        let net = run(net, &[(ids[0], ids[3], 50)], 5);
+        assert_eq!(net.stats.delivered, 1);
+        assert_eq!(net.stats.mean_hops(), 2.0);
+    }
+
+    #[test]
+    fn star_device_to_coordinator_one_hop() {
+        let (net, ids) = star(4, 8.0, 3);
+        let net = run(net, &[(ids[1], 0, 50)], 5);
+        assert_eq!(net.stats.delivered, 1);
+        assert_eq!(net.stats.mean_hops(), 1.0);
+    }
+
+    #[test]
+    fn star_out_of_range_drops() {
+        // A circle wider than the radio range: spokes cannot reach the hub.
+        let (net, ids) = star(4, 25.0, 4);
+        let net = run(net, &[(ids[0], 0, 50)], 5);
+        assert_eq!(net.stats.delivered, 0);
+        assert_eq!(net.stats.dropped, 1);
+    }
+
+    #[test]
+    fn mesh_multi_hop_delivery() {
+        // 5×1 line, 8 m spacing, 10 m range: corner-to-corner = 4 hops.
+        let net = mesh_grid(5, 1, 8.0, 5);
+        let net = run(net, &[(0, 4, 60)], 10);
+        assert_eq!(net.stats.delivered, 1);
+        assert_eq!(net.stats.mean_hops(), 4.0);
+    }
+
+    #[test]
+    fn mesh_routes_around_via_grid() {
+        let net = mesh_grid(4, 4, 8.0, 6);
+        let net = run(net, &[(0, 15, 60)], 10);
+        assert_eq!(net.stats.delivered, 1);
+        // Manhattan-ish: 6 hops corner to corner on a 4×4 with
+        // 8 m spacing (diagonal 11.3 m exceeds the 10 m range).
+        assert_eq!(net.stats.mean_hops(), 6.0);
+    }
+
+    #[test]
+    fn rfd_does_not_relay_in_mesh() {
+        // A line where the middle node is an RFD: no route end-to-end.
+        let mut net = ZigbeeNetwork::new(Topology::Mesh, 7);
+        net.add_node(Point::new(0.0, 0.0), NodeRole::Ffd).unwrap();
+        net.add_node(Point::new(8.0, 0.0), NodeRole::Rfd).unwrap();
+        net.add_node(Point::new(16.0, 0.0), NodeRole::Ffd).unwrap();
+        let net = run(net, &[(0, 2, 40)], 5);
+        assert_eq!(net.stats.delivered, 0, "RFD must not forward");
+        // Replace the relay with an FFD and it works.
+        let mut net2 = ZigbeeNetwork::new(Topology::Mesh, 7);
+        net2.add_node(Point::new(0.0, 0.0), NodeRole::Ffd).unwrap();
+        net2.add_node(Point::new(8.0, 0.0), NodeRole::Ffd).unwrap();
+        net2.add_node(Point::new(16.0, 0.0), NodeRole::Ffd).unwrap();
+        let net2 = run(net2, &[(0, 2, 40)], 5);
+        assert_eq!(net2.stats.delivered, 1);
+    }
+
+    #[test]
+    fn cluster_tree_routes_via_lca() {
+        //        0 (coord)
+        //       / \
+        //      1   2
+        //     /     \
+        //    3(RFD)  4(RFD)
+        let mut net = ZigbeeNetwork::new(Topology::ClusterTree, 8);
+        net.range_m = 100.0;
+        net.add_node(Point::new(0.0, 0.0), NodeRole::Ffd).unwrap();
+        net.add_node(Point::new(-5.0, 5.0), NodeRole::Ffd).unwrap();
+        net.add_node(Point::new(5.0, 5.0), NodeRole::Ffd).unwrap();
+        net.add_node(Point::new(-8.0, 10.0), NodeRole::Rfd).unwrap();
+        net.add_node(Point::new(8.0, 10.0), NodeRole::Rfd).unwrap();
+        net.set_parent(1, 0).unwrap();
+        net.set_parent(2, 0).unwrap();
+        net.set_parent(3, 1).unwrap();
+        net.set_parent(4, 2).unwrap();
+        let net = run(net, &[(3, 4, 30)], 5);
+        assert_eq!(net.stats.delivered, 1);
+        // 3→1→0→2→4 = 4 hops.
+        assert_eq!(net.stats.mean_hops(), 4.0);
+    }
+
+    #[test]
+    fn rfd_cannot_be_parent() {
+        let mut net = ZigbeeNetwork::new(Topology::ClusterTree, 9);
+        net.add_node(Point::new(0.0, 0.0), NodeRole::Ffd).unwrap();
+        net.add_node(Point::new(1.0, 0.0), NodeRole::Rfd).unwrap();
+        net.add_node(Point::new(2.0, 0.0), NodeRole::Ffd).unwrap();
+        assert_eq!(net.set_parent(2, 1), Err(ZigbeeError::RfdCannotRoute(1)));
+    }
+
+    #[test]
+    fn throughput_bounded_by_250_kbps() {
+        // Saturate one link and confirm the 250 kbps PHY cap bites.
+        let mut net = ZigbeeNetwork::new(Topology::Star, 10);
+        net.queue_limit = 10_000;
+        net.add_node(Point::new(0.0, 0.0), NodeRole::Ffd).unwrap();
+        net.add_node(Point::new(5.0, 0.0), NodeRole::Ffd).unwrap();
+        let sends: Vec<(NodeId, NodeId, usize)> =
+            (0..3000).map(|_| (1usize, 0usize, FRAME_PAYLOAD)).collect();
+        let net = run(net, &sends, 10);
+        let kbps = net.stats.bytes as f64 * 8.0 / 10.0 / 1e3;
+        assert!(
+            kbps < 250.0,
+            "throughput {kbps} must stay under the PHY rate"
+        );
+        assert!(kbps > 80.0, "but should achieve a decent fraction: {kbps}");
+    }
+
+    #[test]
+    fn queue_overflow_counted() {
+        let mut net = ZigbeeNetwork::new(Topology::Star, 11);
+        net.queue_limit = 2;
+        net.add_node(Point::new(0.0, 0.0), NodeRole::Ffd).unwrap();
+        net.add_node(Point::new(5.0, 0.0), NodeRole::Ffd).unwrap();
+        let mut sim = Simulation::new(net);
+        for _ in 0..20 {
+            sim.scheduler_mut().schedule_at(
+                SimTime::ZERO,
+                ZigbeeEvent::Send {
+                    src: 1,
+                    dst: 0,
+                    bytes: 50,
+                },
+            );
+        }
+        sim.run_until(SimTime::from_secs(5));
+        let net = sim.into_world();
+        assert!(net.stats.dropped >= 18, "dropped = {}", net.stats.dropped);
+        assert_eq!(net.stats.delivered + net.stats.dropped, 20);
+    }
+}

@@ -1,0 +1,358 @@
+//! Cellular networks (§2.4).
+//!
+//! Geometry, trunking and the generation ladder:
+//!
+//! - A hexagonal [`CellGrid`] with base stations at cell centres; the
+//!   serving cell is the strongest received, and a mobile crossing a
+//!   cell boundary hands off.
+//! - [`ReuseCluster`] — the classic N ∈ {1, 3, 4, 7, 12} reuse patterns
+//!   with their co-channel reuse distance `D = R·√(3N)` and worst-case
+//!   downlink SIR, "frequency reuse at much smaller distances".
+//! - Erlang-B trunking ([`erlang_b_blocking`]) for voice capacity.
+//! - The [`Generation`] data-rate ladder exactly as the text gives it:
+//!   1G 2.4 kbps … 4G 1 Gbps, "5G … expected by year 2020".
+
+use wn_phy::geom::Point;
+use wn_phy::units::DataRate;
+
+/// Cellular generations with the text's headline rates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Generation {
+    /// Analog voice, "up to 2.4 kbps".
+    G1,
+    /// GSM digital, "up to 64 Kbps".
+    G2,
+    /// 2G + GPRS, "up to 144 Kbps".
+    G2_5,
+    /// UMTS, "up to 2 Mbps".
+    G3,
+    /// HSDPA, "up to 14 Mbps".
+    G3_5,
+    /// LTE-class, "up to 1 Gbps".
+    G4,
+}
+
+impl Generation {
+    /// All generations in order.
+    pub const ALL: [Generation; 6] = [
+        Generation::G1,
+        Generation::G2,
+        Generation::G2_5,
+        Generation::G3,
+        Generation::G3_5,
+        Generation::G4,
+    ];
+
+    /// The text's peak data rate for this generation.
+    pub fn peak_rate(self) -> DataRate {
+        match self {
+            Generation::G1 => DataRate::from_kbps(2.4),
+            Generation::G2 => DataRate::from_kbps(64.0),
+            Generation::G2_5 => DataRate::from_kbps(144.0),
+            Generation::G3 => DataRate::from_mbps(2.0),
+            Generation::G3_5 => DataRate::from_mbps(14.0),
+            Generation::G4 => DataRate::from_gbps(1.0),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Generation::G1 => "1G",
+            Generation::G2 => "2G",
+            Generation::G2_5 => "2.5G",
+            Generation::G3 => "3G",
+            Generation::G3_5 => "3.5G",
+            Generation::G4 => "4G",
+        }
+    }
+
+    /// Year of (approximate) introduction, per the text's narrative.
+    pub fn year(self) -> u16 {
+        match self {
+            Generation::G1 => 1981,
+            Generation::G2 => 1992,
+            Generation::G2_5 => 1997,
+            Generation::G3 => 2000,
+            Generation::G3_5 => 2006,
+            Generation::G4 => 2010,
+        }
+    }
+
+    /// The text's forward-looking note: "The 5G generation is expected
+    /// by year 2020" — returned as (name, expected year, projected peak
+    /// rate) since it post-dates the text itself.
+    pub fn next_expected() -> (&'static str, u16, DataRate) {
+        ("5G", 2020, DataRate::from_gbps(10.0))
+    }
+}
+
+/// A frequency-reuse cluster size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReuseCluster(pub u32);
+
+impl ReuseCluster {
+    /// Valid cluster sizes satisfy N = i² + ij + j².
+    pub fn is_valid(n: u32) -> bool {
+        for i in 0..=8u32 {
+            for j in 0..=8u32 {
+                if i * i + i * j + j * j == n && n > 0 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Creates a cluster, checking validity.
+    pub fn new(n: u32) -> Option<Self> {
+        Self::is_valid(n).then_some(ReuseCluster(n))
+    }
+
+    /// Co-channel reuse ratio `D/R = √(3N)`.
+    pub fn reuse_ratio(self) -> f64 {
+        (3.0 * self.0 as f64).sqrt()
+    }
+
+    /// Worst-case downlink SIR (linear) with 6 first-tier co-channel
+    /// interferers and path-loss exponent `gamma`:
+    /// `SIR ≈ (D/R)^γ / 6`.
+    pub fn downlink_sir_linear(self, gamma: f64) -> f64 {
+        self.reuse_ratio().powf(gamma) / 6.0
+    }
+
+    /// Worst-case downlink SIR in dB.
+    pub fn downlink_sir_db(self, gamma: f64) -> f64 {
+        10.0 * self.downlink_sir_linear(gamma).log10()
+    }
+
+    /// Channels per cell given a total channel pool.
+    pub fn channels_per_cell(self, total_channels: u32) -> u32 {
+        total_channels / self.0
+    }
+}
+
+/// Erlang-B blocking probability for `channels` servers offered
+/// `erlangs` of traffic (iterative, numerically stable).
+pub fn erlang_b_blocking(channels: u32, erlangs: f64) -> f64 {
+    let mut b = 1.0;
+    for k in 1..=channels {
+        b = erlangs * b / (k as f64 + erlangs * b);
+    }
+    b
+}
+
+/// Offered load (erlangs) supportable at a target blocking probability
+/// — inverse Erlang-B by bisection.
+pub fn erlang_b_capacity(channels: u32, target_blocking: f64) -> f64 {
+    let (mut lo, mut hi) = (0.0, channels as f64 * 4.0 + 10.0);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if erlang_b_blocking(channels, mid) > target_blocking {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    lo
+}
+
+/// A hexagonal cell grid; base stations at centres, radius `r`.
+#[derive(Clone, Debug)]
+pub struct CellGrid {
+    sites: Vec<Point>,
+    /// Cell radius (centre to vertex), metres.
+    pub radius_m: f64,
+}
+
+impl CellGrid {
+    /// Builds `rings` rings of hexagonal cells around a centre site.
+    pub fn hex(rings: u32, radius_m: f64) -> Self {
+        let mut sites = vec![Point::new(0.0, 0.0)];
+        // Axial hex coordinates → cartesian with centre spacing √3·R.
+        let spacing = radius_m * 3f64.sqrt();
+        for ring in 1..=rings as i32 {
+            let mut q = ring;
+            let mut r = 0i32;
+            let dirs = [(-1, 1), (-1, 0), (0, -1), (1, -1), (1, 0), (0, 1)];
+            for &(dq, dr) in &dirs {
+                for _ in 0..ring {
+                    let x = spacing * (q as f64 + r as f64 / 2.0);
+                    let y = spacing * (r as f64 * 3f64.sqrt() / 2.0);
+                    sites.push(Point::new(x, y));
+                    q += dq;
+                    r += dr;
+                }
+            }
+        }
+        CellGrid { sites, radius_m }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` when the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Site positions.
+    pub fn sites(&self) -> &[Point] {
+        &self.sites
+    }
+
+    /// The serving cell for a mobile at `p` (nearest site = strongest
+    /// under any monotone path loss).
+    pub fn serving_cell(&self, p: Point) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, &s) in self.sites.iter().enumerate() {
+            let d = s.distance_to(p);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Drive test: walk `from`→`to` in `steps` and record the handoff
+    /// sequence (serving-cell changes).
+    pub fn drive_test(&self, from: Point, to: Point, steps: usize) -> Vec<usize> {
+        let mut seq = Vec::new();
+        for k in 0..=steps {
+            let p = from.lerp(to, k as f64 / steps as f64);
+            let c = self.serving_cell(p);
+            if seq.last() != Some(&c) {
+                seq.push(c);
+            }
+        }
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_ladder_matches_text() {
+        assert_eq!(Generation::G1.peak_rate().bps(), 2_400.0);
+        assert_eq!(Generation::G2.peak_rate().bps(), 64_000.0);
+        assert_eq!(Generation::G2_5.peak_rate().bps(), 144_000.0);
+        assert_eq!(Generation::G3.peak_rate().mbps(), 2.0);
+        assert_eq!(Generation::G3_5.peak_rate().mbps(), 14.0);
+        assert_eq!(Generation::G4.peak_rate().bps(), 1e9);
+        // Strictly increasing across generations.
+        for w in Generation::ALL.windows(2) {
+            assert!(w[1].peak_rate().bps() > w[0].peak_rate().bps());
+            assert!(w[1].year() > w[0].year());
+        }
+    }
+
+    #[test]
+    fn five_g_expected_2020_and_faster_than_4g() {
+        let (name, year, rate) = Generation::next_expected();
+        assert_eq!(name, "5G");
+        assert_eq!(year, 2020, "the text: 'expected by year 2020'");
+        assert!(rate.bps() > Generation::G4.peak_rate().bps());
+    }
+
+    #[test]
+    fn valid_cluster_sizes() {
+        for n in [1u32, 3, 4, 7, 9, 12, 13] {
+            assert!(ReuseCluster::is_valid(n), "{n} should be valid");
+        }
+        for n in [2u32, 5, 6, 8, 10, 11] {
+            assert!(!ReuseCluster::is_valid(n), "{n} should be invalid");
+        }
+        assert!(ReuseCluster::new(7).is_some());
+        assert!(ReuseCluster::new(5).is_none());
+    }
+
+    #[test]
+    fn reuse_seven_sir_reference() {
+        // Classic textbook result: N=7, γ=4 → SIR ≈ 18.7 dB.
+        let c = ReuseCluster::new(7).unwrap();
+        assert!((c.reuse_ratio() - 4.583).abs() < 1e-3);
+        let sir = c.downlink_sir_db(4.0);
+        assert!((sir - 18.66).abs() < 0.1, "sir = {sir}");
+    }
+
+    #[test]
+    fn larger_clusters_trade_capacity_for_sir() {
+        let n3 = ReuseCluster::new(3).unwrap();
+        let n7 = ReuseCluster::new(7).unwrap();
+        assert!(n7.downlink_sir_db(4.0) > n3.downlink_sir_db(4.0));
+        assert!(n7.channels_per_cell(420) < n3.channels_per_cell(420));
+        assert_eq!(n7.channels_per_cell(420), 60);
+        assert_eq!(n3.channels_per_cell(420), 140);
+    }
+
+    #[test]
+    fn erlang_b_reference_values() {
+        // Classic table entries: 10 channels @ 2% blocking ≈ 5.08 E.
+        let b = erlang_b_blocking(10, 5.084);
+        assert!((b - 0.02).abs() < 0.001, "b = {b}");
+        // 1 channel, 1 erlang → B = 1/2.
+        assert!((erlang_b_blocking(1, 1.0) - 0.5).abs() < 1e-12);
+        // No traffic → no blocking.
+        assert!(erlang_b_blocking(10, 0.0) < 1e-12);
+    }
+
+    #[test]
+    fn erlang_b_capacity_inverse() {
+        let e = erlang_b_capacity(10, 0.02);
+        assert!((e - 5.084).abs() < 0.01, "e = {e}");
+        // More channels → superlinear capacity (trunking efficiency).
+        let e20 = erlang_b_capacity(20, 0.02);
+        assert!(e20 > 2.0 * e, "trunking gain missing: {e20} vs {e}");
+    }
+
+    #[test]
+    fn hex_grid_counts() {
+        assert_eq!(CellGrid::hex(0, 1000.0).len(), 1);
+        assert_eq!(CellGrid::hex(1, 1000.0).len(), 7);
+        assert_eq!(CellGrid::hex(2, 1000.0).len(), 19);
+        assert_eq!(CellGrid::hex(3, 1000.0).len(), 37);
+    }
+
+    #[test]
+    fn neighbour_spacing_is_sqrt3_r() {
+        let g = CellGrid::hex(1, 1000.0);
+        let d = g.sites()[0].distance_to(g.sites()[1]);
+        assert!((d - 1000.0 * 3f64.sqrt()).abs() < 1e-6, "d = {d}");
+    }
+
+    #[test]
+    fn serving_cell_is_nearest() {
+        let g = CellGrid::hex(2, 1000.0);
+        assert_eq!(g.serving_cell(Point::new(0.0, 0.0)), 0);
+        for (i, &s) in g.sites().iter().enumerate() {
+            assert_eq!(g.serving_cell(s), i, "site {i} serves itself");
+        }
+    }
+
+    #[test]
+    fn drive_test_hands_off_across_cells() {
+        let g = CellGrid::hex(3, 1000.0);
+        // Drive straight through several cells.
+        let seq = g.drive_test(Point::new(-5000.0, 10.0), Point::new(5000.0, 10.0), 1000);
+        assert!(seq.len() >= 3, "expected multiple handoffs, got {seq:?}");
+        // No immediate ping-pong in a straight-line drive.
+        for w in seq.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+        // Passes through (or near) the centre cell.
+        assert!(seq.contains(&0), "{seq:?}");
+    }
+
+    #[test]
+    fn stationary_mobile_never_hands_off() {
+        let g = CellGrid::hex(2, 500.0);
+        let seq = g.drive_test(Point::new(100.0, 50.0), Point::new(100.0, 50.0), 10);
+        assert_eq!(seq.len(), 1);
+    }
+}

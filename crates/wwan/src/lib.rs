@@ -1,0 +1,23 @@
+//! `wn-wwan` — wide-area networks (§2.4): cellular telephony and
+//! satellites.
+//!
+//! - [`cellular`] — "the coverage area is divided into cells … The
+//!   system seeks to make efficient use of available channels by using
+//!   low-power transmitters to allow frequency reuse at much smaller
+//!   distances": hex-grid geometry, reuse clusters and co-channel
+//!   interference, Erlang-B trunking, the 1G→4G data-rate ladder, and
+//!   a drive-test handoff simulation.
+//! - [`satellite`] — "Due to its high altitude, satellite transmissions
+//!   can cover a wide area over the surface of the earth": GEO
+//!   geometry, the bent-pipe transponder ("amplified and then
+//!   rebroadcast on a different frequency"), and the latency/throughput
+//!   trade-off of Fig. 1.8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cellular;
+pub mod satellite;
+
+pub use cellular::{CellGrid, Generation, ReuseCluster};
+pub use satellite::{GeoSatellite, Transponder};

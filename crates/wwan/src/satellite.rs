@@ -1,0 +1,268 @@
+//! Satellite links (§2.4, Fig. 1.8).
+//!
+//! "Each satellite is equipped with various transponders consisting of
+//! a transceiver and an antenna. The incoming signal is amplified and
+//! then rebroadcast on a different frequency." The model covers GEO
+//! geometry (slant range and the famous quarter-second bent-pipe
+//! round trip), transponder frequency translation, a Ku-band link
+//! budget, and DVB-S2-class throughput (the comparison table's
+//! 60 Mbps).
+
+use wn_phy::propagation::{FreeSpace, PathLoss};
+use wn_phy::units::{thermal_noise, DataRate, Db, Dbm, Hertz};
+
+/// Speed of light, m/s.
+pub const C: f64 = 299_792_458.0;
+
+/// GEO altitude above the equator, metres.
+pub const GEO_ALTITUDE_M: f64 = 35_786_000.0;
+
+/// Earth radius, metres.
+pub const EARTH_RADIUS_M: f64 = 6_371_000.0;
+
+/// A geostationary satellite seen from a ground station at the given
+/// elevation angle.
+#[derive(Clone, Copy, Debug)]
+pub struct GeoSatellite {
+    /// Ground-station elevation angle toward the satellite, degrees.
+    pub elevation_deg: f64,
+}
+
+impl GeoSatellite {
+    /// Slant range from ground station to satellite, metres (law of
+    /// cosines on the Earth-centre triangle).
+    pub fn slant_range_m(&self) -> f64 {
+        let e = self.elevation_deg.to_radians();
+        let r = EARTH_RADIUS_M;
+        let h = GEO_ALTITUDE_M;
+        // d = sqrt(r² sin²e + h² + 2rh) − r sin e.
+        ((r * e.sin()).powi(2) + h * h + 2.0 * r * h).sqrt() - r * e.sin()
+    }
+
+    /// One-way ground→satellite propagation delay, seconds.
+    pub fn one_way_delay_s(&self) -> f64 {
+        self.slant_range_m() / C
+    }
+
+    /// Bent-pipe end-to-end delay (up + down), seconds.
+    pub fn bent_pipe_delay_s(&self, other_ground: &GeoSatellite) -> f64 {
+        self.one_way_delay_s() + other_ground.one_way_delay_s()
+    }
+
+    /// Round-trip time for a request/response over the bent pipe.
+    pub fn round_trip_s(&self, other_ground: &GeoSatellite) -> f64 {
+        2.0 * self.bent_pipe_delay_s(other_ground)
+    }
+}
+
+/// A bent-pipe transponder: receives on the uplink band, amplifies,
+/// "rebroadcast on a different frequency".
+#[derive(Clone, Copy, Debug)]
+pub struct Transponder {
+    /// Uplink carrier (e.g. 14 GHz Ku).
+    pub uplink: Hertz,
+    /// Downlink carrier (e.g. 12 GHz Ku (§2.4: "rebroadcast on a
+    /// different frequency")).
+    pub downlink: Hertz,
+    /// Usable bandwidth (classically 36 MHz).
+    pub bandwidth: Hertz,
+    /// Amplifier gain.
+    pub gain: Db,
+    /// Saturated output power.
+    pub saturated_output: Dbm,
+}
+
+impl Transponder {
+    /// A classic Ku-band 36 MHz transponder.
+    pub fn ku_band() -> Self {
+        Transponder {
+            uplink: Hertz::from_ghz(14.0),
+            downlink: Hertz::from_ghz(12.0),
+            bandwidth: Hertz::from_mhz(36.0),
+            // End-to-end receiver + HPA chain gain; real transponders
+            // run 100–150 dB so typical uplinks drive near saturation.
+            gain: Db(145.0),
+            saturated_output: Dbm(50.0), // 100 W TWTA.
+        }
+    }
+
+    /// Output power for a given input, clamped at saturation.
+    pub fn relay(&self, input: Dbm) -> Dbm {
+        let amplified = input + self.gain;
+        if amplified.value() > self.saturated_output.value() {
+            self.saturated_output
+        } else {
+            amplified
+        }
+    }
+
+    /// Frequency translation: the downlink is a different carrier.
+    pub fn translates_frequency(&self) -> bool {
+        (self.uplink.hz() - self.downlink.hz()).abs() > 1e6
+    }
+}
+
+/// A complete two-hop link budget through a transponder.
+#[derive(Clone, Copy, Debug)]
+pub struct SatLink {
+    /// The satellite geometry (uplink ground station).
+    pub up_geom: GeoSatellite,
+    /// The downlink ground-station geometry.
+    pub down_geom: GeoSatellite,
+    /// The transponder.
+    pub transponder: Transponder,
+    /// Uplink EIRP (big dish + HPA), dBm.
+    pub uplink_eirp: Dbm,
+    /// Ground receive antenna gain (dish), dB.
+    pub rx_dish_gain: Db,
+    /// Satellite antenna gain (each direction), dB.
+    pub sat_antenna_gain: Db,
+    /// Receiver noise figure.
+    pub noise_figure: Db,
+}
+
+impl SatLink {
+    /// A typical VSAT-class Ku link.
+    pub fn typical() -> Self {
+        SatLink {
+            up_geom: GeoSatellite {
+                elevation_deg: 35.0,
+            },
+            down_geom: GeoSatellite {
+                elevation_deg: 35.0,
+            },
+            transponder: Transponder::ku_band(),
+            uplink_eirp: Dbm(80.0), // 50 dBW hub.
+            rx_dish_gain: Db(48.0), // ~2.4 m dish at 12 GHz.
+            sat_antenna_gain: Db(30.0),
+            noise_figure: Db(2.0),
+        }
+    }
+
+    /// Downlink SNR at the receiving ground station.
+    pub fn downlink_snr(&self) -> Db {
+        let up_loss = FreeSpace.loss(self.up_geom.slant_range_m(), self.transponder.uplink);
+        let at_satellite = self.uplink_eirp + self.sat_antenna_gain - up_loss;
+        let retransmit = self.transponder.relay(at_satellite) + self.sat_antenna_gain;
+        let down_loss = FreeSpace.loss(self.down_geom.slant_range_m(), self.transponder.downlink);
+        let at_ground = retransmit - down_loss + self.rx_dish_gain;
+        let noise = thermal_noise(self.transponder.bandwidth, self.noise_figure);
+        at_ground - noise
+    }
+
+    /// DVB-S2-style achievable rate: spectral efficiency by SNR, capped
+    /// at 32APSK-ish 1.9 b/s/Hz usable on consumer links — yielding the
+    /// comparison table's ~60 Mbps on a 36 MHz transponder.
+    pub fn achievable_rate(&self) -> DataRate {
+        let snr = self.downlink_snr().value();
+        let eff = if snr >= 16.0 {
+            1.9
+        } else if snr >= 12.0 {
+            1.5
+        } else if snr >= 8.0 {
+            1.0
+        } else if snr >= 4.0 {
+            0.6
+        } else if snr >= 1.0 {
+            0.3
+        } else {
+            0.0
+        };
+        DataRate(eff * self.transponder.bandwidth.hz())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slant_range_bounds() {
+        // Directly underneath (90° elevation) the range equals altitude.
+        let overhead = GeoSatellite {
+            elevation_deg: 90.0,
+        };
+        assert!((overhead.slant_range_m() - GEO_ALTITUDE_M).abs() < 1_000.0);
+        // At the horizon it stretches to ~41 700 km.
+        let horizon = GeoSatellite { elevation_deg: 0.0 };
+        assert!((horizon.slant_range_m() - 41_679_000.0).abs() < 50_000.0);
+        assert!(horizon.slant_range_m() > overhead.slant_range_m());
+    }
+
+    #[test]
+    fn famous_quarter_second_rtt() {
+        // Two ground stations at moderate elevation: bent-pipe one-way
+        // ≈ 250 ms, RTT ≈ 500 ms; minimum (both overhead) ≈ 239 ms.
+        let a = GeoSatellite {
+            elevation_deg: 90.0,
+        };
+        let b = GeoSatellite {
+            elevation_deg: 90.0,
+        };
+        let one_way = a.bent_pipe_delay_s(&b);
+        assert!((one_way - 0.2387).abs() < 0.002, "{one_way}");
+        let rtt = a.round_trip_s(&b);
+        assert!((0.47..0.52).contains(&rtt), "{rtt}");
+    }
+
+    #[test]
+    fn lower_elevation_longer_delay() {
+        let hi = GeoSatellite {
+            elevation_deg: 80.0,
+        };
+        let lo = GeoSatellite {
+            elevation_deg: 10.0,
+        };
+        assert!(lo.one_way_delay_s() > hi.one_way_delay_s());
+    }
+
+    #[test]
+    fn transponder_translates_and_saturates() {
+        let t = Transponder::ku_band();
+        assert!(t.translates_frequency());
+        // Small signal: linear gain.
+        let out = t.relay(Dbm(-120.0));
+        assert!((out.value() - 25.0).abs() < 1e-9);
+        // Hot signal: clamped at saturation.
+        let sat = t.relay(Dbm(0.0));
+        assert_eq!(sat.value(), 50.0);
+    }
+
+    #[test]
+    fn typical_link_hits_60_mbps() {
+        let l = SatLink::typical();
+        let snr = l.downlink_snr().value();
+        assert!(
+            snr > 16.0,
+            "typical Ku link should close with margin: {snr} dB"
+        );
+        let rate = l.achievable_rate();
+        assert!((rate.mbps() - 68.4).abs() < 1.0, "{}", rate.mbps());
+        assert!(
+            rate.mbps() >= 60.0,
+            "comparison-table 60 Mbps: {}",
+            rate.mbps()
+        );
+    }
+
+    #[test]
+    fn small_dish_degrades_rate() {
+        let mut l = SatLink::typical();
+        l.rx_dish_gain = Db(20.0); // A far smaller dish.
+        let small = l.achievable_rate().mbps();
+        let big = SatLink::typical().achievable_rate().mbps();
+        assert!(small < big, "small dish {small} vs {big}");
+    }
+
+    #[test]
+    fn satellite_vs_cellular_latency_shape() {
+        // Fig. 1.8's implicit trade-off: satellite covers remote areas
+        // but at ~1000× the propagation delay of a 4G cell.
+        let sat = GeoSatellite {
+            elevation_deg: 35.0,
+        };
+        let sat_delay = sat.bent_pipe_delay_s(&sat);
+        let cell_delay = 3_000.0 / C; // 3 km cell radius.
+        assert!(sat_delay / cell_delay > 10_000.0);
+    }
+}

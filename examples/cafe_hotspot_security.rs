@@ -1,0 +1,149 @@
+//! Café hotspot security (§5): the same café Wi-Fi under each security
+//! generation, attacked with the era's tooling — keystream reuse and
+//! FMS key recovery against WEP, forgery countermeasures under
+//! WPA/TKIP, an offline dictionary run against the WPA2 handshake, and
+//! the WPS PIN hole.
+//!
+//! Run with: `cargo run --example cafe_hotspot_security`
+
+use wireless_networks::security::attacks::bitflip::flip_payload;
+use wireless_networks::security::attacks::dictionary;
+use wireless_networks::security::attacks::fms::{directed_capture, recover_key};
+use wireless_networks::security::attacks::keystream::KeystreamDictionary;
+use wireless_networks::security::handshake::run_handshake;
+use wireless_networks::security::ranking::breach_ranking;
+use wireless_networks::security::wep::{decrypt as wep_decrypt, encrypt as wep_encrypt, WepKey};
+use wireless_networks::security::wpa::TkipSession;
+use wireless_networks::security::wpa2::CcmpSession;
+use wireless_networks::security::wps::{brute_force, Registrar, WpsPin};
+
+fn main() {
+    println!("== café hotspot, attacked through the generations (§5) ==\n");
+
+    // --- 1999: WEP. The café sets a 104-bit key.
+    let wep_key = WepKey::new(b"CafeLatte123!").expect("13 bytes");
+    println!("--- WEP era ({:?}) ---", wep_key);
+
+    // Eavesdropper exploits an IV collision with known plaintext.
+    let iv = [0x0C, 0x0A, 0x0F];
+    let menu_request = b"GET /menu.html HTTP/1.0\r\n\r\n......";
+    let mut dict = KeystreamDictionary::new();
+    dict.learn_from_known_plaintext(&wep_encrypt(&wep_key, iv, menu_request), menu_request);
+    let card = b"cardnumber=4111111111111111&cvv=0";
+    assert_eq!(menu_request.len(), card.len());
+    let sniffed = wep_encrypt(&wep_key, iv, card);
+    let stolen = dict.decrypt(&sniffed).expect("same IV, same keystream");
+    println!(
+        "keystream reuse stole: {}",
+        String::from_utf8_lossy(&stolen)
+    );
+    assert_eq!(stolen, card);
+
+    // Bit-flip a payment frame without the key; the ICV still passes.
+    let order = wep_encrypt(&wep_key, [9, 9, 9], b"tip=01 EUR");
+    let forged = flip_payload(&order, 5, &[0x08]).expect("in range"); // '1'^0x08 = '9'.
+    let accepted = wep_decrypt(&wep_key, &forged).expect("receiver accepts the forgery");
+    println!(
+        "bit-flip forged order: {}",
+        String::from_utf8_lossy(&accepted)
+    );
+    assert_eq!(accepted, b"tip=09 EUR");
+
+    // FMS: recover the full key from weak-IV traffic — "in minutes".
+    let started = std::time::Instant::now();
+    let (samples, reference) = directed_capture(&wep_key);
+    let rec = recover_key(&samples, 13, &reference, 4, 200_000);
+    println!(
+        "FMS recovered the 104-bit key: {:?} ({} weak-IV samples, {} search nodes, {:.2} s wall)",
+        rec.key
+            .as_ref()
+            .map(|k| String::from_utf8_lossy(k).into_owned()),
+        rec.samples_used,
+        rec.nodes_explored,
+        started.elapsed().as_secs_f64()
+    );
+    assert_eq!(rec.key.as_deref(), Some(wep_key.secret()));
+
+    // --- 2003: WPA/TKIP. Same forgery now trips Michael countermeasures.
+    println!("\n--- WPA/TKIP era ---");
+    let tk = *b"cafe-temporal-16";
+    let mic = *b"michael8";
+    let ta = [2, 0, 0, 0, 0, 1];
+    let (da, sa) = ([2, 0, 0, 0, 0, 9], ta);
+    let mut tx = TkipSession::new(tk, mic, ta);
+    let mut rx = TkipSession::new(tk, mic, ta);
+    for attempt in 1..=2 {
+        let pkt = tx
+            .encrypt(&da, &sa, b"tip=01 EUR")
+            .expect("countermeasures off");
+        let mut c = pkt.ciphertext.clone();
+        c[0] ^= 0x08;
+        let delta = wireless_networks::crypto::crc32::bit_flip_delta(&[0x08], c.len() - 5);
+        let n = c.len();
+        for (i, b) in delta.to_le_bytes().iter().enumerate() {
+            c[n - 4 + i] ^= b;
+        }
+        let forged = wireless_networks::security::wpa::TkipPacket {
+            tsc: pkt.tsc,
+            ciphertext: c,
+        };
+        let err = rx.decrypt(&da, &sa, &forged).unwrap_err();
+        println!("forgery attempt {attempt}: {err}");
+    }
+    println!("countermeasures active: {}", rx.countermeasures_active);
+    assert!(rx.countermeasures_active);
+
+    // --- 2006: WPA2/CCMP + PSK.
+    println!("\n--- WPA2 era ---");
+    let (ptk, hs) = run_handshake(
+        "Espresso&Wifi2006",
+        "CafeNet",
+        [2, 0xAB, 0, 0, 0, 1],
+        ta,
+        [3; 32],
+        [4; 32],
+    );
+    let mut ap = CcmpSession::new(ptk.tk, ta);
+    let mut sta = CcmpSession::new(ptk.tk, ta);
+    let pkt = ap.encrypt(b"hdr", b"tip=01 EUR");
+    let mut forged = pkt.clone();
+    forged.ciphertext[0] ^= 0x08;
+    println!(
+        "CCMP forgery: {:?}",
+        sta.decrypt(b"hdr", &forged).unwrap_err()
+    );
+    assert!(sta.decrypt(b"hdr", &pkt).is_ok());
+
+    // Offline dictionary against the captured handshake.
+    let words = ["password", "cafe2006", "espresso", "qwerty123", "letmein!"];
+    let r = dictionary::run(&hs, "CafeNet", &words);
+    println!(
+        "dictionary attack over {} words: {:?} (strong passphrase survives)",
+        r.guesses, r.passphrase
+    );
+    assert!(r.passphrase.is_none());
+
+    // But the café left WPS enabled…
+    let pin = WpsPin::from_first7(8_675_309);
+    let result = brute_force(&Registrar::new(pin));
+    println!(
+        "WPS PIN {} recovered in {} attempts (≤11 000 by design; hours, not centuries)",
+        result.pin.0, result.attempts
+    );
+    assert_eq!(result.pin, pin);
+
+    // --- The §5.2 ranking, derived from all of the above.
+    println!("\n--- ranking (best to worst) ---");
+    for (rank, method, t) in breach_ranking() {
+        let human = if t == 0.0 {
+            "instant".to_string()
+        } else if t < 3600.0 {
+            format!("{:.0} min", t / 60.0)
+        } else if t < 86_400.0 * 30.0 {
+            format!("{:.0} h", t / 3600.0)
+        } else {
+            format!("{:.0} yr", t / 86_400.0 / 365.0)
+        };
+        println!("{rank}. {method:<16} time-to-breach ≈ {human}");
+    }
+}

@@ -1,0 +1,123 @@
+//! M2M fleet tracking (§7): "transport and logistics (fleet
+//! management)" over the WWAN substrate — trucks report positions via
+//! the cellular grid with handoffs, a remote depot links in by
+//! satellite, and a WiMAX tower backhauls a rural district.
+//!
+//! Run with: `cargo run --example m2m_fleet`
+
+use wireless_networks::phy::geom::Point;
+use wireless_networks::sim::{SimTime, Simulation};
+use wireless_networks::wman::link::WimaxLink;
+use wireless_networks::wman::scheduler::{
+    boot as wimax_boot, BaseStation, ServiceClass, WimaxEvent,
+};
+use wireless_networks::wwan::cellular::{erlang_b_capacity, CellGrid, Generation, ReuseCluster};
+use wireless_networks::wwan::satellite::{GeoSatellite, SatLink};
+
+fn main() {
+    println!("== M2M fleet management (§7) ==\n");
+
+    // --- The cellular layer: a 37-cell metro grid with N=7 reuse.
+    let grid = CellGrid::hex(3, 1500.0);
+    let cluster = ReuseCluster::new(7).expect("7 is a valid cluster size");
+    println!(
+        "metro grid: {} cells of 1.5 km; reuse N=7 -> worst-case SIR {:.1} dB, {} voice channels/cell",
+        grid.len(),
+        cluster.downlink_sir_db(4.0),
+        cluster.channels_per_cell(420)
+    );
+    println!(
+        "trunking: {} channels/cell carry {:.1} erlangs at 2% blocking",
+        cluster.channels_per_cell(420),
+        erlang_b_capacity(cluster.channels_per_cell(420), 0.02)
+    );
+
+    // Three trucks drive across town; count their handoffs.
+    let routes = [
+        (
+            "truck-A",
+            Point::new(-7000.0, 200.0),
+            Point::new(7000.0, 300.0),
+        ),
+        (
+            "truck-B",
+            Point::new(-6000.0, -4000.0),
+            Point::new(6000.0, 4000.0),
+        ),
+        (
+            "truck-C",
+            Point::new(0.0, -7000.0),
+            Point::new(500.0, 7000.0),
+        ),
+    ];
+    for (name, from, to) in routes {
+        let seq = grid.drive_test(from, to, 3000);
+        println!(
+            "{name}: served by {} cells along the route (handoffs: {})",
+            seq.len(),
+            seq.len() - 1
+        );
+        assert!(seq.len() >= 2, "a cross-town route must hand off");
+    }
+    println!(
+        "telemetry uplink budget per truck on {} ({}): {}",
+        Generation::G4.name(),
+        Generation::G4.year(),
+        Generation::G4.peak_rate()
+    );
+
+    // --- The remote depot: GEO satellite link ("users who are located
+    // in remote areas or islands").
+    let depot = GeoSatellite {
+        elevation_deg: 22.0,
+    };
+    let hub = GeoSatellite {
+        elevation_deg: 38.0,
+    };
+    let link = SatLink::typical();
+    println!(
+        "\nremote depot via GEO: one-way {:.0} ms, RTT {:.0} ms, rate {}",
+        depot.bent_pipe_delay_s(&hub) * 1e3,
+        depot.round_trip_s(&hub) * 1e3,
+        link.achievable_rate()
+    );
+    assert!(depot.round_trip_s(&hub) > 0.4, "GEO RTT is ~half a second");
+
+    // --- The rural district: one WiMAX tower feeds roadside units.
+    let mut bs = BaseStation::new(WimaxLink::default());
+    let mut units = Vec::new();
+    for km in [2.0, 8.0, 15.0, 30.0, 48.0] {
+        let id = bs
+            .add_subscriber(km * 1000.0, false, ServiceClass::Nrtps, 2e6)
+            .expect("within the 50 km footprint");
+        units.push((km, id));
+    }
+    let mut sim = Simulation::new(bs);
+    wimax_boot(&mut sim);
+    for &(_, id) in &units {
+        for t in 0..50u64 {
+            sim.scheduler_mut().schedule_at(
+                SimTime::from_millis(t * 100),
+                WimaxEvent::Offer {
+                    ss: id,
+                    bytes: 100_000,
+                },
+            );
+        }
+    }
+    sim.run_until(SimTime::from_secs(5));
+    println!("\nWiMAX district (Fig. 1.7):");
+    for &(km, id) in &units {
+        let mbps = sim.world().delivered_bytes(id) as f64 * 8.0 / 5.0 / 1e6;
+        println!("  roadside unit at {km:>4.0} km: {mbps:5.1} Mbps");
+    }
+    let total: u64 = units
+        .iter()
+        .map(|&(_, id)| sim.world().delivered_bytes(id))
+        .sum();
+    println!(
+        "  aggregate: {:.1} Mbps from one tower to {} units",
+        total as f64 * 8.0 / 5.0 / 1e6,
+        units.len()
+    );
+}

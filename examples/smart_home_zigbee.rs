@@ -1,0 +1,94 @@
+//! Smart home (Fig. 1.4 + §7): a ZigBee sensor mesh reports to a hub,
+//! a Bluetooth piconet streams audio, and an IrDA link beams a photo —
+//! the three WPAN technologies side by side, as §2.1 positions them.
+//!
+//! Run with: `cargo run --example smart_home_zigbee`
+
+use wireless_networks::phy::geom::Point;
+use wireless_networks::sim::{SimTime, Simulation};
+use wireless_networks::wpan::bluetooth::{boot as bt_boot, BtNetwork, DeviceClass};
+use wireless_networks::wpan::irda::{negotiate, transfer_time_s, IrPort};
+use wireless_networks::wpan::zigbee::{NodeRole, Topology, ZigbeeEvent, ZigbeeNetwork};
+
+fn main() {
+    println!("== smart home WPAN tour (§2.1) ==\n");
+
+    // --- ZigBee: "reliable wirelessly networked monitoring and control".
+    // A mesh across the house: hub in the hall, sensors in every room.
+    let mut net = ZigbeeNetwork::new(Topology::Mesh, 99);
+    net.add_node(Point::new(0.0, 0.0), NodeRole::Ffd)
+        .expect("hub");
+    let rooms = [
+        ("kitchen", Point::new(8.0, 0.0), NodeRole::Ffd),
+        ("living room", Point::new(8.0, 8.0), NodeRole::Ffd),
+        ("bedroom", Point::new(0.0, 8.0), NodeRole::Ffd),
+        ("garage", Point::new(16.0, 0.0), NodeRole::Ffd),
+        ("attic light switch", Point::new(16.0, 8.0), NodeRole::Rfd),
+    ];
+    for (name, pos, role) in rooms {
+        let id = net.add_node(pos, role).expect("node");
+        println!("zigbee node {id}: {name} ({role:?})");
+    }
+    let mut sim = Simulation::new(net);
+    // Every sensor reports temperature every 500 ms for 20 s.
+    for round in 0..40u64 {
+        for src in 1..=5usize {
+            sim.scheduler_mut().schedule_at(
+                SimTime::from_millis(round * 500 + src as u64 * 7),
+                ZigbeeEvent::Send {
+                    src,
+                    dst: 0,
+                    bytes: 24,
+                },
+            );
+        }
+    }
+    sim.run_until(SimTime::from_secs(25));
+    let z = sim.into_world();
+    println!(
+        "zigbee: {}/{} reports delivered (mean {:.1} hops, {:.1} ms latency)\n",
+        z.stats.delivered,
+        z.offered(),
+        z.stats.mean_hops(),
+        z.stats.mean_latency_s() * 1e3
+    );
+    assert!(z.stats.delivery_ratio(z.offered()) > 0.95);
+
+    // --- Bluetooth: "cordless mouse, keyboard, and hands-free headset".
+    let mut bt = BtNetwork::new();
+    let phone = bt.add_device(Point::new(4.0, 4.0), DeviceClass::Class2);
+    let piconet = bt.form_piconet(phone).expect("fresh master");
+    let headset = bt.add_device(Point::new(4.5, 4.0), DeviceClass::Class2);
+    let speaker = bt.add_device(Point::new(7.0, 4.0), DeviceClass::Class2);
+    bt.join(piconet, headset).expect("in range");
+    bt.join(piconet, speaker).expect("in range");
+    // Stream 10 seconds of 320 kbps audio to each sink.
+    bt.send(phone, headset, 400_000);
+    bt.send(phone, speaker, 400_000);
+    let mut sim = Simulation::new(bt);
+    bt_boot(&mut sim);
+    sim.run_until(SimTime::from_secs(10));
+    for (name, id) in [("headset", headset), ("speaker", speaker)] {
+        let kbps = sim.world().delivered_bytes(id) as f64 * 8.0 / 10.0 / 1e3;
+        println!("bluetooth {name}: {kbps:.0} kbps sustained");
+        assert!(kbps > 300.0, "audio stream must fit in the piconet share");
+    }
+
+    // --- IrDA: "point-to-point links … for simple data transfers".
+    let camera = IrPort::aimed_at(Point::new(1.0, 1.0), Point::new(1.3, 1.0));
+    let printer = Point::new(1.3, 1.0);
+    let rate = negotiate(&camera, printer).expect("aligned and close");
+    let photo_bytes = 3_000_000;
+    println!(
+        "\nirda: camera->printer negotiated {rate}, a {:.1}-MB photo takes {:.1} s",
+        photo_bytes as f64 / 1e6,
+        transfer_time_s(rate, photo_bytes)
+    );
+
+    // Misaim the camera and the link is gone — the <30° cone at work.
+    let misaimed = IrPort::aimed_at(Point::new(1.0, 1.0), Point::new(1.0, 2.0));
+    println!(
+        "irda misaimed: {:?}",
+        negotiate(&misaimed, printer).unwrap_err()
+    );
+}

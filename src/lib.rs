@@ -1,0 +1,41 @@
+//! `wireless-networks` — a full-stack simulation suite for the four
+//! wireless network classes (WPAN / WLAN / WMAN / WWAN), the IEEE
+//! 802.11 MAC and PHY, and the three generations of Wi-Fi security.
+//!
+//! This facade re-exports every workspace crate under one roof:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`sim`] | deterministic discrete-event kernel, RNG, statistics |
+//! | [`phy`] | bands, propagation, modulation/rate ladders, link budgets |
+//! | [`crypto`] | RC4, AES, CCM, SHA-1/HMAC/PBKDF2, Michael, TKIP mixing |
+//! | [`mac80211`] | bit-exact 802.11 frames + DCF/CSMA-CA medium simulation |
+//! | [`net80211`] | STA/AP state machines, BSS/IBSS/ESS, DS, roaming |
+//! | [`wpan`] | Bluetooth piconets/scatternets, ZigBee, IrDA, UWB |
+//! | [`wman`] | WiMAX links and point-to-multipoint scheduling |
+//! | [`wwan`] | cellular grids/reuse/Erlang-B + GEO satellite links |
+//! | [`security`] | WEP/WPA/WPA2 with their attack suite |
+//! | [`core`] | taxonomy, the comparison-table registry, experiment scenarios |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wireless_networks::core::registry::Technology;
+//!
+//! // Measure Bluetooth's single-pair throughput from the simulator.
+//! let row = Technology::Bluetooth.row();
+//! assert!((row.measured_max_rate.bps() / 1e3 - 720.0).abs() < 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use wn_core as core;
+pub use wn_crypto as crypto;
+pub use wn_mac80211 as mac80211;
+pub use wn_net80211 as net80211;
+pub use wn_phy as phy;
+pub use wn_security as security;
+pub use wn_sim as sim;
+pub use wn_wman as wman;
+pub use wn_wpan as wpan;
+pub use wn_wwan as wwan;

@@ -1,0 +1,251 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use wireless_networks::crypto::ccm;
+use wireless_networks::crypto::crc32::{bit_flip_delta, crc32};
+use wireless_networks::crypto::tkip::{per_packet_key, Tsc};
+use wireless_networks::crypto::{Aes, Rc4};
+use wireless_networks::mac80211::addr::MacAddr;
+use wireless_networks::mac80211::frame::{DsBits, Frame, FrameControl, SequenceControl, Subtype};
+use wireless_networks::phy::geom::Point;
+use wireless_networks::phy::modulation::{frame_error_rate, PhyStandard};
+use wireless_networks::phy::propagation::{FreeSpace, LogDistance, PathLoss};
+use wireless_networks::phy::units::{Db, Dbm, Hertz};
+use wireless_networks::security::wep;
+use wireless_networks::sim::{SimDuration, SimTime};
+use wireless_networks::wwan::cellular::{erlang_b_blocking, CellGrid};
+
+proptest! {
+    // ---- crypto ----
+
+    #[test]
+    fn crc_linearity_holds_everywhere(
+        msg in proptest::collection::vec(any::<u8>(), 1..200),
+        mask in proptest::collection::vec(any::<u8>(), 1..8),
+        pos_seed in any::<usize>()
+    ) {
+        prop_assume!(mask.len() <= msg.len());
+        let pos = pos_seed % (msg.len() - mask.len() + 1);
+        let mut tampered = msg.clone();
+        for (i, &m) in mask.iter().enumerate() {
+            tampered[pos + i] ^= m;
+        }
+        let delta = bit_flip_delta(&mask, msg.len() - pos - mask.len());
+        prop_assert_eq!(crc32(&tampered), crc32(&msg) ^ delta);
+    }
+
+    #[test]
+    fn rc4_is_an_involution(
+        key in proptest::collection::vec(any::<u8>(), 1..64),
+        data in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let ct = Rc4::cipher(&key, &data);
+        prop_assert_eq!(Rc4::cipher(&key, &ct), data);
+    }
+
+    #[test]
+    fn aes_roundtrip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes::new(&key);
+        let mut b = block;
+        aes.encrypt_block(&mut b);
+        aes.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn ccm_roundtrip_and_tamper(
+        key in any::<[u8; 16]>(),
+        nonce in any::<[u8; 13]>(),
+        aad in proptest::collection::vec(any::<u8>(), 0..32),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        flip in any::<(usize, u8)>()
+    ) {
+        let aes = Aes::new(&key);
+        let ct = ccm::encrypt(&aes, &nonce, &aad, &payload);
+        prop_assert_eq!(ccm::decrypt(&aes, &nonce, &aad, &ct).unwrap(), payload);
+        // Any nonzero flip anywhere must be rejected.
+        let (pos, bits) = flip;
+        if bits != 0 {
+            let mut bad = ct.clone();
+            let p = pos % bad.len();
+            bad[p] ^= bits;
+            prop_assert!(ccm::decrypt(&aes, &nonce, &aad, &bad).is_err());
+        }
+    }
+
+    #[test]
+    fn tkip_keys_never_collide_for_distinct_tsc(
+        tk in any::<[u8; 16]>(),
+        ta in any::<[u8; 6]>(),
+        a in 0u64..0xFFFF_FFFF_FFFF,
+        b in 0u64..0xFFFF_FFFF_FFFF
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(per_packet_key(&tk, &ta, Tsc(a)), per_packet_key(&tk, &ta, Tsc(b)));
+    }
+
+    #[test]
+    fn wep_roundtrip(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        iv in any::<[u8; 3]>(),
+        key in any::<[u8; 13]>()
+    ) {
+        let key = wep::WepKey::new(&key).unwrap();
+        let frame = wep::encrypt(&key, iv, &payload);
+        prop_assert_eq!(wep::decrypt(&key, &frame).unwrap(), payload);
+    }
+
+    // ---- MAC frame codec ----
+
+    #[test]
+    fn data_frame_codec_roundtrip(
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        seq in 0u16..4096,
+        frag in 0u8..16,
+        da in any::<u32>(),
+        sa in any::<u32>(),
+        flags in any::<[bool; 6]>()
+    ) {
+        let mut f = Frame::data(
+            DsBits::ToAp,
+            MacAddr::station(da),
+            MacAddr::station(sa),
+            MacAddr::access_point(1),
+            SequenceControl { sequence: seq, fragment: frag },
+            payload,
+        );
+        f.fc.retry = flags[0];
+        f.fc.more_fragments = flags[1];
+        f.fc.power_management = flags[2];
+        f.fc.more_data = flags[3];
+        f.fc.protected = flags[4];
+        f.fc.order = flags[5];
+        let back = Frame::from_bytes(&f.to_bytes()).unwrap();
+        prop_assert_eq!(back, f);
+    }
+
+    #[test]
+    fn frame_control_pack_unpack_total(v in any::<u16>()) {
+        // Either it parses (and repacks identically) or it is rejected;
+        // never a panic.
+        if let Ok(fc) = FrameControl::unpack(v) {
+            prop_assert_eq!(fc.pack(), v);
+        }
+    }
+
+    #[test]
+    fn corrupting_any_bit_is_detected(
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        byte_seed in any::<usize>(),
+        bit in 0u8..8
+    ) {
+        let f = Frame::data(
+            DsBits::Ibss,
+            MacAddr::station(1),
+            MacAddr::station(2),
+            MacAddr::random_ibss_bssid(1),
+            SequenceControl::default(),
+            payload,
+        );
+        let mut wire = f.to_bytes();
+        let pos = byte_seed % wire.len();
+        wire[pos] ^= 1 << bit;
+        // Single-bit corruption can never yield the same frame back.
+        match Frame::from_bytes(&wire) {
+            Ok(parsed) => prop_assert_ne!(parsed, f),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn frame_parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Arbitrary byte soup must parse to Ok or Err, never panic —
+        // the receiver runs this on every corrupted capture.
+        let _ = Frame::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn control_frames_roundtrip(duration in 0u16..0x8000, ra in any::<u32>(), ta in any::<u32>()) {
+        let rts = Frame::rts(MacAddr::station(ra), MacAddr::station(ta), duration);
+        prop_assert_eq!(Frame::from_bytes(&rts.to_bytes()).unwrap(), rts);
+        let cts = Frame::cts(MacAddr::station(ra), duration);
+        prop_assert_eq!(Frame::from_bytes(&cts.to_bytes()).unwrap(), cts);
+        let ack = Frame::ack(MacAddr::station(ra));
+        prop_assert_eq!(Frame::from_bytes(&ack.to_bytes()).unwrap(), ack);
+    }
+
+    #[test]
+    fn ps_poll_aid_roundtrip(aid in 0u16..0x3FFF, bssid in any::<u32>(), ta in any::<u32>()) {
+        let poll = Frame::ps_poll(MacAddr::access_point(bssid), MacAddr::station(ta), aid);
+        let back = Frame::from_bytes(&poll.to_bytes()).unwrap();
+        prop_assert_eq!(back.ps_poll_aid(), Some(aid));
+        prop_assert_eq!(back.fc.subtype, Subtype::PsPoll);
+    }
+
+    // ---- phy ----
+
+    #[test]
+    fn path_loss_monotone(d1 in 1.0f64..10_000.0, d2 in 1.0f64..10_000.0) {
+        prop_assume!(d1 < d2);
+        let f = Hertz::from_ghz(2.4);
+        prop_assert!(FreeSpace.loss(d1, f).value() <= FreeSpace.loss(d2, f).value());
+        let m = LogDistance::indoor();
+        prop_assert!(m.loss(d1, f).value() <= m.loss(d2, f).value());
+    }
+
+    #[test]
+    fn fer_monotone_in_length(ber in 1e-9f64..1e-2, l1 in 1u64..10_000, l2 in 1u64..10_000) {
+        prop_assume!(l1 < l2);
+        prop_assert!(frame_error_rate(ber, l1) <= frame_error_rate(ber, l2) + 1e-15);
+    }
+
+    #[test]
+    fn best_rate_monotone_in_snr(snr1 in -10.0f64..45.0, snr2 in -10.0f64..45.0) {
+        prop_assume!(snr1 < snr2);
+        for std in PhyStandard::ALL {
+            let r1 = std.best_rate_for_snr(Db(snr1)).map(|s| s.rate.bps()).unwrap_or(0.0);
+            let r2 = std.best_rate_for_snr(Db(snr2)).map(|s| s.rate.bps()).unwrap_or(0.0);
+            prop_assert!(r1 <= r2);
+        }
+    }
+
+    #[test]
+    fn dbm_roundtrip(v in -120.0f64..40.0) {
+        let mw = Dbm(v).to_milliwatts();
+        prop_assert!((Dbm::from_milliwatts(mw).value() - v).abs() < 1e-9);
+    }
+
+    // ---- sim time ----
+
+    #[test]
+    fn sim_time_add_sub_inverse(base in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(base);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((t + dur) - dur, t);
+        prop_assert_eq!((t + dur) - t, dur);
+    }
+
+    // ---- wwan ----
+
+    #[test]
+    fn serving_cell_is_nearest_site(x in -10_000.0f64..10_000.0, y in -10_000.0f64..10_000.0) {
+        let grid = CellGrid::hex(2, 1200.0);
+        let p = Point::new(x, y);
+        let chosen = grid.serving_cell(p);
+        let chosen_d = grid.sites()[chosen].distance_to(p);
+        for s in grid.sites() {
+            prop_assert!(chosen_d <= s.distance_to(p) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn erlang_b_monotone(channels in 1u32..60, e1 in 0.1f64..100.0, e2 in 0.1f64..100.0) {
+        prop_assume!(e1 < e2);
+        // More offered traffic → more blocking; more channels → less.
+        prop_assert!(erlang_b_blocking(channels, e1) <= erlang_b_blocking(channels, e2) + 1e-12);
+        prop_assert!(
+            erlang_b_blocking(channels + 1, e1) <= erlang_b_blocking(channels, e1) + 1e-12
+        );
+    }
+}
