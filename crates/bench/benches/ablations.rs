@@ -1,11 +1,12 @@
 //! The DESIGN.md §6 ablations: contention-window sweep, capture effect,
 //! and ARF rate adaptation (including its collision pathology).
 
-use criterion::{black_box, Criterion};
-use wn_bench::{criterion_fast, print_figure, print_report};
+use std::hint::black_box;
+
+use wn_bench::{bench, print_figure, print_report};
 use wn_core::scenarios::{ablation_arf, ablation_capture, ablation_cw_sweep, fading_link};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (fig, report) = ablation_cw_sweep(17);
     print_figure(&fig);
     print_report(&report);
@@ -22,13 +23,7 @@ fn bench(c: &mut Criterion) {
     print_figure(&fig);
     print_report(&report);
 
-    c.bench_function("ablations/arf_weak_link_1s", |b| {
-        b.iter(|| black_box(ablation_arf(23).0.series[0].points[1].1))
+    bench("ablations/arf_weak_link_1s", || {
+        black_box(ablation_arf(23).0.series[0].points[1].1)
     });
-}
-
-fn main() {
-    let mut c = criterion_fast();
-    bench(&mut c);
-    c.final_summary();
 }

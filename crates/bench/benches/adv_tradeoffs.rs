@@ -2,15 +2,16 @@
 //! interference, shadowing black spots, capture-effect ablation) and
 //! times the shadow-map computation.
 
-use criterion::{black_box, Criterion};
-use wn_bench::{criterion_fast, print_figure, print_report};
+use std::hint::black_box;
+
+use wn_bench::{bench, print_figure, print_report};
 use wn_core::scenarios::{adjacent_channels, adv_tradeoffs};
 use wn_phy::geom::Point;
 use wn_phy::medium::{LinkBudget, Radio};
 use wn_phy::modulation::PhyStandard;
 use wn_phy::propagation::{LogDistance, Shadowing};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (fig, report) = adv_tradeoffs(13);
     print_figure(&fig);
     print_report(&report);
@@ -19,34 +20,26 @@ fn bench(c: &mut Criterion) {
     print_figure(&fig);
     print_report(&report);
 
-    c.bench_function("adv/shadow_map_400_points", |b| {
-        let lb = LinkBudget::for_standard(PhyStandard::Dot11g, Radio::consumer_wifi());
-        let model = Shadowing {
-            base: LogDistance::indoor(),
-            sigma_db: 9.0,
-            seed: 4,
-        };
-        b.iter(|| {
-            let mut dead = 0u32;
-            for gx in 1..=20 {
-                for gy in 1..=20 {
-                    let p = Point::new(gx as f64 * 2.0, gy as f64 * 2.0);
-                    let loss = model.loss_between(Point::ORIGIN, p, lb.frequency);
-                    if PhyStandard::Dot11g
-                        .best_rate_for_snr(lb.snr(loss))
-                        .is_none()
-                    {
-                        dead += 1;
-                    }
+    let lb = LinkBudget::for_standard(PhyStandard::Dot11g, Radio::consumer_wifi());
+    let model = Shadowing {
+        base: LogDistance::indoor(),
+        sigma_db: 9.0,
+        seed: 4,
+    };
+    bench("adv/shadow_map_400_points", || {
+        let mut dead = 0u32;
+        for gx in 1..=20 {
+            for gy in 1..=20 {
+                let p = Point::new(gx as f64 * 2.0, gy as f64 * 2.0);
+                let loss = model.loss_between(Point::ORIGIN, p, lb.frequency);
+                if PhyStandard::Dot11g
+                    .best_rate_for_snr(lb.snr(loss))
+                    .is_none()
+                {
+                    dead += 1;
                 }
             }
-            black_box(dead)
-        })
+        }
+        black_box(dead)
     });
-}
-
-fn main() {
-    let mut c = criterion_fast();
-    bench(&mut c);
-    c.final_summary();
 }

@@ -1,26 +1,21 @@
 //! FIG-1.1 — regenerates the wireless-network classification scatter
 //! (range vs rate per technology) and times one registry measurement.
 
-use criterion::{black_box, Criterion};
-use wn_bench::{criterion_fast, print_figure};
+use std::hint::black_box;
+
+use wn_bench::{bench, print_figure};
 use wn_core::registry::Technology;
 use wn_core::scenarios::fig_1_1_classification;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let fig = fig_1_1_classification();
     print_figure(&fig);
     assert_eq!(fig.series.len(), 13, "all table rows present");
 
-    c.bench_function("fig01/measure_wifi_g_row", |b| {
-        b.iter(|| black_box(Technology::WiFi(wn_phy::modulation::PhyStandard::Dot11g).measure()))
+    bench("fig01/measure_wifi_g_row", || {
+        black_box(Technology::WiFi(wn_phy::modulation::PhyStandard::Dot11g).measure())
     });
-    c.bench_function("fig01/measure_irda_row", |b| {
-        b.iter(|| black_box(Technology::Irda.measure()))
+    bench("fig01/measure_irda_row", || {
+        black_box(Technology::Irda.measure())
     });
-}
-
-fn main() {
-    let mut c = criterion_fast();
-    bench(&mut c);
-    c.final_summary();
 }

@@ -1,36 +1,29 @@
 //! FIG-1.2 — regenerates the Bluetooth piconet-sharing curves and the
 //! scatternet comparison; times one second of slot-true piconet TDD.
 
-use criterion::{black_box, Criterion};
-use wn_bench::{criterion_fast, print_figure, print_report};
+use std::hint::black_box;
+
+use wn_bench::{bench, print_figure, print_report};
 use wn_core::scenarios::fig_1_2_bluetooth;
 use wn_phy::geom::Point;
 use wn_sim::{SimTime, Simulation};
 use wn_wpan::bluetooth::{boot, BtNetwork, DeviceClass};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (fig, report) = fig_1_2_bluetooth();
     print_figure(&fig);
     print_report(&report);
 
-    c.bench_function("fig02/piconet_one_second", |b| {
-        b.iter(|| {
-            let mut net = BtNetwork::new();
-            let m = net.add_device(Point::new(0.0, 0.0), DeviceClass::Class2);
-            let p = net.form_piconet(m).expect("fresh master");
-            let s = net.add_device(Point::new(2.0, 0.0), DeviceClass::Class2);
-            net.join(p, s).expect("in range");
-            net.send(m, s, 1_000_000);
-            let mut sim = Simulation::new(net);
-            boot(&mut sim);
-            sim.run_until(SimTime::from_secs(1));
-            black_box(sim.world().delivered_bytes(s))
-        })
+    bench("fig02/piconet_one_second", || {
+        let mut net = BtNetwork::new();
+        let m = net.add_device(Point::new(0.0, 0.0), DeviceClass::Class2);
+        let p = net.form_piconet(m).expect("fresh master");
+        let s = net.add_device(Point::new(2.0, 0.0), DeviceClass::Class2);
+        net.join(p, s).expect("in range");
+        net.send(m, s, 1_000_000);
+        let mut sim = Simulation::new(net);
+        boot(&mut sim);
+        sim.run_until(SimTime::from_secs(1));
+        black_box(sim.world().delivered_bytes(s))
     });
-}
-
-fn main() {
-    let mut c = criterion_fast();
-    bench(&mut c);
-    c.final_summary();
 }

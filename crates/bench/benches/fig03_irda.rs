@@ -1,34 +1,27 @@
 //! FIG-2 — regenerates the IrDA rate-vs-distance/cone curves; times a
 //! link negotiation sweep.
 
-use criterion::{black_box, Criterion};
-use wn_bench::{criterion_fast, print_figure, print_report};
+use std::hint::black_box;
+
+use wn_bench::{bench, print_figure, print_report};
 use wn_core::scenarios::fig_2_irda;
 use wn_phy::geom::Point;
 use wn_wpan::irda::{negotiate, IrPort};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (fig, report) = fig_2_irda();
     print_figure(&fig);
     print_report(&report);
 
-    c.bench_function("fig03/negotiate_sweep", |b| {
-        let tx = IrPort::aimed_at(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
-        b.iter(|| {
-            let mut total = 0.0;
-            for i in 1..=100 {
-                let d = i as f64 / 100.0 * 1.2;
-                if let Ok(r) = negotiate(&tx, Point::new(d, 0.0)) {
-                    total += r.bps();
-                }
+    let tx = IrPort::aimed_at(Point::new(0.0, 0.0), Point::new(1.0, 0.0));
+    bench("fig03/negotiate_sweep", || {
+        let mut total = 0.0;
+        for i in 1..=100 {
+            let d = i as f64 / 100.0 * 1.2;
+            if let Ok(r) = negotiate(&tx, Point::new(d, 0.0)) {
+                total += r.bps();
             }
-            black_box(total)
-        })
+        }
+        black_box(total)
     });
-}
-
-fn main() {
-    let mut c = criterion_fast();
-    bench(&mut c);
-    c.final_summary();
 }

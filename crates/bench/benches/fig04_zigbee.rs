@@ -1,39 +1,32 @@
 //! FIG-1.4 — regenerates the ZigBee star/mesh/cluster-tree comparison;
 //! times a mesh delivery round.
 
-use criterion::{black_box, Criterion};
-use wn_bench::{criterion_fast, print_figure, print_report};
+use std::hint::black_box;
+
+use wn_bench::{bench, print_figure, print_report};
 use wn_core::scenarios::fig_1_4_zigbee;
 use wn_sim::{SimTime, Simulation};
 use wn_wpan::zigbee::{mesh_grid, ZigbeeEvent};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (fig, report) = fig_1_4_zigbee(42);
     print_figure(&fig);
     print_report(&report);
 
-    c.bench_function("fig04/mesh_5x5_50_packets", |b| {
-        b.iter(|| {
-            let net = mesh_grid(5, 5, 8.0, 7);
-            let mut sim = Simulation::new(net);
-            for k in 0..50u64 {
-                sim.scheduler_mut().schedule_at(
-                    SimTime::from_millis(k * 10),
-                    ZigbeeEvent::Send {
-                        src: 0,
-                        dst: 24,
-                        bytes: 60,
-                    },
-                );
-            }
-            sim.run_until(SimTime::from_secs(5));
-            black_box(sim.world().stats.delivered)
-        })
+    bench("fig04/mesh_5x5_50_packets", || {
+        let net = mesh_grid(5, 5, 8.0, 7);
+        let mut sim = Simulation::new(net);
+        for k in 0..50u64 {
+            sim.scheduler_mut().schedule_at(
+                SimTime::from_millis(k * 10),
+                ZigbeeEvent::Send {
+                    src: 0,
+                    dst: 24,
+                    bytes: 60,
+                },
+            );
+        }
+        sim.run_until(SimTime::from_secs(5));
+        black_box(sim.world().stats.delivered)
     });
-}
-
-fn main() {
-    let mut c = criterion_fast();
-    bench(&mut c);
-    c.final_summary();
 }

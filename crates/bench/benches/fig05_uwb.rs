@@ -1,37 +1,30 @@
 //! FIG-1.5 — regenerates the UWB PSD/rate data; times the spectral and
 //! BER models.
 
-use criterion::{black_box, Criterion};
-use wn_bench::{criterion_fast, print_figure, print_report};
+use std::hint::black_box;
+
+use wn_bench::{bench, print_figure, print_report};
 use wn_core::scenarios::fig_1_5_uwb;
 use wn_phy::units::Db;
 use wn_wpan::uwb::{ppm_ber, rate_at_distance, transfer_time_s};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (fig, report) = fig_1_5_uwb();
     print_figure(&fig);
     print_report(&report);
 
-    c.bench_function("fig05/rate_and_ber_sweep", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for i in 0..200 {
-                let d = i as f64 * 0.06;
-                if let Some(r) = rate_at_distance(d) {
-                    acc += r.bps();
-                }
-                acc += ppm_ber(Db(i as f64 * 0.2));
-                if let Some(t) = transfer_time_s(d, 1_000_000) {
-                    acc += t;
-                }
+    bench("fig05/rate_and_ber_sweep", || {
+        let mut acc = 0.0;
+        for i in 0..200 {
+            let d = i as f64 * 0.06;
+            if let Some(r) = rate_at_distance(d) {
+                acc += r.bps();
             }
-            black_box(acc)
-        })
+            acc += ppm_ber(Db(i as f64 * 0.2));
+            if let Some(t) = transfer_time_s(d, 1_000_000) {
+                acc += t;
+            }
+        }
+        black_box(acc)
     });
-}
-
-fn main() {
-    let mut c = criterion_fast();
-    bench(&mut c);
-    c.final_summary();
 }

@@ -1,12 +1,13 @@
 //! FIG-1.6 — regenerates home-WLAN saturation throughput vs station
 //! count (with the RTS/CTS and CW ablations) and times the DCF kernel.
 
-use criterion::{black_box, Criterion};
-use wn_bench::{criterion_fast, print_figure, print_report};
+use std::hint::black_box;
+
+use wn_bench::{bench, print_figure, print_report};
 use wn_core::scenarios::{fig_1_6_wlan_home, wlan_saturation_mbps};
 use wn_phy::modulation::PhyStandard;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (fig, report) = fig_1_6_wlan_home(42);
     print_figure(&fig);
     print_report(&report);
@@ -28,13 +29,7 @@ fn bench(c: &mut Criterion) {
         );
     }
 
-    c.bench_function("fig06/dcf_4sta_1s", |b| {
-        b.iter(|| black_box(wlan_saturation_mbps(PhyStandard::Dot11g, 4, false, 11)))
+    bench("fig06/dcf_4sta_1s", || {
+        black_box(wlan_saturation_mbps(PhyStandard::Dot11g, 4, false, 11))
     });
-}
-
-fn main() {
-    let mut c = criterion_fast();
-    bench(&mut c);
-    c.final_summary();
 }

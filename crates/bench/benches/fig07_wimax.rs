@@ -1,53 +1,46 @@
 //! FIG-1.7 — regenerates WiMAX rate-vs-distance for both bands and
 //! times the point-to-multipoint frame scheduler.
 
-use criterion::{black_box, Criterion};
-use wn_bench::{criterion_fast, print_figure, print_report};
+use std::hint::black_box;
+
+use wn_bench::{bench, print_figure, print_report};
 use wn_core::scenarios::fig_1_7_wimax;
 use wn_sim::{SimTime, Simulation};
 use wn_wman::link::WimaxLink;
 use wn_wman::scheduler::{boot, BaseStation, ServiceClass, WimaxEvent};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (fig, report) = fig_1_7_wimax();
     print_figure(&fig);
     print_report(&report);
 
-    c.bench_function("fig07/pmp_10ss_1s", |b| {
-        b.iter(|| {
-            let mut bs = BaseStation::new(WimaxLink::default());
-            bs.queue_limit_bytes = 64 << 20;
-            let mut ids = Vec::new();
-            for i in 0..10 {
-                ids.push(
-                    bs.add_subscriber(
-                        1000.0 + i as f64 * 3000.0,
-                        false,
-                        ServiceClass::BestEffort,
-                        0.0,
-                    )
-                    .expect("in range"),
-                );
-            }
-            let mut sim = Simulation::new(bs);
-            boot(&mut sim);
-            for &ss in &ids {
-                sim.scheduler_mut().schedule_at(
-                    SimTime::ZERO,
-                    WimaxEvent::Offer {
-                        ss,
-                        bytes: 10_000_000,
-                    },
-                );
-            }
-            sim.run_until(SimTime::from_secs(1));
-            black_box(sim.world().total_delivered())
-        })
+    bench("fig07/pmp_10ss_1s", || {
+        let mut bs = BaseStation::new(WimaxLink::default());
+        bs.queue_limit_bytes = 64 << 20;
+        let mut ids = Vec::new();
+        for i in 0..10 {
+            ids.push(
+                bs.add_subscriber(
+                    1000.0 + i as f64 * 3000.0,
+                    false,
+                    ServiceClass::BestEffort,
+                    0.0,
+                )
+                .expect("in range"),
+            );
+        }
+        let mut sim = Simulation::new(bs);
+        boot(&mut sim);
+        for &ss in &ids {
+            sim.scheduler_mut().schedule_at(
+                SimTime::ZERO,
+                WimaxEvent::Offer {
+                    ss,
+                    bytes: 10_000_000,
+                },
+            );
+        }
+        sim.run_until(SimTime::from_secs(1));
+        black_box(sim.world().total_delivered())
     });
-}
-
-fn main() {
-    let mut c = criterion_fast();
-    bench(&mut c);
-    c.final_summary();
 }

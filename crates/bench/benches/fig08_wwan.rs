@@ -1,31 +1,24 @@
 //! FIG-1.8 — regenerates the satellite/cellular comparison and times
 //! the drive-test handoff scan plus the Erlang-B solver.
 
-use criterion::{black_box, Criterion};
-use wn_bench::{criterion_fast, print_figure, print_report};
+use std::hint::black_box;
+
+use wn_bench::{bench, print_figure, print_report};
 use wn_core::scenarios::fig_1_8_wwan;
 use wn_phy::geom::Point;
 use wn_wwan::cellular::{erlang_b_capacity, CellGrid};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (fig, report) = fig_1_8_wwan();
     print_figure(&fig);
     print_report(&report);
 
-    c.bench_function("fig08/drive_test_37_cells", |b| {
-        let grid = CellGrid::hex(3, 1500.0);
-        b.iter(|| {
-            black_box(grid.drive_test(Point::new(-8000.0, 100.0), Point::new(8000.0, 100.0), 2000))
-        })
+    let grid = CellGrid::hex(3, 1500.0);
+    bench("fig08/drive_test_37_cells", || {
+        black_box(grid.drive_test(Point::new(-8000.0, 100.0), Point::new(8000.0, 100.0), 2000))
     });
 
-    c.bench_function("fig08/erlang_b_inverse", |b| {
-        b.iter(|| black_box(erlang_b_capacity(60, 0.02)))
+    bench("fig08/erlang_b_inverse", || {
+        black_box(erlang_b_capacity(60, 0.02))
     });
-}
-
-fn main() {
-    let mut c = criterion_fast();
-    bench(&mut c);
-    c.final_summary();
 }

@@ -1,8 +1,9 @@
 //! FIG-1.10 — regenerates the ESS roaming walk (handoff gap, session
 //! survival) and times association establishment.
 
-use criterion::{black_box, Criterion};
-use wn_bench::{criterion_fast, print_report};
+use std::hint::black_box;
+
+use wn_bench::{bench, print_report};
 use wn_core::scenarios::fig_1_10_ess_roaming;
 use wn_mac80211::sim::MacConfig;
 use wn_net80211::builder::EssBuilder;
@@ -11,7 +12,7 @@ use wn_phy::geom::Point;
 use wn_phy::modulation::PhyStandard;
 use wn_sim::SimTime;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (outcome, report) = fig_1_10_ess_roaming(5);
     println!(
         "roaming outcome: {} associations, order {:?}, handoff gap {:?} s, {}/{} delivered",
@@ -23,24 +24,16 @@ fn bench(c: &mut Criterion) {
     );
     print_report(&report);
 
-    c.bench_function("fig10/scan_auth_assoc", |b| {
-        b.iter(|| {
-            let ssid = Ssid::new("Bench").expect("valid");
-            let mut mac = MacConfig::new(PhyStandard::Dot11g);
-            mac.seed = 3;
-            let mut ess = EssBuilder::new(mac, ssid)
-                .ap(Point::new(0.0, 0.0), 1)
-                .sta(Point::new(10.0, 0.0))
-                .build();
-            ess.sim.run_until(SimTime::from_secs(1));
-            let aid = ess.sta_shared[0].borrow().aid;
-            black_box(aid)
-        })
+    bench("fig10/scan_auth_assoc", || {
+        let ssid = Ssid::new("Bench").expect("valid");
+        let mut mac = MacConfig::new(PhyStandard::Dot11g);
+        mac.seed = 3;
+        let mut ess = EssBuilder::new(mac, ssid)
+            .ap(Point::new(0.0, 0.0), 1)
+            .sta(Point::new(10.0, 0.0))
+            .build();
+        ess.sim.run_until(SimTime::from_secs(1));
+        let aid = ess.sta_shared[0].borrow().aid;
+        black_box(aid)
     });
-}
-
-fn main() {
-    let mut c = criterion_fast();
-    bench(&mut c);
-    c.final_summary();
 }

@@ -1,13 +1,14 @@
 //! FIG-1.11/1.12 — regenerates the MAC frame anatomy/overhead data and
 //! times the bit-exact codec (serialise + FCS + parse).
 
-use criterion::{black_box, Criterion};
-use wn_bench::{criterion_fast, print_figure, print_report};
+use std::hint::black_box;
+
+use wn_bench::{bench, print_figure, print_report};
 use wn_core::scenarios::fig_1_12_frame_overhead;
 use wn_mac80211::addr::MacAddr;
 use wn_mac80211::frame::{DsBits, Frame, SequenceControl};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (fig, report) = fig_1_12_frame_overhead();
     print_figure(&fig);
     print_report(&report);
@@ -23,21 +24,21 @@ fn bench(c: &mut Criterion) {
         },
         vec![0xAB; 1500],
     );
-    c.bench_function("fig12/serialize_1500B", |b| {
-        b.iter(|| black_box(frame.to_bytes()))
-    });
-    let wire = frame.to_bytes();
-    c.bench_function("fig12/parse_and_verify_fcs_1500B", |b| {
-        b.iter(|| black_box(Frame::from_bytes(&wire).expect("valid frame")))
-    });
-    c.bench_function("fig12/roundtrip_ack", |b| {
-        let ack = Frame::ack(MacAddr::station(7));
-        b.iter(|| black_box(Frame::from_bytes(&ack.to_bytes()).expect("valid ack")))
-    });
-}
+    bench("fig12/serialize_1500B", || black_box(frame.to_bytes()));
 
-fn main() {
-    let mut c = criterion_fast();
-    bench(&mut c);
-    c.final_summary();
+    let mut buf = Vec::with_capacity(frame.wire_len());
+    bench("fig12/write_into_1500B_reused_buf", || {
+        buf.clear();
+        frame.write_into(&mut buf);
+        black_box(buf.len())
+    });
+
+    let wire = frame.to_bytes();
+    bench("fig12/parse_and_verify_fcs_1500B", || {
+        black_box(Frame::from_bytes(&wire).expect("valid frame"))
+    });
+    let ack = Frame::ack(MacAddr::station(7));
+    bench("fig12/roundtrip_ack", || {
+        black_box(Frame::from_bytes(&ack.to_bytes()).expect("valid ack"))
+    });
 }

@@ -1,14 +1,15 @@
 //! FIG-1.13 — regenerates the rate-vs-distance ladders of all six PHY
 //! generations (with the ARF ablation) and times the link-budget math.
 
-use criterion::{black_box, Criterion};
-use wn_bench::{criterion_fast, print_figure, print_report};
+use std::hint::black_box;
+
+use wn_bench::{bench, print_figure, print_report};
 use wn_core::scenarios::{fig_1_13_phy_ladder, wlan_saturation_mbps};
 use wn_phy::medium::{LinkBudget, Radio};
 use wn_phy::modulation::PhyStandard;
 use wn_phy::propagation::LogDistance;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (fig, report) = fig_1_13_phy_ladder();
     print_figure(&fig);
     print_report(&report);
@@ -19,24 +20,16 @@ fn bench(c: &mut Criterion) {
     let with_arf = wlan_saturation_mbps(PhyStandard::Dot11g, 4, false, 21);
     println!("  adaptive (default): {with_arf:.1} Mbps");
 
-    c.bench_function("fig13/best_rate_sweep", |b| {
-        let lb = LinkBudget::for_standard(PhyStandard::Dot11g, Radio::consumer_wifi());
-        let model = LogDistance::indoor();
-        b.iter(|| {
-            let mut acc = 0.0;
-            for i in 1..=200 {
-                let d = i as f64;
-                if let Some(step) = lb.best_rate_at(PhyStandard::Dot11g, &model, d) {
-                    acc += step.rate.bps();
-                }
+    let lb = LinkBudget::for_standard(PhyStandard::Dot11g, Radio::consumer_wifi());
+    let model = LogDistance::indoor();
+    bench("fig13/best_rate_sweep", || {
+        let mut acc = 0.0;
+        for i in 1..=200 {
+            let d = i as f64;
+            if let Some(step) = lb.best_rate_at(PhyStandard::Dot11g, &model, d) {
+                acc += step.rate.bps();
             }
-            black_box(acc)
-        })
+        }
+        black_box(acc)
     });
-}
-
-fn main() {
-    let mut c = criterion_fast();
-    bench(&mut c);
-    c.final_summary();
 }

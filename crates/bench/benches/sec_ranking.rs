@@ -1,50 +1,43 @@
 //! SEC-RANK — regenerates the §5.2 security ranking with a live WEP
 //! crack, and times the attack kernels.
 
-use criterion::{black_box, Criterion};
-use wn_bench::{criterion_fast, print_figure, print_report};
+use std::hint::black_box;
+
+use wn_bench::{bench, print_figure, print_report};
 use wn_core::scenarios::sec_ranking;
 use wn_security::attacks::fms::{directed_capture, recover_key};
 use wn_security::handshake::{passphrase_matches, run_handshake};
 use wn_security::wep::WepKey;
 use wn_security::wps::{brute_force, Registrar, WpsPin};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (fig, report) = sec_ranking();
     print_figure(&fig);
     print_report(&report);
 
-    c.bench_function("sec/fms_crack_40bit", |b| {
-        let key = WepKey::new(b"\x42\x13\x37\xC0\xDE").expect("5 bytes");
-        let (samples, reference) = directed_capture(&key);
-        b.iter(|| {
-            let r = recover_key(&samples, 5, &reference, 3, 10_000);
-            assert!(r.key.is_some());
-            black_box(r.nodes_explored)
-        })
+    let key = WepKey::new(b"\x42\x13\x37\xC0\xDE").expect("5 bytes");
+    let (samples, reference) = directed_capture(&key);
+    bench("sec/fms_crack_40bit", || {
+        let r = recover_key(&samples, 5, &reference, 3, 10_000);
+        assert!(r.key.is_some());
+        black_box(r.nodes_explored)
     });
 
-    c.bench_function("sec/pbkdf2_guess", |b| {
-        // One dictionary guess = one 4096-iteration PBKDF2 + PTK + MIC.
-        let (_ptk, hs) = run_handshake(
-            "correct",
-            "Net",
-            [2, 0xAB, 0, 0, 0, 1],
-            [2, 0, 0, 0, 0, 7],
-            [1; 32],
-            [2; 32],
-        );
-        b.iter(|| black_box(passphrase_matches(&hs, "Net", "wrong-guess")))
+    // One dictionary guess = one 4096-iteration PBKDF2 + PTK + MIC.
+    let (_ptk, hs) = run_handshake(
+        "correct",
+        "Net",
+        [2, 0xAB, 0, 0, 0, 1],
+        [2, 0, 0, 0, 0, 7],
+        [1; 32],
+        [2; 32],
+    );
+    bench("sec/pbkdf2_guess", || {
+        black_box(passphrase_matches(&hs, "Net", "wrong-guess"))
     });
 
-    c.bench_function("sec/wps_full_search", |b| {
-        let reg = Registrar::new(WpsPin::from_first7(9_999_999));
-        b.iter(|| black_box(brute_force(&reg).attempts))
+    let reg = Registrar::new(WpsPin::from_first7(9_999_999));
+    bench("sec/wps_full_search", || {
+        black_box(brute_force(&reg).attempts)
     });
-}
-
-fn main() {
-    let mut c = criterion_fast();
-    bench(&mut c);
-    c.final_summary();
 }

@@ -1,12 +1,13 @@
 //! TAB-8.1 — regenerates the closing "Comparison of wireless networks
 //! types" table, paper vs measured, and times a full table rebuild.
 
-use criterion::{black_box, Criterion};
-use wn_bench::{criterion_fast, print_report};
+use std::hint::black_box;
+
+use wn_bench::{bench, print_report};
 use wn_core::registry::comparison_table;
 use wn_core::scenarios::table_8_1;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!(
         "\n{:<16} {:<6} {:<28} {:>13} {:>13} {:>11} {:>11}",
         "name", "class", "standard", "paper rate", "measured", "paper rng", "measured"
@@ -25,13 +26,7 @@ fn bench(c: &mut Criterion) {
     }
     print_report(&table_8_1());
 
-    c.bench_function("table81/full_rebuild", |b| {
-        b.iter(|| black_box(comparison_table().len()))
+    bench("table81/full_rebuild", || {
+        black_box(comparison_table().len())
     });
-}
-
-fn main() {
-    let mut c = criterion_fast();
-    bench(&mut c);
-    c.final_summary();
 }

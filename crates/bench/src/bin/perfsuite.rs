@@ -1,0 +1,120 @@
+//! perfsuite — times the full experiment campaign serial vs parallel
+//! and records throughput to `BENCH_campaign.json`.
+//!
+//! Run with: `cargo run --release -p wn-bench --bin perfsuite`
+//!
+//! The serial pass runs the campaign on one worker; the parallel pass
+//! uses `--threads N` (default: detected parallelism / `WN_THREADS`).
+//! Both passes produce byte-identical reports — the suite asserts this
+//! — so the speedup is measured on genuinely equivalent work. Events
+//! per second comes from the simulation kernel's global processed-event
+//! counter, not wall-clock guesswork.
+
+use std::time::Instant;
+
+use wn_core::runner;
+use wn_sim::{global_events_processed, worker_count};
+
+struct Pass {
+    threads: usize,
+    wall_s: f64,
+    events: u64,
+    markdown: String,
+}
+
+fn run_pass(threads: usize) -> Pass {
+    let ev0 = global_events_processed();
+    let t0 = Instant::now();
+    let markdown = runner::campaign_markdown(threads);
+    let wall_s = t0.elapsed().as_secs_f64();
+    Pass {
+        threads,
+        wall_s,
+        events: global_events_processed() - ev0,
+        markdown,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut parallel_threads: Option<usize> = None;
+    let mut out_path = String::from("BENCH_campaign.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                parallel_threads = args.get(i).and_then(|v| v.parse().ok()).filter(|&n| n >= 1);
+                if parallel_threads.is_none() {
+                    eprintln!("--threads needs a count >= 1");
+                    std::process::exit(2);
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out_path = p.clone(),
+                    None => {
+                        eprintln!("--out needs a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown flag '{other}' (supported: --threads N, --out PATH)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let parallel_threads = parallel_threads.unwrap_or_else(worker_count).max(1);
+
+    eprintln!("perfsuite: serial pass (1 thread)…");
+    let serial = run_pass(1);
+    eprintln!(
+        "perfsuite: serial {:.2} s, {} events ({:.0} ev/s)",
+        serial.wall_s,
+        serial.events,
+        serial.events as f64 / serial.wall_s
+    );
+    eprintln!("perfsuite: parallel pass ({parallel_threads} threads)…");
+    let parallel = run_pass(parallel_threads);
+    eprintln!(
+        "perfsuite: parallel {:.2} s, {} events ({:.0} ev/s)",
+        parallel.wall_s,
+        parallel.events,
+        parallel.events as f64 / parallel.wall_s
+    );
+
+    assert_eq!(
+        serial.markdown, parallel.markdown,
+        "campaign output must be byte-identical across thread counts"
+    );
+    assert_eq!(
+        serial.events, parallel.events,
+        "both passes must process the same simulated events"
+    );
+
+    let speedup = serial.wall_s / parallel.wall_s;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"campaign\": \"EXPERIMENTS.md full regeneration\",\n  \"host_cores\": {cores},\n  \"identical_output\": true,\n  \"serial\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"parallel\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"speedup\": {:.2}\n}}\n",
+        serial.threads,
+        serial.wall_s,
+        serial.events,
+        serial.events as f64 / serial.wall_s,
+        parallel.threads,
+        parallel.wall_s,
+        parallel.events,
+        parallel.events as f64 / parallel.wall_s,
+        speedup
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("perfsuite: cannot write '{out_path}': {e}");
+        std::process::exit(2);
+    }
+    eprintln!("perfsuite: speedup {speedup:.2}x on {cores} core(s) -> {out_path}");
+    print!("{json}");
+}

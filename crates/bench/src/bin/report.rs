@@ -1,71 +1,74 @@
-//! Regenerates `EXPERIMENTS.md`: runs every experiment and writes the
-//! paper-vs-measured record.
+//! Regenerates `EXPERIMENTS.md`: runs every registered experiment
+//! through the `wn-core` campaign runner and writes the paper-vs-
+//! measured record.
 //!
 //! Run with: `cargo run -p wn-bench --bin report > EXPERIMENTS.md`
+//!
+//! Flags:
+//! - `--threads N` — worker count for the campaign pool (default: the
+//!   `WN_THREADS` env var, else the machine's parallelism). Output is
+//!   byte-identical for every N.
+//! - `--only <id>` — run a single experiment (repeatable); sections
+//!   come out in registry order, without the file preamble.
+//! - `--list` — print the experiment registry and exit.
 
-use wn_core::scenarios::*;
+use wn_core::runner;
 
 fn main() {
-    println!("# EXPERIMENTS — paper vs measured\n");
-    println!("Regenerated by `cargo run -p wn-bench --bin report`. Every");
-    println!("experiment id maps to a figure/table of the source text and a");
-    println!("bench target in `crates/bench/benches/` (see DESIGN.md §5).\n");
-    println!("The reproduction criterion is *shape*, not absolute numbers:");
-    println!("who wins, by roughly what factor, where the cutoffs fall.\n");
-
-    // FIG-1.1 — printed as the classification scatter.
-    let fig = fig_1_1_classification();
-    println!("### FIG-1.1 — classification scatter [PASS]\n");
-    println!("Measured (range, rate) per technology:\n");
-    println!("| technology | range [m] | peak rate [Mbps] |");
-    println!("|---|---|---|");
-    for s in &fig.series {
-        let (r, m) = s.points[0];
-        println!("| {} | {:.0} | {:.1} |", s.label, r, m);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut only: Vec<String> = Vec::new();
+    let mut threads: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--only" => {
+                i += 1;
+                let id = args.get(i).unwrap_or_else(|| {
+                    eprintln!("--only needs an experiment id (see --list)");
+                    std::process::exit(2);
+                });
+                only.push(id.clone());
+            }
+            "--threads" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a count >= 1");
+                        std::process::exit(2);
+                    });
+                threads = Some(n);
+            }
+            "--list" => {
+                for e in runner::experiments() {
+                    println!("{:12} {}", e.id, e.title);
+                }
+                return;
+            }
+            other => {
+                eprintln!("unknown flag '{other}' (supported: --only <id>, --threads N, --list)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
     }
-    println!();
+    let threads = threads.unwrap_or_else(wn_sim::worker_count);
 
-    let (_f, r) = fig_1_2_bluetooth();
-    println!("{}", r.to_markdown());
-    let (_f, r) = fig_2_irda();
-    println!("{}", r.to_markdown());
-    let (_f, r) = fig_1_4_zigbee(42);
-    println!("{}", r.to_markdown());
-    let (_f, r) = fig_1_5_uwb();
-    println!("{}", r.to_markdown());
-    let (_f, r) = fig_1_6_wlan_home(42);
-    println!("{}", r.to_markdown());
-    let (_f, r) = fig_1_7_wimax();
-    println!("{}", r.to_markdown());
-    let (_f, r) = fig_1_8_wwan();
-    println!("{}", r.to_markdown());
-    let (_f, r) = fig_1_9_ibss_vs_bss(42);
-    println!("{}", r.to_markdown());
-    let (outcome, r) = fig_1_10_ess_roaming(5);
-    println!("{}", r.to_markdown());
-    println!(
-        "measured handoff gap: {:?} s; deliveries {}/{}\n",
-        outcome.handoff_gap_s, outcome.delivered, outcome.offered
-    );
-    let (_f, r) = fig_1_12_frame_overhead();
-    println!("{}", r.to_markdown());
-    let (_f, r) = fig_1_13_phy_ladder();
-    println!("{}", r.to_markdown());
-    let (_f, r) = sec_ranking();
-    println!("{}", r.to_markdown());
-    let (_f, r) = adv_tradeoffs(13);
-    println!("{}", r.to_markdown());
-    let (_f, r) = ablation_cw_sweep(17);
-    println!("{}", r.to_markdown());
-    let (_f, r) = ablation_capture(19);
-    println!("{}", r.to_markdown());
-    let (_f, r) = ablation_arf(23);
-    println!("{}", r.to_markdown());
-    let (_f, r) = adjacent_channels(29);
-    println!("{}", r.to_markdown());
-    let (_f, r) = fading_link(37);
-    println!("{}", r.to_markdown());
-    let (_f, r) = energy_budget();
-    println!("{}", r.to_markdown());
-    println!("{}", table_8_1().to_markdown());
+    if only.is_empty() {
+        print!("{}", runner::campaign_markdown(threads));
+    } else {
+        match runner::run_selected(threads, &only) {
+            Ok(outputs) => {
+                for o in outputs {
+                    print!("{}", o.markdown);
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
 }

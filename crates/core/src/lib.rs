@@ -14,6 +14,9 @@
 //! - [`scenarios`] — one function per figure of the text, returning
 //!   [`wn_sim::stats::Figure`] data the benches print.
 //! - [`experiment`] — paper-vs-measured reporting for EXPERIMENTS.md.
+//! - [`runner`] — the campaign registry: every experiment behind a
+//!   stable id, fanned across the `wn-sim` worker pool with
+//!   byte-identical output for any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +24,7 @@
 pub mod energy;
 pub mod experiment;
 pub mod registry;
+pub mod runner;
 pub mod scenarios;
 pub mod taxonomy;
 pub mod traffic;

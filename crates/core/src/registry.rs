@@ -263,8 +263,11 @@ impl Technology {
 }
 
 /// Builds the entire comparison table (runs every measurement).
+///
+/// The 13 measurements are independent simulations, so they sweep
+/// through the worker pool; row order stays `Technology::all()` order.
 pub fn comparison_table() -> Vec<TechnologyRow> {
-    Technology::all().into_iter().map(Technology::row).collect()
+    wn_sim::par_map(Technology::all(), Technology::row)
 }
 
 #[cfg(test)]

@@ -1,0 +1,307 @@
+//! The campaign runner: a registry of every experiment in the
+//! reproduction, executed through the `wn-sim` worker pool.
+//!
+//! Each [`Experiment`] couples a stable id (the figure/table of the
+//! source text it reproduces) with a zero-argument function that runs
+//! the scenario — seeds baked in, so a campaign is reproducible by
+//! construction — and renders its Markdown section. [`run_campaign`]
+//! fans the registry across threads with [`wn_sim::par_map_with`];
+//! because results come back in registry order and every scenario is
+//! seed-deterministic, the assembled report is byte-identical for any
+//! worker count.
+
+use std::fmt::Write as _;
+
+use crate::experiment::ExperimentReport;
+use crate::scenarios;
+
+/// The rendered result of one experiment run.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutput {
+    /// The experiment id, e.g. `"FIG-1.6"`.
+    pub id: &'static str,
+    /// The Markdown section exactly as it appears in EXPERIMENTS.md.
+    pub markdown: String,
+    /// Whether every comparison and claim held.
+    pub passed: bool,
+}
+
+/// One registered experiment: id, summary, and how to run it.
+pub struct Experiment {
+    /// Stable id matching the section header ("FIG-1.13", "ABL-CW", …).
+    pub id: &'static str,
+    /// One-line summary (the report title).
+    pub title: &'static str,
+    run: fn() -> ExperimentOutput,
+}
+
+impl Experiment {
+    /// Runs the experiment, producing its rendered section.
+    pub fn run(&self) -> ExperimentOutput {
+        (self.run)()
+    }
+}
+
+/// Renders the standard report section: `to_markdown()` plus the blank
+/// line the report generator leaves between sections.
+fn section(id: &'static str, report: ExperimentReport) -> ExperimentOutput {
+    ExperimentOutput {
+        id,
+        passed: report.passed(),
+        markdown: format!("{}\n", report.to_markdown()),
+    }
+}
+
+fn run_fig_1_1() -> ExperimentOutput {
+    let fig = scenarios::fig_1_1_classification();
+    let mut md = String::new();
+    let _ = writeln!(md, "### FIG-1.1 — classification scatter [PASS]\n");
+    let _ = writeln!(md, "Measured (range, rate) per technology:\n");
+    let _ = writeln!(md, "| technology | range [m] | peak rate [Mbps] |");
+    let _ = writeln!(md, "|---|---|---|");
+    for s in &fig.series {
+        let (r, m) = s.points[0];
+        let _ = writeln!(md, "| {} | {:.0} | {:.1} |", s.label, r, m);
+    }
+    let _ = writeln!(md);
+    ExperimentOutput {
+        id: "FIG-1.1",
+        passed: true,
+        markdown: md,
+    }
+}
+
+fn run_fig_1_2() -> ExperimentOutput {
+    section("FIG-1.2", scenarios::fig_1_2_bluetooth().1)
+}
+
+fn run_fig_2() -> ExperimentOutput {
+    section("FIG-2", scenarios::fig_2_irda().1)
+}
+
+fn run_fig_1_4() -> ExperimentOutput {
+    section("FIG-1.4", scenarios::fig_1_4_zigbee(42).1)
+}
+
+fn run_fig_1_5() -> ExperimentOutput {
+    section("FIG-1.5", scenarios::fig_1_5_uwb().1)
+}
+
+fn run_fig_1_6() -> ExperimentOutput {
+    section("FIG-1.6", scenarios::fig_1_6_wlan_home(42).1)
+}
+
+fn run_fig_1_7() -> ExperimentOutput {
+    section("FIG-1.7", scenarios::fig_1_7_wimax().1)
+}
+
+fn run_fig_1_8() -> ExperimentOutput {
+    section("FIG-1.8", scenarios::fig_1_8_wwan().1)
+}
+
+fn run_fig_1_9() -> ExperimentOutput {
+    section("FIG-1.9", scenarios::fig_1_9_ibss_vs_bss(42).1)
+}
+
+fn run_fig_1_10() -> ExperimentOutput {
+    let (outcome, r) = scenarios::fig_1_10_ess_roaming(5);
+    let mut md = format!("{}\n", r.to_markdown());
+    let _ = writeln!(
+        md,
+        "measured handoff gap: {:?} s; deliveries {}/{}\n",
+        outcome.handoff_gap_s, outcome.delivered, outcome.offered
+    );
+    ExperimentOutput {
+        id: "FIG-1.10",
+        passed: r.passed(),
+        markdown: md,
+    }
+}
+
+fn run_fig_1_12() -> ExperimentOutput {
+    section("FIG-1.12", scenarios::fig_1_12_frame_overhead().1)
+}
+
+fn run_fig_1_13() -> ExperimentOutput {
+    section("FIG-1.13", scenarios::fig_1_13_phy_ladder().1)
+}
+
+fn run_sec_rank() -> ExperimentOutput {
+    section("SEC-RANK", scenarios::sec_ranking().1)
+}
+
+fn run_adv_6() -> ExperimentOutput {
+    section("ADV-6", scenarios::adv_tradeoffs(13).1)
+}
+
+fn run_abl_cw() -> ExperimentOutput {
+    section("ABL-CW", scenarios::ablation_cw_sweep(17).1)
+}
+
+fn run_abl_capture() -> ExperimentOutput {
+    section("ABL-CAPTURE", scenarios::ablation_capture(19).1)
+}
+
+fn run_abl_arf() -> ExperimentOutput {
+    section("ABL-ARF", scenarios::ablation_arf(23).1)
+}
+
+fn run_abl_adj() -> ExperimentOutput {
+    section("ABL-ADJ", scenarios::adjacent_channels(29).1)
+}
+
+fn run_abl_fading() -> ExperimentOutput {
+    section("ABL-FADING", scenarios::fading_link(37).1)
+}
+
+fn run_energy() -> ExperimentOutput {
+    section("ENERGY-2.1", scenarios::energy_budget().1)
+}
+
+fn run_tab_8_1() -> ExperimentOutput {
+    section("TAB-8.1", scenarios::table_8_1())
+}
+
+/// The full registry, in the order sections appear in EXPERIMENTS.md.
+pub fn experiments() -> Vec<Experiment> {
+    macro_rules! exp {
+        ($id:literal, $title:literal, $f:ident) => {
+            Experiment {
+                id: $id,
+                title: $title,
+                run: $f,
+            }
+        };
+    }
+    vec![
+        exp!("FIG-1.1", "Classification scatter", run_fig_1_1),
+        exp!("FIG-1.2", "Bluetooth piconets and scatternet", run_fig_1_2),
+        exp!("FIG-2", "IrDA point-to-point link", run_fig_2),
+        exp!("FIG-1.4", "ZigBee star/mesh/cluster-tree", run_fig_1_4),
+        exp!("FIG-1.5", "UWB power/bandwidth usage", run_fig_1_5),
+        exp!("FIG-1.6", "Home WLAN throughput", run_fig_1_6),
+        exp!("FIG-1.7", "WiMAX point-to-multipoint", run_fig_1_7),
+        exp!("FIG-1.8", "Satellite and cellular networks", run_fig_1_8),
+        exp!("FIG-1.9", "Independent vs infrastructure BSS", run_fig_1_9),
+        exp!("FIG-1.10", "ESS roaming (seamless handoff)", run_fig_1_10),
+        exp!("FIG-1.12", "802.11 MAC frame format", run_fig_1_12),
+        exp!("FIG-1.13", "802.11 PHY standards ladder", run_fig_1_13),
+        exp!(
+            "SEC-RANK",
+            "Wi-Fi security methods, best to worst",
+            run_sec_rank
+        ),
+        exp!("ADV-6", "Interference and coverage black spots", run_adv_6),
+        exp!("ABL-CW", "Binary exponential backoff ablation", run_abl_cw),
+        exp!(
+            "ABL-CAPTURE",
+            "SINR capture effect ablation",
+            run_abl_capture
+        ),
+        exp!("ABL-ARF", "ARF rate-fallback ablation", run_abl_arf),
+        exp!("ABL-ADJ", "Adjacent-channel interference", run_abl_adj),
+        exp!("ABL-FADING", "Rate adaptation under fading", run_abl_fading),
+        exp!("ENERGY-2.1", "WPAN low-power positioning", run_energy),
+        exp!(
+            "TAB-8.1",
+            "Comparison of wireless network types",
+            run_tab_8_1
+        ),
+    ]
+}
+
+/// The fixed preamble of EXPERIMENTS.md.
+pub fn header() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# EXPERIMENTS — paper vs measured\n");
+    let _ = writeln!(
+        out,
+        "Regenerated by `cargo run -p wn-bench --bin report`. Every"
+    );
+    let _ = writeln!(
+        out,
+        "experiment id maps to a figure/table of the source text and a"
+    );
+    let _ = writeln!(
+        out,
+        "bench target in `crates/bench/benches/` (see DESIGN.md §5).\n"
+    );
+    let _ = writeln!(
+        out,
+        "The reproduction criterion is *shape*, not absolute numbers:"
+    );
+    let _ = writeln!(
+        out,
+        "who wins, by roughly what factor, where the cutoffs fall.\n"
+    );
+    out
+}
+
+/// Runs every experiment on `threads` workers, in registry order.
+pub fn run_campaign(threads: usize) -> Vec<ExperimentOutput> {
+    wn_sim::par_map_with(threads, experiments(), |e| e.run())
+}
+
+/// Runs the whole campaign and assembles EXPERIMENTS.md.
+///
+/// The output is byte-identical for every `threads` value: scenarios
+/// are seed-deterministic and [`wn_sim::par_map_with`] returns results
+/// in input (registry) order.
+pub fn campaign_markdown(threads: usize) -> String {
+    let mut out = header();
+    for s in run_campaign(threads) {
+        out.push_str(&s.markdown);
+    }
+    out
+}
+
+/// Runs only the experiments whose ids appear in `ids` (matched
+/// case-insensitively), preserving registry order.
+///
+/// Returns an error naming the first unknown id.
+pub fn run_selected(threads: usize, ids: &[String]) -> Result<Vec<ExperimentOutput>, String> {
+    let all = experiments();
+    for want in ids {
+        if !all.iter().any(|e| e.id.eq_ignore_ascii_case(want)) {
+            return Err(format!(
+                "unknown experiment id '{want}' (try --list for the registry)"
+            ));
+        }
+    }
+    let picked: Vec<Experiment> = all
+        .into_iter()
+        .filter(|e| ids.iter().any(|w| e.id.eq_ignore_ascii_case(w)))
+        .collect();
+    Ok(wn_sim::par_map_with(threads, picked, |e| e.run()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_ordered_like_the_report() {
+        let exps = experiments();
+        assert_eq!(exps.len(), 21);
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &exps {
+            assert!(seen.insert(e.id), "duplicate id {}", e.id);
+        }
+        assert_eq!(exps[0].id, "FIG-1.1");
+        assert_eq!(exps.last().unwrap().id, "TAB-8.1");
+    }
+
+    #[test]
+    fn unknown_id_is_rejected() {
+        let err = run_selected(1, &["FIG-9.9".to_string()]).unwrap_err();
+        assert!(err.contains("FIG-9.9"));
+    }
+
+    #[test]
+    fn selection_preserves_registry_order() {
+        let out =
+            run_selected(2, &["FIG-1.13".to_string(), "FIG-1.5".to_string()]).expect("known ids");
+        let ids: Vec<&str> = out.iter().map(|o| o.id).collect();
+        assert_eq!(ids, ["FIG-1.5", "FIG-1.13"]);
+    }
+}

@@ -16,7 +16,7 @@ use wn_phy::medium::{LinkBudget, Radio};
 use wn_phy::modulation::PhyStandard;
 use wn_phy::propagation::{LogDistance, Shadowing};
 use wn_sim::stats::Figure;
-use wn_sim::{SimDuration, SimTime, Simulation};
+use wn_sim::{par_map, SimDuration, SimTime, Simulation};
 
 /// FIG-1.1 — the classification scatter: nominal range vs peak rate
 /// per technology, measured.
@@ -45,10 +45,10 @@ pub fn fig_1_2_bluetooth() -> (Figure, ExperimentReport) {
         "active slaves",
         "kbps",
     );
-    let per_slave = fig.add_series("per-slave");
     let secs = 5u64;
-    let mut aggregate_points = Vec::new();
-    for n in 1..=7usize {
+    // Each slave count is an independent piconet simulation — fan the
+    // sweep across the pool.
+    let totals: Vec<f64> = par_map((1..=7usize).collect(), |n| {
         let mut net = BtNetwork::new();
         let m = net.add_device(Point::new(0.0, 0.0), DeviceClass::Class2);
         let p = net.form_piconet(m).expect("fresh master");
@@ -62,16 +62,19 @@ pub fn fig_1_2_bluetooth() -> (Figure, ExperimentReport) {
         let mut sim = Simulation::new(net);
         bt_boot(&mut sim);
         sim.run_until(SimTime::from_secs(secs));
-        let total_kbps: f64 = slaves
+        slaves
             .iter()
             .map(|&s| sim.world().delivered_bytes(s) as f64 * 8.0 / secs as f64 / 1e3)
-            .sum();
+            .sum()
+    });
+    let per_slave = fig.add_series("per-slave");
+    for (i, &total_kbps) in totals.iter().enumerate() {
+        let n = i + 1;
         per_slave.push(n as f64, total_kbps / n as f64);
-        aggregate_points.push((n as f64, total_kbps));
     }
     let agg = fig.add_series("aggregate");
-    for (x, y) in aggregate_points {
-        agg.push(x, y);
+    for (i, &total_kbps) in totals.iter().enumerate() {
+        agg.push((i + 1) as f64, total_kbps);
     }
 
     // Scatternet: intra vs cross throughput.
@@ -87,8 +90,8 @@ pub fn fig_1_2_bluetooth() -> (Figure, ExperimentReport) {
         sim.run_until(SimTime::from_secs(5));
         sim.world().delivered_bytes(if cross { 5 } else { 3 }) as f64 * 8.0 / 5.0 / 1e3
     };
-    let intra = run(false);
-    let cross = run(true);
+    let scatter = par_map(vec![false, true], run);
+    let (intra, cross) = (scatter[0], scatter[1]);
     let mut report = ExperimentReport::new("FIG-1.2", "Bluetooth piconets and scatternet");
     let single = fig.series[0].points[0].1;
     report
@@ -173,12 +176,13 @@ pub fn fig_1_4_zigbee(seed: u64) -> (Figure, ExperimentReport) {
         }
         net
     };
-    let mut results = Vec::new();
-    for (name, topo) in [
+    // The three topologies are independent sims — sweep them in the pool.
+    let topos = vec![
         ("star", Topology::Star),
         ("mesh", Topology::Mesh),
         ("cluster-tree", Topology::ClusterTree),
-    ] {
+    ];
+    let results = par_map(topos, |(name, topo)| {
         let net = build(topo);
         let mut sim = Simulation::new(net);
         // Every sensor reports to the coordinator, staggered.
@@ -199,11 +203,13 @@ pub fn fig_1_4_zigbee(seed: u64) -> (Figure, ExperimentReport) {
         let delivery = w.stats.delivery_ratio(w.offered());
         let hops = w.stats.mean_hops();
         let latency_ms = w.stats.mean_latency_s() * 1e3;
+        (name, delivery, hops, latency_ms)
+    });
+    for &(name, delivery, hops, latency_ms) in &results {
         let s = fig.add_series(name);
         s.push(1.0, delivery);
         s.push(2.0, hops);
         s.push(3.0, latency_ms);
-        results.push((name, delivery, hops, latency_ms));
     }
     let mut report = ExperimentReport::new("FIG-1.4", "ZigBee star/mesh/cluster-tree");
     let star = results[0];
@@ -357,20 +363,22 @@ pub fn fig_1_6_wlan_home(seed: u64) -> (Figure, ExperimentReport) {
         "aggregate Mbps",
     );
     let counts = [1usize, 2, 4, 8];
-    let mut basic = Vec::new();
-    for &n in &counts {
-        basic.push((n, wlan_saturation_mbps(PhyStandard::Dot11g, n, false, seed)));
-    }
+    // All eight saturation points (4 station counts × basic/RTS) are
+    // independent sims; sweep them through the pool in one batch.
+    let jobs: Vec<(usize, bool)> = [false, true]
+        .iter()
+        .flat_map(|&rts| counts.iter().map(move |&n| (n, rts)))
+        .collect();
+    let mbps = par_map(jobs, |(n, rts)| {
+        (n, wlan_saturation_mbps(PhyStandard::Dot11g, n, rts, seed))
+    });
+    let (basic, with_rts) = mbps.split_at(counts.len());
     let s = fig.add_series("basic DCF");
-    for &(n, m) in &basic {
+    for &(n, m) in basic {
         s.push(n as f64, m);
     }
-    let mut with_rts = Vec::new();
-    for &n in &counts {
-        with_rts.push((n, wlan_saturation_mbps(PhyStandard::Dot11g, n, true, seed)));
-    }
     let s = fig.add_series("RTS/CTS");
-    for &(n, m) in &with_rts {
+    for &(n, m) in with_rts {
         s.push(n as f64, m);
     }
     let mut report = ExperimentReport::new("FIG-1.6", "Home WLAN throughput");
@@ -404,8 +412,10 @@ pub fn fig_1_7_wimax() -> (Figure, ExperimentReport) {
                 .unwrap_or(0.0),
         );
     }
-    let mut hi = WimaxLink::default();
-    hi.band = WimaxBand::LineOfSight;
+    let hi = WimaxLink {
+        band: WimaxBand::LineOfSight,
+        ..WimaxLink::default()
+    };
     let los = fig.add_series("10-66 GHz LOS");
     for km in [1.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0] {
         los.push(
@@ -687,16 +697,26 @@ pub fn fig_1_13_phy_ladder() -> (Figure, ExperimentReport) {
         "rate [Mbps]",
     );
     let model = LogDistance::indoor();
-    for std in PhyStandard::ALL {
+    // One ladder per PHY generation; each is independent, so compute the
+    // six ladders as parallel sweep points and assemble in ALL order.
+    let ladders = par_map(PhyStandard::ALL.to_vec(), |std| {
         let lb = LinkBudget::for_standard(std, Radio::consumer_wifi());
-        let s = fig.add_series(std.name());
-        for d in [
+        [
             1.0, 5.0, 10.0, 20.0, 30.0, 50.0, 75.0, 100.0, 150.0, 250.0, 400.0,
-        ] {
+        ]
+        .iter()
+        .map(|&d| {
             let rate = lb
                 .best_rate_at(std, &model, d)
                 .map(|r| r.rate.mbps())
                 .unwrap_or(0.0);
+            (d, rate)
+        })
+        .collect::<Vec<_>>()
+    });
+    for (std, points) in PhyStandard::ALL.iter().zip(ladders) {
+        let s = fig.add_series(std.name());
+        for (d, rate) in points {
             s.push(d, rate);
         }
     }
@@ -741,9 +761,13 @@ pub fn sec_ranking() -> (Figure, ExperimentReport) {
         "rank",
         "time-to-breach [log10 s]",
     );
+    // Each ranked method is an independent sweep point.
+    let points = par_map(breach_ranking(), |(rank, _m, t)| {
+        (rank as f64, (t.max(1.0)).log10())
+    });
     let s = fig.add_series("time-to-breach");
-    for (rank, _m, t) in breach_ranking() {
-        s.push(rank as f64, (t.max(1.0)).log10());
+    for (x, y) in points {
+        s.push(x, y);
     }
 
     // Live demonstration: actually crack a 64-bit WEP key.
@@ -831,8 +855,8 @@ pub fn adv_tradeoffs(seed: u64) -> (Figure, ExperimentReport) {
         let w = sim.world();
         (w.stats(a_rx).rx_payload_bytes + w.stats(b_rx).rx_payload_bytes) as f64 * 8.0 / 1e6
     };
-    let shared = run_pairs(true);
-    let separate = run_pairs(false);
+    let pairs = par_map(vec![true, false], run_pairs);
+    let (shared, separate) = (pairs[0], pairs[1]);
 
     // Black spots: fraction of positions in a 40×40 m floor where the
     // shadowed link to a corner AP cannot sustain even the base rate.
@@ -934,11 +958,12 @@ pub fn ablation_cw_sweep(seed: u64) -> (Figure, ExperimentReport) {
         sim.run_until(SimTime::from_secs(1));
         sim.world().stats(sink).rx_payload_bytes as f64 * 8.0 / 1e6
     };
-    let s = fig.add_series("aggregate");
     let cws = [3u32, 15, 63, 255];
+    // Four contended sweep points, all independent — run them in the pool.
+    let swept = par_map(cws.to_vec(), |cw| (cw, run(cw)));
+    let s = fig.add_series("aggregate");
     let mut results = Vec::new();
-    for &cw in &cws {
-        let m = run(cw);
+    for &(cw, m) in &swept {
         s.push(cw as f64, m);
         results.push((cw, m));
     }
@@ -976,9 +1001,9 @@ pub fn ablation_cw_sweep(seed: u64) -> (Figure, ExperimentReport) {
         sim.run_until(SimTime::from_secs(1));
         sim.world().stats(sink).rx_payload_bytes as f64 * 8.0 / 1e6
     };
+    let lights = par_map(vec![15u32, 1023], run_light);
+    let (light_15, light_1023) = (lights[0], lights[1]);
     let light = fig.add_series("1 sender");
-    let light_15 = run_light(15);
-    let light_1023 = run_light(1023);
     light.push(15.0, light_15);
     light.push(1023.0, light_1023);
 
@@ -1051,8 +1076,9 @@ pub fn ablation_capture(seed: u64) -> (Figure, ExperimentReport) {
             collisions,
         )
     };
-    let (on_near, on_far, on_coll) = run(true);
-    let (off_near, off_far, off_coll) = run(false);
+    let modes = par_map(vec![true, false], run);
+    let (on_near, on_far, on_coll) = modes[0];
+    let (off_near, off_far, off_coll) = modes[1];
     let mut fig = Figure::new(
         "ABL-CAPTURE — capture effect",
         "capture (0=off,1=on)",
@@ -1120,8 +1146,9 @@ pub fn ablation_arf(seed: u64) -> (Figure, ExperimentReport) {
             w.stats(tx).tx_failures,
         )
     };
-    let (adaptive_mbps, adaptive_fail) = run(true);
-    let (pinned_mbps, pinned_fail) = run(false);
+    let modes = par_map(vec![true, false], run);
+    let (adaptive_mbps, adaptive_fail) = modes[0];
+    let (pinned_mbps, pinned_fail) = modes[1];
     let mut fig = Figure::new(
         "ABL-ARF — rate adaptation at 78 m",
         "mode (0=pinned,1=ARF)",
@@ -1134,9 +1161,12 @@ pub fn ablation_arf(seed: u64) -> (Figure, ExperimentReport) {
     // (strong signals, heavy contention) rate fallback only makes
     // frames longer and throughput worse. This is the behaviour that
     // motivated AARF and collision-aware rate adaptation.
-    let contended_arf = wlan_saturation_full(PhyStandard::Dot11g, 4, false, seed, true, false);
-    let contended_aarf = wlan_saturation_full(PhyStandard::Dot11g, 4, false, seed, true, true);
-    let contended_fixed = wlan_saturation_full(PhyStandard::Dot11g, 4, false, seed, false, false);
+    let contended = par_map(
+        vec![(true, false), (true, true), (false, false)],
+        |(a, aa)| wlan_saturation_full(PhyStandard::Dot11g, 4, false, seed, a, aa),
+    );
+    let (contended_arf, contended_aarf, contended_fixed) =
+        (contended[0], contended[1], contended[2]);
     let p = fig.add_series("4-sta contention");
     p.push(0.0, contended_fixed);
     p.push(1.0, contended_arf);
@@ -1216,9 +1246,8 @@ pub fn adjacent_channels(seed: u64) -> (Figure, ExperimentReport) {
         let w = sim.world();
         (w.stats(a_rx).rx_payload_bytes + w.stats(b_rx).rx_payload_bytes) as f64 * 8.0 / 1e6
     };
-    let co = run(1);
-    let adjacent = run(3);
-    let orthogonal = run(6);
+    let plans = par_map(vec![1u8, 3, 6], run);
+    let (co, adjacent, orthogonal) = (plans[0], plans[1], plans[2]);
     let mut fig = Figure::new(
         "ABL-ADJ — 2.4 GHz channel plan (two BSS pairs)",
         "plan (1=co, 3=adjacent, 6=orthogonal)",
@@ -1289,9 +1318,11 @@ pub fn fading_link(seed: u64) -> (Figure, ExperimentReport) {
         let _ = tx;
         sim.world().stats(rx).rx_payload_bytes as f64 * 8.0 / 1e6
     };
-    let flat_pinned = run(false, false);
-    let faded_pinned = run(false, true);
-    let faded_arf = run(true, true);
+    let cases = par_map(
+        vec![(false, false), (false, true), (true, true)],
+        |(arf, faded)| run(arf, faded),
+    );
+    let (flat_pinned, faded_pinned, faded_arf) = (cases[0], cases[1], cases[2]);
     let mut fig = Figure::new(
         "ABL-FADING — Rayleigh fading at 55 m",
         "case (0=flat/pinned, 1=faded/pinned, 2=faded/ARF)",

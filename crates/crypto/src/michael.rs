@@ -36,7 +36,7 @@ pub fn michael(key: &[u8; 8], message: &[u8]) -> [u8; 8] {
     let mut padded = message.to_vec();
     padded.push(0x5A);
     padded.extend_from_slice(&[0, 0, 0, 0]);
-    while padded.len() % 4 != 0 {
+    while !padded.len().is_multiple_of(4) {
         padded.push(0x00);
     }
     for chunk in padded.chunks_exact(4) {

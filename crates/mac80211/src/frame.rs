@@ -258,6 +258,7 @@ pub struct SequenceCounter(u16);
 
 impl SequenceCounter {
     /// Returns the current number and advances (wraps at 4095 → 0).
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infinite, never None
     pub fn next(&mut self) -> u16 {
         let v = self.0;
         self.0 = (self.0 + 1) & 0x0FFF;
@@ -523,6 +524,21 @@ impl Frame {
     /// Serialises to on-air bytes, appending a correct FCS.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len());
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Serialises into `out` (appending), including a correct FCS.
+    ///
+    /// The FCS covers only this frame's bytes, so appending to a
+    /// non-empty buffer produces the same wire image as [`to_bytes`]
+    /// would at that offset. Lets hot paths reuse one allocation across
+    /// many serialisations.
+    ///
+    /// [`to_bytes`]: Frame::to_bytes
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.reserve(self.wire_len());
         out.extend_from_slice(&self.fc.pack().to_le_bytes());
         out.extend_from_slice(&self.duration_id.to_le_bytes());
         out.extend_from_slice(&self.addr1.0);
@@ -541,9 +557,8 @@ impl Frame {
                 out.extend_from_slice(&self.body);
             }
         }
-        let fcs = crc32(&out);
+        let fcs = crc32(&out[start..]);
         out.extend_from_slice(&fcs.to_le_bytes());
-        out
     }
 
     /// Parses on-air bytes, verifying the FCS — "The receiving STA then
@@ -729,6 +744,38 @@ mod tests {
         assert_eq!(bytes.len(), 24 + 18 + 4);
         let back = Frame::from_bytes(&bytes).unwrap();
         assert_eq!(back, f);
+    }
+
+    #[test]
+    fn write_into_matches_to_bytes_and_appends() {
+        let f = Frame::data(
+            DsBits::ToAp,
+            sta(9),
+            sta(1),
+            MacAddr::access_point(0),
+            SequenceControl {
+                fragment: 0,
+                sequence: 77,
+            },
+            b"hello over the air".to_vec(),
+        );
+        let ack = Frame::ack(sta(4));
+
+        let mut buf = Vec::new();
+        f.write_into(&mut buf);
+        assert_eq!(buf, f.to_bytes());
+
+        // Appending a second frame leaves the first intact and yields
+        // exactly the concatenation of the two wire images.
+        ack.write_into(&mut buf);
+        let mut expect = f.to_bytes();
+        expect.extend_from_slice(&ack.to_bytes());
+        assert_eq!(buf, expect);
+        assert_eq!(
+            Frame::from_bytes(&buf[f.wire_len()..]).unwrap(),
+            ack,
+            "appended frame parses from its own region"
+        );
     }
 
     #[test]

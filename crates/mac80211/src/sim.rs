@@ -21,6 +21,7 @@
 //! drive the MAC with [`Command`]s.
 
 use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
 
 use crate::addr::MacAddr;
 use crate::arf::{Arf, ArfParams};
@@ -246,6 +247,11 @@ struct Attempt {
     cts_received: bool,
     rate: RateStep,
     is_retry: bool,
+    /// The fully-built wire frame for the pending fragment, cached so
+    /// retries of the same fragment do not re-clone header and body.
+    /// Cleared whenever a field that feeds the build changes (fragment
+    /// advance, retry-bit flip).
+    built: Option<Rc<Frame>>,
 }
 
 /// What the station is currently waiting for after transmitting.
@@ -296,7 +302,9 @@ struct TxRecord {
     id: u64,
     src: StationId,
     channel: u8,
-    frame: Frame,
+    /// Shared with every successful receiver instead of deep-cloned
+    /// per reception — the dominant allocation in dense cells.
+    frame: Rc<Frame>,
     rate: RateStep,
     start: SimTime,
     end: SimTime,
@@ -671,6 +679,7 @@ impl WlanWorld {
             cts_received: false,
             rate,
             is_retry: false,
+            built: None,
         });
         self.begin_access(id, now, sched);
     }
@@ -742,7 +751,7 @@ impl WlanWorld {
     fn start_transmission(
         &mut self,
         id: StationId,
-        frame: Frame,
+        frame: Rc<Frame>,
         rate: RateStep,
         now: SimTime,
         sched: &mut Scheduler<MacEvent>,
@@ -826,25 +835,34 @@ impl WlanWorld {
                 let data_air = airtime(&timing, at.rate, data_len);
                 let ra = at.msdu.frame.receiver();
                 let rts = Frame::rts(ra, s.addr, rts_duration(std, data_air));
-                (rts, std.base_rate(), Some(Expecting::Cts))
+                (Rc::new(rts), std.base_rate(), Some(Expecting::Cts))
             } else {
-                let mut f = at.msdu.frame.clone();
-                f.body = at.fragments.front().cloned().unwrap_or_default();
-                let more = at.fragments.len() > 1;
-                f.fc.more_fragments = more;
-                f.fc.retry = at.is_retry;
-                f.seq = Some(SequenceControl {
-                    fragment: at.frag_number,
-                    sequence: at.msdu.frame.seq.expect("assigned at queue").sequence,
-                });
-                let next_air = at
-                    .fragments
-                    .get(1)
-                    .map(|b| airtime(&timing, at.rate, at.msdu.frame.header_len() + b.len() + 4));
-                f.duration_id = if f.receiver().is_group() {
-                    0
-                } else {
-                    data_duration(std, more, next_air)
+                // Reuse the cached wire frame on retries of the same
+                // fragment; rebuild only when the inputs changed.
+                let f = match &at.built {
+                    Some(f) => Rc::clone(f),
+                    None => {
+                        let mut f = at.msdu.frame.clone();
+                        f.body = at.fragments.front().cloned().unwrap_or_default();
+                        let more = at.fragments.len() > 1;
+                        f.fc.more_fragments = more;
+                        f.fc.retry = at.is_retry;
+                        f.seq = Some(SequenceControl {
+                            fragment: at.frag_number,
+                            sequence: at.msdu.frame.seq.expect("assigned at queue").sequence,
+                        });
+                        let next_air = at.fragments.get(1).map(|b| {
+                            airtime(&timing, at.rate, at.msdu.frame.header_len() + b.len() + 4)
+                        });
+                        f.duration_id = if f.receiver().is_group() {
+                            0
+                        } else {
+                            data_duration(std, more, next_air)
+                        };
+                        let f = Rc::new(f);
+                        at.built = Some(Rc::clone(&f));
+                        f
+                    }
                 };
                 let expect = (!f.receiver().is_group()).then_some(Expecting::Ack);
                 (f, at.rate, expect)
@@ -881,7 +899,7 @@ impl WlanWorld {
 
         // Decide reception at every station.
         let n = self.stations.len();
-        let mut decoded: Vec<(StationId, Frame, Dbm)> = Vec::new();
+        let mut decoded: Vec<(StationId, Rc<Frame>, Dbm)> = Vec::new();
         for r in 0..n {
             if r == src {
                 continue;
@@ -937,7 +955,7 @@ impl WlanWorld {
                 self.rng.chance(p_ok)
             };
             if success {
-                decoded.push((r, self.records[idx].frame.clone(), power));
+                decoded.push((r, Rc::clone(&self.records[idx].frame), power));
             } else {
                 self.stations[r].stats.rx_errors += 1;
             }
@@ -1004,7 +1022,7 @@ impl WlanWorld {
     fn process_decoded(
         &mut self,
         r: StationId,
-        frame: Frame,
+        frame: Rc<Frame>,
         rssi: Dbm,
         now: SimTime,
         sched: &mut Scheduler<MacEvent>,
@@ -1065,12 +1083,14 @@ impl WlanWorld {
                         return;
                     }
                     let full = self.stations[r].reassembly.remove(&key).unwrap_or_default();
-                    let mut complete = frame.clone();
+                    // Rare path: reassembly genuinely needs its own copy
+                    // to splice the rebuilt body in.
+                    let mut complete = (*frame).clone();
                     complete.body = full;
                     complete.fc.more_fragments = false;
-                    self.deliver(r, complete, rssi, now, sched);
+                    self.deliver(r, &complete, rssi, now, sched);
                 } else {
-                    self.deliver(r, frame, rssi, now, sched);
+                    self.deliver(r, &frame, rssi, now, sched);
                 }
             }
         }
@@ -1079,7 +1099,7 @@ impl WlanWorld {
     fn deliver(
         &mut self,
         r: StationId,
-        frame: Frame,
+        frame: &Frame,
         rssi: Dbm,
         now: SimTime,
         sched: &mut Scheduler<MacEvent>,
@@ -1097,7 +1117,7 @@ impl WlanWorld {
                 frame.body.len()
             ),
         );
-        self.with_upper(r, now, sched, |u, ctx| u.on_frame(ctx, &frame, rssi));
+        self.with_upper(r, now, sched, |u, ctx| u.on_frame(ctx, frame, rssi));
     }
 
     fn on_ack(&mut self, id: StationId, now: SimTime, sched: &mut Scheduler<MacEvent>) {
@@ -1122,6 +1142,7 @@ impl WlanWorld {
             at.short_retries = 0;
             at.long_retries = 0;
             at.is_retry = false;
+            at.built = None;
             if !at.fragments.is_empty() {
                 at.frag_number += 1;
                 true
@@ -1217,7 +1238,13 @@ impl WlanWorld {
             let Some(at) = self.stations[id].current.as_mut() else {
                 return;
             };
-            at.is_retry = true;
+            if !at.is_retry {
+                // The retry bit flips into the wire image; drop the
+                // cached frame so the next transmit rebuilds it. Later
+                // retries of the same fragment reuse that rebuild.
+                at.is_retry = true;
+                at.built = None;
+            }
             match exp {
                 Expecting::Cts => {
                     at.short_retries += 1;
@@ -1266,7 +1293,7 @@ impl WlanWorld {
         match action {
             PendingTx::Control(frame) => {
                 let rate = self.cfg.standard.base_rate();
-                self.start_transmission(id, frame, rate, now, sched);
+                self.start_transmission(id, Rc::new(frame), rate, now, sched);
             }
             PendingTx::NextFragment | PendingTx::DataAfterCts => {
                 self.transmit_current(id, now, sched);

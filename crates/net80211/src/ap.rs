@@ -410,10 +410,8 @@ impl UpperLayer for ApLogic {
                     ctx.send(f);
                 }
             }
-            Subtype::Data => {
-                if frame.fc.to_ds && self.stas.contains_key(&from) {
-                    self.handle_to_ds_data(ctx, frame);
-                }
+            Subtype::Data if frame.fc.to_ds && self.stas.contains_key(&from) => {
+                self.handle_to_ds_data(ctx, frame);
             }
             Subtype::NullData => {
                 // Pure power-management signalling; PS bit already noted.

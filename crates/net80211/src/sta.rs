@@ -333,10 +333,8 @@ impl UpperLayer for StaLogic {
                 }
             }
             TAG_APP => self.drain_app_queue(ctx),
-            TAG_PS_WAKE => {
-                if self.shared.borrow().state == StaState::Associated {
-                    ctx.command(Command::SetAwake(true));
-                }
+            TAG_PS_WAKE if self.shared.borrow().state == StaState::Associated => {
+                ctx.command(Command::SetAwake(true));
             }
             TAG_JOIN_TIMEOUT => {
                 let gen = tag >> 8;
@@ -368,7 +366,7 @@ impl UpperLayer for StaLogic {
                         let better = self
                             .best
                             .as_ref()
-                            .map_or(true, |b| rssi.value() > b.rssi.value());
+                            .is_none_or(|b| rssi.value() > b.rssi.value());
                         if better {
                             self.best = Some(Candidate {
                                 bssid,
@@ -537,29 +535,27 @@ impl UpperLayer for StaLogic {
                 // Flush anything the application queued while joining.
                 self.drain_app_queue(ctx);
             }
-            Subtype::Data => {
-                if frame.fc.from_ds {
-                    let sa = frame.source().unwrap_or(MacAddr::ZERO);
-                    self.shared
-                        .borrow_mut()
-                        .delivered
-                        .push((ctx.now, sa, frame.body.clone()));
-                    if self.cfg.power_save {
-                        if frame.fc.more_data {
-                            let aid = self.shared.borrow().aid;
-                            let bssid = self.shared.borrow().bssid.unwrap_or(MacAddr::ZERO);
-                            self.shared.borrow_mut().ps_polls += 1;
-                            ctx.send(Frame::ps_poll(bssid, ctx.addr, aid));
-                        } else {
-                            self.doze_until_next_beacon(ctx);
-                        }
+            Subtype::Data if frame.fc.from_ds => {
+                let sa = frame.source().unwrap_or(MacAddr::ZERO);
+                self.shared
+                    .borrow_mut()
+                    .delivered
+                    .push((ctx.now, sa, frame.body.clone()));
+                if self.cfg.power_save {
+                    if frame.fc.more_data {
+                        let aid = self.shared.borrow().aid;
+                        let bssid = self.shared.borrow().bssid.unwrap_or(MacAddr::ZERO);
+                        self.shared.borrow_mut().ps_polls += 1;
+                        ctx.send(Frame::ps_poll(bssid, ctx.addr, aid));
+                    } else {
+                        self.doze_until_next_beacon(ctx);
                     }
                 }
             }
-            Subtype::Deauth | Subtype::Disassoc => {
-                if self.shared.borrow().state == StaState::Associated {
-                    self.start_scan(ctx);
-                }
+            Subtype::Deauth | Subtype::Disassoc
+                if self.shared.borrow().state == StaState::Associated =>
+            {
+                self.start_scan(ctx);
             }
             _ => {}
         }

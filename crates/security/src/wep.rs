@@ -170,6 +170,7 @@ pub struct IvCounter(pub u32);
 
 impl IvCounter {
     /// Next IV, wrapping at 2²⁴.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infinite, never None
     pub fn next(&mut self) -> [u8; 3] {
         let v = self.0;
         self.0 = (self.0 + 1) & 0x00FF_FFFF;

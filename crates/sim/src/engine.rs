@@ -10,8 +10,40 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use crate::time::{SimDuration, SimTime};
+
+/// Events processed by every simulation in this process, across threads.
+///
+/// Updated in bulk at the end of each `run*` loop (not per event) so the
+/// hot path stays free of atomics; campaign-level tooling reads it to
+/// report aggregate events/sec.
+static GLOBAL_PROCESSED: AtomicU64 = AtomicU64::new(0);
+
+/// Total events delivered through `run`/`run_until`/`run_bounded` by all
+/// simulations in this process since start-up.
+pub fn global_events_processed() -> u64 {
+    GLOBAL_PROCESSED.load(AtomicOrdering::Relaxed)
+}
+
+/// Packs an event's `(time, seq)` ordering pair into a single `u128`.
+///
+/// The timestamp occupies the high 64 bits and the FIFO sequence number
+/// the low 64, so one integer compare reproduces the lexicographic
+/// `(SimTime, seq)` order exactly — earlier time first, then lower seq.
+/// This halves the comparison work on every heap sift in the engine's
+/// hottest loop.
+#[inline]
+pub fn event_key(at: SimTime, seq: u64) -> u128 {
+    ((at.as_nanos() as u128) << 64) | seq as u128
+}
+
+/// Recovers the timestamp from a packed [`event_key`].
+#[inline]
+pub fn key_time(key: u128) -> SimTime {
+    SimTime::from_nanos((key >> 64) as u64)
+}
 
 /// Model state driven by the engine.
 ///
@@ -27,14 +59,14 @@ pub trait World {
 
 /// A scheduled entry in the event queue.
 struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
+    /// Packed `(time, seq)` ordering key — see [`event_key`].
+    key: u128,
     event: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 
@@ -49,8 +81,9 @@ impl<E> PartialOrd for Scheduled<E> {
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq)
-        // pops first. `seq` breaks ties FIFO for determinism.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        // pops first. The low `seq` bits break ties FIFO for
+        // determinism.
+        other.key.cmp(&self.key)
     }
 }
 
@@ -109,7 +142,10 @@ impl<E> Scheduler<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.queue.push(Scheduled { at, seq, event });
+        self.queue.push(Scheduled {
+            key: event_key(at, seq),
+            event,
+        });
     }
 
     /// Schedules `event` after a relative delay from now.
@@ -126,14 +162,15 @@ impl<E> Scheduler<E> {
 
     /// The timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|s| s.at)
+        self.queue.peek().map(|s| key_time(s.key))
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
         let s = self.queue.pop()?;
-        debug_assert!(s.at >= self.now, "heap yielded an event in the past");
-        self.now = s.at;
-        Some((s.at, s.event))
+        let at = key_time(s.key);
+        debug_assert!(at >= self.now, "heap yielded an event in the past");
+        self.now = at;
+        Some((at, s.event))
     }
 }
 
@@ -201,7 +238,9 @@ impl<W: World> Simulation<W> {
     pub fn run(&mut self) -> u64 {
         let start = self.processed;
         while self.step() {}
-        self.processed - start
+        let n = self.processed - start;
+        GLOBAL_PROCESSED.fetch_add(n, AtomicOrdering::Relaxed);
+        n
     }
 
     /// Runs until the queue drains or virtual time would pass `deadline`.
@@ -216,7 +255,9 @@ impl<W: World> Simulation<W> {
             }
             self.step();
         }
-        self.processed - start
+        let n = self.processed - start;
+        GLOBAL_PROCESSED.fetch_add(n, AtomicOrdering::Relaxed);
+        n
     }
 
     /// Runs until at most `limit` further events have been processed.
@@ -224,12 +265,16 @@ impl<W: World> Simulation<W> {
     /// Returns `true` if the queue drained before the limit was hit —
     /// useful as a watchdog against accidental event storms in tests.
     pub fn run_bounded(&mut self, limit: u64) -> bool {
+        let start = self.processed;
+        let mut drained = false;
         for _ in 0..limit {
             if !self.step() {
-                return true;
+                drained = true;
+                break;
             }
         }
-        self.sched.pending() == 0
+        GLOBAL_PROCESSED.fetch_add(self.processed - start, AtomicOrdering::Relaxed);
+        drained || self.sched.pending() == 0
     }
 
     /// Consumes the simulation, returning the final world.
@@ -369,6 +414,49 @@ mod tests {
         sim.scheduler_mut().schedule_at(SimTime::ZERO, 2);
         sim.run();
         assert_eq!(sim.world().order, vec![1, 2, 99]);
+    }
+
+    #[test]
+    fn packed_key_orders_like_tuple() {
+        let pairs = [
+            (SimTime::ZERO, 0u64),
+            (SimTime::ZERO, 1),
+            (SimTime::from_nanos(1), 0),
+            (SimTime::from_millis(7), 3),
+            (SimTime::from_millis(7), 4),
+            (SimTime::from_nanos(u64::MAX), u64::MAX),
+        ];
+        for &(t1, s1) in &pairs {
+            for &(t2, s2) in &pairs {
+                assert_eq!(
+                    event_key(t1, s1).cmp(&event_key(t2, s2)),
+                    (t1, s1).cmp(&(t2, s2)),
+                    "key order diverged for ({t1:?},{s1}) vs ({t2:?},{s2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn key_time_recovers_timestamp() {
+        for t in [0u64, 1, 999, u64::MAX] {
+            assert_eq!(
+                key_time(event_key(SimTime::from_nanos(t), 42)),
+                SimTime::from_nanos(t)
+            );
+        }
+    }
+
+    #[test]
+    fn global_counter_accumulates_run_deltas() {
+        let before = global_events_processed();
+        let mut sim = Simulation::new(Recorder { seen: vec![] });
+        for i in 0..7 {
+            sim.scheduler_mut()
+                .schedule_at(SimTime::from_millis(i), i as u32);
+        }
+        sim.run();
+        assert!(global_events_processed() >= before + 7);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   used by the experiment harness to regenerate the paper's figures.
 //! - [`trace`] — a lightweight bounded event trace for debugging and for
 //!   asserting ordering properties in tests.
+//! - [`par`] — a std-only scoped-thread pool ([`par_map`]) that fans the
+//!   independent sweep points of a campaign across cores while keeping
+//!   results in input order, so parallel runs stay byte-identical.
 //!
 //! # Example
 //!
@@ -50,11 +53,13 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Scheduler, Simulation, World};
+pub use engine::{event_key, global_events_processed, key_time, Scheduler, Simulation, World};
+pub use par::{par_map, par_map_with, worker_count};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

@@ -1,6 +1,9 @@
 //! Property-based tests over the core data structures and invariants.
-
-use proptest::prelude::*;
+//!
+//! These are randomised but fully deterministic: every property draws
+//! its cases from the workspace's own seeded [`Rng`], so a failure
+//! reproduces bit-for-bit on any machine with no external test-harness
+//! dependency.
 
 use wireless_networks::crypto::ccm;
 use wireless_networks::crypto::crc32::{bit_flip_delta, crc32};
@@ -13,133 +16,200 @@ use wireless_networks::phy::modulation::{frame_error_rate, PhyStandard};
 use wireless_networks::phy::propagation::{FreeSpace, LogDistance, PathLoss};
 use wireless_networks::phy::units::{Db, Dbm, Hertz};
 use wireless_networks::security::wep;
-use wireless_networks::sim::{SimDuration, SimTime};
+use wireless_networks::sim::{event_key, key_time, Rng};
+use wireless_networks::sim::{Scheduler, SimDuration, SimTime, Simulation, World};
 use wireless_networks::wwan::cellular::{erlang_b_blocking, CellGrid};
 
-proptest! {
-    // ---- crypto ----
+fn bytes(rng: &mut Rng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
 
-    #[test]
-    fn crc_linearity_holds_everywhere(
-        msg in proptest::collection::vec(any::<u8>(), 1..200),
-        mask in proptest::collection::vec(any::<u8>(), 1..8),
-        pos_seed in any::<usize>()
-    ) {
-        prop_assume!(mask.len() <= msg.len());
-        let pos = pos_seed % (msg.len() - mask.len() + 1);
+fn arr<const N: usize>(rng: &mut Rng) -> [u8; N] {
+    let mut out = [0u8; N];
+    for b in &mut out {
+        *b = rng.next_u64() as u8;
+    }
+    out
+}
+
+/// Random bytes, length drawn uniformly from `0..max_excl`.
+fn vec_up_to(rng: &mut Rng, max_excl: u64) -> Vec<u8> {
+    let n = rng.below(max_excl) as usize;
+    bytes(rng, n)
+}
+
+/// Random bytes, length drawn uniformly from `lo..=hi`.
+fn vec_len_range(rng: &mut Rng, lo: u64, hi: u64) -> Vec<u8> {
+    let n = rng.range_inclusive(lo, hi) as usize;
+    bytes(rng, n)
+}
+
+// ---- crypto ----
+
+#[test]
+fn crc_linearity_holds_everywhere() {
+    let mut rng = Rng::new(0xC4C_0001);
+    for _ in 0..300 {
+        let msg = vec_len_range(&mut rng, 1, 199);
+        let mask = vec_len_range(&mut rng, 1, 7u64.min(msg.len() as u64));
+        let pos = rng.below((msg.len() - mask.len() + 1) as u64) as usize;
         let mut tampered = msg.clone();
         for (i, &m) in mask.iter().enumerate() {
             tampered[pos + i] ^= m;
         }
         let delta = bit_flip_delta(&mask, msg.len() - pos - mask.len());
-        prop_assert_eq!(crc32(&tampered), crc32(&msg) ^ delta);
+        assert_eq!(crc32(&tampered), crc32(&msg) ^ delta);
     }
+}
 
-    #[test]
-    fn rc4_is_an_involution(
-        key in proptest::collection::vec(any::<u8>(), 1..64),
-        data in proptest::collection::vec(any::<u8>(), 0..512)
-    ) {
+#[test]
+fn rc4_is_an_involution() {
+    let mut rng = Rng::new(0xC4C_0002);
+    for _ in 0..200 {
+        let key = vec_len_range(&mut rng, 1, 63);
+        let data = vec_up_to(&mut rng, 512);
         let ct = Rc4::cipher(&key, &data);
-        prop_assert_eq!(Rc4::cipher(&key, &ct), data);
+        assert_eq!(Rc4::cipher(&key, &ct), data);
     }
+}
 
-    #[test]
-    fn aes_roundtrip(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+#[test]
+fn aes_roundtrip() {
+    let mut rng = Rng::new(0xC4C_0003);
+    for _ in 0..200 {
+        let key: [u8; 16] = arr(&mut rng);
+        let block: [u8; 16] = arr(&mut rng);
         let aes = Aes::new(&key);
         let mut b = block;
         aes.encrypt_block(&mut b);
         aes.decrypt_block(&mut b);
-        prop_assert_eq!(b, block);
+        assert_eq!(b, block);
     }
+}
 
-    #[test]
-    fn ccm_roundtrip_and_tamper(
-        key in any::<[u8; 16]>(),
-        nonce in any::<[u8; 13]>(),
-        aad in proptest::collection::vec(any::<u8>(), 0..32),
-        payload in proptest::collection::vec(any::<u8>(), 0..256),
-        flip in any::<(usize, u8)>()
-    ) {
+#[test]
+fn ccm_roundtrip_and_tamper() {
+    let mut rng = Rng::new(0xC4C_0004);
+    for _ in 0..100 {
+        let key: [u8; 16] = arr(&mut rng);
+        let nonce: [u8; 13] = arr(&mut rng);
+        let aad = vec_up_to(&mut rng, 32);
+        let payload = vec_up_to(&mut rng, 256);
         let aes = Aes::new(&key);
         let ct = ccm::encrypt(&aes, &nonce, &aad, &payload);
-        prop_assert_eq!(ccm::decrypt(&aes, &nonce, &aad, &ct).unwrap(), payload);
+        assert_eq!(ccm::decrypt(&aes, &nonce, &aad, &ct).unwrap(), payload);
         // Any nonzero flip anywhere must be rejected.
-        let (pos, bits) = flip;
-        if bits != 0 {
-            let mut bad = ct.clone();
-            let p = pos % bad.len();
-            bad[p] ^= bits;
-            prop_assert!(ccm::decrypt(&aes, &nonce, &aad, &bad).is_err());
+        let bits = rng.range_inclusive(1, 255) as u8;
+        let mut bad = ct.clone();
+        let p = rng.below(bad.len() as u64) as usize;
+        bad[p] ^= bits;
+        assert!(ccm::decrypt(&aes, &nonce, &aad, &bad).is_err());
+    }
+}
+
+#[test]
+fn tkip_keys_never_collide_for_distinct_tsc() {
+    let mut rng = Rng::new(0xC4C_0005);
+    for _ in 0..200 {
+        let tk: [u8; 16] = arr(&mut rng);
+        let ta: [u8; 6] = arr(&mut rng);
+        let a = rng.below(0xFFFF_FFFF_FFFF);
+        let b = rng.below(0xFFFF_FFFF_FFFF);
+        if a == b {
+            continue;
         }
+        assert_ne!(
+            per_packet_key(&tk, &ta, Tsc(a)),
+            per_packet_key(&tk, &ta, Tsc(b))
+        );
     }
+}
 
-    #[test]
-    fn tkip_keys_never_collide_for_distinct_tsc(
-        tk in any::<[u8; 16]>(),
-        ta in any::<[u8; 6]>(),
-        a in 0u64..0xFFFF_FFFF_FFFF,
-        b in 0u64..0xFFFF_FFFF_FFFF
-    ) {
-        prop_assume!(a != b);
-        prop_assert_ne!(per_packet_key(&tk, &ta, Tsc(a)), per_packet_key(&tk, &ta, Tsc(b)));
-    }
-
-    #[test]
-    fn wep_roundtrip(
-        payload in proptest::collection::vec(any::<u8>(), 0..512),
-        iv in any::<[u8; 3]>(),
-        key in any::<[u8; 13]>()
-    ) {
+#[test]
+fn wep_roundtrip() {
+    let mut rng = Rng::new(0xC4C_0006);
+    for _ in 0..150 {
+        let payload = vec_up_to(&mut rng, 512);
+        let iv: [u8; 3] = arr(&mut rng);
+        let key: [u8; 13] = arr(&mut rng);
         let key = wep::WepKey::new(&key).unwrap();
         let frame = wep::encrypt(&key, iv, &payload);
-        prop_assert_eq!(wep::decrypt(&key, &frame).unwrap(), payload);
+        assert_eq!(wep::decrypt(&key, &frame).unwrap(), payload);
     }
+}
 
-    // ---- MAC frame codec ----
+// ---- MAC frame codec ----
 
-    #[test]
-    fn data_frame_codec_roundtrip(
-        payload in proptest::collection::vec(any::<u8>(), 0..512),
-        seq in 0u16..4096,
-        frag in 0u8..16,
-        da in any::<u32>(),
-        sa in any::<u32>(),
-        flags in any::<[bool; 6]>()
-    ) {
+#[test]
+fn data_frame_codec_roundtrip() {
+    let mut rng = Rng::new(0xC4C_0007);
+    for _ in 0..200 {
+        let payload = vec_up_to(&mut rng, 512);
         let mut f = Frame::data(
             DsBits::ToAp,
-            MacAddr::station(da),
-            MacAddr::station(sa),
+            MacAddr::station(rng.next_u32()),
+            MacAddr::station(rng.next_u32()),
             MacAddr::access_point(1),
-            SequenceControl { sequence: seq, fragment: frag },
+            SequenceControl {
+                sequence: rng.below(4096) as u16,
+                fragment: rng.below(16) as u8,
+            },
             payload,
         );
-        f.fc.retry = flags[0];
-        f.fc.more_fragments = flags[1];
-        f.fc.power_management = flags[2];
-        f.fc.more_data = flags[3];
-        f.fc.protected = flags[4];
-        f.fc.order = flags[5];
+        f.fc.retry = rng.chance(0.5);
+        f.fc.more_fragments = rng.chance(0.5);
+        f.fc.power_management = rng.chance(0.5);
+        f.fc.more_data = rng.chance(0.5);
+        f.fc.protected = rng.chance(0.5);
+        f.fc.order = rng.chance(0.5);
         let back = Frame::from_bytes(&f.to_bytes()).unwrap();
-        prop_assert_eq!(back, f);
+        assert_eq!(back, f);
     }
+}
 
-    #[test]
-    fn frame_control_pack_unpack_total(v in any::<u16>()) {
-        // Either it parses (and repacks identically) or it is rejected;
-        // never a panic.
+#[test]
+fn write_into_matches_to_bytes_for_random_frames() {
+    // The reusable-buffer serialiser must agree with `to_bytes` even
+    // when appending after existing content.
+    let mut rng = Rng::new(0xC4C_0107);
+    let mut buf = Vec::new();
+    for _ in 0..200 {
+        let payload = vec_up_to(&mut rng, 256);
+        let f = Frame::data(
+            DsBits::Ibss,
+            MacAddr::station(rng.next_u32()),
+            MacAddr::station(rng.next_u32()),
+            MacAddr::random_ibss_bssid(1),
+            SequenceControl {
+                sequence: rng.below(4096) as u16,
+                fragment: rng.below(16) as u8,
+            },
+            payload,
+        );
+        let prefix_len = rng.below(16) as usize;
+        buf.clear();
+        buf.extend(std::iter::repeat_n(0xEE, prefix_len));
+        f.write_into(&mut buf);
+        assert_eq!(&buf[prefix_len..], f.to_bytes().as_slice());
+    }
+}
+
+#[test]
+fn frame_control_pack_unpack_total() {
+    // Either it parses (and repacks identically) or it is rejected;
+    // never a panic. The space is only 2^16 — sweep it all.
+    for v in 0..=u16::MAX {
         if let Ok(fc) = FrameControl::unpack(v) {
-            prop_assert_eq!(fc.pack(), v);
+            assert_eq!(fc.pack(), v);
         }
     }
+}
 
-    #[test]
-    fn corrupting_any_bit_is_detected(
-        payload in proptest::collection::vec(any::<u8>(), 1..128),
-        byte_seed in any::<usize>(),
-        bit in 0u8..8
-    ) {
+#[test]
+fn corrupting_any_bit_is_detected() {
+    let mut rng = Rng::new(0xC4C_0008);
+    for _ in 0..200 {
+        let payload = vec_len_range(&mut rng, 1, 127);
         let f = Frame::data(
             DsBits::Ibss,
             MacAddr::station(1),
@@ -149,103 +219,234 @@ proptest! {
             payload,
         );
         let mut wire = f.to_bytes();
-        let pos = byte_seed % wire.len();
-        wire[pos] ^= 1 << bit;
+        let pos = rng.below(wire.len() as u64) as usize;
+        wire[pos] ^= 1 << rng.below(8);
         // Single-bit corruption can never yield the same frame back.
-        match Frame::from_bytes(&wire) {
-            Ok(parsed) => prop_assert_ne!(parsed, f),
-            Err(_) => {}
+        if let Ok(parsed) = Frame::from_bytes(&wire) {
+            assert_ne!(parsed, f);
         }
     }
+}
 
-    #[test]
-    fn frame_parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-        // Arbitrary byte soup must parse to Ok or Err, never panic —
-        // the receiver runs this on every corrupted capture.
-        let _ = Frame::from_bytes(&bytes);
+#[test]
+fn frame_parser_never_panics_on_garbage() {
+    // Arbitrary byte soup must parse to Ok or Err, never panic —
+    // the receiver runs this on every corrupted capture.
+    let mut rng = Rng::new(0xC4C_0009);
+    for _ in 0..400 {
+        let soup = vec_up_to(&mut rng, 256);
+        let _ = Frame::from_bytes(&soup);
     }
+}
 
-    #[test]
-    fn control_frames_roundtrip(duration in 0u16..0x8000, ra in any::<u32>(), ta in any::<u32>()) {
+#[test]
+fn control_frames_roundtrip() {
+    let mut rng = Rng::new(0xC4C_000A);
+    for _ in 0..200 {
+        let duration = rng.below(0x8000) as u16;
+        let ra = rng.next_u32();
+        let ta = rng.next_u32();
         let rts = Frame::rts(MacAddr::station(ra), MacAddr::station(ta), duration);
-        prop_assert_eq!(Frame::from_bytes(&rts.to_bytes()).unwrap(), rts);
+        assert_eq!(Frame::from_bytes(&rts.to_bytes()).unwrap(), rts);
         let cts = Frame::cts(MacAddr::station(ra), duration);
-        prop_assert_eq!(Frame::from_bytes(&cts.to_bytes()).unwrap(), cts);
+        assert_eq!(Frame::from_bytes(&cts.to_bytes()).unwrap(), cts);
         let ack = Frame::ack(MacAddr::station(ra));
-        prop_assert_eq!(Frame::from_bytes(&ack.to_bytes()).unwrap(), ack);
+        assert_eq!(Frame::from_bytes(&ack.to_bytes()).unwrap(), ack);
     }
+}
 
-    #[test]
-    fn ps_poll_aid_roundtrip(aid in 0u16..0x3FFF, bssid in any::<u32>(), ta in any::<u32>()) {
-        let poll = Frame::ps_poll(MacAddr::access_point(bssid), MacAddr::station(ta), aid);
+#[test]
+fn ps_poll_aid_roundtrip() {
+    let mut rng = Rng::new(0xC4C_000B);
+    for _ in 0..200 {
+        let aid = rng.below(0x3FFF) as u16;
+        let poll = Frame::ps_poll(
+            MacAddr::access_point(rng.next_u32()),
+            MacAddr::station(rng.next_u32()),
+            aid,
+        );
         let back = Frame::from_bytes(&poll.to_bytes()).unwrap();
-        prop_assert_eq!(back.ps_poll_aid(), Some(aid));
-        prop_assert_eq!(back.fc.subtype, Subtype::PsPoll);
+        assert_eq!(back.ps_poll_aid(), Some(aid));
+        assert_eq!(back.fc.subtype, Subtype::PsPoll);
     }
+}
 
-    // ---- phy ----
+// ---- phy ----
 
-    #[test]
-    fn path_loss_monotone(d1 in 1.0f64..10_000.0, d2 in 1.0f64..10_000.0) {
-        prop_assume!(d1 < d2);
-        let f = Hertz::from_ghz(2.4);
-        prop_assert!(FreeSpace.loss(d1, f).value() <= FreeSpace.loss(d2, f).value());
-        let m = LogDistance::indoor();
-        prop_assert!(m.loss(d1, f).value() <= m.loss(d2, f).value());
+#[test]
+fn path_loss_monotone() {
+    let mut rng = Rng::new(0xC4C_000C);
+    let f = Hertz::from_ghz(2.4);
+    let m = LogDistance::indoor();
+    for _ in 0..300 {
+        let a = rng.f64_range(1.0, 10_000.0);
+        let b = rng.f64_range(1.0, 10_000.0);
+        let (d1, d2) = if a < b { (a, b) } else { (b, a) };
+        assert!(FreeSpace.loss(d1, f).value() <= FreeSpace.loss(d2, f).value());
+        assert!(m.loss(d1, f).value() <= m.loss(d2, f).value());
     }
+}
 
-    #[test]
-    fn fer_monotone_in_length(ber in 1e-9f64..1e-2, l1 in 1u64..10_000, l2 in 1u64..10_000) {
-        prop_assume!(l1 < l2);
-        prop_assert!(frame_error_rate(ber, l1) <= frame_error_rate(ber, l2) + 1e-15);
+#[test]
+fn fer_monotone_in_length() {
+    let mut rng = Rng::new(0xC4C_000D);
+    for _ in 0..300 {
+        let ber = rng.f64_range(1e-9, 1e-2);
+        let a = rng.range_inclusive(1, 10_000);
+        let b = rng.range_inclusive(1, 10_000);
+        let (l1, l2) = if a < b { (a, b) } else { (b, a) };
+        assert!(frame_error_rate(ber, l1) <= frame_error_rate(ber, l2) + 1e-15);
     }
+}
 
-    #[test]
-    fn best_rate_monotone_in_snr(snr1 in -10.0f64..45.0, snr2 in -10.0f64..45.0) {
-        prop_assume!(snr1 < snr2);
+#[test]
+fn best_rate_monotone_in_snr() {
+    let mut rng = Rng::new(0xC4C_000E);
+    for _ in 0..100 {
+        let a = rng.f64_range(-10.0, 45.0);
+        let b = rng.f64_range(-10.0, 45.0);
+        let (snr1, snr2) = if a < b { (a, b) } else { (b, a) };
         for std in PhyStandard::ALL {
-            let r1 = std.best_rate_for_snr(Db(snr1)).map(|s| s.rate.bps()).unwrap_or(0.0);
-            let r2 = std.best_rate_for_snr(Db(snr2)).map(|s| s.rate.bps()).unwrap_or(0.0);
-            prop_assert!(r1 <= r2);
+            let r1 = std
+                .best_rate_for_snr(Db(snr1))
+                .map(|s| s.rate.bps())
+                .unwrap_or(0.0);
+            let r2 = std
+                .best_rate_for_snr(Db(snr2))
+                .map(|s| s.rate.bps())
+                .unwrap_or(0.0);
+            assert!(r1 <= r2);
         }
     }
+}
 
-    #[test]
-    fn dbm_roundtrip(v in -120.0f64..40.0) {
+#[test]
+fn dbm_roundtrip() {
+    let mut rng = Rng::new(0xC4C_000F);
+    for _ in 0..300 {
+        let v = rng.f64_range(-120.0, 40.0);
         let mw = Dbm(v).to_milliwatts();
-        prop_assert!((Dbm::from_milliwatts(mw).value() - v).abs() < 1e-9);
+        assert!((Dbm::from_milliwatts(mw).value() - v).abs() < 1e-9);
     }
+}
 
-    // ---- sim time ----
+// ---- sim time and the packed event key ----
 
-    #[test]
-    fn sim_time_add_sub_inverse(base in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
-        let t = SimTime::from_nanos(base);
-        let dur = SimDuration::from_nanos(d);
-        prop_assert_eq!((t + dur) - dur, t);
-        prop_assert_eq!((t + dur) - t, dur);
+#[test]
+fn sim_time_add_sub_inverse() {
+    let mut rng = Rng::new(0xC4C_0010);
+    for _ in 0..300 {
+        let t = SimTime::from_nanos(rng.below(u64::MAX / 4));
+        let dur = SimDuration::from_nanos(rng.below(u64::MAX / 4));
+        assert_eq!((t + dur) - dur, t);
+        assert_eq!((t + dur) - t, dur);
     }
+}
 
-    // ---- wwan ----
+#[test]
+fn event_key_orders_exactly_like_the_tuple() {
+    // The scheduler packs (time, seq) into one u128 so the heap does a
+    // single integer compare; the packed order must match the
+    // lexicographic tuple order everywhere, ties included.
+    let mut rng = Rng::new(0xC4C_0011);
+    let sample = |rng: &mut Rng| -> (u64, u64) {
+        // Mix small values and extremes so ties and carries both occur.
+        let t = match rng.below(4) {
+            0 => rng.below(4),
+            1 => rng.next_u64(),
+            2 => u64::MAX - rng.below(4),
+            _ => rng.below(1 << 32),
+        };
+        let s = match rng.below(3) {
+            0 => rng.below(4),
+            1 => rng.next_u64(),
+            _ => u64::MAX - rng.below(4),
+        };
+        (t, s)
+    };
+    for _ in 0..2000 {
+        let (t1, s1) = sample(&mut rng);
+        let (t2, s2) = sample(&mut rng);
+        let packed =
+            event_key(SimTime::from_nanos(t1), s1).cmp(&event_key(SimTime::from_nanos(t2), s2));
+        let tuple = (t1, s1).cmp(&(t2, s2));
+        assert_eq!(packed, tuple, "({t1},{s1}) vs ({t2},{s2})");
+    }
+}
 
-    #[test]
-    fn serving_cell_is_nearest_site(x in -10_000.0f64..10_000.0, y in -10_000.0f64..10_000.0) {
-        let grid = CellGrid::hex(2, 1200.0);
-        let p = Point::new(x, y);
+#[test]
+fn event_key_roundtrips_the_timestamp() {
+    let mut rng = Rng::new(0xC4C_0012);
+    for _ in 0..300 {
+        let t = SimTime::from_nanos(rng.next_u64());
+        assert_eq!(key_time(event_key(t, rng.next_u64())), t);
+    }
+}
+
+#[test]
+fn same_instant_events_pop_in_fifo_order() {
+    // Randomised schedule with heavy timestamp collisions: the engine
+    // must process ties in exactly the order they were scheduled.
+    struct Collect {
+        seen: Vec<u32>,
+    }
+    enum Ev {
+        Tag(u32),
+    }
+    impl World for Collect {
+        type Event = Ev;
+        fn handle(&mut self, _now: SimTime, ev: Ev, _sched: &mut Scheduler<Ev>) {
+            let Ev::Tag(tag) = ev;
+            self.seen.push(tag);
+        }
+    }
+    let mut rng = Rng::new(0xC4C_0013);
+    for _ in 0..50 {
+        let mut sim = Simulation::new(Collect { seen: Vec::new() });
+        // Only 8 distinct instants for 100 events — plenty of ties.
+        let mut expected: Vec<(u64, u32)> = Vec::new();
+        for tag in 0..100u32 {
+            let at = rng.below(8) * 1000;
+            sim.scheduler_mut()
+                .schedule_at(SimTime::from_nanos(at), Ev::Tag(tag));
+            expected.push((at, tag));
+        }
+        expected.sort_by_key(|&(at, _)| at); // stable: ties keep schedule order
+        sim.run();
+        let want: Vec<u32> = expected.into_iter().map(|(_, tag)| tag).collect();
+        assert_eq!(sim.world().seen, want);
+    }
+}
+
+// ---- wwan ----
+
+#[test]
+fn serving_cell_is_nearest_site() {
+    let mut rng = Rng::new(0xC4C_0014);
+    let grid = CellGrid::hex(2, 1200.0);
+    for _ in 0..300 {
+        let p = Point::new(
+            rng.f64_range(-10_000.0, 10_000.0),
+            rng.f64_range(-10_000.0, 10_000.0),
+        );
         let chosen = grid.serving_cell(p);
         let chosen_d = grid.sites()[chosen].distance_to(p);
         for s in grid.sites() {
-            prop_assert!(chosen_d <= s.distance_to(p) + 1e-9);
+            assert!(chosen_d <= s.distance_to(p) + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn erlang_b_monotone(channels in 1u32..60, e1 in 0.1f64..100.0, e2 in 0.1f64..100.0) {
-        prop_assume!(e1 < e2);
+#[test]
+fn erlang_b_monotone() {
+    let mut rng = Rng::new(0xC4C_0015);
+    for _ in 0..300 {
+        let channels = rng.range_inclusive(1, 59) as u32;
+        let a = rng.f64_range(0.1, 100.0);
+        let b = rng.f64_range(0.1, 100.0);
+        let (e1, e2) = if a < b { (a, b) } else { (b, a) };
         // More offered traffic → more blocking; more channels → less.
-        prop_assert!(erlang_b_blocking(channels, e1) <= erlang_b_blocking(channels, e2) + 1e-12);
-        prop_assert!(
-            erlang_b_blocking(channels + 1, e1) <= erlang_b_blocking(channels, e1) + 1e-12
-        );
+        assert!(erlang_b_blocking(channels, e1) <= erlang_b_blocking(channels, e2) + 1e-12);
+        assert!(erlang_b_blocking(channels + 1, e1) <= erlang_b_blocking(channels, e1) + 1e-12);
     }
 }
