@@ -9,11 +9,16 @@
 //! — so the speedup is measured on genuinely equivalent work. Events
 //! per second comes from the simulation kernel's global processed-event
 //! counter, not wall-clock guesswork.
+//!
+//! A third pass re-runs the parallel campaign with the observability
+//! kill switch off ([`wn_sim::set_observability`]) to measure what the
+//! typed trace/metrics layer costs; figures never read the trace, so
+//! this pass must also render byte-identically.
 
 use std::time::Instant;
 
 use wn_core::runner;
-use wn_sim::{global_events_processed, worker_count};
+use wn_sim::{global_events_processed, set_observability, worker_count};
 
 struct Pass {
     threads: usize,
@@ -95,12 +100,29 @@ fn main() {
         "both passes must process the same simulated events"
     );
 
+    eprintln!("perfsuite: tracing-off pass ({parallel_threads} threads)…");
+    set_observability(false);
+    let untraced = run_pass(parallel_threads);
+    set_observability(true);
+    eprintln!(
+        "perfsuite: tracing-off {:.2} s, {} events ({:.0} ev/s)",
+        untraced.wall_s,
+        untraced.events,
+        untraced.events as f64 / untraced.wall_s
+    );
+    assert_eq!(
+        parallel.markdown, untraced.markdown,
+        "figures must not depend on the trace (kill switch changed the output)"
+    );
+    // Overhead of the observability layer: >0 means tracing costs time.
+    let tracing_overhead = parallel.wall_s / untraced.wall_s - 1.0;
+
     let speedup = serial.wall_s / parallel.wall_s;
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let json = format!(
-        "{{\n  \"campaign\": \"EXPERIMENTS.md full regeneration\",\n  \"host_cores\": {cores},\n  \"identical_output\": true,\n  \"serial\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"parallel\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"speedup\": {:.2}\n}}\n",
+        "{{\n  \"campaign\": \"EXPERIMENTS.md full regeneration\",\n  \"host_cores\": {cores},\n  \"identical_output\": true,\n  \"serial\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"parallel\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_off\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_overhead\": {:.3},\n  \"speedup\": {:.2}\n}}\n",
         serial.threads,
         serial.wall_s,
         serial.events,
@@ -109,6 +131,11 @@ fn main() {
         parallel.wall_s,
         parallel.events,
         parallel.events as f64 / parallel.wall_s,
+        untraced.threads,
+        untraced.wall_s,
+        untraced.events,
+        untraced.events as f64 / untraced.wall_s,
+        tracing_overhead,
         speedup
     );
     if let Err(e) = std::fs::write(&out_path, &json) {

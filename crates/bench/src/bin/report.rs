@@ -10,6 +10,10 @@
 //!   byte-identical for every N.
 //! - `--only <id>` — run a single experiment (repeatable); sections
 //!   come out in registry order, without the file preamble.
+//! - `--trace-json PATH` — also write the typed trace events of every
+//!   instrumented experiment as JSONL (registry order, byte-identical
+//!   for any `--threads`).
+//! - `--metrics-json PATH` — likewise for per-layer metric snapshots.
 //! - `--list` — print the experiment registry and exit.
 
 use wn_core::runner;
@@ -18,6 +22,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut only: Vec<String> = Vec::new();
     let mut threads: Option<usize> = None;
+    let mut trace_json: Option<String> = None;
+    let mut metrics_json: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -41,6 +47,22 @@ fn main() {
                     });
                 threads = Some(n);
             }
+            "--trace-json" => {
+                i += 1;
+                let path = args.get(i).unwrap_or_else(|| {
+                    eprintln!("--trace-json needs an output path");
+                    std::process::exit(2);
+                });
+                trace_json = Some(path.clone());
+            }
+            "--metrics-json" => {
+                i += 1;
+                let path = args.get(i).unwrap_or_else(|| {
+                    eprintln!("--metrics-json needs an output path");
+                    std::process::exit(2);
+                });
+                metrics_json = Some(path.clone());
+            }
             "--list" => {
                 for e in runner::experiments() {
                     println!("{:12} {}", e.id, e.title);
@@ -48,7 +70,10 @@ fn main() {
                 return;
             }
             other => {
-                eprintln!("unknown flag '{other}' (supported: --only <id>, --threads N, --list)");
+                eprintln!(
+                    "unknown flag '{other}' (supported: --only <id>, --threads N, \
+                     --trace-json PATH, --metrics-json PATH, --list)"
+                );
                 std::process::exit(2);
             }
         }
@@ -69,6 +94,26 @@ fn main() {
                 eprintln!("{e}");
                 std::process::exit(2);
             }
+        }
+    }
+
+    if trace_json.is_some() || metrics_json.is_some() {
+        let outs = runner::run_observability(threads);
+        if let Some(path) = trace_json {
+            let body = runner::observability_trace_jsonl(&outs);
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = metrics_json {
+            let body = runner::observability_metrics_jsonl(&outs);
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path}");
         }
     }
 }

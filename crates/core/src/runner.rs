@@ -26,6 +26,10 @@ pub struct ExperimentOutput {
     pub passed: bool,
 }
 
+/// An observability export: returns `(trace_jsonl, metrics_jsonl)`
+/// from a compact instrumented run of the experiment's scenario.
+pub type ObserveFn = fn() -> (String, String);
+
 /// One registered experiment: id, summary, and how to run it.
 pub struct Experiment {
     /// Stable id matching the section header ("FIG-1.13", "ABL-CW", …).
@@ -33,6 +37,8 @@ pub struct Experiment {
     /// One-line summary (the report title).
     pub title: &'static str,
     run: fn() -> ExperimentOutput,
+    /// Typed-trace/metrics export, where the scenario is instrumented.
+    pub observe: Option<ObserveFn>,
 }
 
 impl Experiment {
@@ -40,6 +46,17 @@ impl Experiment {
     pub fn run(&self) -> ExperimentOutput {
         (self.run)()
     }
+}
+
+/// The trace and metrics JSONL of one instrumented experiment.
+#[derive(Clone, Debug)]
+pub struct ObservabilityOutput {
+    /// The experiment id, e.g. `"FIG-1.6"`.
+    pub id: &'static str,
+    /// Typed trace events, one JSON object per line.
+    pub trace_jsonl: String,
+    /// Metrics snapshot rows, one JSON object per line.
+    pub metrics_jsonl: String,
 }
 
 /// Renders the standard report section: `to_markdown()` plus the blank
@@ -170,20 +187,51 @@ pub fn experiments() -> Vec<Experiment> {
                 id: $id,
                 title: $title,
                 run: $f,
+                observe: None,
+            }
+        };
+        ($id:literal, $title:literal, $f:ident, $obs:expr) => {
+            Experiment {
+                id: $id,
+                title: $title,
+                run: $f,
+                observe: Some($obs),
             }
         };
     }
     vec![
         exp!("FIG-1.1", "Classification scatter", run_fig_1_1),
-        exp!("FIG-1.2", "Bluetooth piconets and scatternet", run_fig_1_2),
+        exp!(
+            "FIG-1.2",
+            "Bluetooth piconets and scatternet",
+            run_fig_1_2,
+            scenarios::observe_fig_1_2 as ObserveFn
+        ),
         exp!("FIG-2", "IrDA point-to-point link", run_fig_2),
-        exp!("FIG-1.4", "ZigBee star/mesh/cluster-tree", run_fig_1_4),
+        exp!(
+            "FIG-1.4",
+            "ZigBee star/mesh/cluster-tree",
+            run_fig_1_4,
+            || { scenarios::observe_fig_1_4(42) }
+        ),
         exp!("FIG-1.5", "UWB power/bandwidth usage", run_fig_1_5),
-        exp!("FIG-1.6", "Home WLAN throughput", run_fig_1_6),
-        exp!("FIG-1.7", "WiMAX point-to-multipoint", run_fig_1_7),
+        exp!("FIG-1.6", "Home WLAN throughput", run_fig_1_6, || {
+            scenarios::observe_fig_1_6(42)
+        }),
+        exp!(
+            "FIG-1.7",
+            "WiMAX point-to-multipoint",
+            run_fig_1_7,
+            scenarios::observe_fig_1_7 as ObserveFn
+        ),
         exp!("FIG-1.8", "Satellite and cellular networks", run_fig_1_8),
         exp!("FIG-1.9", "Independent vs infrastructure BSS", run_fig_1_9),
-        exp!("FIG-1.10", "ESS roaming (seamless handoff)", run_fig_1_10),
+        exp!(
+            "FIG-1.10",
+            "ESS roaming (seamless handoff)",
+            run_fig_1_10,
+            || { scenarios::observe_fig_1_10(5) }
+        ),
         exp!("FIG-1.12", "802.11 MAC frame format", run_fig_1_12),
         exp!("FIG-1.13", "802.11 PHY standards ladder", run_fig_1_13),
         exp!(
@@ -275,6 +323,37 @@ pub fn run_selected(threads: usize, ids: &[String]) -> Result<Vec<ExperimentOutp
     Ok(wn_sim::par_map_with(threads, picked, |e| e.run()))
 }
 
+/// Runs the observability export of every instrumented experiment on
+/// `threads` workers, in registry order.
+///
+/// Like [`run_campaign`], the output is byte-identical for every
+/// `threads` value: each export is seed-deterministic and results come
+/// back in input order.
+pub fn run_observability(threads: usize) -> Vec<ObservabilityOutput> {
+    let jobs: Vec<(&'static str, ObserveFn)> = experiments()
+        .into_iter()
+        .filter_map(|e| e.observe.map(|f| (e.id, f)))
+        .collect();
+    wn_sim::par_map_with(threads, jobs, |(id, f)| {
+        let (trace_jsonl, metrics_jsonl) = f();
+        ObservabilityOutput {
+            id,
+            trace_jsonl,
+            metrics_jsonl,
+        }
+    })
+}
+
+/// Concatenates per-experiment trace JSONL in registry order.
+pub fn observability_trace_jsonl(outputs: &[ObservabilityOutput]) -> String {
+    outputs.iter().map(|o| o.trace_jsonl.as_str()).collect()
+}
+
+/// Concatenates per-experiment metrics JSONL in registry order.
+pub fn observability_metrics_jsonl(outputs: &[ObservabilityOutput]) -> String {
+    outputs.iter().map(|o| o.metrics_jsonl.as_str()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +368,32 @@ mod tests {
         }
         assert_eq!(exps[0].id, "FIG-1.1");
         assert_eq!(exps.last().unwrap().id, "TAB-8.1");
+    }
+
+    #[test]
+    fn observability_covers_every_layer_and_is_nonempty() {
+        let outs = run_observability(2);
+        let ids: Vec<&str> = outs.iter().map(|o| o.id).collect();
+        assert_eq!(
+            ids,
+            ["FIG-1.2", "FIG-1.4", "FIG-1.6", "FIG-1.7", "FIG-1.10"],
+            "registry order, one per instrumented layer"
+        );
+        for o in &outs {
+            assert!(
+                !o.trace_jsonl.is_empty(),
+                "{} exported no trace events",
+                o.id
+            );
+            assert!(!o.metrics_jsonl.is_empty(), "{} exported no metrics", o.id);
+            for line in o.trace_jsonl.lines().chain(o.metrics_jsonl.lines()) {
+                assert!(
+                    line.starts_with(&format!("{{\"exp\":\"{}\"", o.id)),
+                    "line not tagged with {}: {line}",
+                    o.id
+                );
+            }
+        }
     }
 
     #[test]

@@ -1407,6 +1407,198 @@ pub fn table_8_1() -> ExperimentReport {
     report
 }
 
+// ---------------------------------------------------------------------
+// Observability exports
+//
+// One compact, fully deterministic instrumented run per protocol layer.
+// Each returns `(trace_jsonl, metrics_jsonl)` tagged with the
+// experiment id; the campaign runner concatenates them in registry
+// order for `report --trace-json` / `--metrics-json`.
+// ---------------------------------------------------------------------
+
+/// FIG-1.6 observability: a short 802.11g saturation run (3 senders,
+/// one sink, RTS on so the Rts/Cts exchange shows up in the trace).
+pub fn observe_fig_1_6(seed: u64) -> (String, String) {
+    let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+    cfg.seed = seed;
+    cfg.rts_threshold = 500;
+    let mut w = WlanWorld::new(cfg);
+    w.add_station(
+        MacAddr::station(0),
+        Point::new(0.0, 0.0),
+        Box::new(NullUpper),
+    );
+    for i in 1..=3usize {
+        let a = i as f64 / 3.0 * std::f64::consts::TAU;
+        w.add_station(
+            MacAddr::station(i as u32),
+            Point::new(8.0 * a.cos(), 8.0 * a.sin()),
+            Box::new(NullUpper),
+        );
+    }
+    let mut sim = Simulation::new(w);
+    boot(&mut sim);
+    for i in 1..=3u64 {
+        for k in 0..40u64 {
+            sim.scheduler_mut().schedule_at(
+                SimTime::from_micros(k * 2_000),
+                MacEvent::Inject {
+                    station: i as usize,
+                    frame: data_frame(i as u32, 0, 1000),
+                },
+            );
+        }
+    }
+    let end = SimTime::from_millis(200);
+    sim.run_until(end);
+    (
+        sim.world().trace.to_jsonl("FIG-1.6"),
+        sim.world().metrics_snapshot(end).to_jsonl("FIG-1.6"),
+    )
+}
+
+/// FIG-1.10 observability: a compressed ESS roam (walker crosses two
+/// cells) plus a power-save STA, so Assoc/Handoff/PowerSave events all
+/// appear alongside the MAC-level trace.
+pub fn observe_fig_1_10(seed: u64) -> (String, String) {
+    use wn_net80211::sta::StaConfig;
+    let ssid = Ssid::new("Obs110").expect("valid ssid");
+    let mut mac = MacConfig::new(PhyStandard::Dot11g);
+    mac.seed = seed;
+    let mut ps = StaConfig::open(ssid.clone(), vec![1, 6]);
+    ps.power_save = true;
+    let mut ess = EssBuilder::new(mac, ssid)
+        .ap(Point::new(0.0, 0.0), 1)
+        .ap(Point::new(170.0, 0.0), 6)
+        .sta(Point::new(10.0, 0.0)) // The walker.
+        .sta_with(Point::new(5.0, 5.0), ps) // The dozer.
+        .build();
+    // Keep the export compact: Info+ records only (assoc, handoff,
+    // drops); the Debug-level per-frame firehose stays internal.
+    ess.sim
+        .world_mut()
+        .trace
+        .set_min_level(wn_sim::trace::Level::Info);
+    ess.sim.run_until(SimTime::from_secs(2));
+    let walker = ess.sta_ids[0];
+    schedule_walk(
+        &mut ess.sim,
+        walker,
+        Point::new(10.0, 0.0),
+        Point::new(160.0, 0.0),
+        6.0,
+        SimDuration::from_millis(200),
+        SimTime::from_secs(2),
+    );
+    let end = SimTime::from_secs(32);
+    ess.sim.run_until(end);
+    (
+        ess.sim.world().trace.to_jsonl("FIG-1.10"),
+        ess.sim.world().metrics_snapshot(end).to_jsonl("FIG-1.10"),
+    )
+}
+
+/// FIG-1.2 observability: one piconet (master + 3 slaves) polled for a
+/// second — Join events at setup, Poll events per TDD exchange.
+pub fn observe_fig_1_2() -> (String, String) {
+    use wn_wpan::bluetooth::{boot as bt_boot, BtNetwork, DeviceClass};
+    let mut net = BtNetwork::new();
+    let m = net.add_device(Point::new(0.0, 0.0), DeviceClass::Class2);
+    let p = net.form_piconet(m).expect("fresh master");
+    for i in 0..3 {
+        let s = net.add_device(Point::new(1.0, i as f64), DeviceClass::Class2);
+        net.join(p, s).expect("in range");
+        net.send(m, s, 100_000);
+    }
+    let mut sim = Simulation::new(net);
+    bt_boot(&mut sim);
+    let end = SimTime::from_secs(1);
+    sim.run_until(end);
+    (
+        sim.world().trace.to_jsonl("FIG-1.2"),
+        sim.world().metrics_snapshot(end).to_jsonl("FIG-1.2"),
+    )
+}
+
+/// FIG-1.4 observability: a small ZigBee cluster tree — Join events
+/// for every parent link, then Forward/Deliver hops leaf-to-leaf.
+pub fn observe_fig_1_4(seed: u64) -> (String, String) {
+    use wn_wpan::zigbee::{NodeRole, Topology, ZigbeeEvent, ZigbeeNetwork};
+    let mut net = ZigbeeNetwork::new(Topology::ClusterTree, seed);
+    let coord = net
+        .add_node(Point::new(0.0, 0.0), NodeRole::Ffd)
+        .expect("coordinator");
+    let mut leaves = Vec::new();
+    for i in 0..2 {
+        let router = net
+            .add_node(Point::new(8.0, i as f64 * 8.0 - 4.0), NodeRole::Ffd)
+            .expect("router");
+        net.set_parent(router, coord).expect("ffd parent");
+        let leaf = net
+            .add_node(Point::new(15.0, i as f64 * 8.0 - 4.0), NodeRole::Rfd)
+            .expect("leaf");
+        net.set_parent(leaf, router).expect("ffd parent");
+        leaves.push(leaf);
+    }
+    let mut sim = Simulation::new(net);
+    for k in 0..10u64 {
+        sim.scheduler_mut().schedule_at(
+            SimTime::from_millis(k * 50),
+            ZigbeeEvent::Send {
+                src: leaves[0],
+                dst: leaves[1],
+                bytes: 60,
+            },
+        );
+    }
+    let end = SimTime::from_secs(2);
+    sim.run_until(end);
+    (
+        sim.world().trace.to_jsonl("FIG-1.4"),
+        sim.world().metrics_snapshot(end).to_jsonl("FIG-1.4"),
+    )
+}
+
+/// FIG-1.7 observability: a WiMAX base station granting three service
+/// classes over 100 frames — Grant events per scheduled burst.
+pub fn observe_fig_1_7() -> (String, String) {
+    use wn_wman::link::WimaxLink;
+    use wn_wman::scheduler::{boot as wimax_boot, BaseStation, ServiceClass, WimaxEvent};
+    let mut bs = BaseStation::new(WimaxLink::default());
+    let ugs = bs
+        .add_subscriber(2_000.0, false, ServiceClass::Ugs, 2e6)
+        .expect("in range");
+    let rtps = bs
+        .add_subscriber(8_000.0, false, ServiceClass::Rtps, 1e6)
+        .expect("in range");
+    let be = bs
+        .add_subscriber(15_000.0, false, ServiceClass::BestEffort, 0.0)
+        .expect("in range");
+    let mut sim = Simulation::new(bs);
+    wimax_boot(&mut sim);
+    for t in 0..5u64 {
+        for &ss in &[ugs, rtps, be] {
+            sim.scheduler_mut().schedule_at(
+                SimTime::from_millis(t * 100),
+                WimaxEvent::Offer { ss, bytes: 200_000 },
+            );
+        }
+        sim.scheduler_mut().schedule_at(
+            SimTime::from_millis(t * 100),
+            WimaxEvent::OfferUplink {
+                ss: rtps,
+                bytes: 50_000,
+            },
+        );
+    }
+    let end = SimTime::from_millis(500);
+    sim.run_until(end);
+    (
+        sim.world().trace.to_jsonl("FIG-1.7"),
+        sim.world().metrics_snapshot(end).to_jsonl("FIG-1.7"),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,7 @@ use wn_mac80211::addr::MacAddr;
 use wn_mac80211::frame::{DsBits, Frame, SequenceControl, Subtype};
 use wn_mac80211::sim::{Command, UpperCtx, UpperLayer};
 use wn_phy::units::Dbm;
+use wn_sim::trace::{Level, TraceEvent};
 use wn_sim::{SimDuration, SimTime};
 
 /// Timer tag: emit the next beacon.
@@ -347,6 +348,13 @@ impl UpperLayer for ApLogic {
                             ds.borrow_mut().associate(from, ctx.id);
                         }
                         self.shared.borrow_mut().associations.push((ctx.now, from));
+                        ctx.emit(
+                            Level::Info,
+                            TraceEvent::Assoc {
+                                station: ctx.id as u32,
+                                aid,
+                            },
+                        );
                         (0u16, aid)
                     }
                     _ => (1u16, 0),

@@ -503,12 +503,16 @@ mod tests {
 
     #[test]
     fn roaming_between_aps_fig_1_10() {
+        use wn_sim::trace::{Level, TraceEvent};
         // A STA walks from AP0's cell into AP1's; §3.2 roaming.
         let mut ess = EssBuilder::new(mac(5), ssid())
             .ap(Point::new(0.0, 0.0), 1)
             .ap(Point::new(260.0, 0.0), 6)
             .sta(Point::new(10.0, 0.0))
             .build();
+        // Retain only Info+ records so the long walk cannot evict the
+        // association history we assert on below.
+        ess.sim.world_mut().trace.set_min_level(Level::Info);
         ess.sim.run_until(SimTime::from_secs(2));
         assert_eq!(
             ess.sta_shared[0].borrow().bssid,
@@ -548,6 +552,18 @@ mod tests {
             Some(ess.ap_ids[1]),
             "DS association moved to AP1"
         );
+        drop(sh);
+        // Typed-event ordering: the first association precedes the
+        // handoff decision, and the handoff was actually traced.
+        let trace = &ess.sim.world().trace;
+        assert!(
+            trace.count_events(|e| matches!(e, TraceEvent::Handoff { .. })) >= 1,
+            "roam decision must emit a Handoff event"
+        );
+        assert!(trace.happened_before_events(
+            |e| matches!(e, TraceEvent::Assoc { .. }),
+            |e| matches!(e, TraceEvent::Handoff { .. }),
+        ));
     }
 
     #[test]
@@ -634,6 +650,14 @@ mod tests {
             ess.ap_shared[0].borrow().ps_buffered >= 1,
             "AP buffered for the dozer"
         );
+        drop(sh);
+        // The doze/wake cycle is visible as typed PowerSave events.
+        use wn_sim::trace::TraceEvent;
+        let trace = &ess.sim.world().trace;
+        let dozes = trace.count_events(|e| matches!(e, TraceEvent::PowerSave { doze: true, .. }));
+        let wakes = trace.count_events(|e| matches!(e, TraceEvent::PowerSave { doze: false, .. }));
+        assert!(dozes >= 2, "doze events traced: {dozes}");
+        assert!(wakes >= 1, "wake events traced: {wakes}");
     }
 
     #[test]

@@ -28,6 +28,7 @@ use wn_mac80211::addr::MacAddr;
 use wn_mac80211::frame::{DsBits, Frame, SequenceControl, Subtype};
 use wn_mac80211::sim::{Command, UpperCtx, UpperLayer};
 use wn_phy::units::Dbm;
+use wn_sim::trace::{Level, TraceEvent};
 use wn_sim::{SimDuration, SimTime};
 
 /// Timer tag: scan dwell elapsed, hop to the next channel.
@@ -193,6 +194,16 @@ impl StaLogic {
     }
 
     fn start_scan(&mut self, ctx: &mut UpperCtx) {
+        // Leaving an established association to reacquire (beacon loss,
+        // weak signal, deauth) is the other half of §3.2 roaming.
+        if self.shared.borrow().state == StaState::Associated {
+            ctx.emit(
+                Level::Info,
+                TraceEvent::Handoff {
+                    station: ctx.id as u32,
+                },
+            );
+        }
         self.shared.borrow_mut().state = StaState::Scanning;
         self.shared.borrow_mut().bssid = None;
         self.serving = None;
@@ -285,6 +296,13 @@ impl StaLogic {
         // Wake 2 ms before the expected beacon.
         let sleep = interval.saturating_sub(SimDuration::from_millis(2));
         ctx.command(Command::SetAwake(false));
+        ctx.emit(
+            Level::Debug,
+            TraceEvent::PowerSave {
+                station: ctx.id as u32,
+                doze: true,
+            },
+        );
         self.shared.borrow_mut().dozes += 1;
         ctx.set_timer(sleep, TAG_PS_WAKE);
     }
@@ -335,6 +353,13 @@ impl UpperLayer for StaLogic {
             TAG_APP => self.drain_app_queue(ctx),
             TAG_PS_WAKE if self.shared.borrow().state == StaState::Associated => {
                 ctx.command(Command::SetAwake(true));
+                ctx.emit(
+                    Level::Debug,
+                    TraceEvent::PowerSave {
+                        station: ctx.id as u32,
+                        doze: false,
+                    },
+                );
             }
             TAG_JOIN_TIMEOUT => {
                 let gen = tag >> 8;
@@ -419,6 +444,12 @@ impl UpperLayer for StaLogic {
                                 rssi,
                                 interval_ms: body.interval_ms,
                             });
+                            ctx.emit(
+                                Level::Info,
+                                TraceEvent::Handoff {
+                                    station: ctx.id as u32,
+                                },
+                            );
                             self.begin_join(ctx);
                         }
                     }
@@ -504,6 +535,13 @@ impl UpperLayer for StaLogic {
                     sh.aid = body.aid;
                     sh.assoc_events.push((ctx.now, bssid));
                 }
+                ctx.emit(
+                    Level::Info,
+                    TraceEvent::Assoc {
+                        station: ctx.id as u32,
+                        aid: body.aid,
+                    },
+                );
                 self.current_rssi = self
                     .serving
                     .as_ref()

@@ -1,0 +1,94 @@
+//! Minimal hand-rolled JSON emission helpers.
+//!
+//! The workspace is std-only, so the JSONL exporters in [`crate::trace`]
+//! and [`crate::metrics`] build their output with these few functions
+//! instead of a serialisation crate. Output is deterministic: fixed key
+//! order is the caller's job; this module guarantees stable escaping and
+//! number formatting.
+
+/// Appends `s` as a JSON string literal (quotes and escapes included).
+pub(crate) fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number.
+///
+/// Uses Rust's shortest round-trip `Display` for `f64`, which is
+/// deterministic across platforms. Non-finite values (not representable
+/// in JSON) are emitted as `null`.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `,"name":"value"` with escaping.
+pub(crate) fn push_str_field(out: &mut String, name: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(name);
+    out.push_str("\":");
+    push_str(out, value);
+}
+
+/// Appends `,"name":value` for an unsigned integer.
+pub(crate) fn push_u64_field(out: &mut String, name: &str, value: u64) {
+    out.push_str(",\"");
+    out.push_str(name);
+    out.push_str("\":");
+    out.push_str(&value.to_string());
+}
+
+/// Appends `,"name":value` for a float (see [`push_f64`]).
+pub(crate) fn push_f64_field(out: &mut String, name: &str, value: f64) {
+    out.push_str(",\"");
+    out.push_str(name);
+    out.push_str("\":");
+    push_f64(out, value);
+}
+
+/// Appends `,"name":true|false`.
+pub(crate) fn push_bool_field(out: &mut String, name: &str, value: bool) {
+    out.push_str(",\"");
+    out.push_str(name);
+    out.push_str("\":");
+    out.push_str(if value { "true" } else { "false" });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let mut out = String::new();
+        push_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn floats_are_shortest_round_trip_and_finite_only() {
+        let mut out = String::new();
+        push_f64(&mut out, 54.0);
+        out.push(' ');
+        push_f64(&mut out, 0.1);
+        out.push(' ');
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "54 0.1 null");
+    }
+}

@@ -12,8 +12,11 @@
 //!   platform or external crate versions.
 //! - [`stats`] — counters, histograms, time-weighted gauges and series
 //!   used by the experiment harness to regenerate the paper's figures.
-//! - [`trace`] — a lightweight bounded event trace for debugging and for
-//!   asserting ordering properties in tests.
+//! - [`metrics`] — a registry that names those instruments per layer and
+//!   per station and snapshots them into deterministic JSONL.
+//! - [`trace`] — a bounded event trace carrying typed
+//!   [`trace::TraceEvent`]s for debugging, ordering assertions in tests,
+//!   and JSONL export.
 //! - [`par`] — a std-only scoped-thread pool ([`par_map`]) that fans the
 //!   independent sweep points of a campaign across cores while keeping
 //!   results in input order, so parallel runs stay byte-identical.
@@ -53,6 +56,8 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+mod json;
+pub mod metrics;
 pub mod par;
 pub mod rng;
 pub mod stats;
@@ -60,6 +65,11 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{event_key, global_events_processed, key_time, Scheduler, Simulation, World};
+pub use metrics::{MetricKey, MetricRow, MetricsRegistry, MetricsSnapshot};
 pub use par::{par_map, par_map_with, worker_count};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{
+    observability_enabled, set_observability, DropReason, FrameKind, Level, Lookup, Trace,
+    TraceEvent,
+};

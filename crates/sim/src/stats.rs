@@ -42,6 +42,7 @@ pub struct Summary {
     n: u64,
     mean: f64,
     m2: f64,
+    sum: f64,
     min: f64,
     max: f64,
 }
@@ -53,6 +54,7 @@ impl Summary {
             n: 0,
             mean: 0.0,
             m2: 0.0,
+            sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -64,6 +66,7 @@ impl Summary {
         let delta = x - self.mean;
         self.mean += delta / self.n as f64;
         self.m2 += delta * (x - self.mean);
+        self.sum += x;
         self.min = self.min.min(x);
         self.max = self.max.max(x);
     }
@@ -107,8 +110,12 @@ impl Summary {
     }
 
     /// Sum of all observations.
+    ///
+    /// Tracked as a true running sum, not reconstructed as
+    /// `mean() * n` — the reconstruction compounds Welford rounding
+    /// error into anything derived from the sum.
     pub fn sum(&self) -> f64 {
-        self.mean() * self.n as f64
+        self.sum
     }
 }
 
@@ -428,6 +435,33 @@ mod tests {
         assert_eq!(s.min(), Some(2.0));
         assert_eq!(s.max(), Some(9.0));
         assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    /// Property (regression): `sum()` must equal left-to-right naive
+    /// summation *exactly*, for arbitrary value streams. The pre-fix
+    /// implementation reconstructed the sum as `mean * n`, which
+    /// compounds Welford rounding error — e.g. many values of wildly
+    /// different magnitude drift away from the naive sum.
+    #[test]
+    fn summary_sum_equals_naive_summation_exactly() {
+        for seed in 0..32u64 {
+            let mut rng = crate::Rng::new(0x5EED_0000 + seed);
+            let n = 1 + (rng.next_u64() % 2000) as usize;
+            let mut s = Summary::new();
+            let mut naive = 0.0f64;
+            for _ in 0..n {
+                // Mix magnitudes from 1e-6 to 1e6 to stress cancellation.
+                let exponent = (rng.next_u64() % 13) as i32 - 6;
+                let x = (rng.f64() - 0.5) * 10f64.powi(exponent);
+                s.record(x);
+                naive += x;
+            }
+            assert_eq!(
+                s.sum().to_bits(),
+                naive.to_bits(),
+                "seed {seed}: running sum must match naive summation bit-for-bit"
+            );
+        }
     }
 
     #[test]

@@ -1,15 +1,57 @@
 //! Bounded event tracing.
 //!
-//! A [`Trace`] is a ring buffer of timestamped, categorised strings. It
-//! exists for two reasons: interactive debugging of protocol exchanges
-//! (print the last N MAC events), and test assertions about *ordering*
-//! ("the CTS was sent after the RTS", "no data frame preceded
-//! association"). It is deliberately simple — no I/O, no globals.
+//! A [`Trace`] is a ring buffer of timestamped records. Each record
+//! carries a human-readable message and, when emitted through
+//! [`Trace::event`], a typed [`TraceEvent`] that tests and exporters can
+//! match on structurally instead of by substring. The buffer exists for
+//! three reasons: interactive debugging of protocol exchanges (print the
+//! last N MAC events), test assertions about *ordering* ("the CTS was
+//! sent after the RTS", "no data frame preceded association"), and
+//! machine-readable JSONL export ([`Trace::to_jsonl`]) for offline
+//! analysis of campaign runs.
+//!
+//! # Eviction contract
+//!
+//! The buffer is bounded: once `capacity` records are retained, each new
+//! record evicts the oldest and increments [`Trace::dropped`]. All query
+//! methods operate on the *retained window only*. Ordering queries
+//! ([`Trace::happened_before`], [`Trace::happened_before_events`])
+//! **panic** when any record has been evicted, because the first
+//! occurrence of either needle may have been lost and the answer would
+//! be arbitrary. Use [`Trace::happened_before_retained`] when
+//! window-relative ordering is genuinely what you want, or size the
+//! buffer so nothing is evicted ([`Trace::new`] with a larger capacity).
+//! [`Trace::lookup_containing`] reports eviction explicitly via
+//! [`Lookup::Evicted`].
+//!
+//! # Process-global kill switch
+//!
+//! [`set_observability`] disables record retention process-wide so the
+//! cost of the layer can be measured (`perfsuite` runs the campaign once
+//! with tracing on and once with it off). Simulation results never
+//! depend on trace contents, so toggling it cannot change figures.
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
+use crate::json;
 use crate::time::SimTime;
+
+static OBSERVABILITY: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables all trace retention in this process.
+///
+/// Used by `perfsuite` to measure the overhead of the observability
+/// layer. Defaults to enabled.
+pub fn set_observability(enabled: bool) {
+    OBSERVABILITY.store(enabled, Ordering::Relaxed);
+}
+
+/// `true` when trace retention is enabled (the default).
+pub fn observability_enabled() -> bool {
+    OBSERVABILITY.load(Ordering::Relaxed)
+}
 
 /// Importance of a trace record.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -20,6 +62,414 @@ pub enum Level {
     Info,
     /// Abnormal but recoverable conditions (retry limit, CRC failure).
     Warn,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+/// Frame class carried by tx/rx/drop events.
+///
+/// Mirrors the 802.11 subtype lattice but is protocol-agnostic: other
+/// MACs map their frame classes onto the nearest variant (or
+/// [`FrameKind::Other`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Association request.
+    AssocReq,
+    /// Association response.
+    AssocResp,
+    /// Reassociation request.
+    ReassocReq,
+    /// Reassociation response.
+    ReassocResp,
+    /// Probe request.
+    ProbeReq,
+    /// Probe response.
+    ProbeResp,
+    /// Beacon.
+    Beacon,
+    /// Announcement traffic indication message.
+    Atim,
+    /// Disassociation notice.
+    Disassoc,
+    /// Authentication frame.
+    Auth,
+    /// Deauthentication notice.
+    Deauth,
+    /// Power-save poll.
+    PsPoll,
+    /// Request-to-send.
+    Rts,
+    /// Clear-to-send.
+    Cts,
+    /// Acknowledgement.
+    Ack,
+    /// Data frame.
+    Data,
+    /// Data frame with empty body (power-management signalling).
+    NullData,
+    /// Anything a particular MAC cannot map onto the variants above.
+    Other,
+}
+
+/// Why a frame or MSDU was dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Transmit queue was at its configured limit.
+    QueueFull,
+    /// Retry limit exhausted without an acknowledgement.
+    RetryLimit,
+    /// No route / next hop available.
+    NoRoute,
+    /// Lost to collision or channel error.
+    Collision,
+    /// Hop / TTL budget exhausted in a mesh.
+    HopLimit,
+}
+
+/// A structured trace event.
+///
+/// Station identifiers are world-local indices (the same `usize` ids the
+/// simulation worlds use, narrowed to `u32`). The enum deliberately
+/// spans every protocol family in the workspace so one exporter and one
+/// set of test helpers serve all crates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A frame was put on the air.
+    Tx {
+        /// Transmitting station.
+        station: u32,
+        /// Frame class.
+        kind: FrameKind,
+        /// On-air length in bytes.
+        len: u32,
+        /// PHY data rate in Mb/s.
+        rate_mbps: f64,
+    },
+    /// A frame was received and accepted.
+    Rx {
+        /// Receiving station.
+        station: u32,
+        /// Frame class.
+        kind: FrameKind,
+        /// On-air length in bytes.
+        len: u32,
+        /// Received signal strength in dBm.
+        rssi_dbm: f64,
+    },
+    /// A frame or MSDU was discarded.
+    Drop {
+        /// Station discarding the frame.
+        station: u32,
+        /// Frame class.
+        kind: FrameKind,
+        /// Why it was discarded.
+        reason: DropReason,
+    },
+    /// Contention backoff armed.
+    Backoff {
+        /// Station deferring.
+        station: u32,
+        /// Slots drawn from the contention window.
+        slots: u32,
+        /// Current contention window size.
+        cw: u32,
+    },
+    /// Virtual carrier-sense (NAV) reservation observed.
+    Nav {
+        /// Station honouring the reservation.
+        station: u32,
+        /// Reservation end, microseconds of virtual time.
+        until_us: u64,
+    },
+    /// A transmission attempt is being retried.
+    Retry {
+        /// Retrying station.
+        station: u32,
+        /// Short retry counter after the increment.
+        short: u32,
+        /// Long retry counter after the increment.
+        long: u32,
+    },
+    /// Final outcome of an MSDU handed to the MAC.
+    TxOutcome {
+        /// Originating station.
+        station: u32,
+        /// `true` on acknowledged delivery, `false` on failure.
+        ok: bool,
+    },
+    /// Association (or reassociation) completed.
+    Assoc {
+        /// Station that associated (STA side) or granted (AP side).
+        station: u32,
+        /// Association identifier assigned by the AP.
+        aid: u16,
+    },
+    /// Station moved to a different point of attachment.
+    Handoff {
+        /// Roaming station.
+        station: u32,
+    },
+    /// Power-save state transition.
+    PowerSave {
+        /// Station changing state.
+        station: u32,
+        /// `true` when entering doze, `false` when waking.
+        doze: bool,
+    },
+    /// A node joined a network/piconet under a parent/master.
+    Join {
+        /// Joining node.
+        station: u32,
+        /// Parent, coordinator or piconet master.
+        parent: u32,
+    },
+    /// Piconet master polled a slave (TDD slot pair).
+    Poll {
+        /// Polling master.
+        station: u32,
+        /// Polled slave.
+        peer: u32,
+        /// Slot pairs exchanged.
+        slots: u32,
+    },
+    /// Scheduler granted capacity to a subscriber for one frame.
+    Grant {
+        /// Subscriber station.
+        station: u32,
+        /// Bytes moved under the grant.
+        bytes: u64,
+        /// `true` for an uplink grant, `false` for downlink.
+        uplink: bool,
+    },
+    /// End-to-end delivery in a multi-hop network.
+    Deliver {
+        /// Destination node.
+        station: u32,
+        /// Payload bytes delivered.
+        bytes: u64,
+        /// Hops traversed.
+        hops: u32,
+    },
+    /// One forwarding hop in a multi-hop network.
+    Forward {
+        /// Node doing the forwarding.
+        station: u32,
+        /// Final destination node.
+        dst: u32,
+        /// Hops traversed so far.
+        hops: u32,
+    },
+    /// Key-recovery progress in a security experiment.
+    Crack {
+        /// Attacking station.
+        station: u32,
+        /// Attack method label.
+        method: &'static str,
+        /// Whether the key was recovered.
+        ok: bool,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Tx {
+                station,
+                kind,
+                len,
+                rate_mbps,
+            } => write!(f, "tx {kind:?} sta={station} len={len} rate={rate_mbps:.1}"),
+            TraceEvent::Rx {
+                station,
+                kind,
+                len,
+                rssi_dbm,
+            } => write!(f, "rx {kind:?} sta={station} len={len} rssi={rssi_dbm:.1}"),
+            TraceEvent::Drop {
+                station,
+                kind,
+                reason,
+            } => write!(f, "drop {kind:?} sta={station} reason={reason:?}"),
+            TraceEvent::Backoff { station, slots, cw } => {
+                write!(f, "backoff sta={station} slots={slots} cw={cw}")
+            }
+            TraceEvent::Nav { station, until_us } => {
+                write!(f, "nav sta={station} until={until_us}us")
+            }
+            TraceEvent::Retry {
+                station,
+                short,
+                long,
+            } => write!(f, "retry sta={station} short={short} long={long}"),
+            TraceEvent::TxOutcome { station, ok } => {
+                write!(f, "tx-outcome sta={station} ok={ok}")
+            }
+            TraceEvent::Assoc { station, aid } => write!(f, "assoc sta={station} aid={aid}"),
+            TraceEvent::Handoff { station } => write!(f, "handoff sta={station}"),
+            TraceEvent::PowerSave { station, doze } => {
+                write!(f, "power-save sta={station} doze={doze}")
+            }
+            TraceEvent::Join { station, parent } => {
+                write!(f, "join sta={station} parent={parent}")
+            }
+            TraceEvent::Poll {
+                station,
+                peer,
+                slots,
+            } => write!(f, "poll master={station} slave={peer} slots={slots}"),
+            TraceEvent::Grant {
+                station,
+                bytes,
+                uplink,
+            } => write!(f, "grant ss={station} bytes={bytes} uplink={uplink}"),
+            TraceEvent::Deliver {
+                station,
+                bytes,
+                hops,
+            } => write!(f, "deliver sta={station} bytes={bytes} hops={hops}"),
+            TraceEvent::Forward { station, dst, hops } => {
+                write!(f, "forward sta={station} dst={dst} hops={hops}")
+            }
+            TraceEvent::Crack {
+                station,
+                method,
+                ok,
+            } => write!(f, "crack sta={station} method={method} ok={ok}"),
+        }
+    }
+}
+
+impl TraceEvent {
+    /// Stable discriminant used as the JSON `type` field.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            TraceEvent::Tx { .. } => "tx",
+            TraceEvent::Rx { .. } => "rx",
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::Backoff { .. } => "backoff",
+            TraceEvent::Nav { .. } => "nav",
+            TraceEvent::Retry { .. } => "retry",
+            TraceEvent::TxOutcome { .. } => "tx_outcome",
+            TraceEvent::Assoc { .. } => "assoc",
+            TraceEvent::Handoff { .. } => "handoff",
+            TraceEvent::PowerSave { .. } => "power_save",
+            TraceEvent::Join { .. } => "join",
+            TraceEvent::Poll { .. } => "poll",
+            TraceEvent::Grant { .. } => "grant",
+            TraceEvent::Deliver { .. } => "deliver",
+            TraceEvent::Forward { .. } => "forward",
+            TraceEvent::Crack { .. } => "crack",
+        }
+    }
+
+    /// Station the event is attributed to.
+    pub fn station(&self) -> u32 {
+        match *self {
+            TraceEvent::Tx { station, .. }
+            | TraceEvent::Rx { station, .. }
+            | TraceEvent::Drop { station, .. }
+            | TraceEvent::Backoff { station, .. }
+            | TraceEvent::Nav { station, .. }
+            | TraceEvent::Retry { station, .. }
+            | TraceEvent::TxOutcome { station, .. }
+            | TraceEvent::Assoc { station, .. }
+            | TraceEvent::Handoff { station }
+            | TraceEvent::PowerSave { station, .. }
+            | TraceEvent::Join { station, .. }
+            | TraceEvent::Poll { station, .. }
+            | TraceEvent::Grant { station, .. }
+            | TraceEvent::Deliver { station, .. }
+            | TraceEvent::Forward { station, .. }
+            | TraceEvent::Crack { station, .. } => station,
+        }
+    }
+
+    /// Appends the event's JSON fields (starting with `"type"`) to `out`.
+    fn write_json_fields(&self, out: &mut String) {
+        out.push_str("\"type\":\"");
+        out.push_str(self.type_tag());
+        out.push('"');
+        out.push_str(",\"station\":");
+        out.push_str(&self.station().to_string());
+        match *self {
+            TraceEvent::Tx {
+                kind,
+                len,
+                rate_mbps,
+                ..
+            } => {
+                json::push_str_field(out, "kind", &format!("{kind:?}"));
+                json::push_u64_field(out, "len", u64::from(len));
+                json::push_f64_field(out, "rate_mbps", rate_mbps);
+            }
+            TraceEvent::Rx {
+                kind,
+                len,
+                rssi_dbm,
+                ..
+            } => {
+                json::push_str_field(out, "kind", &format!("{kind:?}"));
+                json::push_u64_field(out, "len", u64::from(len));
+                json::push_f64_field(out, "rssi_dbm", rssi_dbm);
+            }
+            TraceEvent::Drop { kind, reason, .. } => {
+                json::push_str_field(out, "kind", &format!("{kind:?}"));
+                json::push_str_field(out, "reason", &format!("{reason:?}"));
+            }
+            TraceEvent::Backoff { slots, cw, .. } => {
+                json::push_u64_field(out, "slots", u64::from(slots));
+                json::push_u64_field(out, "cw", u64::from(cw));
+            }
+            TraceEvent::Nav { until_us, .. } => {
+                json::push_u64_field(out, "until_us", until_us);
+            }
+            TraceEvent::Retry { short, long, .. } => {
+                json::push_u64_field(out, "short", u64::from(short));
+                json::push_u64_field(out, "long", u64::from(long));
+            }
+            TraceEvent::TxOutcome { ok, .. } => {
+                json::push_bool_field(out, "ok", ok);
+            }
+            TraceEvent::Assoc { aid, .. } => {
+                json::push_u64_field(out, "aid", u64::from(aid));
+            }
+            TraceEvent::Handoff { .. } => {}
+            TraceEvent::PowerSave { doze, .. } => {
+                json::push_bool_field(out, "doze", doze);
+            }
+            TraceEvent::Join { parent, .. } => {
+                json::push_u64_field(out, "parent", u64::from(parent));
+            }
+            TraceEvent::Poll { peer, slots, .. } => {
+                json::push_u64_field(out, "peer", u64::from(peer));
+                json::push_u64_field(out, "slots", u64::from(slots));
+            }
+            TraceEvent::Grant { bytes, uplink, .. } => {
+                json::push_u64_field(out, "bytes", bytes);
+                json::push_bool_field(out, "uplink", uplink);
+            }
+            TraceEvent::Deliver { bytes, hops, .. } => {
+                json::push_u64_field(out, "bytes", bytes);
+                json::push_u64_field(out, "hops", u64::from(hops));
+            }
+            TraceEvent::Forward { dst, hops, .. } => {
+                json::push_u64_field(out, "dst", u64::from(dst));
+                json::push_u64_field(out, "hops", u64::from(hops));
+            }
+            TraceEvent::Crack { method, ok, .. } => {
+                json::push_str_field(out, "method", method);
+                json::push_bool_field(out, "ok", ok);
+            }
+        }
+    }
 }
 
 /// One trace record.
@@ -33,6 +483,8 @@ pub struct Record {
     pub tag: &'static str,
     /// Human-readable message.
     pub message: String,
+    /// Structured payload when emitted through [`Trace::event`].
+    pub event: Option<TraceEvent>,
 }
 
 impl fmt::Display for Record {
@@ -43,6 +495,18 @@ impl fmt::Display for Record {
             self.at, self.level, self.tag, self.message
         )
     }
+}
+
+/// Result of an eviction-aware lookup ([`Trace::lookup_containing`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lookup {
+    /// Found at this index within the retained window.
+    Found(usize),
+    /// Not present, and nothing was ever evicted — a definitive miss.
+    Absent,
+    /// Not present in the retained window, but records were evicted, so
+    /// a match may have been lost. The answer is unknowable.
+    Evicted,
 }
 
 /// A bounded ring buffer of trace records.
@@ -81,20 +545,44 @@ impl Trace {
         self.min_level = level;
     }
 
-    /// Appends a record, evicting the oldest when full.
-    pub fn emit(&mut self, at: SimTime, level: Level, tag: &'static str, message: String) {
-        if level < self.min_level {
-            return;
-        }
+    fn push(&mut self, record: Record) {
         if self.records.len() == self.capacity {
             self.records.pop_front();
             self.dropped += 1;
         }
-        self.records.push_back(Record {
+        self.records.push_back(record);
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn emit(&mut self, at: SimTime, level: Level, tag: &'static str, message: String) {
+        if level < self.min_level || !observability_enabled() {
+            return;
+        }
+        self.push(Record {
             at,
             level,
             tag,
             message,
+            event: None,
+        });
+    }
+
+    /// Appends a typed event, evicting the oldest record when full.
+    ///
+    /// The human-readable message is rendered from the event's `Display`
+    /// impl — but only after the level filter and the process-global
+    /// kill switch have passed, so filtered-out events cost no
+    /// formatting or allocation.
+    pub fn event(&mut self, at: SimTime, level: Level, tag: &'static str, event: TraceEvent) {
+        if level < self.min_level || !observability_enabled() {
+            return;
+        }
+        self.push(Record {
+            at,
+            level,
+            tag,
+            message: event.to_string(),
+            event: Some(event),
         });
     }
 
@@ -118,6 +606,15 @@ impl Trace {
         self.records.iter()
     }
 
+    /// Typed events currently retained, oldest first, with timestamps.
+    ///
+    /// Records emitted through the string API are skipped.
+    pub fn events(&self) -> impl Iterator<Item = (SimTime, &TraceEvent)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.event.as_ref().map(|e| (r.at, e)))
+    }
+
     /// Number of retained records.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -133,16 +630,107 @@ impl Trace {
         self.dropped
     }
 
-    /// Index of the first retained record whose message contains `needle`.
+    /// Eviction-aware lookup of the first retained record whose message
+    /// contains `needle`.
+    ///
+    /// Unlike [`Trace::position_containing`] this never panics: a miss
+    /// is reported as [`Lookup::Absent`] when the buffer has never
+    /// evicted (definitive) and as [`Lookup::Evicted`] when records have
+    /// been lost (unknowable).
+    pub fn lookup_containing(&self, needle: &str) -> Lookup {
+        match self.records.iter().position(|r| r.message.contains(needle)) {
+            Some(i) => Lookup::Found(i),
+            None if self.dropped == 0 => Lookup::Absent,
+            None => Lookup::Evicted,
+        }
+    }
+
+    /// Index of the first retained record whose message contains
+    /// `needle`.
+    ///
+    /// The index is relative to the retained window (what [`Trace::records`]
+    /// iterates), not to the full emission history.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `needle` is not found *and* records have been
+    /// evicted: the match may have been lost, so `None` would be a lie.
+    /// Use [`Trace::lookup_containing`] for a non-panicking,
+    /// eviction-aware answer.
     pub fn position_containing(&self, needle: &str) -> Option<usize> {
-        self.records.iter().position(|r| r.message.contains(needle))
+        match self.lookup_containing(needle) {
+            Lookup::Found(i) => Some(i),
+            Lookup::Absent => None,
+            Lookup::Evicted => panic!(
+                "Trace::position_containing({needle:?}): no retained match, but {} record(s) \
+                 were evicted — the answer is unknowable; use lookup_containing() or a larger \
+                 trace capacity",
+                self.dropped
+            ),
+        }
     }
 
     /// `true` if a record containing `a` precedes one containing `b`.
     ///
     /// The canonical ordering assertion for protocol tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any record has been evicted, because the *first*
+    /// occurrence of either needle may have been lost and the observed
+    /// order of the survivors is not evidence of the true order. Use
+    /// [`Trace::happened_before_retained`] for window-relative ordering,
+    /// or a trace capacity large enough that nothing is evicted.
     pub fn happened_before(&self, a: &str, b: &str) -> bool {
-        match (self.position_containing(a), self.position_containing(b)) {
+        assert!(
+            self.dropped == 0,
+            "Trace::happened_before({a:?}, {b:?}): {} record(s) were evicted, so first \
+             occurrences may be lost and the ordering is unknowable; use \
+             happened_before_retained() or a larger trace capacity",
+            self.dropped
+        );
+        self.happened_before_retained(a, b)
+    }
+
+    /// `true` if, *within the retained window*, a record containing `a`
+    /// precedes one containing `b`.
+    ///
+    /// Unlike [`Trace::happened_before`] this does not panic on
+    /// eviction; it answers the weaker, always-well-defined question
+    /// about the surviving records.
+    pub fn happened_before_retained(&self, a: &str, b: &str) -> bool {
+        let ia = self.records.iter().position(|r| r.message.contains(a));
+        let ib = self.records.iter().position(|r| r.message.contains(b));
+        match (ia, ib) {
+            (Some(ia), Some(ib)) => ia < ib,
+            _ => false,
+        }
+    }
+
+    /// `true` if an event matching `a` precedes one matching `b`.
+    ///
+    /// The typed counterpart of [`Trace::happened_before`]: predicates
+    /// match on [`TraceEvent`] variants, so tests assert protocol
+    /// orderings structurally instead of by substring.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any record has been evicted, for the same reason as
+    /// [`Trace::happened_before`].
+    pub fn happened_before_events(
+        &self,
+        a: impl Fn(&TraceEvent) -> bool,
+        b: impl Fn(&TraceEvent) -> bool,
+    ) -> bool {
+        assert!(
+            self.dropped == 0,
+            "Trace::happened_before_events: {} record(s) were evicted, so first occurrences \
+             may be lost and the ordering is unknowable; use a larger trace capacity",
+            self.dropped
+        );
+        let ia = self.events().position(|(_, e)| a(e));
+        let ib = self.events().position(|(_, e)| b(e));
+        match (ia, ib) {
             (Some(ia), Some(ib)) => ia < ib,
             _ => false,
         }
@@ -154,6 +742,41 @@ impl Trace {
             .iter()
             .filter(|r| r.message.contains(needle))
             .count()
+    }
+
+    /// Counts retained typed events matching `pred`.
+    pub fn count_events(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events().filter(|(_, e)| pred(e)).count()
+    }
+
+    /// Serialises every retained record as one JSON object per line.
+    ///
+    /// `exp` tags each line with the experiment id so per-experiment
+    /// dumps can be concatenated into one campaign artifact. Key order
+    /// and number formatting are fixed, so equal traces produce
+    /// byte-identical output.
+    pub fn to_jsonl(&self, exp: &str) -> String {
+        let mut out = String::with_capacity(self.records.len() * 96);
+        for r in &self.records {
+            out.push_str("{\"exp\":");
+            json::push_str(&mut out, exp);
+            out.push_str(",\"at_ns\":");
+            out.push_str(&r.at.as_nanos().to_string());
+            out.push_str(",\"level\":\"");
+            out.push_str(r.level.as_str());
+            out.push_str("\",\"tag\":");
+            json::push_str(&mut out, r.tag);
+            out.push(',');
+            match &r.event {
+                Some(e) => e.write_json_fields(&mut out),
+                None => {
+                    out.push_str("\"type\":\"msg\",\"message\":");
+                    json::push_str(&mut out, &r.message);
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
     }
 }
 
@@ -233,5 +856,134 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _ = Trace::new(0);
+    }
+
+    #[test]
+    fn typed_events_round_trip() {
+        let mut tr = Trace::new(10);
+        tr.event(
+            t(1),
+            Level::Debug,
+            "mac",
+            TraceEvent::Tx {
+                station: 3,
+                kind: FrameKind::Rts,
+                len: 20,
+                rate_mbps: 6.0,
+            },
+        );
+        tr.event(
+            t(2),
+            Level::Debug,
+            "mac",
+            TraceEvent::Tx {
+                station: 0,
+                kind: FrameKind::Cts,
+                len: 14,
+                rate_mbps: 6.0,
+            },
+        );
+        assert_eq!(tr.events().count(), 2);
+        assert!(tr.happened_before_events(
+            |e| matches!(
+                e,
+                TraceEvent::Tx {
+                    kind: FrameKind::Rts,
+                    ..
+                }
+            ),
+            |e| matches!(
+                e,
+                TraceEvent::Tx {
+                    kind: FrameKind::Cts,
+                    ..
+                }
+            ),
+        ));
+        assert_eq!(
+            tr.count_events(|e| matches!(e, TraceEvent::Tx { station: 3, .. })),
+            1
+        );
+        // The rendered message matches the Display impl.
+        let first = tr.records().next().unwrap();
+        assert_eq!(first.message, "tx Rts sta=3 len=20 rate=6.0");
+    }
+
+    #[test]
+    fn lookup_is_eviction_aware() {
+        let mut tr = Trace::new(2);
+        tr.info(t(0), "x", "alpha");
+        assert_eq!(tr.lookup_containing("alpha"), Lookup::Found(0));
+        assert_eq!(tr.lookup_containing("beta"), Lookup::Absent);
+        tr.info(t(1), "x", "bravo");
+        tr.info(t(2), "x", "charlie"); // evicts "alpha"
+        assert_eq!(tr.dropped(), 1);
+        assert_eq!(tr.lookup_containing("alpha"), Lookup::Evicted);
+        assert_eq!(tr.lookup_containing("charlie"), Lookup::Found(1));
+    }
+
+    /// Regression: pre-fix, a miss after eviction silently returned
+    /// `None`, so ordering assertions in long runs could pass or fail
+    /// arbitrarily depending on buffer size.
+    #[test]
+    #[should_panic(expected = "unknowable")]
+    fn position_containing_panics_on_evicted_miss() {
+        let mut tr = Trace::new(2);
+        tr.info(t(0), "x", "alpha");
+        tr.info(t(1), "x", "bravo");
+        tr.info(t(2), "x", "charlie"); // evicts "alpha"
+        let _ = tr.position_containing("alpha");
+    }
+
+    /// Regression: pre-fix, `happened_before` silently returned `false`
+    /// once the ring had evicted either needle's first occurrence.
+    #[test]
+    #[should_panic(expected = "unknowable")]
+    fn happened_before_panics_after_eviction() {
+        let mut tr = Trace::new(2);
+        tr.info(t(0), "x", "rts");
+        tr.info(t(1), "x", "cts");
+        tr.info(t(2), "x", "data"); // evicts "rts"
+        let _ = tr.happened_before("rts", "cts");
+    }
+
+    #[test]
+    fn happened_before_retained_answers_window_question() {
+        let mut tr = Trace::new(2);
+        tr.info(t(0), "x", "rts");
+        tr.info(t(1), "x", "cts");
+        tr.info(t(2), "x", "data"); // evicts "rts"
+        assert!(tr.happened_before_retained("cts", "data"));
+        assert!(!tr.happened_before_retained("rts", "cts"));
+    }
+
+    #[test]
+    fn jsonl_serialises_typed_and_string_records() {
+        let mut tr = Trace::new(8);
+        tr.event(
+            t(1),
+            Level::Debug,
+            "mac",
+            TraceEvent::Tx {
+                station: 1,
+                kind: FrameKind::Data,
+                len: 1534,
+                rate_mbps: 54.0,
+            },
+        );
+        tr.warn(t(2), "phy", "crc \"failure\"\n".to_string());
+        let jsonl = tr.to_jsonl("FIG-0.0");
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"exp\":\"FIG-0.0\",\"at_ns\":1000000,\"level\":\"debug\",\"tag\":\"mac\",\
+             \"type\":\"tx\",\"station\":1,\"kind\":\"Data\",\"len\":1534,\"rate_mbps\":54}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"exp\":\"FIG-0.0\",\"at_ns\":2000000,\"level\":\"warn\",\"tag\":\"phy\",\
+             \"type\":\"msg\",\"message\":\"crc \\\"failure\\\"\\n\"}"
+        );
     }
 }

@@ -18,6 +18,8 @@
 use std::collections::VecDeque;
 
 use crate::link::WimaxLink;
+use wn_sim::metrics::{MetricsRegistry, MetricsSnapshot};
+use wn_sim::trace::{DropReason, FrameKind, Level, Trace, TraceEvent};
 use wn_sim::{Scheduler, SimDuration, SimTime, Simulation, World};
 
 /// The 802.16 scheduling service classes.
@@ -86,6 +88,8 @@ pub struct BaseStation {
     /// Queue limit per SS, bytes.
     pub queue_limit_bytes: usize,
     frames: u64,
+    /// Typed event trace (grants at Debug, overflow drops at Warn).
+    pub trace: Trace,
 }
 
 impl BaseStation {
@@ -97,6 +101,7 @@ impl BaseStation {
             dl_ratio: 0.6,
             queue_limit_bytes: 1 << 20,
             frames: 0,
+            trace: Trace::new(4096),
         }
     }
 
@@ -149,9 +154,27 @@ impl BaseStation {
         self.subscribers[ss].ul_delivered
     }
 
+    /// Exports per-subscriber delivery/backlog counters and frame
+    /// accounting into a named snapshot at time `now`.
+    pub fn metrics_snapshot(&self, now: SimTime) -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new();
+        for (i, s) in self.subscribers.iter().enumerate() {
+            let id = Some(i as u32);
+            reg.counter("wman", "dl_delivered_bytes", id)
+                .add(s.delivered_bytes);
+            reg.counter("wman", "ul_delivered_bytes", id)
+                .add(s.ul_delivered);
+            reg.counter("wman", "dropped", id).add(s.dropped);
+            reg.counter("wman", "queued_bytes", id)
+                .add(s.queued_bytes as u64);
+        }
+        reg.counter("wman", "frames", None).add(self.frames);
+        reg.snapshot(now)
+    }
+
     /// Serves one frame: symbol time is the scarce resource. Each SS's
     /// grant is converted to bytes at its own PHY rate.
-    fn serve_frame(&mut self) {
+    fn serve_frame(&mut self, now: SimTime) {
         self.frames += 1;
         let frame_s = FRAME.as_secs_f64() * self.dl_ratio;
         let mut time_left = frame_s;
@@ -175,6 +198,18 @@ impl BaseStation {
             let moved = (use_s * s.phy_bps / 8.0) as usize;
             Self::dequeue(s, moved);
             time_left -= use_s;
+            if moved > 0 {
+                self.trace.event(
+                    now,
+                    Level::Debug,
+                    "wman",
+                    TraceEvent::Grant {
+                        station: i as u32,
+                        bytes: moved as u64,
+                        uplink: false,
+                    },
+                );
+            }
         }
 
         // Uplink subframe: grants against advertised backlogs, reserved
@@ -200,6 +235,18 @@ impl BaseStation {
             s.ul_backlog -= moved;
             s.ul_delivered += moved as u64;
             ul_left -= use_s;
+            if moved > 0 {
+                self.trace.event(
+                    now,
+                    Level::Debug,
+                    "wman",
+                    TraceEvent::Grant {
+                        station: i as u32,
+                        bytes: moved as u64,
+                        uplink: true,
+                    },
+                );
+            }
         }
         let mut ul_backlogged: Vec<usize> = (0..self.subscribers.len())
             .filter(|&i| self.subscribers[i].ul_backlog > 0)
@@ -215,6 +262,18 @@ impl BaseStation {
                 ul_left -= can as f64 * 8.0 / s.phy_bps;
                 if s.ul_backlog > 0 {
                     next.push(i);
+                }
+                if can > 0 {
+                    self.trace.event(
+                        now,
+                        Level::Debug,
+                        "wman",
+                        TraceEvent::Grant {
+                            station: i as u32,
+                            bytes: can as u64,
+                            uplink: true,
+                        },
+                    );
                 }
             }
             if next.len() == ul_backlogged.len() {
@@ -240,6 +299,18 @@ impl BaseStation {
                 time_left -= used;
                 if s.queued_bytes > 0 {
                     next.push(i);
+                }
+                if moved > 0 {
+                    self.trace.event(
+                        now,
+                        Level::Debug,
+                        "wman",
+                        TraceEvent::Grant {
+                            station: i as u32,
+                            bytes: moved as u64,
+                            uplink: false,
+                        },
+                    );
                 }
             }
             if next.len() == backlogged.len() {
@@ -270,10 +341,10 @@ impl BaseStation {
 impl World for BaseStation {
     type Event = WimaxEvent;
 
-    fn handle(&mut self, _now: SimTime, ev: WimaxEvent, sched: &mut Scheduler<WimaxEvent>) {
+    fn handle(&mut self, now: SimTime, ev: WimaxEvent, sched: &mut Scheduler<WimaxEvent>) {
         match ev {
             WimaxEvent::FrameTick => {
-                self.serve_frame();
+                self.serve_frame(now);
                 sched.schedule_in(FRAME, WimaxEvent::FrameTick);
             }
             WimaxEvent::Offer { ss, bytes } => {
@@ -281,6 +352,16 @@ impl World for BaseStation {
                 let s = &mut self.subscribers[ss];
                 if s.queued_bytes + bytes > limit {
                     s.dropped += 1;
+                    self.trace.event(
+                        now,
+                        Level::Warn,
+                        "wman",
+                        TraceEvent::Drop {
+                            station: ss as u32,
+                            kind: FrameKind::Data,
+                            reason: DropReason::QueueFull,
+                        },
+                    );
                 } else {
                     s.queue.push_back(bytes);
                     s.queued_bytes += bytes;
@@ -291,6 +372,16 @@ impl World for BaseStation {
                 let s = &mut self.subscribers[ss];
                 if s.ul_backlog + bytes > limit {
                     s.dropped += 1;
+                    self.trace.event(
+                        now,
+                        Level::Warn,
+                        "wman",
+                        TraceEvent::Drop {
+                            station: ss as u32,
+                            kind: FrameKind::Data,
+                            reason: DropReason::QueueFull,
+                        },
+                    );
                 } else {
                     s.ul_backlog += bytes;
                 }

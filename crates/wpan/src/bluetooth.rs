@@ -16,6 +16,8 @@
 use std::collections::VecDeque;
 
 use wn_phy::geom::Point;
+use wn_sim::metrics::{MetricsRegistry, MetricsSnapshot};
+use wn_sim::trace::{Level, Trace, TraceEvent};
 use wn_sim::{Scheduler, SimDuration, SimTime, Simulation, World};
 
 /// One Bluetooth TDD slot: 625 µs.
@@ -153,6 +155,9 @@ pub struct BtNetwork {
     /// Slots a bridge stays in one piconet before hopping to the next.
     pub bridge_dwell_slots: u64,
     slots_elapsed: u64,
+    /// Typed event trace (joins at Info, polls at Debug).
+    pub trace: Trace,
+    polls: u64,
 }
 
 /// Events driving the Bluetooth world.
@@ -174,6 +179,8 @@ impl BtNetwork {
             piconets: Vec::new(),
             bridge_dwell_slots: 16,
             slots_elapsed: 0,
+            trace: Trace::new(4096),
+            polls: 0,
         }
     }
 
@@ -235,6 +242,15 @@ impl BtNetwork {
         }
         self.piconets[piconet].slaves.push(slave);
         self.devices[slave].memberships.push(piconet);
+        self.trace.event(
+            SimTime::ZERO,
+            Level::Info,
+            "bt",
+            TraceEvent::Join {
+                station: slave as u32,
+                parent: master as u32,
+            },
+        );
         Ok(())
     }
 
@@ -292,6 +308,22 @@ impl BtNetwork {
     /// Bytes a device has put on the air.
     pub fn sent_bytes(&self, dev: DeviceId) -> u64 {
         self.devices[dev].sent_bytes
+    }
+
+    /// Exports per-device byte counters and world-level slot accounting
+    /// into a named snapshot at time `now`.
+    pub fn metrics_snapshot(&self, now: SimTime) -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new();
+        for (i, d) in self.devices.iter().enumerate() {
+            let id = Some(i as u32);
+            reg.counter("bt", "sent_bytes", id).add(d.sent_bytes);
+            reg.counter("bt", "delivered_bytes", id)
+                .add(d.delivered_bytes);
+        }
+        reg.counter("bt", "polls", None).add(self.polls);
+        reg.counter("bt", "slots_elapsed", None)
+            .add(self.slots_elapsed);
+        reg.snapshot(now)
     }
 
     /// Whether `dev` currently resides in `piconet` (bridges rotate).
@@ -395,7 +427,7 @@ impl Default for BtNetwork {
 impl World for BtNetwork {
     type Event = BtEvent;
 
-    fn handle(&mut self, _now: SimTime, ev: BtEvent, sched: &mut Scheduler<BtEvent>) {
+    fn handle(&mut self, now: SimTime, ev: BtEvent, sched: &mut Scheduler<BtEvent>) {
         match ev {
             BtEvent::Poll { piconet } => {
                 let (master, n_slaves) = {
@@ -427,6 +459,17 @@ impl World for BtNetwork {
                 let up = self.transfer_one(slave, master).unwrap_or(1);
                 let slots = down + up;
                 self.slots_elapsed += slots;
+                self.polls += 1;
+                self.trace.event(
+                    now,
+                    Level::Debug,
+                    "bt",
+                    TraceEvent::Poll {
+                        station: master as u32,
+                        peer: slave as u32,
+                        slots: slots as u32,
+                    },
+                );
                 sched.schedule_in(SLOT * slots, BtEvent::Poll { piconet });
             }
             BtEvent::BridgeHop => {

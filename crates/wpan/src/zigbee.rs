@@ -14,6 +14,8 @@
 use std::collections::VecDeque;
 
 use wn_phy::geom::Point;
+use wn_sim::metrics::{MetricsRegistry, MetricsSnapshot};
+use wn_sim::trace::{DropReason, Level, Trace, TraceEvent};
 use wn_sim::{Rng, Scheduler, SimDuration, SimTime, World};
 
 /// 802.15.4 at 2.4 GHz: 250 kbps (§2.1).
@@ -144,6 +146,8 @@ pub struct ZigbeeNetwork {
     /// Aggregate statistics.
     pub stats: ZigbeeStats,
     offered: u64,
+    /// Typed event trace (joins at Info, hops/drops at Debug/Warn).
+    pub trace: Trace,
 }
 
 /// Events: a node finishes its backoff+transmission and forwards the
@@ -179,6 +183,7 @@ impl ZigbeeNetwork {
             rng: Rng::new(seed),
             stats: ZigbeeStats::default(),
             offered: 0,
+            trace: Trace::new(4096),
         }
     }
 
@@ -210,6 +215,15 @@ impl ZigbeeNetwork {
             return Err(ZigbeeError::RfdCannotRoute(parent));
         }
         self.nodes[child].parent = Some(parent);
+        self.trace.event(
+            SimTime::ZERO,
+            Level::Info,
+            "zb",
+            TraceEvent::Join {
+                station: child as u32,
+                parent: parent as u32,
+            },
+        );
         Ok(())
     }
 
@@ -325,6 +339,25 @@ impl ZigbeeNetwork {
     pub fn offered(&self) -> u64 {
         self.offered
     }
+
+    /// Exports per-node delivery/drop counters and the aggregate
+    /// statistics into a named snapshot at time `now`.
+    pub fn metrics_snapshot(&self, now: SimTime) -> MetricsSnapshot {
+        let mut reg = MetricsRegistry::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let id = Some(i as u32);
+            reg.counter("zb", "delivered", id).add(n.delivered);
+            reg.counter("zb", "dropped", id).add(n.dropped);
+        }
+        reg.counter("zb", "offered", None).add(self.offered);
+        reg.counter("zb", "delivered", None)
+            .add(self.stats.delivered);
+        reg.counter("zb", "dropped", None).add(self.stats.dropped);
+        reg.counter("zb", "delivered_bytes", None)
+            .add(self.stats.bytes);
+        reg.counter("zb", "hop_sum", None).add(self.stats.hop_sum);
+        reg.snapshot(now)
+    }
 }
 
 impl World for ZigbeeNetwork {
@@ -337,6 +370,16 @@ impl World for ZigbeeNetwork {
                 if self.nodes[src].queue.len() >= self.queue_limit {
                     self.nodes[src].dropped += 1;
                     self.stats.dropped += 1;
+                    self.trace.event(
+                        now,
+                        Level::Warn,
+                        "zb",
+                        TraceEvent::Drop {
+                            station: src as u32,
+                            kind: wn_sim::trace::FrameKind::Data,
+                            reason: DropReason::QueueFull,
+                        },
+                    );
                     return;
                 }
                 self.nodes[src].queue.push_back(Packet {
@@ -357,6 +400,16 @@ impl World for ZigbeeNetwork {
                     None => {
                         self.nodes[node].dropped += 1;
                         self.stats.dropped += 1;
+                        self.trace.event(
+                            now,
+                            Level::Warn,
+                            "zb",
+                            TraceEvent::Drop {
+                                station: node as u32,
+                                kind: wn_sim::trace::FrameKind::Data,
+                                reason: DropReason::NoRoute,
+                            },
+                        );
                     }
                     Some(hop) if hop == pkt.dst => {
                         self.nodes[pkt.dst].delivered += 1;
@@ -365,6 +418,16 @@ impl World for ZigbeeNetwork {
                         self.stats.bytes += pkt.bytes as u64;
                         self.stats.latency_sum_s +=
                             now.saturating_duration_since(pkt.born).as_secs_f64();
+                        self.trace.event(
+                            now,
+                            Level::Debug,
+                            "zb",
+                            TraceEvent::Deliver {
+                                station: pkt.dst as u32,
+                                bytes: pkt.bytes as u64,
+                                hops: pkt.hops,
+                            },
+                        );
                     }
                     Some(hop) => {
                         if pkt.hops >= self.hop_limit
@@ -372,7 +435,32 @@ impl World for ZigbeeNetwork {
                         {
                             self.nodes[node].dropped += 1;
                             self.stats.dropped += 1;
+                            let reason = if pkt.hops >= self.hop_limit {
+                                DropReason::HopLimit
+                            } else {
+                                DropReason::QueueFull
+                            };
+                            self.trace.event(
+                                now,
+                                Level::Warn,
+                                "zb",
+                                TraceEvent::Drop {
+                                    station: node as u32,
+                                    kind: wn_sim::trace::FrameKind::Data,
+                                    reason,
+                                },
+                            );
                         } else {
+                            self.trace.event(
+                                now,
+                                Level::Debug,
+                                "zb",
+                                TraceEvent::Forward {
+                                    station: node as u32,
+                                    dst: pkt.dst as u32,
+                                    hops: pkt.hops,
+                                },
+                            );
                             self.nodes[hop].queue.push_back(pkt);
                             self.start_service_if_idle(hop, sched);
                         }

@@ -27,6 +27,26 @@ fn campaign_markdown_is_byte_identical_across_thread_counts() {
     }
 }
 
+/// The observability exports (typed trace + metrics JSONL) are also
+/// byte-identical for any worker count — the guarantee behind
+/// `report --trace-json` / `--metrics-json`.
+#[test]
+fn observability_jsonl_is_byte_identical_across_thread_counts() {
+    let serial = runner::run_observability(1);
+    let parallel = runner::run_observability(8);
+    assert_eq!(
+        runner::observability_trace_jsonl(&serial),
+        runner::observability_trace_jsonl(&parallel),
+        "trace JSONL diverged between 1 and 8 threads"
+    );
+    assert_eq!(
+        runner::observability_metrics_jsonl(&serial),
+        runner::observability_metrics_jsonl(&parallel),
+        "metrics JSONL diverged between 1 and 8 threads"
+    );
+    assert!(!serial.is_empty(), "some experiments must be instrumented");
+}
+
 /// Two runs of the same seeded scenario give bit-equal results — the
 /// saturation sim has no hidden global state.
 #[test]
