@@ -1,0 +1,153 @@
+//! fuzz — the deterministic simulation fuzzer's command-line front end.
+//!
+//! Run with: `cargo run --release -p wn-bench --bin fuzz -- --seeds 500`
+//!
+//! Each seed maps to one generated scenario (`wn-check`'s
+//! `ScenarioGen`), runs it through the engines single-threaded, and
+//! checks the typed trace against every invariant oracle. Seeds are
+//! independent, so ranges fan out across workers with identical
+//! results for any worker count.
+//!
+//! Flags:
+//! - `--seeds N` — fuzz seeds `start..start+N` (default 500).
+//! - `--start S` — first seed of the range (default 0).
+//! - `--seed N` — run exactly one seed (overrides `--seeds`/`--start`).
+//! - `--shrink` — on violation, minimise the scenario (halve stations,
+//!   traffic, duration while it still fails) and print the shrunk
+//!   repro before exiting.
+//! - `--threads T` — worker count for range runs (default: `WN_THREADS`
+//!   env var, else detected parallelism).
+//!
+//! On any violation the process prints one line per failing seed, the
+//! one-line repro command, and exits 1.
+
+use wn_check::{check_range, check_seed, repro_command, run, shrink, station_count, ScenarioGen};
+use wn_sim::worker_count;
+
+struct Options {
+    start: u64,
+    count: u64,
+    single: Option<u64>,
+    shrink: bool,
+    threads: usize,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        start: 0,
+        count: 500,
+        single: None,
+        shrink: false,
+        threads: worker_count(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> Result<&String, String> {
+            args.get(i)
+                .ok_or_else(|| format!("{} needs a value", args[i - 1]))
+        };
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                opts.count = need(i)?
+                    .parse()
+                    .map_err(|_| "--seeds needs a count".to_string())?;
+            }
+            "--start" => {
+                i += 1;
+                opts.start = need(i)?
+                    .parse()
+                    .map_err(|_| "--start needs a seed".to_string())?;
+            }
+            "--seed" => {
+                i += 1;
+                opts.single = Some(
+                    need(i)?
+                        .parse()
+                        .map_err(|_| "--seed needs a seed".to_string())?,
+                );
+            }
+            "--shrink" => opts.shrink = true,
+            "--threads" => {
+                i += 1;
+                opts.threads = need(i)?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--threads needs a count >= 1".to_string())?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// Prints the violations for one failing seed; with `--shrink`, also
+/// minimises the scenario and prints the shrunk repro.
+fn report_failure(seed: u64, summary: &str, violations: &[wn_check::Violation], do_shrink: bool) {
+    println!("seed {seed}: FAIL  {summary}");
+    for v in violations {
+        println!("  {v}");
+    }
+    println!("  repro: {}", repro_command(seed));
+    if do_shrink {
+        let sc = ScenarioGen::default().scenario(seed);
+        let still_fails = |c: &wn_check::Scenario| !run::check_scenario(c).is_empty();
+        let min = shrink(&sc, still_fails);
+        println!(
+            "  shrunk to {} stations: {}",
+            station_count(&min),
+            min.summary()
+        );
+        for v in run::check_scenario(&min) {
+            println!("    {v}");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let t0 = std::time::Instant::now();
+    let mut failures = 0u64;
+
+    if let Some(seed) = opts.single {
+        let r = check_seed(seed);
+        if r.violations.is_empty() {
+            println!("seed {seed}: ok  {} ({} events)", r.summary, r.events);
+        } else {
+            failures += 1;
+            report_failure(seed, &r.summary, &r.violations, opts.shrink);
+        }
+    } else {
+        let reports = check_range(opts.start, opts.count, opts.threads);
+        let total = reports.len();
+        for r in &reports {
+            if !r.violations.is_empty() {
+                failures += 1;
+                report_failure(r.seed, &r.summary, &r.violations, opts.shrink);
+            }
+        }
+        println!(
+            "fuzzed {} seeds ({}..{}) on {} workers in {:.2}s: {} failing",
+            total,
+            opts.start,
+            opts.start + opts.count,
+            opts.threads,
+            t0.elapsed().as_secs_f64(),
+            failures
+        );
+    }
+
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

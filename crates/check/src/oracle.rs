@@ -1,0 +1,563 @@
+//! Invariant oracles: pure functions from one run's [`Artifacts`] to
+//! a list of violations.
+//!
+//! Each oracle states a property the engines must uphold in *every*
+//! scenario the generator can draw, and each is careful about its own
+//! soundness preconditions — NAV reasoning is skipped when channels
+//! can change mid-run (a channel switch legitimately clears NAV),
+//! count-based cross-checks are skipped when the trace ring evicted
+//! records, and fairness bounds only apply to symmetric offered load.
+
+use std::collections::HashMap;
+
+use crate::run::Artifacts;
+use wn_net80211::ap::MAX_AID;
+use wn_sim::trace::{DropReason, FrameKind, TraceEvent};
+
+/// One oracle failure, tied to the oracle that raised it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Name of the oracle.
+    pub oracle: &'static str,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// A pluggable invariant checked after every run.
+pub trait Invariant {
+    /// Stable oracle name (shows up in violations and fuzz output).
+    fn name(&self) -> &'static str;
+    /// Checks the property; returns one violation per breach found.
+    fn check(&self, art: &Artifacts) -> Vec<Violation>;
+}
+
+/// The full oracle set, in reporting order.
+pub fn oracles() -> Vec<Box<dyn Invariant>> {
+    vec![
+        Box::new(RetryBound),
+        Box::new(CwBounds),
+        Box::new(NavRespected),
+        Box::new(FrameConservation),
+        Box::new(TraceMetricsConsistent),
+        Box::new(NoDuplicateDelivery),
+        Box::new(AssocLegal),
+        Box::new(AirtimeFairness),
+        Box::new(ZigbeeConservation),
+        Box::new(BtConservation),
+        Box::new(WmanGrantConservation),
+    ]
+}
+
+fn v(oracle: &'static str, detail: String) -> Violation {
+    Violation { oracle, detail }
+}
+
+/// Retry counters in `Retry` events never exceed the configured
+/// limits. A counter *at* the limit is legal (the attempt that would
+/// pass it is dropped instead of retried); above it, the MAC retried
+/// once too often.
+pub struct RetryBound;
+
+impl Invariant for RetryBound {
+    fn name(&self) -> &'static str {
+        "retry-bound"
+    }
+
+    fn check(&self, art: &Artifacts) -> Vec<Violation> {
+        let Some(w) = &art.wlan else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (t, e) in art.trace.events() {
+            if let TraceEvent::Retry {
+                station,
+                short,
+                long,
+            } = *e
+            {
+                if short > w.retry_limit_short || long > w.retry_limit_long {
+                    out.push(v(
+                        self.name(),
+                        format!(
+                            "sta {station} retried past the limit at {t}: short {short}/{}, \
+                             long {long}/{}",
+                            w.retry_limit_short, w.retry_limit_long
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Every `Backoff` draw respects the configured contention window:
+/// `cw_min <= cw <= cw_max` and `slots <= cw`.
+pub struct CwBounds;
+
+impl Invariant for CwBounds {
+    fn name(&self) -> &'static str {
+        "cw-bounds"
+    }
+
+    fn check(&self, art: &Artifacts) -> Vec<Violation> {
+        let Some(w) = &art.wlan else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (t, e) in art.trace.events() {
+            if let TraceEvent::Backoff { station, slots, cw } = *e {
+                if cw < w.cw_min || cw > w.cw_max || slots > cw {
+                    out.push(v(
+                        self.name(),
+                        format!(
+                            "sta {station} drew {slots} slots from cw {cw} at {t} \
+                             (bounds [{}, {}])",
+                            w.cw_min, w.cw_max
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A station that observed a NAV reservation does not *start* a
+/// contention-won transmission before it expires.
+///
+/// Soundness carve-outs, straight from the DCF rules the MAC
+/// implements: ACK/CTS responses ignore NAV (SIFS precedence);
+/// SIFS-spaced continuations (fragment bursts, data after CTS) are
+/// identified by the station's preceding own Tx and skipped — only
+/// transmissions whose immediately-preceding activity is a `Backoff`
+/// are contention-won; and a transmission within ~2 µs of the NAV
+/// observation sits in the already-committed slot boundary the MAC
+/// deliberately honours, so a 2 µs guard band applies. Scenarios where
+/// channels change mid-run are excluded entirely (`nav_checkable`),
+/// because a channel switch legitimately resets NAV without a trace
+/// event.
+pub struct NavRespected;
+
+impl Invariant for NavRespected {
+    fn name(&self) -> &'static str {
+        "nav-respected"
+    }
+
+    fn check(&self, art: &Artifacts) -> Vec<Violation> {
+        let Some(w) = &art.wlan else {
+            return Vec::new();
+        };
+        if !w.nav_checkable {
+            return Vec::new();
+        }
+        const COMMITTED_NS: u64 = 2_000;
+        const BOUNDARY_NS: u64 = 1_000;
+        let mut out = Vec::new();
+        // Per-station: the last contention-relevant activity and the
+        // last observed reservation.
+        let mut last_was_backoff: HashMap<u32, bool> = HashMap::new();
+        let mut last_nav: HashMap<u32, (u64, u64)> = HashMap::new();
+        for (t, e) in art.trace.events() {
+            match *e {
+                TraceEvent::Tx { station, kind, .. } => {
+                    let contention_won = last_was_backoff.get(&station).copied().unwrap_or(false);
+                    if contention_won && !matches!(kind, FrameKind::Ack | FrameKind::Cts) {
+                        if let Some(&(nav_at_ns, until_us)) = last_nav.get(&station) {
+                            let tx_ns = t.as_nanos();
+                            let until_ns = until_us.saturating_mul(1_000);
+                            if tx_ns + BOUNDARY_NS < until_ns && tx_ns > nav_at_ns + COMMITTED_NS {
+                                out.push(v(
+                                    self.name(),
+                                    format!(
+                                        "sta {station} transmitted {kind:?} at {t} inside \
+                                         a NAV reservation running to {until_us}us"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    last_was_backoff.insert(station, false);
+                }
+                TraceEvent::Rx { station, .. } => {
+                    last_was_backoff.insert(station, false);
+                }
+                TraceEvent::Backoff { station, .. } => {
+                    last_was_backoff.insert(station, true);
+                }
+                TraceEvent::Nav { station, until_us } => {
+                    last_nav.insert(station, (t.as_nanos(), until_us));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// Frame conservation: every MSDU the MAC accepted is eventually
+/// delivered, failed, dropped on overflow, or still pending — nothing
+/// vanishes and nothing is double-counted.
+pub struct FrameConservation;
+
+impl Invariant for FrameConservation {
+    fn name(&self) -> &'static str {
+        "frame-conservation"
+    }
+
+    fn check(&self, art: &Artifacts) -> Vec<Violation> {
+        let Some(w) = &art.wlan else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (i, s) in w.stats.iter().enumerate() {
+            let accounted = s.tx_completions + s.tx_failures + s.queue_drops + w.pending[i];
+            if s.queued != accounted {
+                out.push(v(
+                    self.name(),
+                    format!(
+                        "sta {i}: queued {} != completions {} + failures {} + drops {} + \
+                         pending {}",
+                        s.queued, s.tx_completions, s.tx_failures, s.queue_drops, w.pending[i]
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The typed trace and the `MetricsRegistry` snapshot agree: per
+/// station, `TxOutcome`/`Retry`/`Drop` event counts equal the
+/// corresponding counters, and the counters equal the raw stats they
+/// are snapshotted from. Skipped when the trace ring evicted records.
+pub struct TraceMetricsConsistent;
+
+impl Invariant for TraceMetricsConsistent {
+    fn name(&self) -> &'static str {
+        "trace-metrics"
+    }
+
+    fn check(&self, art: &Artifacts) -> Vec<Violation> {
+        let Some(w) = &art.wlan else {
+            return Vec::new();
+        };
+        if art.trace.dropped() > 0 {
+            return Vec::new();
+        }
+        let mut completions: HashMap<u32, u64> = HashMap::new();
+        let mut failures: HashMap<u32, u64> = HashMap::new();
+        let mut retries: HashMap<u32, u64> = HashMap::new();
+        let mut overflow_drops: HashMap<u32, u64> = HashMap::new();
+        for (_, e) in art.trace.events() {
+            match *e {
+                TraceEvent::TxOutcome { station, ok: true } => {
+                    *completions.entry(station).or_default() += 1;
+                }
+                TraceEvent::TxOutcome { station, ok: false } => {
+                    *failures.entry(station).or_default() += 1;
+                }
+                TraceEvent::Retry { station, .. } => {
+                    *retries.entry(station).or_default() += 1;
+                }
+                TraceEvent::Drop {
+                    station,
+                    reason: DropReason::QueueFull,
+                    ..
+                } => {
+                    *overflow_drops.entry(station).or_default() += 1;
+                }
+                _ => {}
+            }
+        }
+        let mut out = Vec::new();
+        type StatOf = fn(&super::run::WlanFacts, usize) -> u64;
+        let checks: [(&'static str, &HashMap<u32, u64>, StatOf); 4] = [
+            ("tx_completions", &completions, |w, i| {
+                w.stats[i].tx_completions
+            }),
+            ("tx_failures", &failures, |w, i| w.stats[i].tx_failures),
+            ("retries", &retries, |w, i| w.stats[i].retries),
+            ("queue_drops", &overflow_drops, |w, i| {
+                w.stats[i].queue_drops
+            }),
+        ];
+        for i in 0..w.stats.len() {
+            let sid = i as u32;
+            for (name, trace_counts, stat) in &checks {
+                let from_trace = trace_counts.get(&sid).copied().unwrap_or(0);
+                let from_stats = stat(w, i);
+                let from_metrics = w.counters.get(&(*name, sid)).copied().unwrap_or(0);
+                if from_trace != from_metrics || from_stats != from_metrics {
+                    out.push(v(
+                        self.name(),
+                        format!(
+                            "sta {i} {name}: trace {from_trace}, stats {from_stats}, \
+                             metrics {from_metrics}"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// No unicast data MSDU is delivered to an upper layer twice: the
+/// dedup cache must swallow every retransmission whose original
+/// already arrived. Keyed `(receiver, transmitter, sequence)`; sound
+/// because sequence counters cannot wrap within a generated scenario.
+pub struct NoDuplicateDelivery;
+
+impl Invariant for NoDuplicateDelivery {
+    fn name(&self) -> &'static str {
+        "no-duplicate-delivery"
+    }
+
+    fn check(&self, art: &Artifacts) -> Vec<Violation> {
+        let Some(w) = &art.wlan else {
+            return Vec::new();
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for &(rx, tx, seq) in &w.delivered {
+            if !seen.insert((rx, tx, seq)) {
+                out.push(v(
+                    self.name(),
+                    format!("sta {rx} accepted seq {seq} from {tx:02x?} twice"),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Association state machines only take legal transitions: a station
+/// never roams or changes power-save state before it has associated,
+/// and every granted AID is within the standard's 1..=2007 range.
+pub struct AssocLegal;
+
+impl Invariant for AssocLegal {
+    fn name(&self) -> &'static str {
+        "assoc-legal"
+    }
+
+    fn check(&self, art: &Artifacts) -> Vec<Violation> {
+        if art.wlan.is_none() {
+            return Vec::new();
+        }
+        let mut associated: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for (t, e) in art.trace.events() {
+            match *e {
+                TraceEvent::Assoc { station, aid } => {
+                    if aid == 0 || aid > MAX_AID {
+                        out.push(v(
+                            self.name(),
+                            format!("sta {station} granted illegal aid {aid} at {t}"),
+                        ));
+                    }
+                    associated.insert(station);
+                }
+                TraceEvent::Handoff { station } if !associated.contains(&station) => {
+                    out.push(v(
+                        self.name(),
+                        format!("sta {station} roamed at {t} without ever associating"),
+                    ));
+                }
+                TraceEvent::PowerSave { station, doze } if !associated.contains(&station) => {
+                    out.push(v(
+                        self.name(),
+                        format!(
+                            "sta {station} changed power-save (doze={doze}) at {t} \
+                             without ever associating"
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// Symmetric saturating senders get airtime shares of the same order:
+/// DCF is long-run fair, so with identical offered load and identical
+/// distances no sender's completion count may dwarf another's. The
+/// bound is deliberately loose (8×) and gated on enough completions to
+/// be statistically meaningful.
+pub struct AirtimeFairness;
+
+impl Invariant for AirtimeFairness {
+    fn name(&self) -> &'static str {
+        "airtime-fairness"
+    }
+
+    fn check(&self, art: &Artifacts) -> Vec<Violation> {
+        let Some(w) = &art.wlan else {
+            return Vec::new();
+        };
+        if !w.symmetric || w.stats.len() < 3 {
+            return Vec::new();
+        }
+        let senders: Vec<u64> = w.stats[1..].iter().map(|s| s.tx_completions).collect();
+        let min = *senders.iter().min().expect("non-empty");
+        let max = *senders.iter().max().expect("non-empty");
+        if min < 20 {
+            return Vec::new();
+        }
+        if max > min * 8 {
+            return vec![v(
+                self.name(),
+                format!(
+                    "symmetric senders finished between {min} and {max} MSDUs \
+                     (ratio > 8x): {senders:?}"
+                ),
+            )];
+        }
+        Vec::new()
+    }
+}
+
+/// ZigBee packet conservation: every offered packet is delivered,
+/// dropped, or still queued — and no delivery exceeds the hop budget.
+pub struct ZigbeeConservation;
+
+impl Invariant for ZigbeeConservation {
+    fn name(&self) -> &'static str {
+        "zigbee-conservation"
+    }
+
+    fn check(&self, art: &Artifacts) -> Vec<Violation> {
+        let Some(z) = &art.zigbee else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let accounted = z.delivered + z.dropped + z.queued;
+        if z.offered != accounted {
+            out.push(v(
+                self.name(),
+                format!(
+                    "offered {} != delivered {} + dropped {} + queued {}",
+                    z.offered, z.delivered, z.dropped, z.queued
+                ),
+            ));
+        }
+        for (t, e) in art.trace.events() {
+            if let TraceEvent::Deliver { station, hops, .. } = *e {
+                if u64::from(hops) > z.hop_limit {
+                    out.push(v(
+                        self.name(),
+                        format!(
+                            "delivery to node {station} at {t} took {hops} hops \
+                             (budget {})",
+                            z.hop_limit
+                        ),
+                    ));
+                }
+            }
+        }
+        if art.trace.dropped() == 0 {
+            let deliver_events = art
+                .trace
+                .count_events(|e| matches!(e, TraceEvent::Deliver { .. }))
+                as u64;
+            if deliver_events != z.delivered {
+                out.push(v(
+                    self.name(),
+                    format!(
+                        "{} Deliver events but {} deliveries counted",
+                        deliver_events, z.delivered
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Bluetooth byte conservation: application bytes injected equal bytes
+/// delivered plus bytes still queued (including unroutable transfers,
+/// which park rather than vanish).
+pub struct BtConservation;
+
+impl Invariant for BtConservation {
+    fn name(&self) -> &'static str {
+        "bt-conservation"
+    }
+
+    fn check(&self, art: &Artifacts) -> Vec<Violation> {
+        let Some(b) = &art.bt else {
+            return Vec::new();
+        };
+        if b.injected != b.delivered + b.pending {
+            return vec![v(
+                self.name(),
+                format!(
+                    "injected {} != delivered {} + pending {}",
+                    b.injected, b.delivered, b.pending
+                ),
+            )];
+        }
+        Vec::new()
+    }
+}
+
+/// WiMAX grant conservation: the bytes moved under `Grant` trace
+/// events exactly equal the delivered-byte counters, per subscriber
+/// and direction. Skipped when the trace ring evicted records.
+pub struct WmanGrantConservation;
+
+impl Invariant for WmanGrantConservation {
+    fn name(&self) -> &'static str {
+        "wman-grants"
+    }
+
+    fn check(&self, art: &Artifacts) -> Vec<Violation> {
+        let Some(w) = &art.wman else {
+            return Vec::new();
+        };
+        if art.trace.dropped() > 0 {
+            return Vec::new();
+        }
+        let mut dl: HashMap<u32, u64> = HashMap::new();
+        let mut ul: HashMap<u32, u64> = HashMap::new();
+        for (_, e) in art.trace.events() {
+            if let TraceEvent::Grant {
+                station,
+                bytes,
+                uplink,
+            } = *e
+            {
+                let bucket = if uplink { &mut ul } else { &mut dl };
+                *bucket.entry(station).or_default() += bytes;
+            }
+        }
+        let mut out = Vec::new();
+        for (ss, &delivered) in w.dl_delivered.iter().enumerate() {
+            let granted = dl.get(&(ss as u32)).copied().unwrap_or(0);
+            if granted != delivered {
+                out.push(v(
+                    self.name(),
+                    format!("ss {ss} downlink: granted {granted} but delivered {delivered}"),
+                ));
+            }
+        }
+        for (ss, &delivered) in w.ul_delivered.iter().enumerate() {
+            let granted = ul.get(&(ss as u32)).copied().unwrap_or(0);
+            if granted != delivered {
+                out.push(v(
+                    self.name(),
+                    format!("ss {ss} uplink: granted {granted} but delivered {delivered}"),
+                ));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,512 @@
+//! Seed → scenario mapping.
+//!
+//! A [`Scenario`] is plain data: everything the runner needs to build
+//! and drive one world, and everything the shrinker needs to produce
+//! smaller candidates. [`ScenarioGen`] draws one from a seed with the
+//! workspace's own deterministic [`Rng`], so the same seed always
+//! yields the same scenario on every platform and thread count.
+
+use wn_phy::modulation::PhyStandard;
+use wn_sim::Rng;
+
+/// One generated test case.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The seed that produced it (also seeds the world's own RNGs).
+    pub seed: u64,
+    /// Which world it drives, with all parameters.
+    pub kind: ScenarioKind,
+}
+
+/// The world a scenario exercises.
+#[derive(Clone, Debug)]
+pub enum ScenarioKind {
+    /// Flat 802.11 IBSS: senders flooding a sink over DCF.
+    Wlan(WlanScenario),
+    /// Infrastructure ESS: APs + STAs, association/roaming/power save.
+    Ess(EssScenario),
+    /// Bluetooth piconet or scatternet.
+    Bluetooth(BtScenario),
+    /// ZigBee star or mesh.
+    Zigbee(ZigbeeScenario),
+    /// WiMAX base station with scheduled service classes.
+    Wman(WmanScenario),
+}
+
+/// Flat-WLAN parameters: a ring of senders around a sink at station 0.
+#[derive(Clone, Debug)]
+pub struct WlanScenario {
+    /// Total stations including the sink (≥ 2).
+    pub stations: usize,
+    /// Ring radius around the sink (m).
+    pub radius_m: f64,
+    /// PHY generation.
+    pub standard: PhyStandard,
+    /// MSDU payload bytes.
+    pub payload: usize,
+    /// Frames injected per sender.
+    pub frames_per_sender: u32,
+    /// Injection period per sender (µs).
+    pub interval_us: u64,
+    /// Virtual run length (ms).
+    pub duration_ms: u64,
+    /// RTS/CTS threshold (bytes; `usize::MAX` disables).
+    pub rts_threshold: usize,
+    /// Fragmentation threshold (bytes; `usize::MAX` disables).
+    pub frag_threshold: usize,
+    /// Transmit queue limit (MSDUs).
+    pub queue_limit: usize,
+    /// Short retry limit.
+    pub retry_limit_short: u32,
+    /// Long retry limit.
+    pub retry_limit_long: u32,
+    /// CWmin override.
+    pub cw_min_override: Option<u32>,
+    /// CWmax override.
+    pub cw_max_override: Option<u32>,
+    /// ARF rate adaptation on/off.
+    pub arf: bool,
+    /// Fault toggle: park the sink on another channel so every data
+    /// frame times out and walks the full retry ladder.
+    pub deaf_sink: bool,
+    /// Fault toggle: arm [`wn_mac80211::sim::MacConfig`]'s
+    /// `failpoint_retry_overrun`, the deliberate off-by-one the retry
+    /// oracle must catch (oracle self-test only).
+    pub failpoint_retry_overrun: bool,
+}
+
+impl WlanScenario {
+    /// `true` when every sender has an identical offered load and
+    /// distance, so DCF fairness bounds apply.
+    pub fn symmetric(&self) -> bool {
+        !self.deaf_sink && !self.failpoint_retry_overrun
+    }
+}
+
+/// Infrastructure ESS parameters.
+#[derive(Clone, Debug)]
+pub struct EssScenario {
+    /// Access points (1–2, on channels 1 and 6).
+    pub aps: usize,
+    /// Stations; element `i` is `true` when STA `i` runs power save.
+    pub sta_power_save: Vec<bool>,
+    /// Walk STA 0 from the first AP toward the last.
+    pub walker: bool,
+    /// Distance between APs (m).
+    pub ap_spacing_m: f64,
+    /// Walking speed (m/s).
+    pub walk_speed_mps: f64,
+    /// Virtual run length (s).
+    pub duration_s: u64,
+}
+
+/// Bluetooth parameters. Device indices refer to the deterministic
+/// build order in the runner: piconet `[master, slaves…]`, scatternet
+/// `[master A, master B, bridge, slaves A…, slaves B…]`.
+#[derive(Clone, Debug)]
+pub struct BtScenario {
+    /// Two piconets sharing a bridge slave instead of one piconet.
+    pub scatternet: bool,
+    /// Slaves in (the first) piconet.
+    pub slaves_a: usize,
+    /// Slaves in the second piconet (scatternet only).
+    pub slaves_b: usize,
+    /// `(src index, dst index, bytes)` application transfers; pairs
+    /// without a route simply stay queued (conservation still holds).
+    pub transfers: Vec<(usize, usize, usize)>,
+    /// Virtual run length (ms).
+    pub duration_ms: u64,
+}
+
+impl BtScenario {
+    /// Number of devices the runner will create.
+    pub fn device_count(&self) -> usize {
+        if self.scatternet {
+            3 + self.slaves_a + self.slaves_b
+        } else {
+            1 + self.slaves_a
+        }
+    }
+}
+
+/// ZigBee topology choice.
+#[derive(Clone, Debug)]
+pub enum ZigbeeTopology {
+    /// Coordinator + `n` ring nodes.
+    Star {
+        /// Ring nodes around the coordinator.
+        n: usize,
+        /// Ring radius (m).
+        radius_m: f64,
+    },
+    /// FFD mesh grid.
+    Mesh {
+        /// Grid columns.
+        cols: usize,
+        /// Grid rows.
+        rows: usize,
+        /// Grid spacing (m).
+        spacing_m: f64,
+    },
+}
+
+impl ZigbeeTopology {
+    /// Number of nodes the runner will create.
+    pub fn node_count(&self) -> usize {
+        match *self {
+            ZigbeeTopology::Star { n, .. } => n + 1,
+            ZigbeeTopology::Mesh { cols, rows, .. } => cols * rows,
+        }
+    }
+}
+
+/// ZigBee parameters.
+#[derive(Clone, Debug)]
+pub struct ZigbeeScenario {
+    /// Star or mesh layout.
+    pub topology: ZigbeeTopology,
+    /// `(src node, dst node, bytes, at_ms)` offered packets.
+    pub sends: Vec<(usize, usize, usize, u64)>,
+    /// Virtual run length (ms).
+    pub duration_ms: u64,
+}
+
+/// One WiMAX subscriber.
+#[derive(Clone, Debug)]
+pub struct WmanSub {
+    /// Distance from the base station (m).
+    pub dist_m: f64,
+    /// Behind an obstruction (NLOS penalty).
+    pub obstructed: bool,
+    /// Scheduling class index into `[Ugs, Rtps, Nrtps, BestEffort]`.
+    pub class: usize,
+    /// Reserved rate (bps).
+    pub reserved_bps: f64,
+    /// Downlink bytes offered every 100 ms.
+    pub dl_offer: usize,
+    /// Uplink bytes offered every 100 ms (0 = none).
+    pub ul_offer: usize,
+}
+
+/// WiMAX parameters.
+#[derive(Clone, Debug)]
+pub struct WmanScenario {
+    /// Subscribers (some may be refused admission when out of range;
+    /// their offers are then skipped).
+    pub subs: Vec<WmanSub>,
+    /// Downlink share of each frame (0–1).
+    pub dl_ratio: f64,
+    /// Per-subscriber downlink queue limit (bytes).
+    pub queue_limit_bytes: usize,
+    /// Virtual run length (ms).
+    pub duration_ms: u64,
+}
+
+impl Scenario {
+    /// Stable short tag for digests and progress lines.
+    pub fn kind_tag(&self) -> &'static str {
+        match self.kind {
+            ScenarioKind::Wlan(_) => "wlan",
+            ScenarioKind::Ess(_) => "ess",
+            ScenarioKind::Bluetooth(_) => "bt",
+            ScenarioKind::Zigbee(_) => "zigbee",
+            ScenarioKind::Wman(_) => "wman",
+        }
+    }
+
+    /// One-line human summary (for fuzz output and shrink reports).
+    pub fn summary(&self) -> String {
+        match &self.kind {
+            ScenarioKind::Wlan(w) => format!(
+                "wlan seed={} stations={} frames={}x{} payload={} dur={}ms rts={} frag={} \
+                 queue={} retry={}/{}{}{}",
+                self.seed,
+                w.stations,
+                w.stations - 1,
+                w.frames_per_sender,
+                w.payload,
+                w.duration_ms,
+                threshold(w.rts_threshold),
+                threshold(w.frag_threshold),
+                w.queue_limit,
+                w.retry_limit_short,
+                w.retry_limit_long,
+                if w.deaf_sink { " deaf-sink" } else { "" },
+                if w.failpoint_retry_overrun {
+                    " failpoint"
+                } else {
+                    ""
+                },
+            ),
+            ScenarioKind::Ess(e) => format!(
+                "ess seed={} aps={} stas={} walker={} dur={}s",
+                self.seed,
+                e.aps,
+                e.sta_power_save.len(),
+                e.walker,
+                e.duration_s
+            ),
+            ScenarioKind::Bluetooth(b) => format!(
+                "bt seed={} devices={} scatternet={} transfers={} dur={}ms",
+                self.seed,
+                b.device_count(),
+                b.scatternet,
+                b.transfers.len(),
+                b.duration_ms
+            ),
+            ScenarioKind::Zigbee(z) => format!(
+                "zigbee seed={} nodes={} sends={} dur={}ms",
+                self.seed,
+                z.topology.node_count(),
+                z.sends.len(),
+                z.duration_ms
+            ),
+            ScenarioKind::Wman(w) => format!(
+                "wman seed={} subs={} dl_ratio={:.2} dur={}ms",
+                self.seed,
+                w.subs.len(),
+                w.dl_ratio,
+                w.duration_ms
+            ),
+        }
+    }
+}
+
+fn threshold(v: usize) -> String {
+    if v == usize::MAX {
+        "off".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+/// Deterministic seed → [`Scenario`] generator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScenarioGen {
+    /// Arm the MAC retry fail-point in every generated WLAN scenario.
+    /// This is the oracle self-test switch: with it on, the retry
+    /// oracle must catch (and the shrinker minimise) the planted
+    /// off-by-one. Normal fuzzing leaves it off.
+    pub inject_retry_overrun: bool,
+}
+
+impl ScenarioGen {
+    /// A generator with the retry fail-point armed.
+    pub fn with_retry_overrun() -> Self {
+        ScenarioGen {
+            inject_retry_overrun: true,
+        }
+    }
+
+    /// Draws the scenario for `seed`.
+    pub fn scenario(&self, seed: u64) -> Scenario {
+        // Decorrelate from the worlds' own seeding (they fork off the
+        // raw seed) without losing determinism.
+        let mut rng = Rng::new(seed ^ 0xC0FF_EE00_5EED_FACE);
+        let kind = match rng.below(100) {
+            0..=44 => ScenarioKind::Wlan(self.wlan(&mut rng)),
+            45..=59 => ScenarioKind::Ess(Self::ess(&mut rng)),
+            60..=74 => ScenarioKind::Bluetooth(Self::bluetooth(&mut rng)),
+            75..=89 => ScenarioKind::Zigbee(Self::zigbee(&mut rng)),
+            _ => ScenarioKind::Wman(Self::wman(&mut rng)),
+        };
+        Scenario { seed, kind }
+    }
+
+    fn wlan(&self, rng: &mut Rng) -> WlanScenario {
+        let standard = *rng.choose(&[
+            PhyStandard::Dot11b,
+            PhyStandard::Dot11a,
+            PhyStandard::Dot11g,
+            PhyStandard::Dot11n,
+        ]);
+        let cw_min_override = if rng.chance(0.15) {
+            Some(*rng.choose(&[7u32, 15, 31]))
+        } else {
+            None
+        };
+        let cw_max_override = if rng.chance(0.15) {
+            Some(*rng.choose(&[127u32, 255, 1023]))
+        } else {
+            None
+        };
+        WlanScenario {
+            stations: 2 + rng.below(7) as usize,
+            radius_m: rng.f64_range(5.0, 15.0),
+            standard,
+            payload: 100 + rng.below(1300) as usize,
+            frames_per_sender: 8 + rng.below(32) as u32,
+            interval_us: 500 + rng.below(3500),
+            duration_ms: 40 + rng.below(80),
+            rts_threshold: if rng.chance(0.4) {
+                200 + rng.below(800) as usize
+            } else {
+                usize::MAX
+            },
+            frag_threshold: if rng.chance(0.3) {
+                256 + rng.below(768) as usize
+            } else {
+                usize::MAX
+            },
+            queue_limit: 4 + rng.below(61) as usize,
+            retry_limit_short: 3 + rng.below(6) as u32,
+            retry_limit_long: 2 + rng.below(5) as u32,
+            cw_min_override,
+            cw_max_override,
+            arf: rng.chance(0.7),
+            deaf_sink: rng.chance(0.12),
+            failpoint_retry_overrun: self.inject_retry_overrun,
+        }
+    }
+
+    fn ess(rng: &mut Rng) -> EssScenario {
+        let aps = 1 + rng.below(2) as usize;
+        let stas = 1 + rng.below(3) as usize;
+        let sta_power_save = (0..stas).map(|_| rng.chance(0.4)).collect();
+        EssScenario {
+            aps,
+            sta_power_save,
+            walker: aps == 2 && rng.chance(0.7),
+            ap_spacing_m: rng.f64_range(120.0, 180.0),
+            walk_speed_mps: rng.f64_range(5.0, 10.0),
+            duration_s: 3 + rng.below(3),
+        }
+    }
+
+    fn bluetooth(rng: &mut Rng) -> BtScenario {
+        let scatternet = rng.chance(0.35);
+        let slaves_a = 1 + rng.below(5) as usize;
+        let slaves_b = if scatternet {
+            1 + rng.below(5) as usize
+        } else {
+            0
+        };
+        let devices = if scatternet {
+            3 + slaves_a + slaves_b
+        } else {
+            1 + slaves_a
+        };
+        let transfers = (0..1 + rng.below(6))
+            .map(|_| {
+                let src = rng.below(devices as u64) as usize;
+                let mut dst = rng.below(devices as u64) as usize;
+                if dst == src {
+                    dst = (dst + 1) % devices;
+                }
+                (src, dst, 5_000 + rng.below(55_000) as usize)
+            })
+            .collect();
+        BtScenario {
+            scatternet,
+            slaves_a,
+            slaves_b,
+            transfers,
+            duration_ms: 400 + rng.below(800),
+        }
+    }
+
+    fn zigbee(rng: &mut Rng) -> ZigbeeScenario {
+        let topology = if rng.chance(0.5) {
+            ZigbeeTopology::Star {
+                n: 3 + rng.below(8) as usize,
+                radius_m: rng.f64_range(5.0, 9.0),
+            }
+        } else {
+            ZigbeeTopology::Mesh {
+                cols: 2 + rng.below(3) as usize,
+                rows: 2 + rng.below(3) as usize,
+                spacing_m: rng.f64_range(5.0, 9.0),
+            }
+        };
+        let nodes = topology.node_count();
+        let duration_ms = 800 + rng.below(1200);
+        let sends = (0..5 + rng.below(20))
+            .map(|_| {
+                let src = rng.below(nodes as u64) as usize;
+                let mut dst = rng.below(nodes as u64) as usize;
+                if dst == src {
+                    dst = (dst + 1) % nodes;
+                }
+                (
+                    src,
+                    dst,
+                    20 + rng.below(180) as usize,
+                    rng.below(duration_ms / 2),
+                )
+            })
+            .collect();
+        ZigbeeScenario {
+            topology,
+            sends,
+            duration_ms,
+        }
+    }
+
+    fn wman(rng: &mut Rng) -> WmanScenario {
+        let subs = (0..1 + rng.below(4))
+            .map(|_| {
+                let class = rng.below(4) as usize;
+                WmanSub {
+                    dist_m: rng.f64_range(1_000.0, 12_000.0),
+                    obstructed: rng.chance(0.2),
+                    class,
+                    reserved_bps: if class == 3 {
+                        0.0
+                    } else {
+                        rng.f64_range(0.5e6, 3e6)
+                    },
+                    dl_offer: 20_000 + rng.below(180_000) as usize,
+                    ul_offer: if rng.chance(0.5) {
+                        10_000 + rng.below(70_000) as usize
+                    } else {
+                        0
+                    },
+                }
+            })
+            .collect();
+        WmanScenario {
+            subs,
+            dl_ratio: rng.f64_range(0.4, 0.7),
+            queue_limit_bytes: 200_000 + rng.below(800_000) as usize,
+            duration_ms: 300 + rng.below(400),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_scenario() {
+        let g = ScenarioGen::default();
+        for seed in 0..64 {
+            let a = g.scenario(seed);
+            let b = g.scenario(seed);
+            assert_eq!(a.summary(), b.summary());
+        }
+    }
+
+    #[test]
+    fn seeds_cover_every_world() {
+        let g = ScenarioGen::default();
+        let mut tags = std::collections::BTreeSet::new();
+        for seed in 0..200 {
+            tags.insert(g.scenario(seed).kind_tag());
+        }
+        assert_eq!(
+            tags.into_iter().collect::<Vec<_>>(),
+            vec!["bt", "ess", "wlan", "wman", "zigbee"]
+        );
+    }
+
+    #[test]
+    fn retry_overrun_generator_arms_the_failpoint() {
+        let g = ScenarioGen::with_retry_overrun();
+        let armed = (0..50).any(|seed| match g.scenario(seed).kind {
+            ScenarioKind::Wlan(ref w) => w.failpoint_retry_overrun,
+            _ => false,
+        });
+        assert!(armed);
+    }
+}

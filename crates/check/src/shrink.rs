@@ -1,0 +1,251 @@
+//! Greedy scenario shrinking.
+//!
+//! Given a failing scenario and a predicate that re-runs it, try a
+//! fixed set of simplifications — halve station counts, traffic and
+//! duration — keeping each one that still reproduces the violation,
+//! until no candidate helps. Every candidate run is itself
+//! deterministic, so the minimised scenario is a faithful repro.
+
+use crate::scenario::{Scenario, ScenarioKind, ZigbeeTopology};
+
+/// Upper bound on candidate re-runs per shrink, so a pathological
+/// predicate cannot loop forever.
+const MAX_RUNS: usize = 64;
+
+/// Number of stations / devices / nodes / subscribers a scenario
+/// creates — the headline size the shrinker tries to minimise.
+pub fn station_count(sc: &Scenario) -> usize {
+    match &sc.kind {
+        ScenarioKind::Wlan(w) => w.stations,
+        ScenarioKind::Ess(e) => e.aps + e.sta_power_save.len(),
+        ScenarioKind::Bluetooth(b) => b.device_count(),
+        ScenarioKind::Zigbee(z) => z.topology.node_count(),
+        ScenarioKind::Wman(w) => w.subs.len() + 1,
+    }
+}
+
+/// Smaller variants of `sc`, most aggressive first. Each changes one
+/// axis; the greedy loop composes them.
+fn candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let mut push = |kind: ScenarioKind| {
+        out.push(Scenario {
+            seed: sc.seed,
+            kind,
+        })
+    };
+    match &sc.kind {
+        ScenarioKind::Wlan(w) => {
+            if w.stations > 2 {
+                let mut c = w.clone();
+                c.stations = (c.stations / 2).max(2);
+                push(ScenarioKind::Wlan(c));
+            }
+            if w.frames_per_sender > 1 {
+                let mut c = w.clone();
+                c.frames_per_sender = (c.frames_per_sender / 2).max(1);
+                push(ScenarioKind::Wlan(c));
+            }
+            if w.duration_ms > 10 {
+                let mut c = w.clone();
+                c.duration_ms = (c.duration_ms / 2).max(10);
+                push(ScenarioKind::Wlan(c));
+            }
+        }
+        ScenarioKind::Ess(e) => {
+            if e.sta_power_save.len() > 1 {
+                let mut c = e.clone();
+                let keep = (c.sta_power_save.len() / 2).max(1);
+                c.sta_power_save.truncate(keep);
+                push(ScenarioKind::Ess(c));
+            }
+            if e.walker {
+                let mut c = e.clone();
+                c.walker = false;
+                push(ScenarioKind::Ess(c));
+            }
+            if e.duration_s > 2 {
+                let mut c = e.clone();
+                c.duration_s = (c.duration_s / 2).max(2);
+                push(ScenarioKind::Ess(c));
+            }
+        }
+        ScenarioKind::Bluetooth(b) => {
+            if b.slaves_a > 1 || b.slaves_b > 1 {
+                let mut c = b.clone();
+                c.slaves_a = (c.slaves_a / 2).max(1);
+                if c.scatternet {
+                    c.slaves_b = (c.slaves_b / 2).max(1);
+                }
+                let n = c.device_count();
+                c.transfers.retain(|&(s, d, _)| s < n && d < n);
+                push(ScenarioKind::Bluetooth(c));
+            }
+            if b.transfers.len() > 1 {
+                let mut c = b.clone();
+                let keep = (c.transfers.len() / 2).max(1);
+                c.transfers.truncate(keep);
+                push(ScenarioKind::Bluetooth(c));
+            }
+            if b.duration_ms > 100 {
+                let mut c = b.clone();
+                c.duration_ms = (c.duration_ms / 2).max(100);
+                push(ScenarioKind::Bluetooth(c));
+            }
+        }
+        ScenarioKind::Zigbee(z) => {
+            match z.topology {
+                ZigbeeTopology::Star { n, radius_m } if n > 2 => {
+                    let mut c = z.clone();
+                    c.topology = ZigbeeTopology::Star {
+                        n: (n / 2).max(2),
+                        radius_m,
+                    };
+                    let nodes = c.topology.node_count();
+                    c.sends.retain(|&(s, d, _, _)| s < nodes && d < nodes);
+                    push(ScenarioKind::Zigbee(c));
+                }
+                ZigbeeTopology::Mesh {
+                    cols,
+                    rows,
+                    spacing_m,
+                } if cols * rows > 4 => {
+                    let mut c = z.clone();
+                    c.topology = ZigbeeTopology::Mesh {
+                        cols: (cols / 2).max(2),
+                        rows: (rows / 2).max(2),
+                        spacing_m,
+                    };
+                    let nodes = c.topology.node_count();
+                    c.sends.retain(|&(s, d, _, _)| s < nodes && d < nodes);
+                    push(ScenarioKind::Zigbee(c));
+                }
+                _ => {}
+            }
+            if z.sends.len() > 1 {
+                let mut c = z.clone();
+                let keep = (c.sends.len() / 2).max(1);
+                c.sends.truncate(keep);
+                push(ScenarioKind::Zigbee(c));
+            }
+            if z.duration_ms > 200 {
+                let mut c = z.clone();
+                c.duration_ms = (c.duration_ms / 2).max(200);
+                push(ScenarioKind::Zigbee(c));
+            }
+        }
+        ScenarioKind::Wman(w) => {
+            if w.subs.len() > 1 {
+                let mut c = w.clone();
+                let keep = (c.subs.len() / 2).max(1);
+                c.subs.truncate(keep);
+                push(ScenarioKind::Wman(c));
+            }
+            if w.duration_ms > 100 {
+                let mut c = w.clone();
+                c.duration_ms = (c.duration_ms / 2).max(100);
+                push(ScenarioKind::Wman(c));
+            }
+        }
+    }
+    out
+}
+
+/// Minimises `sc` under `still_fails` (which must return `true` for
+/// `sc` itself, i.e. be handed an already-failing scenario). Greedy
+/// to a fixpoint: repeatedly take the first candidate that still
+/// fails, stop when none does or the run budget is spent.
+pub fn shrink(sc: &Scenario, still_fails: impl Fn(&Scenario) -> bool) -> Scenario {
+    let mut best = sc.clone();
+    let mut runs = 0usize;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            if runs >= MAX_RUNS {
+                return best;
+            }
+            runs += 1;
+            if still_fails(&cand) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ScenarioGen, WlanScenario};
+
+    fn wlan(stations: usize, frames: u32, duration_ms: u64) -> Scenario {
+        Scenario {
+            seed: 7,
+            kind: ScenarioKind::Wlan(WlanScenario {
+                stations,
+                radius_m: 10.0,
+                standard: wn_phy::modulation::PhyStandard::Dot11b,
+                payload: 400,
+                frames_per_sender: frames,
+                interval_us: 1_000,
+                duration_ms,
+                rts_threshold: usize::MAX,
+                frag_threshold: usize::MAX,
+                queue_limit: 32,
+                retry_limit_short: 7,
+                retry_limit_long: 4,
+                cw_min_override: None,
+                cw_max_override: None,
+                arf: false,
+                deaf_sink: true,
+                failpoint_retry_overrun: true,
+            }),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_floor_when_everything_fails() {
+        let sc = wlan(16, 32, 160);
+        let min = shrink(&sc, |_| true);
+        match min.kind {
+            ScenarioKind::Wlan(ref w) => {
+                assert_eq!(w.stations, 2);
+                assert_eq!(w.frames_per_sender, 1);
+                assert_eq!(w.duration_ms, 10);
+            }
+            _ => panic!("kind changed"),
+        }
+    }
+
+    #[test]
+    fn keeps_original_when_no_candidate_fails() {
+        let sc = wlan(16, 32, 160);
+        let min = shrink(&sc, |c| match c.kind {
+            ScenarioKind::Wlan(ref w) => w.stations == 16,
+            _ => false,
+        });
+        assert_eq!(station_count(&min), 16);
+    }
+
+    #[test]
+    fn shrink_respects_lower_bound_preserving_predicate() {
+        // Violation needs at least 6 stations: the shrinker must stop
+        // at the smallest still-failing size, not the global floor.
+        let sc = wlan(16, 8, 80);
+        let min = shrink(&sc, |c| station_count(c) >= 6);
+        let n = station_count(&min);
+        assert!((6..=8).contains(&n), "stopped at {n}");
+    }
+
+    #[test]
+    fn station_count_covers_every_kind() {
+        let g = ScenarioGen::default();
+        for seed in 0..200 {
+            assert!(station_count(&g.scenario(seed)) >= 2);
+        }
+    }
+}

@@ -96,6 +96,12 @@ pub struct MacConfig {
     pub cw_min_override: Option<u32>,
     /// Override the PHY's CWmax.
     pub cw_max_override: Option<u32>,
+    /// Fault-injection switch for the fuzzer's oracle self-test: when
+    /// set, the retry comparison is widened by one, so stations retry
+    /// once past the configured limit. Never enabled by normal
+    /// scenarios; `wn-check` uses it to prove the retry oracle can
+    /// catch an off-by-one accounting bug.
+    pub failpoint_retry_overrun: bool,
 }
 
 impl MacConfig {
@@ -115,6 +121,7 @@ impl MacConfig {
             seed: 1,
             cw_min_override: None,
             cw_max_override: None,
+            failpoint_retry_overrun: false,
         }
     }
 
@@ -556,6 +563,21 @@ impl WlanWorld {
     /// Number of stations.
     pub fn station_count(&self) -> usize {
         self.stations.len()
+    }
+
+    /// The shared MAC configuration (the bounds invariant oracles
+    /// check trace events against).
+    pub fn config(&self) -> &MacConfig {
+        &self.cfg
+    }
+
+    /// MSDUs accepted for `id` but not yet completed: queued plus the
+    /// one currently being attempted. Together with [`StationStats`]
+    /// this closes the frame-conservation ledger
+    /// `queued == tx_completions + tx_failures + queue_drops + pending`.
+    pub fn pending_msdus(&self, id: StationId) -> u64 {
+        let s = &self.stations[id];
+        s.queue.len() as u64 + u64::from(s.current.is_some())
     }
 
     /// Aggregate delivered payload bytes across all stations.
@@ -1389,8 +1411,9 @@ impl WlanWorld {
         if let Some(p) = peer {
             self.stations[id].arf.on_failure(p);
         }
-        let cfg_short = self.cfg.retry_limit_short;
-        let cfg_long = self.cfg.retry_limit_long;
+        let overrun = u32::from(self.cfg.failpoint_retry_overrun);
+        let cfg_short = self.cfg.retry_limit_short + overrun;
+        let cfg_long = self.cfg.retry_limit_long + overrun;
         let (exceeded, short, long) = {
             let Some(at) = self.stations[id].current.as_mut() else {
                 return;

@@ -31,6 +31,12 @@ pub const TAG_BEACON: u64 = 1;
 /// Timer tag: the distribution system has frames for this AP.
 pub const TAG_DS: u64 = 2;
 
+/// Highest association ID the standard allows (the TIM partial
+/// virtual bitmap addresses 2008 stations, AIDs 1–2007). APs assign
+/// AIDs from 1 upward; invariant oracles check every observed
+/// [`TraceEvent::Assoc`] falls in `1..=MAX_AID`.
+pub const MAX_AID: u16 = 2007;
+
 /// AP configuration.
 #[derive(Clone, Debug)]
 pub struct ApConfig {

@@ -749,6 +749,31 @@ impl Trace {
         self.events().filter(|(_, e)| pred(e)).count()
     }
 
+    /// Typed events attributed to `station`, oldest first.
+    ///
+    /// The per-station view invariant oracles reason over: events
+    /// whose [`TraceEvent::station`] does not match are skipped.
+    pub fn events_for(&self, station: u32) -> impl Iterator<Item = (SimTime, &TraceEvent)> {
+        self.events().filter(move |(_, e)| e.station() == station)
+    }
+
+    /// The most recent retained event strictly before `at` matching
+    /// `pred`, if any.
+    ///
+    /// Oracles use this to find the *governing* event for a later
+    /// observation — e.g. the NAV reservation in force when a station
+    /// started transmitting.
+    pub fn last_event_before(
+        &self,
+        at: SimTime,
+        pred: impl Fn(&TraceEvent) -> bool,
+    ) -> Option<(SimTime, &TraceEvent)> {
+        self.events()
+            .take_while(|&(t, _)| t < at)
+            .filter(|(_, e)| pred(e))
+            .last()
+    }
+
     /// Serialises every retained record as one JSON object per line.
     ///
     /// `exp` tags each line with the experiment id so per-experiment
@@ -907,6 +932,33 @@ mod tests {
         // The rendered message matches the Display impl.
         let first = tr.records().next().unwrap();
         assert_eq!(first.message, "tx Rts sta=3 len=20 rate=6.0");
+    }
+
+    #[test]
+    fn events_for_and_last_event_before_query_by_station_and_time() {
+        let mut tr = Trace::new(10);
+        for (ms, sta, slots) in [(1u64, 0u32, 3u32), (2, 1, 7), (3, 0, 15)] {
+            tr.event(
+                t(ms),
+                Level::Debug,
+                "mac",
+                TraceEvent::Backoff {
+                    station: sta,
+                    slots,
+                    cw: 31,
+                },
+            );
+        }
+        assert_eq!(tr.events_for(0).count(), 2);
+        assert_eq!(tr.events_for(1).count(), 1);
+        assert_eq!(tr.events_for(9).count(), 0);
+        // Strictly-before: the event at t=3 is excluded when at == t(3).
+        let (when, ev) = tr
+            .last_event_before(t(3), |e| e.station() == 0)
+            .expect("governing event");
+        assert_eq!(when, t(1));
+        assert!(matches!(ev, TraceEvent::Backoff { slots: 3, .. }));
+        assert!(tr.last_event_before(t(1), |_| true).is_none());
     }
 
     #[test]

@@ -154,6 +154,21 @@ impl BaseStation {
         self.subscribers[ss].ul_delivered
     }
 
+    /// Downlink bytes still queued at the BS for a subscriber.
+    pub fn queued_bytes(&self, ss: SubscriberId) -> u64 {
+        self.subscribers[ss].queued_bytes as u64
+    }
+
+    /// Uplink backlog (bytes) a subscriber is still advertising.
+    pub fn ul_backlog(&self, ss: SubscriberId) -> u64 {
+        self.subscribers[ss].ul_backlog as u64
+    }
+
+    /// Number of admitted subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
+    }
+
     /// Exports per-subscriber delivery/backlog counters and frame
     /// accounting into a named snapshot at time `now`.
     pub fn metrics_snapshot(&self, now: SimTime) -> MetricsSnapshot {

@@ -310,6 +310,18 @@ impl BtNetwork {
         self.devices[dev].sent_bytes
     }
 
+    /// Application bytes still waiting in outbound queues across all
+    /// devices (including transfers parked without a route). Closes
+    /// the byte-conservation ledger the fuzzer's oracle checks:
+    /// `injected == delivered + pending`.
+    pub fn pending_bytes(&self) -> u64 {
+        self.devices
+            .iter()
+            .flat_map(|d| d.queues.iter())
+            .map(|&(_, remaining)| remaining as u64)
+            .sum()
+    }
+
     /// Exports per-device byte counters and world-level slot accounting
     /// into a named snapshot at time `now`.
     pub fn metrics_snapshot(&self, now: SimTime) -> MetricsSnapshot {

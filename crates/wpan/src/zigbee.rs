@@ -340,6 +340,13 @@ impl ZigbeeNetwork {
         self.offered
     }
 
+    /// Packets currently resident in node queues. Closes the
+    /// conservation ledger the fuzzer's oracle checks:
+    /// `offered == delivered + dropped + queued_total`.
+    pub fn queued_total(&self) -> u64 {
+        self.nodes.iter().map(|n| n.queue.len() as u64).sum()
+    }
+
     /// Exports per-node delivery/drop counters and the aggregate
     /// statistics into a named snapshot at time `now`.
     pub fn metrics_snapshot(&self, now: SimTime) -> MetricsSnapshot {

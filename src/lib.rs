@@ -16,6 +16,7 @@
 //! | [`wwan`] | cellular grids/reuse/Erlang-B + GEO satellite links |
 //! | [`security`] | WEP/WPA/WPA2 with their attack suite |
 //! | [`core`] | taxonomy, the comparison-table registry, experiment scenarios |
+//! | [`check`] | deterministic simulation fuzzer with invariant oracles |
 //!
 //! # Quickstart
 //!
@@ -29,6 +30,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use wn_check as check;
 pub use wn_core as core;
 pub use wn_crypto as crypto;
 pub use wn_mac80211 as mac80211;

@@ -47,6 +47,26 @@ fn observability_jsonl_is_byte_identical_across_thread_counts() {
     assert!(!serial.is_empty(), "some experiments must be instrumented");
 }
 
+/// The simulation fuzzer is deterministic the same way: a seed range's
+/// digest — per-seed event counts, violation counts and full-trace
+/// fingerprints — is byte-identical at `--threads 1` and `--threads 8`,
+/// and stable across repeat runs in one process.
+#[test]
+fn fuzzer_digest_is_byte_identical_across_thread_counts() {
+    let serial = wireless_networks::check::range_digest(0, 32, 1);
+    let parallel = wireless_networks::check::range_digest(0, 32, 8);
+    assert!(
+        serial == parallel,
+        "fuzzer digest diverged between 1 and 8 threads"
+    );
+    assert_eq!(serial.lines().count(), 32);
+    assert_eq!(
+        serial,
+        wireless_networks::check::range_digest(0, 32, 8),
+        "fuzzer digest not stable across repeat runs"
+    );
+}
+
 /// Two runs of the same seeded scenario give bit-equal results — the
 /// saturation sim has no hidden global state.
 #[test]

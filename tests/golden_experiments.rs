@@ -1,0 +1,59 @@
+//! Golden-file regression: re-run the campaign and assert every
+//! figure recorded in the committed EXPERIMENTS.md still reports
+//! `[PASS]` — no experiment silently regresses between report
+//! regenerations.
+
+use std::collections::BTreeSet;
+
+use wireless_networks::core::runner;
+
+/// Figure ids in the committed golden file, in section order, each with
+/// its recorded verdict.
+fn golden_sections() -> Vec<(String, bool)> {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/EXPERIMENTS.md"))
+        .expect("EXPERIMENTS.md present at the repo root");
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("### ")?;
+            let id = rest.split_whitespace().next()?.to_string();
+            Some((id, rest.contains("[PASS]")))
+        })
+        .collect()
+}
+
+#[test]
+fn every_golden_figure_still_passes() {
+    let golden = golden_sections();
+    assert!(!golden.is_empty(), "EXPERIMENTS.md has no figure sections");
+    for (id, passed) in &golden {
+        assert!(passed, "golden file already records {id} as failing");
+    }
+
+    let fresh = runner::run_campaign(0);
+    let fresh_ids: BTreeSet<&str> = fresh.iter().map(|o| o.id).collect();
+    let golden_ids: BTreeSet<&str> = golden.iter().map(|(id, _)| id.as_str()).collect();
+    assert_eq!(
+        golden_ids, fresh_ids,
+        "EXPERIMENTS.md sections and the experiment registry diverged — regenerate the report"
+    );
+
+    let failing: Vec<&str> = fresh.iter().filter(|o| !o.passed).map(|o| o.id).collect();
+    assert!(
+        failing.is_empty(),
+        "experiments regressed from the golden file: {failing:?}"
+    );
+}
+
+#[test]
+fn golden_markdown_matches_regenerated_sections() {
+    // The committed file's section headers must appear verbatim in a
+    // fresh render (the full file may differ only in the preamble).
+    let rendered = runner::campaign_markdown(0);
+    for (id, _) in golden_sections() {
+        let header = format!("### {id} ");
+        assert!(
+            rendered.contains(&header),
+            "regenerated report lost section {id}"
+        );
+    }
+}
