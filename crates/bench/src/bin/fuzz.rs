@@ -17,12 +17,18 @@
 //!   repro before exiting.
 //! - `--threads T` — worker count for range runs (default: `WN_THREADS`
 //!   env var, else detected parallelism).
+//! - `--dual` — differential scheduler mode: replay every seed through
+//!   both the binary-heap and timer-wheel back ends and fail unless
+//!   the trace and metrics fingerprints are byte-identical.
 //!
 //! On any violation the process prints one line per failing seed, the
 //! one-line repro command, and exits 1.
 
-use wn_check::{check_range, check_seed, repro_command, run, shrink, station_count, ScenarioGen};
-use wn_sim::worker_count;
+use wn_check::{
+    check_range, check_range_with, check_seed, repro_command, run, shrink, station_count,
+    ScenarioGen,
+};
+use wn_sim::{worker_count, SchedulerKind};
 
 struct Options {
     start: u64,
@@ -30,6 +36,7 @@ struct Options {
     single: Option<u64>,
     shrink: bool,
     threads: usize,
+    dual: bool,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -39,6 +46,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         single: None,
         shrink: false,
         threads: worker_count(),
+        dual: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -68,6 +76,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 );
             }
             "--shrink" => opts.shrink = true,
+            "--dual" => opts.dual = true,
             "--threads" => {
                 i += 1;
                 opts.threads = need(i)?
@@ -106,6 +115,46 @@ fn report_failure(seed: u64, summary: &str, violations: &[wn_check::Violation], 
     }
 }
 
+/// Differential scheduler mode: the same seed range through both
+/// queue back ends, seed by seed, demanding identical fingerprints.
+/// Returns the number of disagreeing or violating seeds.
+fn run_dual(opts: &Options) -> u64 {
+    let (start, count) = match opts.single {
+        Some(seed) => (seed, 1),
+        None => (opts.start, opts.count),
+    };
+    let t0 = std::time::Instant::now();
+    let heap = check_range_with(start, count, opts.threads, SchedulerKind::BinaryHeap);
+    let wheel = check_range_with(start, count, opts.threads, SchedulerKind::TimerWheel);
+    let mut failures = 0u64;
+    for (h, w) in heap.iter().zip(&wheel) {
+        let agree =
+            h.events == w.events && h.trace_fnv == w.trace_fnv && h.metrics_fnv == w.metrics_fnv;
+        if !agree {
+            failures += 1;
+            println!(
+                "seed {}: SCHEDULER DIVERGENCE  {}\n  heap:  events={} trace_fnv={:016x} metrics_fnv={:016x}\n  wheel: events={} trace_fnv={:016x} metrics_fnv={:016x}",
+                h.seed, h.summary, h.events, h.trace_fnv, h.metrics_fnv, w.events, w.trace_fnv, w.metrics_fnv
+            );
+            println!("  repro: {} --dual", repro_command(h.seed));
+        }
+        if !h.violations.is_empty() {
+            failures += 1;
+            report_failure(h.seed, &h.summary, &h.violations, opts.shrink);
+        }
+    }
+    println!(
+        "dual-scheduler fuzz: {} seeds ({}..{}) x {{heap, wheel}} on {} workers in {:.2}s: {} failing",
+        count,
+        start,
+        start + count,
+        opts.threads,
+        t0.elapsed().as_secs_f64(),
+        failures
+    );
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse(&args) {
@@ -115,6 +164,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if opts.dual {
+        if run_dual(&opts) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
 
     let t0 = std::time::Instant::now();
     let mut failures = 0u64;

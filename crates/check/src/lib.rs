@@ -20,6 +20,12 @@
 //! Because every engine is seeded and single-threaded per run, a
 //! failing seed replays byte-for-byte: the `fuzz` binary in `wn-bench`
 //! prints `fuzz --seed N --shrink` as the one-line repro command.
+//!
+//! Every run can also execute on either scheduler back end
+//! ([`run::run_scenario_with`]): the differential mode (`fuzz --dual`)
+//! replays each seed through the binary heap and the timer wheel and
+//! demands identical trace and metrics fingerprints, which is how the
+//! wheel earns the right to be swapped in under big campaigns.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,7 +36,10 @@ pub mod scenario;
 pub mod shrink;
 
 pub use oracle::{oracles, Invariant, Violation};
-pub use run::{check_range, check_seed, range_digest, run_oracles, run_scenario, SeedReport};
+pub use run::{
+    check_range, check_range_with, check_seed, check_seed_with, range_digest, range_digest_with,
+    run_oracles, run_scenario, run_scenario_with, SeedReport,
+};
 pub use scenario::{Scenario, ScenarioGen, ScenarioKind};
 pub use shrink::{shrink, station_count};
 

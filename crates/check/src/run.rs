@@ -28,8 +28,9 @@ use wn_net80211::Ssid;
 use wn_phy::geom::Point;
 use wn_phy::units::Dbm;
 use wn_sim::par::par_map_with;
+use wn_sim::stats::fnv1a;
 use wn_sim::trace::Trace;
-use wn_sim::{SimDuration, SimTime, Simulation};
+use wn_sim::{SchedulerKind, SimDuration, SimTime, Simulation};
 use wn_wman::link::WimaxLink;
 use wn_wman::scheduler::{boot as wman_boot, BaseStation, ServiceClass, WimaxEvent};
 use wn_wpan::bluetooth::{boot as bt_boot, fig_1_2_scatternet, BtNetwork, DeviceClass};
@@ -99,6 +100,10 @@ pub struct WmanFacts {
 pub struct Artifacts {
     /// The world's typed trace, moved out intact.
     pub trace: Trace,
+    /// FNV-1a hash of the end-of-run metrics snapshot JSONL — the
+    /// second fingerprint (besides the trace) the differential
+    /// scheduler check compares across back ends.
+    pub metrics_fnv: u64,
     /// Virtual end time.
     pub end: SimTime,
     /// WLAN facts (flat and ESS scenarios).
@@ -143,12 +148,21 @@ impl UpperLayer for CheckUpper {
 
 /// Runs one scenario to completion and returns its artifacts.
 pub fn run_scenario(sc: &Scenario) -> Artifacts {
+    run_scenario_with(sc, SchedulerKind::BinaryHeap)
+}
+
+/// Runs one scenario on an explicit scheduler back end.
+///
+/// Scenario semantics never depend on the back end — this entry point
+/// exists so the differential fuzz mode can replay the same seed
+/// through both queues and demand identical fingerprints.
+pub fn run_scenario_with(sc: &Scenario, kind: SchedulerKind) -> Artifacts {
     match &sc.kind {
-        ScenarioKind::Wlan(w) => run_wlan(sc.seed, w),
-        ScenarioKind::Ess(e) => run_ess(sc.seed, e),
-        ScenarioKind::Bluetooth(b) => run_bt(b),
-        ScenarioKind::Zigbee(z) => run_zigbee(sc.seed, z),
-        ScenarioKind::Wman(w) => run_wman(w),
+        ScenarioKind::Wlan(w) => run_wlan(sc.seed, w, kind),
+        ScenarioKind::Ess(e) => run_ess(sc.seed, e, kind),
+        ScenarioKind::Bluetooth(b) => run_bt(b, kind),
+        ScenarioKind::Zigbee(z) => run_zigbee(sc.seed, z, kind),
+        ScenarioKind::Wman(w) => run_wman(w, kind),
     }
 }
 
@@ -201,7 +215,7 @@ fn data_frame(from: u32, to: u32, len: usize) -> Frame {
     )
 }
 
-fn run_wlan(seed: u64, w: &WlanScenario) -> Artifacts {
+fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind) -> Artifacts {
     let mut cfg = MacConfig::new(w.standard);
     cfg.seed = seed;
     cfg.rts_threshold = w.rts_threshold;
@@ -238,7 +252,7 @@ fn run_wlan(seed: u64, w: &WlanScenario) -> Artifacts {
         world.set_channel(0, 11);
     }
 
-    let mut sim = Simulation::new(world);
+    let mut sim = Simulation::with_scheduler(world, kind);
     wlan_boot(&mut sim);
     for i in 1..w.stations {
         for k in 0..u64::from(w.frames_per_sender) {
@@ -259,6 +273,7 @@ fn run_wlan(seed: u64, w: &WlanScenario) -> Artifacts {
     let facts = wlan_facts(&world, end, w.symmetric(), true, delivered);
     Artifacts {
         trace: std::mem::take(&mut world.trace),
+        metrics_fnv: fnv1a(world.metrics_snapshot(end).to_jsonl("fuzz").as_bytes()),
         end,
         wlan: Some(facts),
         zigbee: None,
@@ -267,12 +282,14 @@ fn run_wlan(seed: u64, w: &WlanScenario) -> Artifacts {
     }
 }
 
-fn run_ess(seed: u64, e: &EssScenario) -> Artifacts {
+fn run_ess(seed: u64, e: &EssScenario, kind: SchedulerKind) -> Artifacts {
     let ssid = Ssid::new("Fuzz").expect("valid ssid");
     let mut mac = MacConfig::new(wn_phy::modulation::PhyStandard::Dot11g);
     mac.seed = seed;
     let channels: Vec<u8> = if e.aps == 2 { vec![1, 6] } else { vec![1] };
-    let mut builder = EssBuilder::new(mac, ssid.clone()).ap(Point::new(0.0, 0.0), 1);
+    let mut builder = EssBuilder::new(mac, ssid.clone())
+        .scheduler(kind)
+        .ap(Point::new(0.0, 0.0), 1);
     if e.aps == 2 {
         builder = builder.ap(Point::new(e.ap_spacing_m, 0.0), 6);
     }
@@ -309,6 +326,7 @@ fn run_ess(seed: u64, e: &EssScenario) -> Artifacts {
     let facts = wlan_facts(&world, end, false, false, Vec::new());
     Artifacts {
         trace: std::mem::take(&mut world.trace),
+        metrics_fnv: fnv1a(world.metrics_snapshot(end).to_jsonl("fuzz").as_bytes()),
         end,
         wlan: Some(facts),
         zigbee: None,
@@ -317,7 +335,7 @@ fn run_ess(seed: u64, e: &EssScenario) -> Artifacts {
     }
 }
 
-fn run_bt(b: &BtScenario) -> Artifacts {
+fn run_bt(b: &BtScenario, kind: SchedulerKind) -> Artifacts {
     let (mut net, devices) = if b.scatternet {
         let (net, _pa, _pb, _bridge) = fig_1_2_scatternet(b.slaves_a, b.slaves_b);
         let count = b.device_count();
@@ -344,7 +362,7 @@ fn run_bt(b: &BtScenario) -> Artifacts {
         }
     }
 
-    let mut sim = Simulation::new(net);
+    let mut sim = Simulation::with_scheduler(net, kind);
     bt_boot(&mut sim);
     let end = SimTime::from_millis(b.duration_ms);
     sim.run_until(end);
@@ -358,6 +376,7 @@ fn run_bt(b: &BtScenario) -> Artifacts {
     };
     Artifacts {
         trace: std::mem::take(&mut world.trace),
+        metrics_fnv: fnv1a(world.metrics_snapshot(end).to_jsonl("fuzz").as_bytes()),
         end,
         wlan: None,
         zigbee: None,
@@ -366,7 +385,7 @@ fn run_bt(b: &BtScenario) -> Artifacts {
     }
 }
 
-fn run_zigbee(seed: u64, z: &ZigbeeScenario) -> Artifacts {
+fn run_zigbee(seed: u64, z: &ZigbeeScenario, kind: SchedulerKind) -> Artifacts {
     let mut net = match z.topology {
         ZigbeeTopology::Star { n, radius_m } => star(n, radius_m, seed).0,
         ZigbeeTopology::Mesh {
@@ -378,7 +397,7 @@ fn run_zigbee(seed: u64, z: &ZigbeeScenario) -> Artifacts {
     net.trace = Trace::new(TRACE_CAPACITY);
     let nodes = z.topology.node_count();
 
-    let mut sim = Simulation::new(net);
+    let mut sim = Simulation::with_scheduler(net, kind);
     for &(src, dst, bytes, at_ms) in &z.sends {
         if src < nodes && dst < nodes && src != dst {
             sim.scheduler_mut().schedule_at(
@@ -400,6 +419,7 @@ fn run_zigbee(seed: u64, z: &ZigbeeScenario) -> Artifacts {
     };
     Artifacts {
         trace: std::mem::take(&mut world.trace),
+        metrics_fnv: fnv1a(world.metrics_snapshot(end).to_jsonl("fuzz").as_bytes()),
         end,
         wlan: None,
         zigbee: Some(facts),
@@ -408,7 +428,7 @@ fn run_zigbee(seed: u64, z: &ZigbeeScenario) -> Artifacts {
     }
 }
 
-fn run_wman(w: &WmanScenario) -> Artifacts {
+fn run_wman(w: &WmanScenario, kind: SchedulerKind) -> Artifacts {
     const CLASSES: [ServiceClass; 4] = [
         ServiceClass::Ugs,
         ServiceClass::Rtps,
@@ -426,7 +446,7 @@ fn run_wman(w: &WmanScenario) -> Artifacts {
         .map(|s| bs.add_subscriber(s.dist_m, s.obstructed, CLASSES[s.class % 4], s.reserved_bps))
         .collect();
 
-    let mut sim = Simulation::new(bs);
+    let mut sim = Simulation::with_scheduler(bs, kind);
     wman_boot(&mut sim);
     for (spec, id) in w.subs.iter().zip(&admitted) {
         let Some(ss) = *id else { continue };
@@ -460,6 +480,7 @@ fn run_wman(w: &WmanScenario) -> Artifacts {
     };
     Artifacts {
         trace: std::mem::take(&mut world.trace),
+        metrics_fnv: fnv1a(world.metrics_snapshot(end).to_jsonl("fuzz").as_bytes()),
         end,
         wlan: None,
         zigbee: None,
@@ -493,23 +514,21 @@ pub struct SeedReport {
     pub events: usize,
     /// FNV-1a hash of the full trace JSONL (replay fingerprint).
     pub trace_fnv: u64,
+    /// FNV-1a hash of the end-of-run metrics snapshot JSONL.
+    pub metrics_fnv: u64,
     /// Oracle violations (empty = clean).
     pub violations: Vec<Violation>,
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 /// Generates, runs and checks the scenario for `seed`.
 pub fn check_seed(seed: u64) -> SeedReport {
+    check_seed_with(seed, SchedulerKind::BinaryHeap)
+}
+
+/// [`check_seed`] on an explicit scheduler back end.
+pub fn check_seed_with(seed: u64, scheduler: SchedulerKind) -> SeedReport {
     let sc = ScenarioGen::default().scenario(seed);
-    let art = run_scenario(&sc);
+    let art = run_scenario_with(&sc, scheduler);
     let violations = run_oracles(&art);
     SeedReport {
         seed,
@@ -517,6 +536,7 @@ pub fn check_seed(seed: u64) -> SeedReport {
         kind: sc.kind_tag(),
         events: art.trace.events().count(),
         trace_fnv: fnv1a(art.trace.to_jsonl("fuzz").as_bytes()),
+        metrics_fnv: art.metrics_fnv,
         violations,
     }
 }
@@ -527,23 +547,46 @@ pub fn check_seed(seed: u64) -> SeedReport {
 /// reports — including every trace fingerprint — are identical for any
 /// `threads` value.
 pub fn check_range(start: u64, count: u64, threads: usize) -> Vec<SeedReport> {
+    check_range_with(start, count, threads, SchedulerKind::BinaryHeap)
+}
+
+/// [`check_range`] on an explicit scheduler back end.
+pub fn check_range_with(
+    start: u64,
+    count: u64,
+    threads: usize,
+    scheduler: SchedulerKind,
+) -> Vec<SeedReport> {
     let seeds: Vec<u64> = (start..start + count).collect();
-    par_map_with(threads, seeds, check_seed)
+    par_map_with(threads, seeds, move |seed| check_seed_with(seed, scheduler))
 }
 
 /// Byte-stable JSONL digest of a fuzz range, for determinism tests:
 /// one line per seed with kind, event count, violation count and the
-/// trace fingerprint.
+/// trace and metrics fingerprints.
 pub fn range_digest(start: u64, count: u64, threads: usize) -> String {
+    range_digest_with(start, count, threads, SchedulerKind::BinaryHeap)
+}
+
+/// [`range_digest`] on an explicit scheduler back end. The digest
+/// deliberately omits the back-end label: both schedulers must produce
+/// byte-identical output for the same seed range.
+pub fn range_digest_with(
+    start: u64,
+    count: u64,
+    threads: usize,
+    scheduler: SchedulerKind,
+) -> String {
     let mut out = String::new();
-    for r in check_range(start, count, threads) {
+    for r in check_range_with(start, count, threads, scheduler) {
         out.push_str(&format!(
-            "{{\"seed\":{},\"kind\":\"{}\",\"events\":{},\"violations\":{},\"trace_fnv\":\"{:016x}\"}}\n",
+            "{{\"seed\":{},\"kind\":\"{}\",\"events\":{},\"violations\":{},\"trace_fnv\":\"{:016x}\",\"metrics_fnv\":\"{:016x}\"}}\n",
             r.seed,
             r.kind,
             r.events,
             r.violations.len(),
-            r.trace_fnv
+            r.trace_fnv,
+            r.metrics_fnv
         ));
     }
     out

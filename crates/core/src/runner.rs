@@ -179,6 +179,43 @@ fn run_tab_8_1() -> ExperimentOutput {
     section("TAB-8.1", scenarios::table_8_1())
 }
 
+fn run_scale_dcf() -> ExperimentOutput {
+    let (points, r) = scenarios::scale_dcf(42);
+    let mut md = format!("{}\n", r.to_markdown());
+    let _ = writeln!(
+        md,
+        "| stations | horizon [ms] | per-station [kbps] | aggregate [Mbps] | Jain | p50 delay [ms] | p99 delay [ms] | events |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|");
+    for p in &points {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {:.1} | {:.2} | {:.4} | {} | {} | {} |",
+            p.stations,
+            p.duration_ms,
+            p.per_station_kbps,
+            p.aggregate_mbps,
+            p.jain_fairness,
+            p.access_delay_p50_us / 1_000,
+            p.access_delay_p99_us / 1_000,
+            p.events,
+        );
+    }
+    let _ = writeln!(md);
+    let _ = writeln!(
+        md,
+        "Horizons scale with station count so the Jain index converges \
+         (DCF is short-term unfair by design); the 500/1000-station tail \
+         measures the collapse on a fixed horizon. Scheduler back-end \
+         events/s on this workload: see `BENCH_campaign.json`.\n"
+    );
+    ExperimentOutput {
+        id: "SCALE-DCF",
+        passed: r.passed(),
+        markdown: md,
+    }
+}
+
 /// The full registry, in the order sections appear in EXPERIMENTS.md.
 pub fn experiments() -> Vec<Experiment> {
     macro_rules! exp {
@@ -254,6 +291,11 @@ pub fn experiments() -> Vec<Experiment> {
             "TAB-8.1",
             "Comparison of wireless network types",
             run_tab_8_1
+        ),
+        exp!(
+            "SCALE-DCF",
+            "DCF saturation collapse, 10 → 1000 stations",
+            run_scale_dcf
         ),
     ]
 }
@@ -361,13 +403,13 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_ordered_like_the_report() {
         let exps = experiments();
-        assert_eq!(exps.len(), 21);
+        assert_eq!(exps.len(), 22);
         let mut seen = std::collections::BTreeSet::new();
         for e in &exps {
             assert!(seen.insert(e.id), "duplicate id {}", e.id);
         }
         assert_eq!(exps[0].id, "FIG-1.1");
-        assert_eq!(exps.last().unwrap().id, "TAB-8.1");
+        assert_eq!(exps.last().unwrap().id, "SCALE-DCF");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use wn_phy::medium::{LinkBudget, Radio};
 use wn_phy::modulation::PhyStandard;
 use wn_phy::propagation::{LogDistance, Shadowing};
 use wn_sim::stats::Figure;
-use wn_sim::{par_map, SimDuration, SimTime, Simulation};
+use wn_sim::{par_map, SchedulerKind, SimDuration, SimTime, Simulation};
 
 /// FIG-1.1 — the classification scatter: nominal range vs peak rate
 /// per technology, measured.
@@ -1408,6 +1408,285 @@ pub fn table_8_1() -> ExperimentReport {
 }
 
 // ---------------------------------------------------------------------
+// SCALE-DCF — DCF saturation at scale (10 → 1000 stations)
+//
+// The 802.11 literature this repo tracks centres on how DCF throughput
+// collapses as contention grows; no figure of the source text pushes
+// past a handful of stations, so this experiment family extends the
+// reproduction to a BSS of up to 1000 saturated senders. It doubles as
+// the dense-timer workload the scheduler back ends are benchmarked and
+// differentially tested on (`perfsuite`, DESIGN.md §12).
+// ---------------------------------------------------------------------
+
+/// Payload bytes per MSDU in the SCALE-DCF workload.
+pub const SCALE_DCF_PAYLOAD: usize = 400;
+
+/// One sweep point of the SCALE-DCF saturation workload.
+#[derive(Clone, Debug)]
+pub struct ScaleDcfPoint {
+    /// Contending senders (the sink is an extra station).
+    pub stations: usize,
+    /// Virtual milliseconds simulated.
+    pub duration_ms: u64,
+    /// Mean per-sender delivered goodput [kbps].
+    pub per_station_kbps: f64,
+    /// Aggregate delivered goodput [Mbps].
+    pub aggregate_mbps: f64,
+    /// Jain fairness index over per-sender completion counts.
+    pub jain_fairness: f64,
+    /// Median access delay [µs].
+    pub access_delay_p50_us: u64,
+    /// 99th-percentile access delay [µs].
+    pub access_delay_p99_us: u64,
+    /// True when every sender still holds an unserved backlog at the
+    /// horizon — the run was saturated end to end.
+    pub saturated: bool,
+    /// Events the engine delivered.
+    pub events: u64,
+    /// FNV-1a of the metrics snapshot JSONL — the fingerprint the
+    /// scheduler-equivalence checks compare across back ends.
+    pub metrics_fnv: u64,
+}
+
+/// Builds the saturated-BSS simulation behind every SCALE-DCF point:
+/// `stations` senders on an 8 m ring around a sink, pure DCF (no RTS,
+/// no ARF, fixed top rate), offered ≈ 1.25× channel capacity with the
+/// whole backlog pre-scheduled as `Inject` timers spread over the first
+/// 90% of the horizon — so the scheduler carries tens of thousands of
+/// pending timers for the entire run, the dense-timer regime calendar
+/// queues were built for.
+pub fn scale_dcf_sim(
+    stations: usize,
+    duration_ms: u64,
+    seed: u64,
+    kind: SchedulerKind,
+) -> Simulation<WlanWorld> {
+    let (world, frames_per_sender) = scale_dcf_world(stations, duration_ms, seed);
+    let mut sim = Simulation::with_scheduler(world, kind);
+    scale_dcf_load(&mut sim, stations, duration_ms, frames_per_sender);
+    sim
+}
+
+/// Builds the SCALE-DCF world; returns it plus the per-sender backlog.
+fn scale_dcf_world(stations: usize, duration_ms: u64, seed: u64) -> (WlanWorld, u64) {
+    assert!(stations >= 1, "need at least one sender");
+    // Offered load ≈ 1.25× the collision-free channel capacity plus a
+    // fixed floor, so every queue stays backlogged to the horizon even
+    // for the luckiest sender.
+    let frames_per_sender = duration_ms * 1_000 / (120 * stations as u64) + 64;
+
+    let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+    cfg.seed = seed;
+    // Fixed top rate: the collapse measured is pure contention, not
+    // rate drift.
+    cfg.arf = false;
+    // Saturated but lossless at enqueue: the whole backlog fits.
+    cfg.queue_limit = frames_per_sender as usize;
+
+    let mut w = WlanWorld::new(cfg);
+    // Sink at the centre, senders on a ring: a single collision domain
+    // where everyone hears everyone.
+    w.add_stations(
+        stations + 1,
+        |i| {
+            if i == 0 {
+                Point::new(0.0, 0.0)
+            } else {
+                let a = i as f64 / stations as f64 * std::f64::consts::TAU;
+                Point::new(8.0 * a.cos(), 8.0 * a.sin())
+            }
+        },
+        |_| Box::new(NullUpper),
+    );
+    (w, frames_per_sender)
+}
+
+/// Boots the world and pre-schedules the offered backlog, interleaved
+/// round-robin across senders at a fixed stride.
+fn scale_dcf_load(
+    sim: &mut Simulation<WlanWorld>,
+    stations: usize,
+    duration_ms: u64,
+    frames_per_sender: u64,
+) {
+    boot(sim);
+    let total_frames = frames_per_sender * stations as u64;
+    let stride_ns = duration_ms * 900_000 / total_frames;
+    for i in 1..=stations {
+        for k in 0..frames_per_sender {
+            let j = k * stations as u64 + (i as u64 - 1);
+            sim.scheduler_mut().schedule_at(
+                SimTime::from_nanos(j * stride_ns),
+                MacEvent::Inject {
+                    station: i,
+                    frame: data_frame(i as u32, 0, SCALE_DCF_PAYLOAD),
+                },
+            );
+        }
+    }
+}
+
+/// Records the exact scheduler op stream (pushed keys + pop markers) a
+/// SCALE-DCF point generates, for replaying through both back ends in
+/// isolation — see [`wn_sim::replay_ops`]. Recording starts before
+/// boot, so every pop in the stream has a matching recorded push.
+pub fn scale_dcf_op_log(stations: usize, duration_ms: u64, seed: u64) -> Vec<u128> {
+    let (world, frames_per_sender) = scale_dcf_world(stations, duration_ms, seed);
+    let mut sim = Simulation::with_scheduler(world, SchedulerKind::BinaryHeap);
+    sim.scheduler_mut().record_ops();
+    scale_dcf_load(&mut sim, stations, duration_ms, frames_per_sender);
+    sim.run_until(SimTime::from_millis(duration_ms));
+    sim.scheduler_mut().take_op_log()
+}
+
+/// Runs one saturated-BSS point on the chosen scheduler back end and
+/// reduces it to throughput, fairness, delay and digest observables.
+pub fn scale_dcf_point(
+    stations: usize,
+    duration_ms: u64,
+    seed: u64,
+    kind: SchedulerKind,
+) -> ScaleDcfPoint {
+    let mut sim = scale_dcf_sim(stations, duration_ms, seed, kind);
+    let end = SimTime::from_millis(duration_ms);
+    sim.run_until(end);
+
+    let events = sim.processed();
+    let world = sim.world();
+    let snap = world.metrics_snapshot(end);
+    let metrics_fnv = wn_sim::stats::fnv1a(snap.to_jsonl("SCALE-DCF").as_bytes());
+    let sender_counter = |name: &str| -> Vec<u64> {
+        snap.rows
+            .iter()
+            .filter(|r| {
+                r.kind == "counter"
+                    && r.key.layer == "mac"
+                    && r.key.name == name
+                    && r.key.station.is_some_and(|s| s >= 1)
+            })
+            .map(|r| r.fields.first().map_or(0, |&(_, v)| v as u64))
+            .collect()
+    };
+    let completions = sender_counter("tx_completions");
+    debug_assert_eq!(completions.len(), stations);
+    // A sender is still saturated at the horizon when its queue holds
+    // frames the MAC never got to: queued > completions + failures +
+    // drops (the queue-conservation identity).
+    let queued = sender_counter("queued");
+    let failures = sender_counter("tx_failures");
+    let drops = sender_counter("queue_drops");
+    let saturated = (0..stations).all(|i| queued[i] > completions[i] + failures[i] + drops[i]);
+
+    let total: u64 = completions.iter().sum();
+    let sum_sq: f64 = completions.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    let jain_fairness = if total == 0 {
+        // An empty run is degenerate, not fair — fail loudly.
+        0.0
+    } else {
+        (total as f64) * (total as f64) / (stations as f64 * sum_sq)
+    };
+    let duration_s = duration_ms as f64 / 1_000.0;
+    let goodput_bits = (total * SCALE_DCF_PAYLOAD as u64 * 8) as f64;
+    ScaleDcfPoint {
+        stations,
+        duration_ms,
+        per_station_kbps: goodput_bits / duration_s / stations as f64 / 1_000.0,
+        aggregate_mbps: goodput_bits / duration_s / 1e6,
+        jain_fairness,
+        access_delay_p50_us: world.access_delay_quantile(0.5).unwrap_or(0),
+        access_delay_p99_us: world.access_delay_quantile(0.99).unwrap_or(0),
+        saturated,
+        events,
+        metrics_fnv,
+    }
+}
+
+/// The SCALE-DCF sweep: `(stations, duration_ms)` per point.
+///
+/// Horizons scale with the station count (≈35 ms per station, floored
+/// at 560 ms) because DCF's short-term capture unfairness needs a long
+/// mixing window before the Jain index converges — the n ≤ 200 points
+/// are sized for Jain ≥ 0.95, while the 500/1000-station tail uses a
+/// short horizon to measure the collapse itself. Debug builds — where
+/// the tier-1 suite re-runs the whole campaign — use a scaled-down
+/// sweep with the same shape; release builds (the committed
+/// EXPERIMENTS.md and `perfsuite`) run the full 10 → 1000 collapse.
+pub fn scale_dcf_sweep() -> Vec<(usize, u64)> {
+    if cfg!(debug_assertions) {
+        vec![(2, 150), (5, 400), (30, 1700)]
+    } else {
+        vec![
+            (10, 560),
+            (50, 3500),
+            (100, 3500),
+            (200, 7000),
+            (500, 700),
+            (1000, 700),
+        ]
+    }
+}
+
+/// SCALE-DCF — saturation throughput collapse plus the differential
+/// scheduler check, as an experiment report.
+///
+/// Returns the sweep points (for the report table and the benches) and
+/// the claims: the collapse shape, monotonicity, Jain fairness under
+/// symmetric load, and byte-identical metrics from both scheduler back
+/// ends on a mid-size point.
+pub fn scale_dcf(seed: u64) -> (Vec<ScaleDcfPoint>, ExperimentReport) {
+    let points: Vec<ScaleDcfPoint> = par_map(scale_dcf_sweep(), |(n, d)| {
+        scale_dcf_point(n, d, seed, SchedulerKind::BinaryHeap)
+    });
+    // The differential run: both back ends on one mid-size point.
+    let (n_mid, d_mid) = if cfg!(debug_assertions) {
+        (30, 200)
+    } else {
+        (100, 200)
+    };
+    let pair: Vec<ScaleDcfPoint> = par_map(SchedulerKind::ALL.to_vec(), |k| {
+        scale_dcf_point(n_mid, d_mid, seed, k)
+    });
+
+    let first = points.first().expect("sweep non-empty");
+    let last = points.last().expect("sweep non-empty");
+    let mut report = ExperimentReport::new(
+        "SCALE-DCF",
+        "DCF saturation throughput collapse, 10 → 1000 stations",
+    );
+    report
+        .claim(
+            "per-station goodput collapses >=10x from the smallest to the largest BSS",
+            last.per_station_kbps * 10.0 < first.per_station_kbps,
+        )
+        .claim(
+            "per-station goodput is monotonically non-increasing in station count",
+            points
+                .windows(2)
+                .all(|w| w[1].per_station_kbps <= w[0].per_station_kbps),
+        )
+        .claim(
+            "Jain fairness >= 0.95 under symmetric saturation (n <= 200)",
+            points
+                .iter()
+                .filter(|p| p.stations <= 200)
+                .all(|p| p.jain_fairness >= 0.95),
+        )
+        .claim(
+            "every sender stays backlogged to the horizon at every point",
+            points.iter().all(|p| p.saturated),
+        )
+        .claim(
+            "median access delay >= 1 ms everywhere (contention dominates airtime)",
+            points.iter().all(|p| p.access_delay_p50_us >= 1_000),
+        )
+        .claim(
+            "timer-wheel and binary-heap schedulers agree bit-for-bit",
+            pair[0].metrics_fnv == pair[1].metrics_fnv && pair[0].events == pair[1].events,
+        );
+    (points, report)
+}
+
+// ---------------------------------------------------------------------
 // Observability exports
 //
 // One compact, fully deterministic instrumented run per protocol layer.
@@ -1730,5 +2009,27 @@ mod tests {
         let report = table_8_1();
         assert!(report.passed(), "{}", report.to_markdown());
         assert_eq!(report.comparisons.len(), 13);
+    }
+
+    #[test]
+    fn scale_dcf_passes() {
+        let (points, report) = scale_dcf(11);
+        for p in &points {
+            eprintln!(
+                "SCALE-DCF n={:4} dur={}ms per_station={:.1} kbps agg={:.2} Mbps \
+                 jain={:.4} p50={}us p99={}us events={} fnv={:016x}",
+                p.stations,
+                p.duration_ms,
+                p.per_station_kbps,
+                p.aggregate_mbps,
+                p.jain_fairness,
+                p.access_delay_p50_us,
+                p.access_delay_p99_us,
+                p.events,
+                p.metrics_fnv
+            );
+        }
+        assert!(report.passed(), "{}", report.to_markdown());
+        assert_eq!(points.len(), scale_dcf_sweep().len());
     }
 }

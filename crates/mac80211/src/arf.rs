@@ -7,6 +7,7 @@
 //! neighbour, since link quality is per-link.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use crate::addr::MacAddr;
 use wn_phy::modulation::{PhyStandard, RateStep};
@@ -60,9 +61,14 @@ struct LinkState {
 }
 
 /// An ARF controller managing one station's links.
+///
+/// The rate ladder is shared (`Rc<[RateStep]>`), so cloning a template
+/// controller for each of N stations — the bulk-boot fast path in
+/// [`crate::sim::WlanWorld`] — bumps a refcount instead of reallocating
+/// the ladder N times.
 #[derive(Clone, Debug)]
 pub struct Arf {
-    ladder: Vec<RateStep>,
+    ladder: Rc<[RateStep]>,
     params: ArfParams,
     links: HashMap<MacAddr, LinkState>,
     enabled: bool,
@@ -72,7 +78,7 @@ pub struct Arf {
 impl Arf {
     /// Creates a controller for `std`'s rate ladder.
     pub fn new(std: PhyStandard, params: ArfParams, enabled: bool) -> Self {
-        let ladder = std.rate_ladder();
+        let ladder: Rc<[RateStep]> = std.rate_ladder().into();
         let fixed_index = ladder.len() - 1;
         Arf {
             ladder,
@@ -310,6 +316,112 @@ mod tests {
             a.on_failure(peer());
         }
         assert_eq!(a.current_rate(peer()).rate.mbps(), 54.0);
+    }
+
+    /// Walks the entire Fig. 1.13 802.11g rate ladder downwards: every
+    /// pair of consecutive failures steps exactly one rung, visiting
+    /// each rate in ladder order until the 6 Mbps base.
+    #[test]
+    fn consecutive_failures_walk_every_rung_down() {
+        let ladder = PhyStandard::Dot11g.rate_ladder();
+        assert!(ladder.len() >= 3, "g ladder has many rungs");
+        let mut a = arf();
+        for rung in (0..ladder.len() - 1).rev() {
+            a.on_failure(peer());
+            assert_eq!(
+                a.current_rate(peer()).rate.mbps(),
+                ladder[rung + 1].rate.mbps(),
+                "first failure must hold the rate"
+            );
+            a.on_failure(peer());
+            assert_eq!(
+                a.current_rate(peer()).rate.mbps(),
+                ladder[rung].rate.mbps(),
+                "second consecutive failure steps down one rung"
+            );
+        }
+        assert_eq!(a.current_rate(peer()).rate.mbps(), ladder[0].rate.mbps());
+    }
+
+    /// From the base rate, every run of 10 successes probes one rung
+    /// back up, visiting each rate until the 54 Mbps top.
+    #[test]
+    fn success_runs_walk_every_rung_up() {
+        let ladder = PhyStandard::Dot11g.rate_ladder();
+        let mut a = arf();
+        for _ in 0..2 * (ladder.len() - 1) {
+            a.on_failure(peer());
+        }
+        assert_eq!(a.current_rate(peer()).rate.mbps(), ladder[0].rate.mbps());
+        for rung in 1..ladder.len() {
+            for _ in 0..10 {
+                a.on_success(peer());
+            }
+            assert_eq!(
+                a.current_rate(peer()).rate.mbps(),
+                ladder[rung].rate.mbps(),
+                "ten successes probe up to rung {rung}"
+            );
+        }
+    }
+
+    /// The top of the ladder clamps: success runs at 54 Mbps never
+    /// index past the last rung (and never set a phantom probe that a
+    /// single failure would punish).
+    #[test]
+    fn success_runs_clamp_at_top_rung() {
+        let mut a = arf();
+        for _ in 0..50 {
+            a.on_success(peer());
+        }
+        assert_eq!(a.current_rate(peer()).rate.mbps(), 54.0);
+        // Were the controller stuck in "probing" at the top, this
+        // single failure would drop a rung; Fig. 1.13 says hold.
+        a.on_failure(peer());
+        assert_eq!(a.current_rate(peer()).rate.mbps(), 54.0);
+    }
+
+    /// The bottom of the ladder clamps symmetrically, and the link
+    /// recovers from the floor (the failure streak does not wedge).
+    #[test]
+    fn failure_runs_clamp_at_base_rung_and_recover() {
+        let ladder = PhyStandard::Dot11g.rate_ladder();
+        let mut a = arf();
+        for _ in 0..1000 {
+            a.on_failure(peer());
+        }
+        assert_eq!(a.current_rate(peer()).rate.mbps(), ladder[0].rate.mbps());
+        for _ in 0..10 {
+            a.on_success(peer());
+        }
+        assert_eq!(
+            a.current_rate(peer()).rate.mbps(),
+            ladder[1].rate.mbps(),
+            "floor must not wedge: successes probe back up"
+        );
+    }
+
+    /// The 802.11b ladder (4 rungs) walks the same way — the controller
+    /// is ladder-agnostic.
+    #[test]
+    fn dot11b_ladder_walks_down_and_up() {
+        let ladder = PhyStandard::Dot11b.rate_ladder();
+        let mut a = Arf::new(PhyStandard::Dot11b, ArfParams::default(), true);
+        assert_eq!(
+            a.current_rate(peer()).rate.mbps(),
+            ladder.last().unwrap().rate.mbps()
+        );
+        for _ in 0..2 * (ladder.len() - 1) {
+            a.on_failure(peer());
+        }
+        assert_eq!(a.current_rate(peer()).rate.mbps(), ladder[0].rate.mbps());
+        for _ in 0..10 * (ladder.len() - 1) {
+            a.on_success(peer());
+        }
+        assert_eq!(
+            a.current_rate(peer()).rate.mbps(),
+            ladder.last().unwrap().rate.mbps()
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimerWheel;
 
 /// Events processed by every simulation in this process, across threads.
 ///
@@ -87,12 +88,71 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// Which event-queue implementation a [`Scheduler`] drains.
+///
+/// Both back ends order events by the same packed [`event_key`], so
+/// any deterministic simulation produces byte-identical traces and
+/// metrics under either — the differential tests in `wn-check` and
+/// `tests/determinism.rs` enforce exactly that. The binary heap is the
+/// reference implementation; the timer wheel ([`crate::wheel`]) trades
+/// comparison sifts for O(1) bucketing and wins on dense MAC timer
+/// workloads with large pending queues.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// `std::collections::BinaryHeap` — the reference back end.
+    #[default]
+    BinaryHeap,
+    /// Hierarchical timer wheel / calendar queue.
+    TimerWheel,
+}
+
+impl SchedulerKind {
+    /// Both back ends, reference first — for differential sweeps.
+    pub const ALL: [SchedulerKind; 2] = [SchedulerKind::BinaryHeap, SchedulerKind::TimerWheel];
+
+    /// Short stable label used in reports and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::BinaryHeap => "heap",
+            SchedulerKind::TimerWheel => "wheel",
+        }
+    }
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "heap" | "binary-heap" | "binaryheap" => Ok(SchedulerKind::BinaryHeap),
+            "wheel" | "timer-wheel" | "timerwheel" => Ok(SchedulerKind::TimerWheel),
+            other => Err(format!("unknown scheduler kind '{other}' (heap|wheel)")),
+        }
+    }
+}
+
+/// The pluggable queue behind a [`Scheduler`].
+enum Backend<E> {
+    Heap(BinaryHeap<Scheduled<E>>),
+    // Boxed: the wheel's inline slot arrays dwarf the heap variant.
+    Wheel(Box<TimerWheel<E>>),
+}
+
+/// Marks a pop in a recorded scheduler op stream — see
+/// [`Scheduler::record_ops`]. Never collides with a real [`event_key`]
+/// in practice: it would need both the maximum timestamp and the
+/// maximum sequence number.
+pub const OP_POP: u128 = u128::MAX;
+
 /// The pending-event queue plus the virtual clock.
 pub struct Scheduler<E> {
-    queue: BinaryHeap<Scheduled<E>>,
+    backend: Backend<E>,
     now: SimTime,
     next_seq: u64,
     scheduled_total: u64,
+    /// When recording, every push appends its key and every pop appends
+    /// [`OP_POP`] — the stream [`replay_ops`] consumes.
+    op_log: Option<Vec<u128>>,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -102,13 +162,43 @@ impl<E> Default for Scheduler<E> {
 }
 
 impl<E> Scheduler<E> {
-    /// Creates an empty scheduler at time zero.
+    /// Creates an empty scheduler at time zero using the reference
+    /// binary-heap back end.
     pub fn new() -> Self {
+        Self::with_kind(SchedulerKind::BinaryHeap)
+    }
+
+    /// Creates an empty scheduler at time zero on the given back end.
+    pub fn with_kind(kind: SchedulerKind) -> Self {
         Scheduler {
-            queue: BinaryHeap::new(),
+            backend: match kind {
+                SchedulerKind::BinaryHeap => Backend::Heap(BinaryHeap::new()),
+                SchedulerKind::TimerWheel => Backend::Wheel(Box::default()),
+            },
             now: SimTime::ZERO,
             next_seq: 0,
             scheduled_total: 0,
+            op_log: None,
+        }
+    }
+
+    /// Starts recording the scheduler op stream (pushed keys and pop
+    /// markers). Used by the bench suite to replay a workload's exact
+    /// scheduling behaviour through both back ends in isolation.
+    pub fn record_ops(&mut self) {
+        self.op_log = Some(Vec::new());
+    }
+
+    /// Takes the recorded op stream, leaving recording disabled.
+    pub fn take_op_log(&mut self) -> Vec<u128> {
+        self.op_log.take().unwrap_or_default()
+    }
+
+    /// Which back end this scheduler drains.
+    pub fn kind(&self) -> SchedulerKind {
+        match self.backend {
+            Backend::Heap(_) => SchedulerKind::BinaryHeap,
+            Backend::Wheel(_) => SchedulerKind::TimerWheel,
         }
     }
 
@@ -119,7 +209,10 @@ impl<E> Scheduler<E> {
 
     /// Number of events currently pending.
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        match &self.backend {
+            Backend::Heap(h) => h.len(),
+            Backend::Wheel(w) => w.len(),
+        }
     }
 
     /// Total number of events ever scheduled (monotone counter).
@@ -142,10 +235,15 @@ impl<E> Scheduler<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.queue.push(Scheduled {
-            key: event_key(at, seq),
-            event,
-        });
+        let key = event_key(at, seq);
+        debug_assert_ne!(key, OP_POP, "event key collides with the pop marker");
+        if let Some(log) = &mut self.op_log {
+            log.push(key);
+        }
+        match &mut self.backend {
+            Backend::Heap(h) => h.push(Scheduled { key, event }),
+            Backend::Wheel(w) => w.push(key, event),
+        }
     }
 
     /// Schedules `event` after a relative delay from now.
@@ -162,16 +260,63 @@ impl<E> Scheduler<E> {
 
     /// The timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|s| key_time(s.key))
+        match &self.backend {
+            Backend::Heap(h) => h.peek().map(|s| key_time(s.key)),
+            Backend::Wheel(w) => w.peek_key().map(key_time),
+        }
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.queue.pop()?;
-        let at = key_time(s.key);
-        debug_assert!(at >= self.now, "heap yielded an event in the past");
+        let (key, event) = match &mut self.backend {
+            Backend::Heap(h) => h.pop().map(|s| (s.key, s.event))?,
+            Backend::Wheel(w) => w.pop()?,
+        };
+        if let Some(log) = &mut self.op_log {
+            log.push(OP_POP);
+        }
+        let at = key_time(key);
+        debug_assert!(at >= self.now, "queue yielded an event in the past");
         self.now = at;
-        Some((at, s.event))
+        Some((at, event))
     }
+}
+
+/// Replays a recorded scheduler op stream (see
+/// [`Scheduler::record_ops`]) through the chosen back end with no event
+/// payloads and no world, measuring pure queue throughput on the
+/// workload's exact push/pop pattern.
+///
+/// Returns `(pops, fnv)` where `fnv` is the FNV-1a hash of every popped
+/// key in pop order — identical across back ends if and only if they
+/// drain the stream in the same total order.
+pub fn replay_ops(kind: SchedulerKind, ops: &[u128]) -> (u64, u64) {
+    let mut heap: BinaryHeap<std::cmp::Reverse<u128>> = BinaryHeap::new();
+    let mut wheel: TimerWheel<()> = TimerWheel::new();
+    let mut pops = 0u64;
+    let mut fnv = 0xcbf2_9ce4_8422_2325u64;
+    let mut fold = |key: u128| {
+        for b in key.to_le_bytes() {
+            fnv ^= u64::from(b);
+            fnv = fnv.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for &op in ops {
+        if op == OP_POP {
+            let key = match kind {
+                SchedulerKind::BinaryHeap => heap.pop().map(|r| r.0),
+                SchedulerKind::TimerWheel => wheel.pop().map(|(k, ())| k),
+            };
+            let key = key.expect("op stream pops an empty queue");
+            fold(key);
+            pops += 1;
+        } else {
+            match kind {
+                SchedulerKind::BinaryHeap => heap.push(std::cmp::Reverse(op)),
+                SchedulerKind::TimerWheel => wheel.push(op, ()),
+            }
+        }
+    }
+    (pops, fnv)
 }
 
 /// A complete simulation: a world plus its scheduler.
@@ -182,11 +327,19 @@ pub struct Simulation<W: World> {
 }
 
 impl<W: World> Simulation<W> {
-    /// Creates a simulation around `world` with an empty event queue.
+    /// Creates a simulation around `world` with an empty event queue on
+    /// the reference binary-heap scheduler.
     pub fn new(world: W) -> Self {
+        Self::with_scheduler(world, SchedulerKind::BinaryHeap)
+    }
+
+    /// Creates a simulation around `world` draining the given scheduler
+    /// back end. Both kinds deliver identical schedules; see
+    /// [`SchedulerKind`].
+    pub fn with_scheduler(world: W, kind: SchedulerKind) -> Self {
         Simulation {
             world,
-            sched: Scheduler::new(),
+            sched: Scheduler::with_kind(kind),
             processed: 0,
         }
     }
@@ -457,6 +610,88 @@ mod tests {
         }
         sim.run();
         assert!(global_events_processed() >= before + 7);
+    }
+
+    /// A world whose handler re-schedules pseudo-random follow-ups, so
+    /// the delivered sequence exercises interleaved push/pop on the
+    /// queue. Used to compare back ends event-for-event.
+    struct Churn {
+        rng: crate::rng::Rng,
+        seen: Vec<(SimTime, u32)>,
+        budget: u32,
+    }
+
+    impl World for Churn {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, s: &mut Scheduler<u32>) {
+            self.seen.push((now, ev));
+            if self.budget == 0 {
+                return;
+            }
+            self.budget -= 1;
+            for _ in 0..(self.rng.next_u64() % 3) {
+                // Delays from sub-tick to multi-level: 0 ns .. ~134 ms.
+                let d = self.rng.next_u64() % (1 << 27);
+                s.schedule_in(SimDuration::from_nanos(d), self.rng.next_u64() as u32);
+            }
+        }
+    }
+
+    fn churn_run(kind: SchedulerKind) -> Vec<(SimTime, u32)> {
+        let world = Churn {
+            rng: crate::rng::Rng::new(0xABBA),
+            seen: Vec::new(),
+            budget: 20_000,
+        };
+        let mut sim = Simulation::with_scheduler(world, kind);
+        for i in 0..64u32 {
+            let at = SimTime::from_nanos((i as u64 * 977) % 50_000);
+            sim.scheduler_mut().schedule_at(at, i);
+        }
+        sim.run();
+        sim.into_world().seen
+    }
+
+    #[test]
+    fn wheel_and_heap_deliver_identical_schedules() {
+        assert_eq!(
+            churn_run(SchedulerKind::BinaryHeap),
+            churn_run(SchedulerKind::TimerWheel),
+            "scheduler back ends diverged on a churn workload"
+        );
+    }
+
+    #[test]
+    fn wheel_backend_passes_ordering_and_fifo() {
+        let mut sim =
+            Simulation::with_scheduler(Recorder { seen: vec![] }, SchedulerKind::TimerWheel);
+        assert_eq!(sim.scheduler().kind(), SchedulerKind::TimerWheel);
+        // Same instant: FIFO; distinct instants spanning wheel levels:
+        // time order.
+        let t = SimTime::from_secs(2);
+        for tag in 0..50 {
+            sim.scheduler_mut().schedule_at(t, tag);
+        }
+        sim.scheduler_mut().schedule_at(SimTime::from_nanos(5), 100);
+        sim.scheduler_mut()
+            .schedule_at(SimTime::from_secs(7200), 101);
+        sim.scheduler_mut()
+            .schedule_at(SimTime::from_millis(1), 102);
+        sim.run();
+        let tags: Vec<u32> = sim.world().seen.iter().map(|&(_, t)| t).collect();
+        let mut expect = vec![100, 102];
+        expect.extend(0..50);
+        expect.push(101);
+        assert_eq!(tags, expect);
+    }
+
+    #[test]
+    fn kind_parses_and_labels_round_trip() {
+        for kind in SchedulerKind::ALL {
+            assert_eq!(kind.label().parse::<SchedulerKind>().unwrap(), kind);
+        }
+        assert!("calendar".parse::<SchedulerKind>().is_err());
+        assert_eq!(SchedulerKind::default(), SchedulerKind::BinaryHeap);
     }
 
     #[test]

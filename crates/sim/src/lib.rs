@@ -63,8 +63,12 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
-pub use engine::{event_key, global_events_processed, key_time, Scheduler, Simulation, World};
+pub use engine::{
+    event_key, global_events_processed, key_time, replay_ops, Scheduler, SchedulerKind, Simulation,
+    World, OP_POP,
+};
 pub use metrics::{MetricKey, MetricRow, MetricsRegistry, MetricsSnapshot};
 pub use par::{par_map, par_map_with, worker_count};
 pub use rng::Rng;

@@ -10,6 +10,19 @@ use std::fmt;
 
 use crate::time::{SimDuration, SimTime};
 
+/// FNV-1a over a byte string — the stable 64-bit fingerprint used for
+/// trace/metrics digests in the fuzzer and the differential scheduler
+/// tests. Not cryptographic; chosen for byte-stable, dependency-free
+/// hashing.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// A monotone event counter.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counter(u64);

@@ -67,6 +67,40 @@ fn fuzzer_digest_is_byte_identical_across_thread_counts() {
     );
 }
 
+/// Differential scheduler check over the fuzz corpus: every generated
+/// scenario replayed through the timer wheel produces the exact digest
+/// the binary heap produces — per-seed event counts, violation counts,
+/// trace fingerprints and metrics fingerprints all byte-identical.
+/// (CI runs the full 200-seed sweep via `fuzz --dual`; this in-tree
+/// slice keeps the guarantee under plain `cargo test`.)
+#[test]
+fn fuzzer_digest_is_identical_across_scheduler_backends() {
+    use wireless_networks::sim::SchedulerKind;
+    let heap = wireless_networks::check::range_digest_with(0, 32, 1, SchedulerKind::BinaryHeap);
+    let wheel = wireless_networks::check::range_digest_with(0, 32, 1, SchedulerKind::TimerWheel);
+    assert!(
+        heap == wheel,
+        "fuzzer digest diverged between scheduler back ends:\nheap:\n{heap}\nwheel:\n{wheel}"
+    );
+    assert_eq!(heap.lines().count(), 32);
+}
+
+/// The SCALE-DCF saturation workload — the dense-timer stress case the
+/// wheel exists for — also runs bit-identically on both back ends.
+#[test]
+fn scale_dcf_is_identical_across_scheduler_backends() {
+    use wireless_networks::core::scenarios::scale_dcf_point;
+    use wireless_networks::sim::SchedulerKind;
+    let heap = scale_dcf_point(20, 150, 7, SchedulerKind::BinaryHeap);
+    let wheel = scale_dcf_point(20, 150, 7, SchedulerKind::TimerWheel);
+    assert_eq!(heap.events, wheel.events);
+    assert_eq!(
+        heap.metrics_fnv, wheel.metrics_fnv,
+        "SCALE-DCF metrics diverged between scheduler back ends"
+    );
+    assert!(heap.events > 10_000, "workload too small to mean anything");
+}
+
 /// Two runs of the same seeded scenario give bit-equal results — the
 /// saturation sim has no hidden global state.
 #[test]
