@@ -20,13 +20,17 @@
 //! - `--dual` — differential scheduler mode: replay every seed through
 //!   both the binary-heap and timer-wheel back ends and fail unless
 //!   the trace and metrics fingerprints are byte-identical.
+//! - `--cache-diff` — differential propagation mode: replay every seed
+//!   with the neighbor cache on and off and fail unless the trace and
+//!   metrics fingerprints are byte-identical (the equivalence contract
+//!   of the cached hot path, including under ESS mobility).
 //!
 //! On any violation the process prints one line per failing seed, the
 //! one-line repro command, and exits 1.
 
 use wn_check::{
-    check_range, check_range_with, check_seed, repro_command, run, shrink, station_count,
-    ScenarioGen,
+    check_range, check_range_opts, check_range_with, check_seed, repro_command, run, shrink,
+    station_count, ScenarioGen,
 };
 use wn_sim::{worker_count, SchedulerKind};
 
@@ -37,6 +41,7 @@ struct Options {
     shrink: bool,
     threads: usize,
     dual: bool,
+    cache_diff: bool,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -47,6 +52,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         shrink: false,
         threads: worker_count(),
         dual: false,
+        cache_diff: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -77,6 +83,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             }
             "--shrink" => opts.shrink = true,
             "--dual" => opts.dual = true,
+            "--cache-diff" => opts.cache_diff = true,
             "--threads" => {
                 i += 1;
                 opts.threads = need(i)?
@@ -155,6 +162,47 @@ fn run_dual(opts: &Options) -> u64 {
     failures
 }
 
+/// Differential propagation mode: the same seed range with the
+/// neighbor cache on vs off, seed by seed, demanding identical
+/// fingerprints. Returns the number of disagreeing or violating seeds.
+fn run_cache_diff(opts: &Options) -> u64 {
+    let (start, count) = match opts.single {
+        Some(seed) => (seed, 1),
+        None => (opts.start, opts.count),
+    };
+    let t0 = std::time::Instant::now();
+    let kind = SchedulerKind::BinaryHeap;
+    let cached = check_range_opts(start, count, opts.threads, kind, true);
+    let direct = check_range_opts(start, count, opts.threads, kind, false);
+    let mut failures = 0u64;
+    for (c, d) in cached.iter().zip(&direct) {
+        let agree =
+            c.events == d.events && c.trace_fnv == d.trace_fnv && c.metrics_fnv == d.metrics_fnv;
+        if !agree {
+            failures += 1;
+            println!(
+                "seed {}: NEIGHBOR-CACHE DIVERGENCE  {}\n  cached: events={} trace_fnv={:016x} metrics_fnv={:016x}\n  direct: events={} trace_fnv={:016x} metrics_fnv={:016x}",
+                c.seed, c.summary, c.events, c.trace_fnv, c.metrics_fnv, d.events, d.trace_fnv, d.metrics_fnv
+            );
+            println!("  repro: {} --cache-diff", repro_command(c.seed));
+        }
+        if !c.violations.is_empty() {
+            failures += 1;
+            report_failure(c.seed, &c.summary, &c.violations, opts.shrink);
+        }
+    }
+    println!(
+        "cache-diff fuzz: {} seeds ({}..{}) x {{cached, direct}} on {} workers in {:.2}s: {} failing",
+        count,
+        start,
+        start + count,
+        opts.threads,
+        t0.elapsed().as_secs_f64(),
+        failures
+    );
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse(&args) {
@@ -167,6 +215,12 @@ fn main() {
 
     if opts.dual {
         if run_dual(&opts) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if opts.cache_diff {
+        if run_cache_diff(&opts) > 0 {
             std::process::exit(1);
         }
         return;

@@ -15,17 +15,23 @@
 //! typed trace/metrics layer costs; figures never read the trace, so
 //! this pass must also render byte-identically.
 //!
-//! A final section benchmarks the two scheduler back ends on the
-//! SCALE-DCF 1000-station saturation workload, twice over: the full
-//! simulation through each queue (digests must match bit-for-bit),
-//! and the recorded push/pop op stream of that run replayed
-//! payload-free through each queue — the isolated queue-cost
-//! comparison, since the full run is dominated by MAC/PHY compute.
+//! A final pair of sections benchmarks the hot paths in isolation on
+//! the SCALE-DCF saturation workload: `neighbors` times the cached
+//! propagation path against the direct O(n) fan-out at 100 and 1000
+//! stations (digests must match bit-for-bit), and `scheduler` races
+//! the two queue back ends — the full simulation through each queue,
+//! plus the recorded push/pop op stream of that run replayed
+//! payload-free through each queue (the isolated queue-cost
+//! comparison, since the full run is dominated by MAC/PHY compute).
+//!
+//! `--section neighbors` (or `scheduler`) runs just that section and
+//! prints its JSON object — the CI smoke path, which wants the
+//! section's equivalence assertions without the full campaign cost.
 
 use std::time::Instant;
 
 use wn_core::runner;
-use wn_core::scenarios::{scale_dcf_op_log, scale_dcf_point};
+use wn_core::scenarios::{scale_dcf_op_log, scale_dcf_point, scale_dcf_point_opts};
 use wn_sim::{
     global_events_processed, replay_ops, set_observability, worker_count, SchedulerKind, OP_POP,
 };
@@ -54,9 +60,20 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut parallel_threads: Option<usize> = None;
     let mut out_path = String::from("BENCH_campaign.json");
+    let mut section: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--section" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => section = Some(s.clone()),
+                    None => {
+                        eprintln!("--section needs a name (supported: neighbors, scheduler)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--threads" => {
                 i += 1;
                 parallel_threads = args.get(i).and_then(|v| v.parse().ok()).filter(|&n| n >= 1);
@@ -76,13 +93,31 @@ fn main() {
                 }
             }
             other => {
-                eprintln!("unknown flag '{other}' (supported: --threads N, --out PATH)");
+                eprintln!(
+                    "unknown flag '{other}' (supported: --threads N, --out PATH, --section NAME)"
+                );
                 std::process::exit(2);
             }
         }
         i += 1;
     }
     let parallel_threads = parallel_threads.unwrap_or_else(worker_count).max(1);
+
+    // `--section NAME` runs one benchmark section in isolation — the CI
+    // smoke path, which wants the section's equivalence assertions
+    // without paying for the full campaign passes.
+    if let Some(name) = section.as_deref() {
+        let json = match name {
+            "neighbors" => neighbors_section(),
+            "scheduler" => scheduler_section(),
+            other => {
+                eprintln!("unknown section '{other}' (supported: neighbors, scheduler)");
+                std::process::exit(2);
+            }
+        };
+        print!("{{\n{json}}}\n");
+        return;
+    }
 
     eprintln!("perfsuite: serial pass (1 thread)…");
     let serial = run_pass(1);
@@ -147,10 +182,12 @@ fn main() {
         )
     };
 
+    let neighbors = neighbors_section();
+    let neighbors = neighbors.trim_end();
     let scheduler = scheduler_section();
 
     let json = format!(
-        "{{\n  \"campaign\": \"EXPERIMENTS.md full regeneration\",\n  \"host_cores\": {cores},\n  \"identical_output\": true,\n  \"serial\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"parallel\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_off\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_overhead\": {:.3},\n  {speedup_json},\n{scheduler}}}\n",
+        "{{\n  \"campaign\": \"EXPERIMENTS.md full regeneration\",\n  \"host_cores\": {cores},\n  \"identical_output\": true,\n  \"serial\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"parallel\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_off\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_overhead\": {:.3},\n  {speedup_json},\n{neighbors},\n{scheduler}}}\n",
         serial.threads,
         serial.wall_s,
         serial.events,
@@ -251,4 +288,63 @@ fn scheduler_section() -> String {
         replay[0].3,
         replay_speedup,
     )
+}
+
+/// Benchmarks the neighbor-cache hot path against the direct O(n)
+/// propagation fan-out on SCALE-DCF at 100 and 1000 stations and
+/// returns the `"neighbors"` JSON object (indented two spaces,
+/// trailing newline). Panics unless the cached and direct runs
+/// deliver the same event count and metrics digest at every size.
+fn neighbors_section() -> String {
+    const DURATION_MS: u64 = 200;
+    const SEED: u64 = 42;
+    const SIZES: [usize; 2] = [100, 1000];
+
+    let mut rows = Vec::new();
+    for stations in SIZES {
+        let timed = |cache: bool| {
+            let label = if cache { "cached" } else { "direct" };
+            eprintln!("perfsuite: SCALE-DCF n={stations} dur={DURATION_MS}ms {label} propagation…");
+            let t0 = Instant::now();
+            let p = scale_dcf_point_opts(
+                stations,
+                DURATION_MS,
+                SEED,
+                SchedulerKind::BinaryHeap,
+                cache,
+            );
+            let wall = t0.elapsed().as_secs_f64();
+            eprintln!(
+                "perfsuite: SCALE-DCF n={stations} {label}: {wall:.3} s ({:.0} ev/s)",
+                p.events as f64 / wall
+            );
+            (wall, p)
+        };
+        let (cached_s, cached) = timed(true);
+        let (direct_s, direct) = timed(false);
+        assert_eq!(
+            (cached.events, cached.metrics_fnv),
+            (direct.events, direct.metrics_fnv),
+            "neighbor cache diverged from the direct path on SCALE-DCF n={stations}"
+        );
+        let speedup = direct_s / cached_s;
+        eprintln!("perfsuite: neighbor cache at n={stations}: {speedup:.2}x vs direct");
+        rows.push((stations, cached_s, direct_s, cached, speedup));
+    }
+
+    let mut out = format!(
+        "  \"neighbors\": {{\n    \"workload\": \"SCALE-DCF duration_ms={DURATION_MS} seed={SEED}, binary-heap scheduler, cached vs direct propagation\",\n"
+    );
+    for (i, (stations, cached_s, direct_s, p, speedup)) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"n{stations}\": {{\n      \"cached\": {{ \"wall_s\": {cached_s:.3}, \"events_per_s\": {:.0} }},\n      \"direct\": {{ \"wall_s\": {direct_s:.3}, \"events_per_s\": {:.0} }},\n      \"events\": {},\n      \"metrics_fnv\": \"{:016x}\",\n      \"identical_output\": true,\n      \"cache_speedup\": {speedup:.2}\n    }}{sep}\n",
+            p.events as f64 / cached_s,
+            p.events as f64 / direct_s,
+            p.events,
+            p.metrics_fnv,
+        ));
+    }
+    out.push_str("  }\n");
+    out
 }

@@ -157,9 +157,19 @@ pub fn run_scenario(sc: &Scenario) -> Artifacts {
 /// exists so the differential fuzz mode can replay the same seed
 /// through both queues and demand identical fingerprints.
 pub fn run_scenario_with(sc: &Scenario, kind: SchedulerKind) -> Artifacts {
+    run_scenario_opts(sc, kind, true)
+}
+
+/// Runs one scenario with an explicit scheduler back end *and*
+/// neighbor-cache switch. The cached and direct propagation paths must
+/// be byte-identical — the `--cache-diff` fuzz mode replays the same
+/// seed through both and demands identical fingerprints, exactly like
+/// the dual-scheduler mode does for queue back ends. Non-WLAN worlds
+/// have no such cache; the flag is ignored for them.
+pub fn run_scenario_opts(sc: &Scenario, kind: SchedulerKind, neighbor_cache: bool) -> Artifacts {
     match &sc.kind {
-        ScenarioKind::Wlan(w) => run_wlan(sc.seed, w, kind),
-        ScenarioKind::Ess(e) => run_ess(sc.seed, e, kind),
+        ScenarioKind::Wlan(w) => run_wlan(sc.seed, w, kind, neighbor_cache),
+        ScenarioKind::Ess(e) => run_ess(sc.seed, e, kind, neighbor_cache),
         ScenarioKind::Bluetooth(b) => run_bt(b, kind),
         ScenarioKind::Zigbee(z) => run_zigbee(sc.seed, z, kind),
         ScenarioKind::Wman(w) => run_wman(w, kind),
@@ -215,7 +225,7 @@ fn data_frame(from: u32, to: u32, len: usize) -> Frame {
     )
 }
 
-fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind) -> Artifacts {
+fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind, neighbor_cache: bool) -> Artifacts {
     let mut cfg = MacConfig::new(w.standard);
     cfg.seed = seed;
     cfg.rts_threshold = w.rts_threshold;
@@ -230,6 +240,7 @@ fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind) -> Artifacts {
 
     let delivered = Rc::new(RefCell::new(Vec::new()));
     let mut world = WlanWorld::new(cfg);
+    world.set_neighbor_cache(neighbor_cache);
     world.trace = Trace::new(TRACE_CAPACITY);
     for i in 0..w.stations {
         let pos = if i == 0 {
@@ -282,13 +293,14 @@ fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind) -> Artifacts {
     }
 }
 
-fn run_ess(seed: u64, e: &EssScenario, kind: SchedulerKind) -> Artifacts {
+fn run_ess(seed: u64, e: &EssScenario, kind: SchedulerKind, neighbor_cache: bool) -> Artifacts {
     let ssid = Ssid::new("Fuzz").expect("valid ssid");
     let mut mac = MacConfig::new(wn_phy::modulation::PhyStandard::Dot11g);
     mac.seed = seed;
     let channels: Vec<u8> = if e.aps == 2 { vec![1, 6] } else { vec![1] };
     let mut builder = EssBuilder::new(mac, ssid.clone())
         .scheduler(kind)
+        .neighbor_cache(neighbor_cache)
         .ap(Point::new(0.0, 0.0), 1);
     if e.aps == 2 {
         builder = builder.ap(Point::new(e.ap_spacing_m, 0.0), 6);
@@ -527,8 +539,13 @@ pub fn check_seed(seed: u64) -> SeedReport {
 
 /// [`check_seed`] on an explicit scheduler back end.
 pub fn check_seed_with(seed: u64, scheduler: SchedulerKind) -> SeedReport {
+    check_seed_opts(seed, scheduler, true)
+}
+
+/// [`check_seed`] with explicit scheduler and neighbor-cache choices.
+pub fn check_seed_opts(seed: u64, scheduler: SchedulerKind, neighbor_cache: bool) -> SeedReport {
     let sc = ScenarioGen::default().scenario(seed);
-    let art = run_scenario_with(&sc, scheduler);
+    let art = run_scenario_opts(&sc, scheduler, neighbor_cache);
     let violations = run_oracles(&art);
     SeedReport {
         seed,
@@ -557,8 +574,21 @@ pub fn check_range_with(
     threads: usize,
     scheduler: SchedulerKind,
 ) -> Vec<SeedReport> {
+    check_range_opts(start, count, threads, scheduler, true)
+}
+
+/// [`check_range`] with explicit scheduler and neighbor-cache choices.
+pub fn check_range_opts(
+    start: u64,
+    count: u64,
+    threads: usize,
+    scheduler: SchedulerKind,
+    neighbor_cache: bool,
+) -> Vec<SeedReport> {
     let seeds: Vec<u64> = (start..start + count).collect();
-    par_map_with(threads, seeds, move |seed| check_seed_with(seed, scheduler))
+    par_map_with(threads, seeds, move |seed| {
+        check_seed_opts(seed, scheduler, neighbor_cache)
+    })
 }
 
 /// Byte-stable JSONL digest of a fuzz range, for determinism tests:

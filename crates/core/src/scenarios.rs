@@ -1461,7 +1461,21 @@ pub fn scale_dcf_sim(
     seed: u64,
     kind: SchedulerKind,
 ) -> Simulation<WlanWorld> {
-    let (world, frames_per_sender) = scale_dcf_world(stations, duration_ms, seed);
+    scale_dcf_sim_opts(stations, duration_ms, seed, kind, true)
+}
+
+/// [`scale_dcf_sim`] with the neighbor cache forced on or off — the
+/// lever the perfsuite `neighbors` section and the cache-equivalence
+/// checks use to time and compare the two propagation paths.
+pub fn scale_dcf_sim_opts(
+    stations: usize,
+    duration_ms: u64,
+    seed: u64,
+    kind: SchedulerKind,
+    neighbor_cache: bool,
+) -> Simulation<WlanWorld> {
+    let (mut world, frames_per_sender) = scale_dcf_world(stations, duration_ms, seed);
+    world.set_neighbor_cache(neighbor_cache);
     let mut sim = Simulation::with_scheduler(world, kind);
     scale_dcf_load(&mut sim, stations, duration_ms, frames_per_sender);
     sim
@@ -1547,7 +1561,18 @@ pub fn scale_dcf_point(
     seed: u64,
     kind: SchedulerKind,
 ) -> ScaleDcfPoint {
-    let mut sim = scale_dcf_sim(stations, duration_ms, seed, kind);
+    scale_dcf_point_opts(stations, duration_ms, seed, kind, true)
+}
+
+/// [`scale_dcf_point`] with the neighbor cache forced on or off.
+pub fn scale_dcf_point_opts(
+    stations: usize,
+    duration_ms: u64,
+    seed: u64,
+    kind: SchedulerKind,
+    neighbor_cache: bool,
+) -> ScaleDcfPoint {
+    let mut sim = scale_dcf_sim_opts(stations, duration_ms, seed, kind, neighbor_cache);
     let end = SimTime::from_millis(duration_ms);
     sim.run_until(end);
 

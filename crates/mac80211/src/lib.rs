@@ -20,8 +20,12 @@ pub mod arf;
 pub mod dedup;
 pub mod duration;
 pub mod frame;
+pub mod neighbors;
 pub mod sim;
 
 pub use addr::MacAddr;
 pub use frame::{DsBits, Frame, FrameControl, FrameType, SequenceControl, Subtype};
-pub use sim::{boot, Command, MacConfig, MacEvent, StationId, UpperCtx, UpperLayer, WlanWorld};
+pub use sim::{
+    boot, neighbor_cache_default, set_neighbor_cache_default, Command, MacConfig, MacEvent,
+    StationId, UpperCtx, UpperLayer, WlanWorld,
+};

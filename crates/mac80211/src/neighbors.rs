@@ -1,0 +1,403 @@
+//! Propagation neighbor cache and event-fan-out wait-list structures.
+//!
+//! The DCF hot path in [`crate::sim`] used to pay O(n) per
+//! transmission three times over: a link-budget evaluation for every
+//! station at tx start, a full-table scan to deliver busy edges, and
+//! another full-table scan at tx end to resume frozen backoffs. This
+//! module provides the three data structures that cut those to the
+//! stations actually involved, without changing a single trace byte:
+//!
+//! - [`NeighborCache`] — a pairwise rx-power matrix (in dBm and,
+//!   mirrored bit-for-bit, in linear milliwatts for the interference
+//!   sums) plus, per transmitter, the sorted list of stations that can
+//!   hear it at the carrier-sense threshold. Static topologies compute
+//!   propagation once; mobility dirties only the moved station's row
+//!   and column.
+//! - [`AudibleSet`] — the per-station set of in-flight transmission
+//!   ids, with O(1) insert and O(members) removal instead of the old
+//!   `Vec::retain` full scan.
+//! - [`IdBitSet`] — the contender wait-list: stations with an armed
+//!   backoff, iterated in ascending id order so the idle-edge rearm
+//!   visits exactly the stations the old 0..n scan would have acted
+//!   on, in the same order.
+//!
+//! Equivalence with the uncached path is load-bearing: audibility here
+//! is *raw* co-channel power against the CS threshold, a superset of
+//! what any receiver on an overlapping channel can hear after the
+//! spectral-mask discount, so per-member awake/channel/leak checks in
+//! the MAC stay exactly where they were. Rows are `Rc`-shared
+//! copy-on-write: an in-flight transmission snapshots its row at start
+//! time for free, and a mobility update clones the row before writing,
+//! leaving the snapshot untouched.
+
+use std::rc::Rc;
+
+use crate::sim::StationId;
+use wn_phy::units::Dbm;
+
+/// Pairwise rx-power cache with per-transmitter audible-neighbor lists.
+///
+/// `rows[src][dst]` is the raw received power at `dst` of a
+/// transmission from `src` (the diagonal is +inf: a station trivially
+/// "hears" itself at any threshold, and the MAC skips it explicitly).
+/// `mw_rows` mirrors `rows` in linear milliwatts
+/// (`Dbm::to_milliwatts` of the same entry, bit for bit) — the
+/// interference sums in the reception path run in the linear domain,
+/// and memoizing the dB→mW conversion is where most of the
+/// transcendental math in a saturated cell goes. `audible[src]` lists
+/// every `dst != src` whose raw power meets the carrier-sense
+/// threshold, ascending.
+#[derive(Default)]
+pub struct NeighborCache {
+    rows: Vec<Rc<Vec<Dbm>>>,
+    mw_rows: Vec<Rc<Vec<f64>>>,
+    audible: Vec<Rc<Vec<StationId>>>,
+}
+
+impl NeighborCache {
+    /// An empty (unbuilt) cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether [`build`](Self::build) has run since the last
+    /// [`clear`](Self::clear).
+    pub fn is_built(&self) -> bool {
+        !self.rows.is_empty()
+    }
+
+    /// Drops all cached state (topology-shaping setup calls, e.g. a
+    /// radio swap, call this; the next use rebuilds).
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.mw_rows.clear();
+        self.audible.clear();
+    }
+
+    /// Builds the full matrix for `n` stations from `power(src, dst)`,
+    /// marking `dst` audible from `src` when the raw power meets `cs`.
+    pub fn build(&mut self, n: usize, cs: Dbm, mut power: impl FnMut(StationId, StationId) -> Dbm) {
+        self.clear();
+        self.rows.reserve(n);
+        self.mw_rows.reserve(n);
+        self.audible.reserve(n);
+        for src in 0..n {
+            let mut row = Vec::with_capacity(n);
+            let mut mw = Vec::with_capacity(n);
+            let mut aud = Vec::new();
+            for dst in 0..n {
+                if dst == src {
+                    row.push(Dbm(f64::INFINITY));
+                    mw.push(f64::INFINITY);
+                    continue;
+                }
+                let p = power(src, dst);
+                if p.value() >= cs.value() {
+                    aud.push(dst);
+                }
+                row.push(p);
+                mw.push(p.to_milliwatts());
+            }
+            self.rows.push(Rc::new(row));
+            self.mw_rows.push(Rc::new(mw));
+            self.audible.push(Rc::new(aud));
+        }
+    }
+
+    /// Recomputes one station's row and column after it moved (or
+    /// changed its radio): its own row and audible list are rebuilt
+    /// from scratch, and every other station's entry *to* it is
+    /// patched in place, maintaining the sorted audible lists by
+    /// binary search. Rows shared with in-flight transmission records
+    /// are cloned before writing (copy-on-write), so those records
+    /// keep their start-time snapshot.
+    pub fn rebuild_station(
+        &mut self,
+        id: StationId,
+        cs: Dbm,
+        mut power: impl FnMut(StationId, StationId) -> Dbm,
+    ) {
+        let n = self.rows.len();
+        debug_assert!(id < n, "rebuild_station on an unbuilt cache");
+        let mut row = Vec::with_capacity(n);
+        let mut mw = Vec::with_capacity(n);
+        let mut aud = Vec::new();
+        for dst in 0..n {
+            if dst == id {
+                row.push(Dbm(f64::INFINITY));
+                mw.push(f64::INFINITY);
+                continue;
+            }
+            let p = power(id, dst);
+            if p.value() >= cs.value() {
+                aud.push(dst);
+            }
+            row.push(p);
+            mw.push(p.to_milliwatts());
+        }
+        self.rows[id] = Rc::new(row);
+        self.mw_rows[id] = Rc::new(mw);
+        self.audible[id] = Rc::new(aud);
+        for src in 0..n {
+            if src == id {
+                continue;
+            }
+            let p = power(src, id);
+            Rc::make_mut(&mut self.rows[src])[id] = p;
+            Rc::make_mut(&mut self.mw_rows[src])[id] = p.to_milliwatts();
+            let hears = p.value() >= cs.value();
+            let list = &self.audible[src];
+            match list.binary_search(&id) {
+                Ok(pos) if !hears => {
+                    Rc::make_mut(&mut self.audible[src]).remove(pos);
+                }
+                Err(pos) if hears => {
+                    Rc::make_mut(&mut self.audible[src]).insert(pos, id);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The cached power row for `src` (shared, copy-on-write).
+    pub fn row(&self, src: StationId) -> Rc<Vec<Dbm>> {
+        Rc::clone(&self.rows[src])
+    }
+
+    /// The linear-milliwatt mirror of [`row`](Self::row) (shared,
+    /// copy-on-write; entry `dst` is bit-identical to
+    /// `row[dst].to_milliwatts()`).
+    pub fn mw_row(&self, src: StationId) -> Rc<Vec<f64>> {
+        Rc::clone(&self.mw_rows[src])
+    }
+
+    /// The sorted audible-neighbor list for `src` (shared).
+    pub fn audible_list(&self, src: StationId) -> Rc<Vec<StationId>> {
+        Rc::clone(&self.audible[src])
+    }
+
+    /// Verifies every cached entry (powers and audible lists) against
+    /// a fresh evaluation — the oracle behind the mobility-invalidation
+    /// property test. Returns the first mismatch as
+    /// `(src, dst, cached, fresh)`.
+    pub fn find_incoherence(
+        &self,
+        cs: Dbm,
+        mut power: impl FnMut(StationId, StationId) -> Dbm,
+    ) -> Option<(StationId, StationId, Dbm, Dbm)> {
+        let n = self.rows.len();
+        for src in 0..n {
+            for dst in 0..n {
+                if dst == src {
+                    continue;
+                }
+                let fresh = power(src, dst);
+                let cached = self.rows[src][dst];
+                let listed = self.audible[src].binary_search(&dst).is_ok();
+                // The mw mirror must stay bit-identical to the dBm
+                // entry's conversion, not merely numerically close.
+                if cached.value() != fresh.value()
+                    || listed != (fresh.value() >= cs.value())
+                    || self.mw_rows[src][dst].to_bits() != fresh.to_milliwatts().to_bits()
+                {
+                    return Some((src, dst, cached, fresh));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// The set of in-flight transmission ids a station can hear.
+///
+/// Membership is tiny in practice (the number of concurrent audible
+/// transmissions), so an unsorted `Vec` with `swap_remove` beats any
+/// tree: O(1) insert, one linear pass to remove or test. Order is
+/// never observed — the MAC only asks "empty?" and "contains?".
+#[derive(Default, Clone)]
+pub struct AudibleSet {
+    ids: Vec<u64>,
+}
+
+impl AudibleSet {
+    /// Adds an id (caller guarantees it is not already present) and
+    /// returns the new member count.
+    pub fn insert(&mut self, id: u64) -> usize {
+        debug_assert!(!self.ids.contains(&id), "duplicate audible id {id}");
+        self.ids.push(id);
+        self.ids.len()
+    }
+
+    /// Removes an id if present; reports whether it was a member.
+    pub fn remove(&mut self, id: u64) -> bool {
+        match self.ids.iter().position(|&t| t == id) {
+            Some(i) => {
+                self.ids.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: u64) -> bool {
+        self.ids.contains(&id)
+    }
+
+    /// Whether no transmission is audible.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of audible transmissions.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Forgets everything (doze, channel switch).
+    pub fn clear(&mut self) {
+        self.ids.clear();
+    }
+}
+
+/// A station-id bitset iterated in ascending order — the contender
+/// wait-list.
+///
+/// Saturated cells freeze and re-arm every station on every
+/// transmission, so the structure must take O(1) per membership flip;
+/// a sorted container would pay a shift per insert and lose to the
+/// plain O(n) scan it replaces. Word-and-trailing-zeros iteration
+/// preserves the ascending visit order the old `0..n` loop had, which
+/// the trace fingerprints depend on.
+#[derive(Default)]
+pub struct IdBitSet {
+    words: Vec<u64>,
+}
+
+impl IdBitSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `id` (idempotent).
+    pub fn insert(&mut self, id: usize) {
+        let word = id / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1u64 << (id % 64);
+    }
+
+    /// Removes `id` (idempotent).
+    pub fn remove(&mut self, id: usize) {
+        if let Some(w) = self.words.get_mut(id / 64) {
+            *w &= !(1u64 << (id % 64));
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: usize) -> bool {
+        self.words
+            .get(id / 64)
+            .is_some_and(|w| w & (1u64 << (id % 64)) != 0)
+    }
+
+    /// Empties the set, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Appends the members to `out` in ascending order.
+    pub fn collect_into(&self, out: &mut Vec<usize>) {
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                out.push(wi * 64 + bit);
+                w &= w - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audible_set_tracks_overlapping_transmissions() {
+        // Two transmissions overlap in time; the first to end must be
+        // removed without disturbing the second — the bookkeeping the
+        // MAC does at every tx-end edge.
+        let mut s = AudibleSet::default();
+        assert!(s.is_empty());
+        assert_eq!(s.insert(7), 1);
+        assert_eq!(s.insert(9), 2);
+        assert!(s.contains(7) && s.contains(9));
+        assert!(s.remove(7));
+        assert!(!s.contains(7));
+        assert!(s.contains(9));
+        assert_eq!(s.len(), 1);
+        assert!(!s.remove(7), "double-remove must report absence");
+        assert!(s.remove(9));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn bitset_iterates_ascending_across_words() {
+        let mut b = IdBitSet::new();
+        for &id in &[200, 3, 64, 0, 127, 65] {
+            b.insert(id);
+        }
+        b.remove(64);
+        b.insert(64); // idempotent re-add
+        b.remove(3);
+        let mut got = Vec::new();
+        b.collect_into(&mut got);
+        assert_eq!(got, vec![0, 64, 65, 127, 200]);
+        assert!(b.contains(127) && !b.contains(3) && !b.contains(1000));
+        b.remove(1000); // out of range is a no-op
+    }
+
+    #[test]
+    fn cache_builds_and_patches_moved_station() {
+        // Powers derived from a mutable "position" table so the test
+        // can move a station and demand row+column patching.
+        let mut xs = [0.0f64, 10.0, 20.0, 80.0];
+        let cs = Dbm(-82.0);
+        fn power(xs: &[f64; 4]) -> impl FnMut(StationId, StationId) -> Dbm + '_ {
+            move |a, b| Dbm(-((xs[a] - xs[b]).abs()) - 40.0)
+        }
+        let mut c = NeighborCache::new();
+        c.build(4, cs, power(&xs));
+        assert!(c.is_built());
+        assert!(c.find_incoherence(cs, power(&xs)).is_none());
+        // 0 hears 1 (−50) and 2 (−60) but not 3 (−120).
+        assert_eq!(*c.audible_list(0), vec![1, 2]);
+
+        // A record snapshots row 0 (both domains), then station 3
+        // moves next to 0: the snapshots must keep the old power, the
+        // cache the new — in dBm and in the milliwatt mirror alike.
+        let snapshot = c.row(0);
+        let mw_snapshot = c.mw_row(0);
+        xs[3] = 5.0;
+        c.rebuild_station(3, cs, power(&xs));
+        assert_eq!(snapshot[3], Dbm(-120.0));
+        assert_eq!(c.row(0)[3], Dbm(-45.0));
+        assert_eq!(
+            mw_snapshot[3].to_bits(),
+            Dbm(-120.0).to_milliwatts().to_bits()
+        );
+        assert_eq!(
+            c.mw_row(0)[3].to_bits(),
+            Dbm(-45.0).to_milliwatts().to_bits()
+        );
+        assert_eq!(*c.audible_list(0), vec![1, 2, 3]);
+        assert_eq!(*c.audible_list(3), vec![0, 1, 2]);
+        assert!(c.find_incoherence(cs, power(&xs)).is_none());
+
+        c.clear();
+        assert!(!c.is_built());
+    }
+}

@@ -22,14 +22,16 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::addr::MacAddr;
 use crate::arf::{Arf, ArfParams};
 use crate::dedup::DedupCache;
 use crate::duration::{ack_airtime, airtime, cts_airtime, data_duration, rts_duration};
 use crate::frame::{Frame, FrameType, SequenceControl, SequenceCounter, Subtype};
+use crate::neighbors::{AudibleSet, IdBitSet, NeighborCache};
 use wn_phy::geom::Point;
-use wn_phy::medium::{LinkBudget, Radio};
+use wn_phy::medium::{coupled_rx_power, LinkBudget, Radio};
 use wn_phy::modulation::{PhyStandard, RateStep};
 use wn_phy::propagation::{LogDistance, PathLoss};
 use wn_phy::units::{sum_powers, Db, Dbm, Hertz};
@@ -64,6 +66,23 @@ pub fn frame_kind(subtype: Subtype) -> FrameKind {
 
 /// Index of a station within a [`WlanWorld`].
 pub type StationId = usize;
+
+/// Process-wide default for the propagation neighbor cache of newly
+/// built worlds (on unless flipped). The cached and direct paths are
+/// byte-identical on static topologies — this switch exists so the
+/// perfsuite and the differential fuzz can time and compare them;
+/// per-world overrides go through [`WlanWorld::set_neighbor_cache`].
+static NEIGHBOR_CACHE_DEFAULT: AtomicBool = AtomicBool::new(true);
+
+/// Sets the process-wide neighbor-cache default for new worlds.
+pub fn set_neighbor_cache_default(on: bool) {
+    NEIGHBOR_CACHE_DEFAULT.store(on, Ordering::Relaxed);
+}
+
+/// The current process-wide neighbor-cache default.
+pub fn neighbor_cache_default() -> bool {
+    NEIGHBOR_CACHE_DEFAULT.load(Ordering::Relaxed)
+}
 
 /// MAC-level configuration shared by all stations in the world.
 #[derive(Clone, Debug)]
@@ -334,7 +353,7 @@ struct Station {
     arf: Arf,
     reassembly: HashMap<(MacAddr, u16), Vec<u8>>,
     nav_until: SimTime,
-    audible: Vec<u64>,
+    audible: AudibleSet,
     transmitting: Option<u64>,
     /// Remaining backoff slots; `None` means no access procedure armed.
     backoff_slots: Option<u32>,
@@ -359,8 +378,18 @@ struct TxRecord {
     rate: RateStep,
     start: SimTime,
     end: SimTime,
-    /// Received power at every station, by id.
-    rx_power: Vec<Dbm>,
+    /// Received power at every station, by id — a start-time snapshot
+    /// shared with the neighbor cache (copy-on-write: mobility after
+    /// tx start patches the cache, not this row).
+    rx_power: Rc<Vec<Dbm>>,
+    /// Linear-milliwatt mirror of `rx_power` (bit-identical to
+    /// `to_milliwatts` of each entry), snapshotted from the neighbor
+    /// cache when it is on; `None` on the direct path, which converts
+    /// per interference sum like the pre-cache code always did.
+    rx_mw: Option<Rc<Vec<f64>>>,
+    /// Stations whose raw start-time power meets the CS threshold,
+    /// ascending — the only ones busy/idle-edge delivery visits.
+    candidates: Rc<Vec<StationId>>,
     done: bool,
 }
 
@@ -442,6 +471,25 @@ pub struct WlanWorld {
     loss: Box<dyn Fn(Point, Point, Hertz, SimTime) -> Db + Send>,
     stations: Vec<Station>,
     records: Vec<TxRecord>,
+    /// Pairwise rx-power / audibility cache (built lazily at the first
+    /// transmission when `neighbor_cache` is on).
+    neighbors: NeighborCache,
+    /// Whether this world memoizes propagation. Forced off by
+    /// [`set_loss_model`](Self::set_loss_model) (time-varying models
+    /// cannot be cached).
+    neighbor_cache: bool,
+    /// Contender wait-list: stations with an armed backoff whose
+    /// access timer is not running — the only ones an idle edge can
+    /// affect.
+    contenders: IdBitSet,
+    /// Reused scratch for iterating `contenders` while re-arming.
+    rearm_scratch: Vec<StationId>,
+    /// Reused scratch for the half-duplex source bitset in
+    /// [`handle_tx_end`](Self::handle_tx_end).
+    txsrc_scratch: IdBitSet,
+    /// Reused scratch for the column-wise interference accumulator in
+    /// [`handle_tx_end`](Self::handle_tx_end).
+    intf_scratch: Vec<f64>,
     next_tx_id: u64,
     rng: Rng,
     /// Protocol trace for tests and debugging.
@@ -479,6 +527,12 @@ impl WlanWorld {
             loss: Box::new(move |a, b, f, _t| model.loss(a.distance_to(b), f)),
             stations: Vec::new(),
             records: Vec::new(),
+            neighbors: NeighborCache::new(),
+            neighbor_cache: neighbor_cache_default(),
+            contenders: IdBitSet::new(),
+            rearm_scratch: Vec::new(),
+            txsrc_scratch: IdBitSet::new(),
+            intf_scratch: Vec::new(),
             next_tx_id: 0,
             rng,
             trace: Trace::new(8192),
@@ -493,9 +547,42 @@ impl WlanWorld {
     }
 
     /// Replaces the propagation model (position- and time-aware; the
-    /// time argument enables fading models).
+    /// time argument enables fading models). A time-varying loss
+    /// cannot be memoized, so this also disables the neighbor cache;
+    /// models that ignore the time argument should go through
+    /// [`set_loss_model_static`](Self::set_loss_model_static) instead.
     pub fn set_loss_model(&mut self, loss: Box<dyn Fn(Point, Point, Hertz, SimTime) -> Db + Send>) {
         self.loss = loss;
+        self.neighbor_cache = false;
+        self.neighbors.clear();
+    }
+
+    /// Replaces the propagation model with one the caller guarantees
+    /// ignores the time argument (any pure function of geometry), so
+    /// the neighbor cache stays eligible.
+    pub fn set_loss_model_static(
+        &mut self,
+        loss: Box<dyn Fn(Point, Point, Hertz, SimTime) -> Db + Send>,
+    ) {
+        self.loss = loss;
+        self.neighbors.clear();
+    }
+
+    /// Enables or disables the propagation neighbor cache for this
+    /// world, overriding the process default
+    /// ([`set_neighbor_cache_default`]). The cache assumes the loss
+    /// model is time-invariant; enabling it under a fading model set
+    /// via [`set_loss_model`](Self::set_loss_model) is unsound.
+    pub fn set_neighbor_cache(&mut self, on: bool) {
+        self.neighbor_cache = on;
+        if !on {
+            self.neighbors.clear();
+        }
+    }
+
+    /// Whether this world memoizes propagation.
+    pub fn neighbor_cache_enabled(&self) -> bool {
+        self.neighbor_cache
     }
 
     /// Adds a station; returns its id. All stations must be added
@@ -507,6 +594,7 @@ impl WlanWorld {
         upper: Box<dyn UpperLayer>,
     ) -> StationId {
         let id = self.stations.len();
+        self.neighbors.clear(); // Stale matrix shape; rebuilt on first tx.
         self.stations.push(Station {
             addr,
             pos,
@@ -522,7 +610,7 @@ impl WlanWorld {
             arf: self.arf_template.clone(),
             reassembly: HashMap::new(),
             nav_until: SimTime::ZERO,
-            audible: Vec::new(),
+            audible: AudibleSet::default(),
             transmitting: None,
             backoff_slots: None,
             access_armed_at: None,
@@ -586,6 +674,7 @@ impl WlanWorld {
     /// Sets a station's radio parameters (before boot).
     pub fn set_radio(&mut self, id: StationId, radio: Radio) {
         self.stations[id].radio = radio;
+        self.neighbors.clear();
     }
 
     /// Sets a station's channel directly (scenario setup).
@@ -662,7 +751,78 @@ impl WlanWorld {
         let a = &self.stations[src];
         let b = &self.stations[dst];
         let loss = (self.loss)(a.pos, b.pos, self.budget.frequency, now);
-        a.radio.tx_power + a.radio.tx_gain + b.radio.rx_gain - loss
+        coupled_rx_power(&a.radio, &b.radio, loss)
+    }
+
+    /// Builds the neighbor cache if it is not current (the matrix is
+    /// otherwise built lazily at the first transmission).
+    fn ensure_neighbors(&mut self, now: SimTime) {
+        if self.neighbors.is_built() {
+            return;
+        }
+        let mut cache = std::mem::take(&mut self.neighbors);
+        cache.build(self.stations.len(), self.cfg.cs_threshold, |a, b| {
+            self.rx_power_at(a, b, now)
+        });
+        self.neighbors = cache;
+    }
+
+    /// Forces the lazy neighbor-cache build now; no-op when the cache
+    /// is disabled. Test/bench hook.
+    pub fn prime_neighbor_cache(&mut self, now: SimTime) {
+        if self.neighbor_cache {
+            self.ensure_neighbors(now);
+        }
+    }
+
+    /// Compares every cached (src, dst) power and audibility entry
+    /// against a fresh link-budget evaluation at `now`; `None` means
+    /// coherent (trivially so before the cache is built). The oracle
+    /// behind the mobility-invalidation property test.
+    pub fn neighbor_cache_incoherence(
+        &self,
+        now: SimTime,
+    ) -> Option<(StationId, StationId, Dbm, Dbm)> {
+        self.neighbors
+            .find_incoherence(self.cfg.cs_threshold, |a, b| self.rx_power_at(a, b, now))
+    }
+
+    /// Start-time received powers and audible-candidate list for a
+    /// transmission from `id`: the cached row when the neighbor cache
+    /// is on, a fresh O(n) evaluation otherwise. Candidates are the
+    /// stations whose *raw* co-channel power meets the CS threshold —
+    /// cross-channel leakage is never stronger than raw power, so this
+    /// is a superset of anything any receiver configuration can hear,
+    /// and the per-member awake/channel/leak checks stay in the MAC.
+    #[allow(clippy::type_complexity)]
+    fn tx_powers(
+        &mut self,
+        id: StationId,
+        now: SimTime,
+    ) -> (Rc<Vec<Dbm>>, Option<Rc<Vec<f64>>>, Rc<Vec<StationId>>) {
+        if self.neighbor_cache {
+            self.ensure_neighbors(now);
+            return (
+                self.neighbors.row(id),
+                Some(self.neighbors.mw_row(id)),
+                self.neighbors.audible_list(id),
+            );
+        }
+        let n = self.stations.len();
+        let mut row = Vec::with_capacity(n);
+        let mut candidates = Vec::new();
+        for r in 0..n {
+            if r == id {
+                row.push(Dbm(f64::INFINITY));
+                continue;
+            }
+            let p = self.rx_power_at(id, r, now);
+            if self.audible_at(p) {
+                candidates.push(r);
+            }
+            row.push(p);
+        }
+        (Rc::new(row), None, Rc::new(candidates))
     }
 
     fn audible_at(&self, power: Dbm) -> bool {
@@ -739,11 +899,37 @@ impl WlanWorld {
             }
             Command::SetPowerManagement(on) => self.stations[id].power_mgmt = on,
             Command::SetAwake(awake) => {
-                let s = &mut self.stations[id];
-                s.awake = awake;
+                let was = self.stations[id].awake;
+                self.stations[id].awake = awake;
                 if !awake {
                     // A dozing radio hears nothing.
-                    s.audible.clear();
+                    self.stations[id].audible.clear();
+                } else if !was {
+                    // Waking mid-frame: re-hear what is still in the
+                    // air from the records' start-time power snapshots.
+                    // Without this the medium looks spuriously idle and
+                    // the station can arm backoff (and collide) under
+                    // an ongoing audible transmission.
+                    let channel = self.stations[id].channel;
+                    let mut heard_any = false;
+                    for i in 0..self.records.len() {
+                        let rec = &self.records[i];
+                        if rec.done || rec.src == id {
+                            continue;
+                        }
+                        let ov = Self::channel_overlap(rec.channel, channel);
+                        let heard = Self::leaked_power(rec.rx_power[id], ov)
+                            .map(|p| self.audible_at(p))
+                            .unwrap_or(false);
+                        if heard {
+                            let tx_id = rec.id;
+                            self.stations[id].audible.insert(tx_id);
+                            heard_any = true;
+                        }
+                    }
+                    if heard_any {
+                        self.freeze_access(id, now);
+                    }
                 }
             }
             Command::SetChannel(ch) => {
@@ -862,6 +1048,7 @@ impl WlanWorld {
         let cw = self.stations[id].cw;
         let slots = self.rng.below(cw as u64 + 1) as u32;
         self.stations[id].backoff_slots = Some(slots);
+        self.contenders.insert(id);
         self.trace.event(
             now,
             Level::Debug,
@@ -897,6 +1084,9 @@ impl WlanWorld {
         let gen = s.timer_gen;
         s.access_armed_at = Some(now);
         let slots = s.backoff_slots.expect("checked above");
+        // The timer is counting down; idle edges can't affect it until
+        // a busy edge freezes it again.
+        self.contenders.remove(id);
         let delay = self.difs + self.slot * slots as u64;
         sched.schedule_in(delay, MacEvent::AccessTimer { station: id, gen });
     }
@@ -929,6 +1119,10 @@ impl WlanWorld {
         }
         s.access_armed_at = None;
         s.timer_gen += 1; // Invalidate the pending AccessTimer.
+        if s.backoff_slots.is_some() {
+            // Frozen with slots left: back on the contender wait-list.
+            self.contenders.insert(id);
+        }
     }
 
     fn start_transmission(
@@ -943,15 +1137,7 @@ impl WlanWorld {
         let dur = airtime(&timing, rate, frame.wire_len());
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
-        let rx_power: Vec<Dbm> = (0..self.stations.len())
-            .map(|r| {
-                if r == id {
-                    Dbm(f64::INFINITY)
-                } else {
-                    self.rx_power_at(id, r, now)
-                }
-            })
-            .collect();
+        let (rx_power, rx_mw, candidates) = self.tx_powers(id, now);
         let channel = self.stations[id].channel;
         self.trace.event(
             now,
@@ -972,27 +1158,25 @@ impl WlanWorld {
             rate,
             start: now,
             end: now + dur,
-            rx_power,
+            rx_power: Rc::clone(&rx_power),
+            rx_mw,
+            candidates: Rc::clone(&candidates),
             done: false,
         });
         self.stations[id].transmitting = Some(tx_id);
         self.stations[id].stats.tx_frames += 1;
-        // Busy edges at every audible same-channel station.
-        for r in 0..self.stations.len() {
-            if r == id {
-                continue;
-            }
-            let power = self.records.last().expect("just pushed").rx_power[r];
+        // Busy edges at every audible same-channel station — only the
+        // candidate list can qualify, since leaked cross-channel power
+        // never exceeds the raw power the list was thresholded on.
+        for &r in candidates.iter() {
+            let power = rx_power[r];
             let s = &self.stations[r];
             let overlap = Self::channel_overlap(channel, s.channel);
             let heard = Self::leaked_power(power, overlap)
                 .map(|p| self.audible_at(p))
                 .unwrap_or(false);
-            if s.awake && heard {
-                self.stations[r].audible.push(tx_id);
-                if self.stations[r].audible.len() == 1 {
-                    self.freeze_access(r, now);
-                }
+            if s.awake && heard && self.stations[r].audible.insert(tx_id) == 1 {
+                self.freeze_access(r, now);
             }
         }
         sched.schedule_in(dur, MacEvent::TxEnd { tx_id });
@@ -1082,8 +1266,10 @@ impl WlanWorld {
         let channel = self.records[idx].channel;
         self.stations[src].transmitting = None;
 
-        // Decide reception at every station.
-        let n = self.stations.len();
+        // Decide reception — only at the start-time audible candidates.
+        // Everyone else had raw power below the CS threshold, was never
+        // put on an audible set, and would fall straight through the
+        // `!audible_at && !was_audible` skip below with no side effect.
         let mut decoded: Vec<(StationId, Rc<Frame>, Dbm)> = Vec::new();
         // Only records overlapping this frame in time can trip the
         // half-duplex or interference checks — pre-filter them once
@@ -1095,17 +1281,71 @@ impl WlanWorld {
         let overlapping: Vec<usize> = (0..self.records.len())
             .filter(|&o| self.records[o].start < rec_end && self.records[o].end > rec_start)
             .collect();
-        for r in 0..n {
-            if r == src {
+        let rx_power = Rc::clone(&self.records[idx].rx_power);
+        let candidates = Rc::clone(&self.records[idx].candidates);
+        // Half-duplex sources among the overlapping records, collected
+        // once into a bitset so the per-receiver check is O(1) instead
+        // of a rescan of the overlap list.
+        let mut tx_srcs = std::mem::take(&mut self.txsrc_scratch);
+        tx_srcs.clear();
+        for &o in &overlapping {
+            tx_srcs.insert(self.records[o].src);
+        }
+        // The noise floor is a pure function of the link budget; one
+        // evaluation per frame serves every receiver bit-identically.
+        let noise = self.budget.noise_floor();
+        // Interference sums, precomputed column-wise. Every receiver
+        // that reaches the SINR decision shares the same interferer
+        // set — the overlapping records minus the completing frame;
+        // the per-receiver `src == r` exclusion is vacuous because
+        // those receivers already failed the half-duplex check. So one
+        // pass per record accumulates its milliwatt row into a single
+        // per-station vector, in the same ascending record order (and
+        // therefore the same float rounding) as a per-receiver scalar
+        // sum. Records that carry a cached milliwatt row contribute a
+        // straight slice add; the rest convert dB→mW per entry exactly
+        // as the scalar path always did.
+        let n = self.stations.len();
+        let mut intf_acc = std::mem::take(&mut self.intf_scratch);
+        intf_acc.clear();
+        intf_acc.resize(n, 0.0);
+        let mut intf_count = 0usize;
+        for &o in &overlapping {
+            let rec_o = &self.records[o];
+            if rec_o.id == tx_id {
                 continue;
             }
-            let power = self.records[idx].rx_power[r];
-            let s = &self.stations[r];
-            let was_audible = s.audible.contains(&tx_id);
-            if was_audible {
-                let st = &mut self.stations[r];
-                st.audible.retain(|&t| t != tx_id);
+            let ov = Self::channel_overlap(rec_o.channel, channel);
+            if ov <= 0.0 {
+                continue;
             }
+            intf_count += 1;
+            if ov >= 1.0 {
+                match &rec_o.rx_mw {
+                    Some(m) => {
+                        for (a, &v) in intf_acc.iter_mut().zip(m.iter()) {
+                            *a += v;
+                        }
+                    }
+                    None => {
+                        for (a, &p) in intf_acc.iter_mut().zip(rec_o.rx_power.iter()) {
+                            *a += p.to_milliwatts();
+                        }
+                    }
+                }
+            } else {
+                // Same per-entry expression as `leaked_power` followed
+                // by `to_milliwatts`; the dB shift is a pure function
+                // of the overlap, hoisted out of the row loop.
+                let shift = 10.0 * ov.log10();
+                for (a, &p) in intf_acc.iter_mut().zip(rec_o.rx_power.iter()) {
+                    *a += Dbm(p.value() + shift).to_milliwatts();
+                }
+            }
+        }
+        for &r in candidates.iter() {
+            let power = rx_power[r];
+            let was_audible = self.stations[r].audible.remove(tx_id);
             let s = &self.stations[r];
             if !s.awake || s.channel != channel {
                 continue;
@@ -1115,30 +1355,19 @@ impl WlanWorld {
             }
             // Half-duplex: a station that transmitted during any part
             // of the frame cannot receive it.
-            let self_tx = overlapping.iter().any(|&o| self.records[o].src == r);
-            if self_tx {
+            if tx_srcs.contains(r) {
                 self.stations[r].stats.rx_errors += 1;
                 continue;
             }
-            // Interference: all other same-channel transmissions
-            // overlapping in time, summed in the linear domain.
-            let interferers: Vec<Dbm> = overlapping
-                .iter()
-                .map(|&o| &self.records[o])
-                .filter(|o| o.id != tx_id && o.src != r)
-                .filter_map(|o| {
-                    let ov = Self::channel_overlap(o.channel, channel);
-                    Self::leaked_power(o.rx_power[r], ov)
-                })
-                .collect();
+            let intf_mw = intf_acc[r];
             let rec = &self.records[idx];
-            let success = if !self.cfg.capture && !interferers.is_empty() {
+            let success = if !self.cfg.capture && intf_count > 0 {
                 false
             } else {
-                let noise = self.budget.noise_floor();
-                let denom = match sum_powers(&interferers) {
-                    None => noise,
-                    Some(i) => sum_powers(&[noise, i]).expect("two terms"),
+                let denom = if intf_count == 0 {
+                    noise
+                } else {
+                    sum_powers(&[noise, Dbm::from_milliwatts(intf_mw)]).expect("two terms")
                 };
                 let sinr = power - denom;
                 let p_ok = rec
@@ -1152,6 +1381,8 @@ impl WlanWorld {
                 self.stations[r].stats.rx_errors += 1;
             }
         }
+        self.txsrc_scratch = tx_srcs;
+        self.intf_scratch = intf_acc;
 
         // Source-side continuation: arm response timeout or complete.
         self.continue_after_own_tx(src, tx_id, now, sched);
@@ -1161,12 +1392,21 @@ impl WlanWorld {
             self.process_decoded(r, frame, power, now, sched);
         }
 
-        // Idle edges: resume frozen access procedures.
-        for r in 0..n {
+        // Idle edges: resume frozen access procedures. Only contenders
+        // (armed backoff, timer not counting) can react; the wait-list
+        // yields them in the ascending order the old full-table scan
+        // visited them in. Stations whose timer is already counting
+        // were no-ops in that scan, and they are exactly the ones the
+        // wait-list omits.
+        let mut scratch = std::mem::take(&mut self.rearm_scratch);
+        scratch.clear();
+        self.contenders.collect_into(&mut scratch);
+        for &r in &scratch {
             if self.medium_idle(r, now) && self.stations[r].backoff_slots.is_some() {
                 self.try_arm_access(r, now, sched);
             }
         }
+        self.rearm_scratch = scratch;
 
         // Prune stale records (keep a 50 ms interference horizon).
         let horizon = now.saturating_duration_since(SimTime::ZERO);
@@ -1559,6 +1799,7 @@ impl World for WlanWorld {
                 }
                 self.stations[station].access_armed_at = None;
                 self.stations[station].backoff_slots = None;
+                self.contenders.remove(station);
                 if self.stations[station].current.is_some() {
                     self.transmit_current(station, now, sched);
                 }
@@ -1580,6 +1821,16 @@ impl World for WlanWorld {
             }
             MacEvent::SetPosition { station, pos } => {
                 self.stations[station].pos = pos;
+                if self.neighbor_cache && self.neighbors.is_built() {
+                    // Mobility dirties exactly one row and one column;
+                    // rows snapshotted by in-flight records keep their
+                    // start-time values (copy-on-write).
+                    let mut cache = std::mem::take(&mut self.neighbors);
+                    cache.rebuild_station(station, self.cfg.cs_threshold, |a, b| {
+                        self.rx_power_at(a, b, now)
+                    });
+                    self.neighbors = cache;
+                }
             }
             MacEvent::Inject { station, frame } => {
                 self.enqueue(station, frame, now, sched);
@@ -2011,6 +2262,115 @@ mod tests {
         );
         assert_eq!(sim.world().stats(a).tx_failures, 1);
         let _ = &mut cfg;
+    }
+
+    #[test]
+    fn wake_during_audible_tx_defers_backoff() {
+        // Regression: a station that dozes, then wakes in the middle of
+        // an audible transmission, must re-hear it and defer — not see
+        // a spuriously idle medium, arm DIFS+backoff early and collide
+        // with the ongoing frame.
+        struct DozeWindow;
+        impl UpperLayer for DozeWindow {
+            fn on_start(&mut self, ctx: &mut UpperCtx) {
+                ctx.set_timer(SimDuration::from_micros(500), 1);
+                ctx.set_timer(SimDuration::from_millis(2), 2);
+            }
+            fn on_timer(&mut self, ctx: &mut UpperCtx, tag: u64) {
+                ctx.command(Command::SetAwake(tag == 2));
+            }
+        }
+        // 11b timing: a 4000 B frame at 11 Mb/s is ~3 ms of air —
+        // station A (injected at 1 ms) is guaranteed to still be on the
+        // air when B wakes at 2 ms and queues its own frame. No capture:
+        // any overlap at the sink destroys both, so an early B shows up
+        // as retries/errors.
+        let mut cfg = MacConfig::new(PhyStandard::Dot11b);
+        cfg.seed = 9;
+        cfg.capture = false;
+        cfg.arf = false;
+        let mut w = WlanWorld::new(cfg);
+        let a = w.add_station(
+            MacAddr::station(0),
+            Point::new(0.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let b = w.add_station(
+            MacAddr::station(1),
+            Point::new(5.0, 0.0),
+            Box::new(DozeWindow),
+        );
+        let sink = w.add_station(
+            MacAddr::station(2),
+            Point::new(10.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let mut sim = Simulation::new(w);
+        boot(&mut sim);
+        inject(&mut sim, 1, a, data_frame(0, 2, 4000));
+        sim.scheduler_mut().schedule_at(
+            SimTime::from_micros(2_100),
+            MacEvent::Inject {
+                station: b,
+                frame: data_frame(1, 2, 400),
+            },
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let w = sim.world();
+        assert_eq!(w.stats(a).tx_completions, 1, "A's frame must survive");
+        assert_eq!(w.stats(b).tx_completions, 1, "B's frame must survive");
+        assert_eq!(
+            w.stats(a).retries + w.stats(b).retries,
+            0,
+            "waking mid-frame must defer, not collide"
+        );
+        assert_eq!(w.stats(sink).rx_errors, 0);
+        assert_eq!(w.stats(sink).rx_accepted, 2);
+    }
+
+    #[test]
+    fn overlapping_transmissions_clean_up_audible_sets() {
+        // Hidden terminals A and B overlap on the air at the middle
+        // station; each tx-end must remove exactly its own id from the
+        // audible bookkeeping, leaving every set empty at quiescence.
+        let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+        cfg.seed = 11;
+        cfg.capture = false;
+        let mut w = WlanWorld::new(cfg);
+        let a = w.add_station(
+            MacAddr::station(0),
+            Point::new(0.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let r = w.add_station(
+            MacAddr::station(1),
+            Point::new(120.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let b = w.add_station(
+            MacAddr::station(2),
+            Point::new(240.0, 0.0),
+            Box::new(NullUpper),
+        );
+        let mut sim = Simulation::new(w);
+        boot(&mut sim);
+        for i in 0..20 {
+            inject(&mut sim, 1 + i * 3, a, data_frame(0, 1, 1400));
+            inject(&mut sim, 1 + i * 3, b, data_frame(2, 1, 1400));
+        }
+        sim.run_until(SimTime::from_secs(30));
+        let w = sim.world();
+        assert!(
+            w.stats(a).retries + w.stats(b).retries > 0,
+            "hidden terminals should have overlapped at least once"
+        );
+        for id in [a, r, b] {
+            assert!(
+                w.stations[id].audible.is_empty(),
+                "station {id} still hears a finished transmission"
+            );
+            assert!(w.stations[id].transmitting.is_none());
+        }
     }
 
     #[test]

@@ -65,6 +65,14 @@ impl Radio {
     }
 }
 
+/// Received power over a link whose two ends use different radios:
+/// the transmitter's power and antenna gain plus the receiver's
+/// antenna gain, minus the path loss. [`LinkBudget::rx_power`] is the
+/// symmetric-radio special case of this.
+pub fn coupled_rx_power(tx: &Radio, rx: &Radio, path_loss: Db) -> Dbm {
+    tx.tx_power + tx.tx_gain + rx.rx_gain - path_loss
+}
+
 /// A fully-specified link budget evaluator for one PHY.
 #[derive(Clone, Copy, Debug)]
 pub struct LinkBudget {

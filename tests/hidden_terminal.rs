@@ -66,7 +66,9 @@ fn run(rts_threshold: usize) -> WlanWorld {
     let mut world = WlanWorld::new(cfg);
     world.trace = Trace::new(1 << 15);
     let plan = floor_plan();
-    world.set_loss_model(Box::new(move |a, b, freq, _| plan.loss_between(a, b, freq)));
+    // The floor plan is static (loss ignores the time argument), so the
+    // neighbor cache stays valid — and exercised — under this model.
+    world.set_loss_model_static(Box::new(move |a, b, freq, _| plan.loss_between(a, b, freq)));
     for (i, pos) in [RECEIVER, SENDER_A, SENDER_B].into_iter().enumerate() {
         world.add_station(MacAddr::station(i as u32), pos, Box::new(NullUpper));
     }
