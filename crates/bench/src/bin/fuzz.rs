@@ -17,6 +17,10 @@
 //!   repro before exiting.
 //! - `--threads T` — worker count for range runs (default: `WN_THREADS`
 //!   env var, else detected parallelism).
+//! - `--scheduler heap|wheel` — back end for the single-scheduler
+//!   modes (default: the engine default, currently the timer wheel;
+//!   `heap` selects the reference binary heap). Ignored by `--dual`,
+//!   which always runs both.
 //! - `--dual` — differential scheduler mode: replay every seed through
 //!   both the binary-heap and timer-wheel back ends and fail unless
 //!   the trace and metrics fingerprints are byte-identical.
@@ -29,8 +33,8 @@
 //! one-line repro command, and exits 1.
 
 use wn_check::{
-    check_range, check_range_opts, check_range_with, check_seed, repro_command, run, shrink,
-    station_count, ScenarioGen,
+    check_range_opts, check_range_with, check_seed_with, repro_command, run, shrink, station_count,
+    ScenarioGen,
 };
 use wn_sim::{worker_count, SchedulerKind};
 
@@ -42,6 +46,7 @@ struct Options {
     threads: usize,
     dual: bool,
     cache_diff: bool,
+    scheduler: SchedulerKind,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -53,6 +58,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         threads: worker_count(),
         dual: false,
         cache_diff: false,
+        scheduler: SchedulerKind::default(),
     };
     let mut i = 0;
     while i < args.len() {
@@ -84,6 +90,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--shrink" => opts.shrink = true,
             "--dual" => opts.dual = true,
             "--cache-diff" => opts.cache_diff = true,
+            "--scheduler" => {
+                i += 1;
+                opts.scheduler = need(i)?.parse::<SchedulerKind>()?;
+            }
             "--threads" => {
                 i += 1;
                 opts.threads = need(i)?
@@ -171,7 +181,7 @@ fn run_cache_diff(opts: &Options) -> u64 {
         None => (opts.start, opts.count),
     };
     let t0 = std::time::Instant::now();
-    let kind = SchedulerKind::BinaryHeap;
+    let kind = opts.scheduler;
     let cached = check_range_opts(start, count, opts.threads, kind, true);
     let direct = check_range_opts(start, count, opts.threads, kind, false);
     let mut failures = 0u64;
@@ -230,7 +240,7 @@ fn main() {
     let mut failures = 0u64;
 
     if let Some(seed) = opts.single {
-        let r = check_seed(seed);
+        let r = check_seed_with(seed, opts.scheduler);
         if r.violations.is_empty() {
             println!("seed {seed}: ok  {} ({} events)", r.summary, r.events);
         } else {
@@ -238,7 +248,7 @@ fn main() {
             report_failure(seed, &r.summary, &r.violations, opts.shrink);
         }
     } else {
-        let reports = check_range(opts.start, opts.count, opts.threads);
+        let reports = check_range_with(opts.start, opts.count, opts.threads, opts.scheduler);
         let total = reports.len();
         for r in &reports {
             if !r.violations.is_empty() {

@@ -69,7 +69,9 @@ fn main() {
                 match args.get(i) {
                     Some(s) => section = Some(s.clone()),
                     None => {
-                        eprintln!("--section needs a name (supported: neighbors, scheduler)");
+                        eprintln!(
+                            "--section needs a name (supported: neighbors, scheduler, arena)"
+                        );
                         std::process::exit(2);
                     }
                 }
@@ -110,8 +112,9 @@ fn main() {
         let json = match name {
             "neighbors" => neighbors_section(),
             "scheduler" => scheduler_section(),
+            "arena" => arena_section(),
             other => {
-                eprintln!("unknown section '{other}' (supported: neighbors, scheduler)");
+                eprintln!("unknown section '{other}' (supported: neighbors, scheduler, arena)");
                 std::process::exit(2);
             }
         };
@@ -185,9 +188,11 @@ fn main() {
     let neighbors = neighbors_section();
     let neighbors = neighbors.trim_end();
     let scheduler = scheduler_section();
+    let scheduler = scheduler.trim_end();
+    let arena = arena_section();
 
     let json = format!(
-        "{{\n  \"campaign\": \"EXPERIMENTS.md full regeneration\",\n  \"host_cores\": {cores},\n  \"identical_output\": true,\n  \"serial\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"parallel\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_off\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_overhead\": {:.3},\n  {speedup_json},\n{neighbors},\n{scheduler}}}\n",
+        "{{\n  \"campaign\": \"EXPERIMENTS.md full regeneration\",\n  \"host_cores\": {cores},\n  \"identical_output\": true,\n  \"serial\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"parallel\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_off\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_overhead\": {:.3},\n  {speedup_json},\n{neighbors},\n{scheduler},\n{arena}}}\n",
         serial.threads,
         serial.wall_s,
         serial.events,
@@ -287,6 +292,64 @@ fn scheduler_section() -> String {
         replay_rate(&replay[1]),
         replay[0].3,
         replay_speedup,
+    )
+}
+
+/// Benchmarks the frame-arena hot path: the SCALE-DCF full simulation
+/// on both scheduler back ends, reported against the recorded
+/// `Rc<Frame>` baseline (the representation the arena replaced). The
+/// baseline figures are the `scheduler.full_sim` numbers captured in
+/// `BENCH_campaign.json` on this workload immediately before the
+/// arena/SoA refactor — kept verbatim so the before/after comparison
+/// survives regeneration. Panics if the back ends disagree on events
+/// or metrics digest.
+fn arena_section() -> String {
+    const STATIONS: usize = 1000;
+    const DURATION_MS: u64 = 200;
+    const SEED: u64 = 42;
+    // Pre-arena (Rc<Frame>, AoS station structs) events/s on this
+    // machine class, from the PR5 BENCH_campaign.json.
+    const BASELINE_HEAP_EV_S: f64 = 650_891.0;
+    const BASELINE_WHEEL_EV_S: f64 = 801_143.0;
+
+    let mut runs = Vec::new();
+    for kind in SchedulerKind::ALL {
+        eprintln!(
+            "perfsuite: arena SCALE-DCF n={STATIONS} dur={DURATION_MS}ms on {}…",
+            kind.label()
+        );
+        let t0 = Instant::now();
+        let p = scale_dcf_point(STATIONS, DURATION_MS, SEED, kind);
+        let wall = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "perfsuite: arena on {}: {wall:.3} s ({:.0} ev/s)",
+            kind.label(),
+            p.events as f64 / wall
+        );
+        runs.push((kind, wall, p));
+    }
+    assert_eq!(
+        (runs[0].2.events, runs[0].2.metrics_fnv),
+        (runs[1].2.events, runs[1].2.metrics_fnv),
+        "scheduler back ends diverged on the arena workload"
+    );
+    let heap_rate = runs[0].2.events as f64 / runs[0].1;
+    let wheel_rate = runs[1].2.events as f64 / runs[1].1;
+    eprintln!(
+        "perfsuite: arena vs Rc<Frame> baseline: {:.2}x heap, {:.2}x wheel",
+        heap_rate / BASELINE_HEAP_EV_S,
+        wheel_rate / BASELINE_WHEEL_EV_S
+    );
+
+    format!(
+        "  \"arena\": {{\n    \"workload\": \"SCALE-DCF stations={STATIONS} duration_ms={DURATION_MS} seed={SEED}, frame arena + SoA DCF state\",\n    \"before\": {{\n      \"note\": \"Rc<Frame> + AoS station structs, recorded before the arena refactor\",\n      \"heap_events_per_s\": {BASELINE_HEAP_EV_S:.0},\n      \"wheel_events_per_s\": {BASELINE_WHEEL_EV_S:.0}\n    }},\n    \"after\": {{\n      \"heap\": {{ \"wall_s\": {:.3}, \"events\": {}, \"events_per_s\": {heap_rate:.0} }},\n      \"wheel\": {{ \"wall_s\": {:.3}, \"events\": {}, \"events_per_s\": {wheel_rate:.0} }},\n      \"metrics_fnv\": \"{:016x}\",\n      \"identical_output\": true\n    }},\n    \"speedup_vs_baseline\": {{ \"heap\": {:.2}, \"wheel\": {:.2} }}\n  }}\n",
+        runs[0].1,
+        runs[0].2.events,
+        runs[1].1,
+        runs[1].2.events,
+        runs[0].2.metrics_fnv,
+        heap_rate / BASELINE_HEAP_EV_S,
+        wheel_rate / BASELINE_WHEEL_EV_S,
     )
 }
 

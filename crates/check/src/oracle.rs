@@ -44,6 +44,7 @@ pub fn oracles() -> Vec<Box<dyn Invariant>> {
         Box::new(CwBounds),
         Box::new(NavRespected),
         Box::new(FrameConservation),
+        Box::new(FrameLedgerBalanced),
         Box::new(TraceMetricsConsistent),
         Box::new(NoDuplicateDelivery),
         Box::new(AssocLegal),
@@ -225,6 +226,43 @@ impl Invariant for FrameConservation {
                         "sta {i}: queued {} != completions {} + failures {} + drops {} + \
                          pending {}",
                         s.queued, s.tx_completions, s.tx_failures, s.queue_drops, w.pending[i]
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The frame arena's reference ledger balances at every sampled
+/// instant: the sum of outstanding arena references equals the
+/// references the world's holders account for (parked injections,
+/// station queues, in-flight exchanges with their cached wire frames,
+/// and transmission records). The runner samples the ledger at slice
+/// boundaries *during* the run, not just at the end — a drained world
+/// balances trivially, but a mid-run leak (an id dropped without
+/// release, or a holder double-counted) splits the two sides while
+/// traffic is in flight.
+pub struct FrameLedgerBalanced;
+
+impl Invariant for FrameLedgerBalanced {
+    fn name(&self) -> &'static str {
+        "frame-ledger"
+    }
+
+    fn check(&self, art: &Artifacts) -> Vec<Violation> {
+        let Some(w) = &art.wlan else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (i, &(refs, held)) in w.ledger.iter().enumerate() {
+            if refs != held {
+                out.push(v(
+                    self.name(),
+                    format!(
+                        "ledger sample {i}/{}: arena carries {refs} frame refs but \
+                         holders account for {held}",
+                        w.ledger.len()
                     ),
                 ));
             }

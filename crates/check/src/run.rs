@@ -20,7 +20,7 @@ use crate::scenario::{
 use wn_mac80211::addr::MacAddr;
 use wn_mac80211::frame::{DsBits, Frame, SequenceControl, Subtype};
 use wn_mac80211::sim::{
-    boot as wlan_boot, MacConfig, MacEvent, StationStats, UpperCtx, UpperLayer, WlanWorld,
+    boot as wlan_boot, inject_at, MacConfig, StationStats, UpperCtx, UpperLayer, WlanWorld,
 };
 use wn_net80211::builder::{schedule_walk, EssBuilder};
 use wn_net80211::sta::StaConfig;
@@ -62,6 +62,13 @@ pub struct WlanFacts {
     /// handed to an upper layer (empty when uppers are not
     /// instrumented, as in ESS runs).
     pub delivered: Vec<(u32, [u8; 6], u16)>,
+    /// Frame-arena ledger samples `(arena_refs, held_refs)` taken at
+    /// slice boundaries during the run and once at the end — the raw
+    /// material for the frame-ledger oracle, which demands the two
+    /// sides agree at every instant sampled. A leak (dropped id, or a
+    /// holder that forgot to release) shows up as a growing left side;
+    /// a double release panics in debug long before it gets here.
+    pub ledger: Vec<(u64, u64)>,
 }
 
 /// End-state facts from a ZigBee run.
@@ -146,9 +153,10 @@ impl UpperLayer for CheckUpper {
     }
 }
 
-/// Runs one scenario to completion and returns its artifacts.
+/// Runs one scenario to completion on the default scheduler back end
+/// and returns its artifacts.
 pub fn run_scenario(sc: &Scenario) -> Artifacts {
-    run_scenario_with(sc, SchedulerKind::BinaryHeap)
+    run_scenario_with(sc, SchedulerKind::default())
 }
 
 /// Runs one scenario on an explicit scheduler back end.
@@ -198,6 +206,7 @@ fn wlan_facts(
     symmetric: bool,
     nav_checkable: bool,
     delivered: Vec<(u32, [u8; 6], u16)>,
+    ledger: Vec<(u64, u64)>,
 ) -> WlanFacts {
     let n = world.station_count();
     WlanFacts {
@@ -211,8 +220,17 @@ fn wlan_facts(
         symmetric,
         nav_checkable,
         delivered,
+        ledger,
     }
 }
+
+/// Mid-run sampling points for the frame-ledger oracle. Running to the
+/// deadline in slices is behaviour-identical to one `run_until` (the
+/// engine pops strictly by `peek_time() <= deadline`), so the samples
+/// cost nothing but the ledger walks themselves — and they catch leaks
+/// that an end-of-run check would miss because drained worlds balance
+/// trivially.
+const LEDGER_SLICES: u64 = 8;
 
 fn data_frame(from: u32, to: u32, len: usize) -> Frame {
     Frame::data(
@@ -267,21 +285,26 @@ fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind, neighbor_cache: bo
     wlan_boot(&mut sim);
     for i in 1..w.stations {
         for k in 0..u64::from(w.frames_per_sender) {
-            sim.scheduler_mut().schedule_at(
+            inject_at(
+                &mut sim,
                 SimTime::from_micros(k * w.interval_us),
-                MacEvent::Inject {
-                    station: i,
-                    frame: data_frame(i as u32, 0, w.payload),
-                },
+                i,
+                data_frame(i as u32, 0, w.payload),
             );
         }
     }
     let end = SimTime::from_millis(w.duration_ms);
-    sim.run_until(end);
+    let mut ledger = Vec::with_capacity(LEDGER_SLICES as usize);
+    for s in 1..=LEDGER_SLICES {
+        sim.run_until(SimTime::from_micros(
+            w.duration_ms * 1000 * s / LEDGER_SLICES,
+        ));
+        ledger.push(sim.world().frame_ledger());
+    }
 
     let mut world = sim.into_world();
     let delivered = std::mem::take(&mut *delivered.borrow_mut());
-    let facts = wlan_facts(&world, end, w.symmetric(), true, delivered);
+    let facts = wlan_facts(&world, end, w.symmetric(), true, delivered, ledger);
     Artifacts {
         trace: std::mem::take(&mut world.trace),
         metrics_fnv: fnv1a(world.metrics_snapshot(end).to_jsonl("fuzz").as_bytes()),
@@ -330,12 +353,18 @@ fn run_ess(seed: u64, e: &EssScenario, kind: SchedulerKind, neighbor_cache: bool
         );
     }
     let end = SimTime::from_secs(e.duration_s);
-    ess.sim.run_until(end);
+    let mut ledger = Vec::with_capacity(LEDGER_SLICES as usize);
+    for s in 1..=LEDGER_SLICES {
+        ess.sim.run_until(SimTime::from_millis(
+            e.duration_s * 1000 * s / LEDGER_SLICES,
+        ));
+        ledger.push(ess.sim.world().frame_ledger());
+    }
 
     let mut world = ess.sim.into_world();
     // Channel switching (scanning / roaming) silently clears NAV, so
     // NAV reasoning is unsound here; fairness likewise (uppers differ).
-    let facts = wlan_facts(&world, end, false, false, Vec::new());
+    let facts = wlan_facts(&world, end, false, false, Vec::new(), ledger);
     Artifacts {
         trace: std::mem::take(&mut world.trace),
         metrics_fnv: fnv1a(world.metrics_snapshot(end).to_jsonl("fuzz").as_bytes()),
@@ -534,7 +563,7 @@ pub struct SeedReport {
 
 /// Generates, runs and checks the scenario for `seed`.
 pub fn check_seed(seed: u64) -> SeedReport {
-    check_seed_with(seed, SchedulerKind::BinaryHeap)
+    check_seed_with(seed, SchedulerKind::default())
 }
 
 /// [`check_seed`] on an explicit scheduler back end.
@@ -564,7 +593,7 @@ pub fn check_seed_opts(seed: u64, scheduler: SchedulerKind, neighbor_cache: bool
 /// reports — including every trace fingerprint — are identical for any
 /// `threads` value.
 pub fn check_range(start: u64, count: u64, threads: usize) -> Vec<SeedReport> {
-    check_range_with(start, count, threads, SchedulerKind::BinaryHeap)
+    check_range_with(start, count, threads, SchedulerKind::default())
 }
 
 /// [`check_range`] on an explicit scheduler back end.
@@ -595,7 +624,7 @@ pub fn check_range_opts(
 /// one line per seed with kind, event count, violation count and the
 /// trace and metrics fingerprints.
 pub fn range_digest(start: u64, count: u64, threads: usize) -> String {
-    range_digest_with(start, count, threads, SchedulerKind::BinaryHeap)
+    range_digest_with(start, count, threads, SchedulerKind::default())
 }
 
 /// [`range_digest`] on an explicit scheduler back end. The digest

@@ -84,6 +84,39 @@ fn planted_retry_overrun_is_caught_and_shrunk() {
 }
 
 #[test]
+fn ledger_samples_cover_the_run_and_balance() {
+    // The frame-ledger oracle is only as good as its samples: a busy
+    // scenario must yield mid-run samples with traffic actually in
+    // flight (non-zero arena refs), and they must all balance. A
+    // drained end-of-run world balancing trivially would prove
+    // nothing — this pins the slicing machinery itself.
+    let art = run::run_scenario(&planted_bug_scenario(12, false));
+    let facts = art.wlan.expect("wlan scenario yields wlan facts");
+    assert_eq!(facts.ledger.len(), 8, "one sample per slice");
+    assert!(
+        facts.ledger.iter().any(|&(refs, _)| refs > 0),
+        "no sample caught frames in flight — slices misplaced?"
+    );
+    for (i, &(refs, held)) in facts.ledger.iter().enumerate() {
+        assert_eq!(refs, held, "ledger sample {i} out of balance");
+    }
+}
+
+#[test]
+fn ledger_oracle_fires_on_imbalance() {
+    // Synthesise an artifact whose ledger is out of balance and make
+    // sure the oracle actually reports it (guards against the oracle
+    // being registered but vacuous).
+    let mut art = run::run_scenario(&planted_bug_scenario(4, false));
+    art.wlan.as_mut().expect("wlan facts").ledger = vec![(3, 2)];
+    let violations = run::run_oracles(&art);
+    assert!(
+        violations.iter().any(|v| v.oracle == "frame-ledger"),
+        "imbalanced ledger not reported: {violations:?}"
+    );
+}
+
+#[test]
 fn armed_generator_seeds_are_caught() {
     // At least one generated deaf-sink scenario in a small seed range
     // must trip the retry oracle when the fail-point generator is used.

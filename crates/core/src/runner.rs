@@ -438,6 +438,48 @@ mod tests {
         }
     }
 
+    /// Every `report --metrics-json` export must snapshot at the
+    /// scenario's end-of-run deadline, not at the last metric update —
+    /// that deadline is what flushes a [`wn_sim::stats::TimeWeighted`]
+    /// gauge's final interval (see
+    /// `gauge_end_of_run_flush_accounts_tail_interval` in `wn-sim`).
+    /// Pin it: each export stamps one single `at_ns`, and no trace
+    /// event (i.e. no possible gauge update) comes after it.
+    #[test]
+    fn metrics_export_is_stamped_at_end_of_run() {
+        fn field_u64(line: &str, key: &str) -> u64 {
+            let pat = format!("\"{key}\":");
+            let rest = &line[line.find(&pat).expect("field present") + pat.len()..];
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse().expect("numeric field")
+        }
+        let outs = run_observability(1);
+        assert!(!outs.is_empty());
+        for o in &outs {
+            let stamps: std::collections::BTreeSet<u64> = o
+                .metrics_jsonl
+                .lines()
+                .map(|l| field_u64(l, "at_ns"))
+                .collect();
+            assert_eq!(stamps.len(), 1, "{}: one capture time per export", o.id);
+            let snap_at = *stamps.iter().next().unwrap();
+            let last_event = o
+                .trace_jsonl
+                .lines()
+                .map(|l| field_u64(l, "at_ns"))
+                .max()
+                .unwrap_or(0);
+            assert!(
+                snap_at >= last_event,
+                "{}: metrics stamped at {snap_at} ns but events ran to {last_event} ns — \
+                 the snapshot must capture the end-of-run tail",
+                o.id
+            );
+        }
+    }
+
     #[test]
     fn unknown_id_is_rejected() {
         let err = run_selected(1, &["FIG-9.9".to_string()]).unwrap_err();

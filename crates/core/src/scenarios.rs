@@ -8,7 +8,7 @@ use crate::experiment::ExperimentReport;
 use crate::registry::Technology;
 use wn_mac80211::addr::MacAddr;
 use wn_mac80211::frame::{DsBits, Frame, SequenceControl};
-use wn_mac80211::sim::{boot, MacConfig, MacEvent, NullUpper, WlanWorld};
+use wn_mac80211::sim::{boot, inject_at, MacConfig, NullUpper, WlanWorld};
 use wn_net80211::builder::{ibss_send, schedule_walk, send_app_data, EssBuilder, IbssBuilder};
 use wn_net80211::ssid::Ssid;
 use wn_phy::geom::Point;
@@ -341,12 +341,11 @@ pub fn wlan_saturation_full(
     let per_sender = (3000.0 / n as f64).ceil() as u64 + 50;
     for i in 1..=n {
         for k in 0..per_sender {
-            sim.scheduler_mut().schedule_at(
+            inject_at(
+                &mut sim,
                 SimTime::from_micros(k * (1_000_000 / per_sender)),
-                MacEvent::Inject {
-                    station: i,
-                    frame: data_frame(i as u32, 0, 1500),
-                },
+                i,
+                data_frame(i as u32, 0, 1500),
             );
         }
     }
@@ -836,19 +835,17 @@ pub fn adv_tradeoffs(seed: u64) -> (Figure, ExperimentReport) {
         boot(&mut sim);
         // Saturating load: each pair alone could carry ~27 Mbps.
         for k in 0..3000u64 {
-            sim.scheduler_mut().schedule_at(
+            inject_at(
+                &mut sim,
                 SimTime::from_micros(k * 330),
-                MacEvent::Inject {
-                    station: a_tx,
-                    frame: data_frame(0, 1, 1400),
-                },
+                a_tx,
+                data_frame(0, 1, 1400),
             );
-            sim.scheduler_mut().schedule_at(
+            inject_at(
+                &mut sim,
                 SimTime::from_micros(k * 330),
-                MacEvent::Inject {
-                    station: b_tx,
-                    frame: data_frame(2, 3, 1400),
-                },
+                b_tx,
+                data_frame(2, 3, 1400),
             );
         }
         sim.run_until(SimTime::from_secs(1));
@@ -946,12 +943,11 @@ pub fn ablation_cw_sweep(seed: u64) -> (Figure, ExperimentReport) {
         boot(&mut sim);
         for i in 1..=8usize {
             for k in 0..450u64 {
-                sim.scheduler_mut().schedule_at(
+                inject_at(
+                    &mut sim,
                     SimTime::from_micros(k * 2200),
-                    MacEvent::Inject {
-                        station: i,
-                        frame: data_frame(i as u32, 0, 1500),
-                    },
+                    i,
+                    data_frame(i as u32, 0, 1500),
                 );
             }
         }
@@ -990,12 +986,11 @@ pub fn ablation_cw_sweep(seed: u64) -> (Figure, ExperimentReport) {
         let mut sim = Simulation::new(w);
         boot(&mut sim);
         for k in 0..3000u64 {
-            sim.scheduler_mut().schedule_at(
+            inject_at(
+                &mut sim,
                 SimTime::from_micros(k * 330),
-                MacEvent::Inject {
-                    station: tx,
-                    frame: data_frame(1, 0, 1500),
-                },
+                tx,
+                data_frame(1, 0, 1500),
             );
         }
         sim.run_until(SimTime::from_secs(1));
@@ -1052,19 +1047,17 @@ pub fn ablation_capture(seed: u64) -> (Figure, ExperimentReport) {
         let mut sim = Simulation::new(w);
         boot(&mut sim);
         for k in 0..1500u64 {
-            sim.scheduler_mut().schedule_at(
+            inject_at(
+                &mut sim,
                 SimTime::from_micros(k * 660),
-                MacEvent::Inject {
-                    station: a,
-                    frame: data_frame(1, 0, 1200),
-                },
+                a,
+                data_frame(1, 0, 1200),
             );
-            sim.scheduler_mut().schedule_at(
+            inject_at(
+                &mut sim,
                 SimTime::from_micros(k * 660),
-                MacEvent::Inject {
-                    station: b,
-                    frame: data_frame(2, 0, 1200),
-                },
+                b,
+                data_frame(2, 0, 1200),
             );
         }
         sim.run_until(SimTime::from_secs(1));
@@ -1131,12 +1124,11 @@ pub fn ablation_arf(seed: u64) -> (Figure, ExperimentReport) {
         let mut sim = Simulation::new(w);
         boot(&mut sim);
         for k in 0..1200u64 {
-            sim.scheduler_mut().schedule_at(
+            inject_at(
+                &mut sim,
                 SimTime::from_micros(k * 800),
-                MacEvent::Inject {
-                    station: tx,
-                    frame: data_frame(0, 1, 1200),
-                },
+                tx,
+                data_frame(0, 1, 1200),
             );
         }
         sim.run_until(SimTime::from_secs(1));
@@ -1227,19 +1219,17 @@ pub fn adjacent_channels(seed: u64) -> (Figure, ExperimentReport) {
         let mut sim = Simulation::new(w);
         boot(&mut sim);
         for k in 0..3000u64 {
-            sim.scheduler_mut().schedule_at(
+            inject_at(
+                &mut sim,
                 SimTime::from_micros(k * 330),
-                MacEvent::Inject {
-                    station: a_tx,
-                    frame: data_frame(0, 1, 1400),
-                },
+                a_tx,
+                data_frame(0, 1, 1400),
             );
-            sim.scheduler_mut().schedule_at(
+            inject_at(
+                &mut sim,
                 SimTime::from_micros(k * 330),
-                MacEvent::Inject {
-                    station: b_tx,
-                    frame: data_frame(2, 3, 1400),
-                },
+                b_tx,
+                data_frame(2, 3, 1400),
             );
         }
         sim.run_until(SimTime::from_secs(1));
@@ -1306,12 +1296,11 @@ pub fn fading_link(seed: u64) -> (Figure, ExperimentReport) {
         let mut sim = Simulation::new(w);
         boot(&mut sim);
         for k in 0..1500u64 {
-            sim.scheduler_mut().schedule_at(
+            inject_at(
+                &mut sim,
                 SimTime::from_micros(k * 660),
-                MacEvent::Inject {
-                    station: tx,
-                    frame: data_frame(0, 1, 1200),
-                },
+                tx,
+                data_frame(0, 1, 1200),
             );
         }
         sim.run_until(SimTime::from_secs(1));
@@ -1529,12 +1518,11 @@ fn scale_dcf_load(
     for i in 1..=stations {
         for k in 0..frames_per_sender {
             let j = k * stations as u64 + (i as u64 - 1);
-            sim.scheduler_mut().schedule_at(
+            inject_at(
+                sim,
                 SimTime::from_nanos(j * stride_ns),
-                MacEvent::Inject {
-                    station: i,
-                    frame: data_frame(i as u32, 0, SCALE_DCF_PAYLOAD),
-                },
+                i,
+                data_frame(i as u32, 0, SCALE_DCF_PAYLOAD),
             );
         }
     }
@@ -1744,12 +1732,11 @@ pub fn observe_fig_1_6(seed: u64) -> (String, String) {
     boot(&mut sim);
     for i in 1..=3u64 {
         for k in 0..40u64 {
-            sim.scheduler_mut().schedule_at(
+            inject_at(
+                &mut sim,
                 SimTime::from_micros(k * 2_000),
-                MacEvent::Inject {
-                    station: i as usize,
-                    frame: data_frame(i as u32, 0, 1000),
-                },
+                i as usize,
+                data_frame(i as u32, 0, 1000),
             );
         }
     }

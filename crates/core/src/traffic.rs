@@ -4,12 +4,13 @@
 //! section implies: constant-bit-rate streams (§7 surveillance
 //! cameras), Poisson request traffic (web browsing at the hot spot),
 //! and periodic telemetry with jitter (M2M meter reading).
-//! All are deterministic given their seed and schedule plain
-//! [`MacEvent::Inject`] events.
+//! All are deterministic given their seed and stage their frames into
+//! the world's arena, scheduling compact [`wn_mac80211::MacEvent::Inject`]
+//! events that carry only frame ids.
 
 use wn_mac80211::addr::MacAddr;
 use wn_mac80211::frame::{DsBits, Frame, SequenceControl};
-use wn_mac80211::sim::{MacEvent, StationId, WlanWorld};
+use wn_mac80211::sim::{inject_at, StationId, WlanWorld};
 use wn_sim::{Rng, SimDuration, SimTime, Simulation};
 
 /// A traffic flow description.
@@ -67,13 +68,7 @@ pub fn cbr(
     let mut t = start;
     let mut n = 0;
     while t < until {
-        sim.scheduler_mut().schedule_at(
-            t,
-            MacEvent::Inject {
-                station: flow.from,
-                frame: flow.frame(),
-            },
-        );
+        inject_at(sim, t, flow.from, flow.frame());
         t += interval;
         n += 1;
     }
@@ -100,13 +95,7 @@ pub fn poisson(
         if t >= until {
             break;
         }
-        sim.scheduler_mut().schedule_at(
-            t,
-            MacEvent::Inject {
-                station: flow.from,
-                frame: flow.frame(),
-            },
-        );
+        inject_at(sim, t, flow.from, flow.frame());
         n += 1;
     }
     n
@@ -131,13 +120,7 @@ pub fn telemetry(
     let mut n = 0;
     while t < until {
         let offset = SimDuration::from_nanos(rng.below(jitter.as_nanos().max(1)));
-        sim.scheduler_mut().schedule_at(
-            t + offset,
-            MacEvent::Inject {
-                station: flow.from,
-                frame: flow.frame(),
-            },
-        );
+        inject_at(sim, t + offset, flow.from, flow.frame());
         t += period;
         n += 1;
     }

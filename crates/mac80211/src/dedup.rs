@@ -3,35 +3,112 @@
 //! When an ACK is lost the sender retransmits with the Retry bit set
 //! (§4.2), and the receiver must not deliver the same MSDU twice. The
 //! standard's duplicate cache keys on (transmitter, sequence, fragment).
+//!
+//! The cache is bounded. A receiver only needs the *latest* sequence
+//! control per transmitter (the standard's single-entry-per-<Address 2>
+//! cache), and it only needs it while that transmitter is plausibly
+//! still retrying — so the table holds at most [`DedupCache::DEFAULT_CAPACITY`]
+//! transmitters and evicts the least-recently-heard one when a new
+//! transmitter would exceed that. Without the bound, a station that
+//! overhears many distinct transmitters over a long run (roaming
+//! clients, a busy hot spot, an adversarial address sweep) grows the
+//! table one entry per address forever; `forget` exists for clean
+//! disassociation but nothing guarantees it is called.
+//!
+//! Eviction risk is bounded by the semantics: dropping a transmitter's
+//! entry can only cause one *extra accepted duplicate* (not a loss),
+//! and only if that transmitter was silent long enough for 2048 other
+//! transmitters to be heard in between — far beyond any plausible
+//! retry window.
 
 use std::collections::HashMap;
 
 use crate::addr::MacAddr;
 use crate::frame::SequenceControl;
 
-/// A per-receiver duplicate-detection cache.
-#[derive(Clone, Debug, Default)]
+/// One tracked transmitter: its latest accepted sequence control and
+/// the logical time it was last heard (the LRU clock).
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    seq: SequenceControl,
+    used: u64,
+}
+
+/// A per-receiver duplicate-detection cache, bounded to the most
+/// recently heard transmitters.
+#[derive(Clone, Debug)]
 pub struct DedupCache {
-    last_seen: HashMap<MacAddr, SequenceControl>,
+    last_seen: HashMap<MacAddr, Entry>,
+    /// Monotonic use counter; unique per touch, so the LRU victim is
+    /// deterministic.
+    clock: u64,
+    capacity: usize,
+}
+
+impl Default for DedupCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl DedupCache {
-    /// Creates an empty cache.
+    /// Transmitters tracked before the least-recently-heard one is
+    /// evicted. Larger than the station count of any current scenario,
+    /// so eviction only engages on genuinely unbounded address churn.
+    pub const DEFAULT_CAPACITY: usize = 2048;
+
+    /// Creates an empty cache with the default capacity.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty cache bounded to `capacity` transmitters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "dedup cache needs room for one transmitter");
+        DedupCache {
+            last_seen: HashMap::new(),
+            clock: 0,
+            capacity,
+        }
     }
 
     /// Records a received frame and reports whether it is a duplicate.
     ///
     /// Per the standard, a frame is a duplicate when the Retry bit is
     /// set *and* its sequence control equals the last accepted frame
-    /// from the same transmitter.
+    /// from the same transmitter. Every check — duplicate or not —
+    /// counts as hearing the transmitter for eviction purposes.
     pub fn check(&mut self, transmitter: MacAddr, seq: SequenceControl, retry: bool) -> bool {
-        let dup = retry && self.last_seen.get(&transmitter) == Some(&seq);
-        if !dup {
-            self.last_seen.insert(transmitter, seq);
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(e) = self.last_seen.get_mut(&transmitter) {
+            let dup = retry && e.seq == seq;
+            if !dup {
+                e.seq = seq;
+            }
+            e.used = clock;
+            return dup;
         }
-        dup
+        if self.last_seen.len() >= self.capacity {
+            // Evict the least-recently-heard transmitter. The scan is
+            // O(capacity) but runs only when a *new* transmitter
+            // arrives at a full table — never in steady state with a
+            // stable peer set.
+            let victim = self
+                .last_seen
+                .iter()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(&a, _)| a)
+                .expect("capacity > 0, table full");
+            self.last_seen.remove(&victim);
+        }
+        self.last_seen
+            .insert(transmitter, Entry { seq, used: clock });
+        false
     }
 
     /// Forgets a transmitter (e.g. on disassociation).
@@ -119,5 +196,47 @@ mod tests {
         // After forgetting, even an exact retry is accepted (fresh
         // association ⇒ fresh counters).
         assert!(!c.check(tx, sc(10, 0), true));
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_heard() {
+        let mut c = DedupCache::with_capacity(2);
+        let (a, b, x) = (
+            MacAddr::station(1),
+            MacAddr::station(2),
+            MacAddr::station(3),
+        );
+        c.check(a, sc(1, 0), false);
+        c.check(b, sc(2, 0), false);
+        // Touch `a` (a duplicate check still counts as hearing it).
+        assert!(c.check(a, sc(1, 0), true));
+        // `x` arrives at a full table: `b` is now the LRU victim.
+        assert!(!c.check(x, sc(9, 0), false));
+        assert_eq!(c.len(), 2);
+        // `a` survived — its retry is still recognised.
+        assert!(c.check(a, sc(1, 0), true));
+        // `b` was evicted — its exact retry is accepted as new.
+        assert!(!c.check(b, sc(2, 0), true));
+    }
+
+    /// The long-run memory regression: a receiver that hears an
+    /// unbounded stream of distinct transmitters (roaming clients, an
+    /// address sweep) must not grow without bound. Before the LRU
+    /// bound, this held 100 000 entries.
+    #[test]
+    fn unbounded_transmitter_churn_stays_bounded() {
+        let mut c = DedupCache::new();
+        for i in 0..100_000u32 {
+            c.check(MacAddr::station(i), sc((i % 4096) as u16, 0), false);
+            assert!(c.len() <= DedupCache::DEFAULT_CAPACITY);
+        }
+        assert_eq!(c.len(), DedupCache::DEFAULT_CAPACITY);
+        // The most recent transmitters are the survivors: their retries
+        // still dedup.
+        assert!(c.check(
+            MacAddr::station(99_999),
+            sc((99_999 % 4096) as u16, 0),
+            true
+        ));
     }
 }

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod arena;
 pub mod arf;
 pub mod dedup;
 pub mod duration;
@@ -24,8 +25,9 @@ pub mod neighbors;
 pub mod sim;
 
 pub use addr::MacAddr;
+pub use arena::{FrameArena, FrameId};
 pub use frame::{DsBits, Frame, FrameControl, FrameType, SequenceControl, Subtype};
 pub use sim::{
-    boot, neighbor_cache_default, set_neighbor_cache_default, Command, MacConfig, MacEvent,
-    StationId, UpperCtx, UpperLayer, WlanWorld,
+    boot, inject_at, neighbor_cache_default, set_neighbor_cache_default, Command, MacConfig,
+    MacEvent, StationId, UpperCtx, UpperLayer, WlanWorld,
 };

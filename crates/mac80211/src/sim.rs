@@ -25,6 +25,7 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::addr::MacAddr;
+use crate::arena::{FrameArena, FrameId};
 use crate::arf::{Arf, ArfParams};
 use crate::dedup::DedupCache;
 use crate::duration::{ack_airtime, airtime, cts_airtime, data_duration, rts_duration};
@@ -34,7 +35,7 @@ use wn_phy::geom::Point;
 use wn_phy::medium::{coupled_rx_power, LinkBudget, Radio};
 use wn_phy::modulation::{PhyStandard, RateStep};
 use wn_phy::propagation::{LogDistance, PathLoss};
-use wn_phy::units::{sum_powers, Db, Dbm, Hertz};
+use wn_phy::units::{Db, Dbm, Hertz};
 use wn_sim::metrics::{MetricsRegistry, MetricsSnapshot};
 use wn_sim::stats::{Histogram, Summary, TimeWeighted};
 use wn_sim::trace::{DropReason, FrameKind, Level, Trace, TraceEvent};
@@ -294,9 +295,10 @@ pub struct StationStats {
     pub access_delay_us: Summary,
 }
 
-/// One MSDU queued for transmission.
+/// One MSDU queued for transmission. The frame itself lives in the
+/// world's [`FrameArena`]; a queue entry is two words.
 struct Msdu {
-    frame: Frame,
+    frame: FrameId,
     enqueued: SimTime,
 }
 
@@ -317,11 +319,12 @@ struct Attempt {
     cts_received: bool,
     rate: RateStep,
     is_retry: bool,
-    /// The fully-built wire frame for the pending fragment, cached so
-    /// retries of the same fragment do not re-clone header and body.
-    /// Cleared whenever a field that feeds the build changes (fragment
-    /// advance, retry-bit flip).
-    built: Option<Rc<Frame>>,
+    /// The fully-built wire frame for the pending fragment (arena id,
+    /// one reference held here), cached so retries of the same fragment
+    /// do not re-clone header and body. Released and cleared whenever a
+    /// field that feeds the build changes (fragment advance, retry-bit
+    /// flip).
+    built: Option<FrameId>,
 }
 
 /// What the station is currently waiting for after transmitting.
@@ -342,8 +345,6 @@ struct Station {
     addr: MacAddr,
     pos: Point,
     radio: Radio,
-    channel: u8,
-    awake: bool,
     power_mgmt: bool,
     upper: Option<Box<dyn UpperLayer>>,
     queue: VecDeque<Msdu>,
@@ -352,18 +353,72 @@ struct Station {
     dedup: DedupCache,
     arf: Arf,
     reassembly: HashMap<(MacAddr, u16), Vec<u8>>,
-    nav_until: SimTime,
-    audible: AudibleSet,
-    transmitting: Option<u64>,
-    /// Remaining backoff slots; `None` means no access procedure armed.
-    backoff_slots: Option<u32>,
-    /// When the currently-armed access timer started counting.
-    access_armed_at: Option<SimTime>,
-    cw: u32,
-    timer_gen: u64,
-    expecting: Option<(Expecting, u64)>,
     pending: Option<(PendingTx, u64)>,
     stats: StationStats,
+}
+
+/// Per-station DCF/carrier-sense state, flattened into parallel
+/// vectors (struct-of-arrays), indexed by [`StationId`].
+///
+/// These are exactly the fields the per-event hot path touches for
+/// stations *other* than the event's own — busy/idle edges, NAV
+/// updates, audibility bookkeeping, contender re-arms. Packing each
+/// field contiguously keeps those cross-station sweeps on a handful
+/// of cache lines instead of striding across whole [`Station`]
+/// structs (queues, dedup tables, reassembly maps, stats) hundreds of
+/// bytes apart.
+#[derive(Default)]
+struct DcfState {
+    /// Virtual carrier sense: the NAV reservation horizon.
+    nav_until: Vec<SimTime>,
+    /// In-flight transmissions this station can hear (physical CS).
+    audible: Vec<AudibleSet>,
+    /// The record id of this station's own in-flight transmission.
+    transmitting: Vec<Option<u64>>,
+    /// Remaining backoff slots; `None` means no access procedure armed.
+    backoff_slots: Vec<Option<u32>>,
+    /// When the currently-armed access timer started counting.
+    access_armed_at: Vec<Option<SimTime>>,
+    /// Contention window (doubles on retry, resets on completion).
+    cw: Vec<u32>,
+    /// Generation guard invalidating stale scheduled timers.
+    timer_gen: Vec<u64>,
+    /// The response (CTS/ACK) this station is waiting for, if any.
+    expecting: Vec<Option<(Expecting, u64)>>,
+    /// The channel the station's radio is tuned to.
+    channel: Vec<u8>,
+    /// Whether the radio is awake (power save puts it to sleep).
+    awake: Vec<bool>,
+}
+
+impl DcfState {
+    /// Appends one station's worth of initial state.
+    fn push(&mut self, cw_min: u32) {
+        self.nav_until.push(SimTime::ZERO);
+        self.audible.push(AudibleSet::default());
+        self.transmitting.push(None);
+        self.backoff_slots.push(None);
+        self.access_armed_at.push(None);
+        self.cw.push(cw_min);
+        self.timer_gen.push(0);
+        self.expecting.push(None);
+        self.channel.push(1);
+        self.awake.push(true);
+    }
+
+    /// Pre-sizes every column for `additional` more stations.
+    fn reserve(&mut self, additional: usize) {
+        self.nav_until.reserve(additional);
+        self.audible.reserve(additional);
+        self.transmitting.reserve(additional);
+        self.backoff_slots.reserve(additional);
+        self.access_armed_at.reserve(additional);
+        self.cw.reserve(additional);
+        self.timer_gen.reserve(additional);
+        self.expecting.reserve(additional);
+        self.channel.reserve(additional);
+        self.awake.reserve(additional);
+    }
 }
 
 /// A transmission on the medium (possibly already finished, retained
@@ -372,9 +427,10 @@ struct TxRecord {
     id: u64,
     src: StationId,
     channel: u8,
-    /// Shared with every successful receiver instead of deep-cloned
-    /// per reception — the dominant allocation in dense cells.
-    frame: Rc<Frame>,
+    /// The wire frame (arena id; this record holds one reference) —
+    /// shared with every successful receiver and with the sender's
+    /// build cache instead of deep-cloned per reception.
+    frame: FrameId,
     rate: RateStep,
     start: SimTime,
     end: SimTime,
@@ -442,12 +498,15 @@ pub enum MacEvent {
         /// New position.
         pos: Point,
     },
-    /// Inject an application frame into a station's queue.
+    /// Inject an application frame into a station's queue. The frame
+    /// was staged into the world's arena ([`WlanWorld::stage_frame`],
+    /// or the [`inject_at`] one-call form); the event carries only its
+    /// id, so scheduler entries stay a few words regardless of payload.
     Inject {
         /// Sending station.
         station: StationId,
-        /// The frame to queue.
-        frame: Frame,
+        /// The staged frame to queue.
+        frame: FrameId,
     },
     /// Deliver the failure confirmation for an MSDU dropped on queue
     /// overflow. Scheduled (at the drop instant) rather than called
@@ -456,9 +515,53 @@ pub enum MacEvent {
     TxDropped {
         /// Station whose queue overflowed.
         station: StationId,
-        /// The dropped MSDU.
-        frame: Frame,
+        /// The dropped MSDU (arena id, parked on this event).
+        frame: FrameId,
     },
+}
+
+/// Direct-mapped memo for [`RateStep::success_prob`]. The dominant
+/// per-candidate cost in a dense network's `TxEnd` sweep is the `exp`
+/// plus `powf` inside the PER model, and in a static topology the
+/// same (SINR, frame length, rate threshold) triple recurs for every
+/// retransmission over the same link. Keys are the exact `f64` bit
+/// patterns of the inputs, so a hit returns bit-for-bit the same
+/// probability a direct evaluation would; a slot collision simply
+/// recomputes. Slots are allocated lazily on first use, so worlds
+/// that never reach a SINR decision pay nothing.
+#[derive(Default)]
+struct ProbCache {
+    keys: Vec<(u64, u64, u64)>,
+    vals: Vec<f64>,
+}
+
+const PROB_CACHE_SLOTS: usize = 1 << 16;
+/// No real key carries `bits == u64::MAX` (frame lengths are a few
+/// thousand bits), so this triple marks an empty slot.
+const PROB_CACHE_EMPTY: (u64, u64, u64) = (u64::MAX, u64::MAX, u64::MAX);
+
+impl ProbCache {
+    #[inline]
+    fn success_prob(&mut self, rate: RateStep, sinr_db: f64, bits: u64) -> f64 {
+        if self.keys.is_empty() {
+            self.keys = vec![PROB_CACHE_EMPTY; PROB_CACHE_SLOTS];
+            self.vals = vec![0.0; PROB_CACHE_SLOTS];
+        }
+        let key = (sinr_db.to_bits(), bits, rate.min_snr_db.to_bits());
+        // FNV-1a over the three words.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for w in [key.0, key.1, key.2] {
+            h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let i = (h as usize) & (PROB_CACHE_SLOTS - 1);
+        if self.keys[i] == key {
+            return self.vals[i];
+        }
+        let p = rate.success_prob(sinr_db, bits);
+        self.keys[i] = key;
+        self.vals[i] = p;
+        p
+    }
 }
 
 /// The shared-medium world; drive it with [`wn_sim::Simulation`].
@@ -470,7 +573,16 @@ pub struct WlanWorld {
     budget: LinkBudget,
     loss: Box<dyn Fn(Point, Point, Hertz, SimTime) -> Db + Send>,
     stations: Vec<Station>,
+    /// Per-station DCF state, flattened column-wise ([`DcfState`]).
+    dcf: DcfState,
     records: Vec<TxRecord>,
+    /// Every frame in flight anywhere in the MAC — queues, attempts,
+    /// transmission records, parked injection events — addressed by
+    /// copyable [`FrameId`]s instead of `Rc` pointers.
+    frames: FrameArena,
+    /// Arena references parked on scheduled `Inject`/`TxDropped`
+    /// events (a term of the [`frame_ledger`](Self::frame_ledger)).
+    staged: u64,
     /// Pairwise rx-power / audibility cache (built lazily at the first
     /// transmission when `neighbor_cache` is on).
     neighbors: NeighborCache,
@@ -490,6 +602,17 @@ pub struct WlanWorld {
     /// Reused scratch for the column-wise interference accumulator in
     /// [`handle_tx_end`](Self::handle_tx_end).
     intf_scratch: Vec<f64>,
+    /// Reused scratch for the receivers that decoded the completing
+    /// frame in [`handle_tx_end`](Self::handle_tx_end).
+    decoded_scratch: Vec<(StationId, Dbm)>,
+    /// Reused scratch for the time-overlapping record indices in
+    /// [`handle_tx_end`](Self::handle_tx_end).
+    overlap_scratch: Vec<usize>,
+    /// Reused scratch for upper-layer command batches in
+    /// [`with_upper`](Self::with_upper).
+    cmd_scratch: Vec<Command>,
+    /// `success_prob` memo (see [`ProbCache`]).
+    prob_cache: ProbCache,
     next_tx_id: u64,
     rng: Rng,
     /// Protocol trace for tests and debugging.
@@ -526,13 +649,20 @@ impl WlanWorld {
             budget,
             loss: Box::new(move |a, b, f, _t| model.loss(a.distance_to(b), f)),
             stations: Vec::new(),
+            dcf: DcfState::default(),
             records: Vec::new(),
+            frames: FrameArena::new(),
+            staged: 0,
             neighbors: NeighborCache::new(),
             neighbor_cache: neighbor_cache_default(),
             contenders: IdBitSet::new(),
             rearm_scratch: Vec::new(),
             txsrc_scratch: IdBitSet::new(),
             intf_scratch: Vec::new(),
+            decoded_scratch: Vec::new(),
+            overlap_scratch: Vec::new(),
+            cmd_scratch: Vec::new(),
+            prob_cache: ProbCache::default(),
             next_tx_id: 0,
             rng,
             trace: Trace::new(8192),
@@ -599,8 +729,6 @@ impl WlanWorld {
             addr,
             pos,
             radio: Radio::consumer_wifi(),
-            channel: 1,
-            awake: true,
             power_mgmt: false,
             upper: Some(upper),
             queue: VecDeque::new(),
@@ -609,23 +737,17 @@ impl WlanWorld {
             dedup: DedupCache::new(),
             arf: self.arf_template.clone(),
             reassembly: HashMap::new(),
-            nav_until: SimTime::ZERO,
-            audible: AudibleSet::default(),
-            transmitting: None,
-            backoff_slots: None,
-            access_armed_at: None,
-            cw: self.cfg.cw_min(),
-            timer_gen: 0,
-            expecting: None,
             pending: None,
             stats: StationStats::default(),
         });
+        self.dcf.push(self.cfg.cw_min());
         id
     }
 
     /// Pre-sizes the station table for `additional` more stations.
     pub fn reserve_stations(&mut self, additional: usize) {
         self.stations.reserve(additional);
+        self.dcf.reserve(additional);
     }
 
     /// Bulk station boot fast path: adds `n` stations with the
@@ -679,7 +801,7 @@ impl WlanWorld {
 
     /// Sets a station's channel directly (scenario setup).
     pub fn set_channel(&mut self, id: StationId, channel: u8) {
-        self.stations[id].channel = channel;
+        self.dcf.channel[id] = channel;
     }
 
     /// Number of stations.
@@ -700,6 +822,44 @@ impl WlanWorld {
     pub fn pending_msdus(&self, id: StationId) -> u64 {
         let s = &self.stations[id];
         s.queue.len() as u64 + u64::from(s.current.is_some())
+    }
+
+    /// Stages a frame into the world's arena for a later
+    /// [`MacEvent::Inject`] delivery; the returned id is what the
+    /// event carries. Traffic generators and scenario set-up go
+    /// through this (or the [`inject_at`] convenience wrapper) so a
+    /// scheduler entry is a handful of words, not a full frame.
+    pub fn stage_frame(&mut self, frame: Frame) -> FrameId {
+        self.staged += 1;
+        self.frames.insert(frame)
+    }
+
+    /// The frame arena (oracle/test hook).
+    pub fn frame_arena(&self) -> &FrameArena {
+        &self.frames
+    }
+
+    /// The frame-conservation ledger: total outstanding arena
+    /// references on the left, the sum over every holder the MAC knows
+    /// about on the right — references parked on scheduled
+    /// `Inject`/`TxDropped` events, queued MSDUs, the in-progress
+    /// attempt (its MSDU plus its cached wire frame) and transmission
+    /// records. The fuzzer asserts the two sides stay equal between
+    /// events; a leaked or double-released frame id shows up as drift.
+    pub fn frame_ledger(&self) -> (u64, u64) {
+        let held = self.staged
+            + self
+                .stations
+                .iter()
+                .map(|s| {
+                    s.queue.len() as u64
+                        + s.current
+                            .as_ref()
+                            .map_or(0, |at| 1 + u64::from(at.built.is_some()))
+                })
+                .sum::<u64>()
+            + self.records.len() as u64;
+        (self.frames.total_refs(), held)
     }
 
     /// A quantile (e.g. 0.5, 0.99) of the world-level access-delay
@@ -858,8 +1018,9 @@ impl WlanWorld {
     }
 
     fn medium_idle(&self, id: StationId, now: SimTime) -> bool {
-        let s = &self.stations[id];
-        s.audible.is_empty() && s.transmitting.is_none() && s.nav_until <= now
+        self.dcf.audible[id].is_empty()
+            && self.dcf.transmitting[id].is_none()
+            && self.dcf.nav_until[id] <= now
     }
 
     fn with_upper<F>(&mut self, id: StationId, now: SimTime, sched: &mut Scheduler<MacEvent>, f: F)
@@ -869,7 +1030,10 @@ impl WlanWorld {
         let Some(mut upper) = self.stations[id].upper.take() else {
             return;
         };
-        let mut commands = Vec::new();
+        // Reused batch buffer; `mem::take` leaves an empty Vec behind,
+        // so a nested `with_upper` downstream of `apply_command` simply
+        // allocates its own batch instead of aliasing this one.
+        let mut commands = std::mem::take(&mut self.cmd_scratch);
         {
             let mut ctx = UpperCtx {
                 now,
@@ -880,9 +1044,10 @@ impl WlanWorld {
             f(upper.as_mut(), &mut ctx);
         }
         self.stations[id].upper = Some(upper);
-        for cmd in commands {
+        for cmd in commands.drain(..) {
             self.apply_command(id, now, sched, cmd);
         }
+        self.cmd_scratch = commands;
     }
 
     fn apply_command(
@@ -899,18 +1064,18 @@ impl WlanWorld {
             }
             Command::SetPowerManagement(on) => self.stations[id].power_mgmt = on,
             Command::SetAwake(awake) => {
-                let was = self.stations[id].awake;
-                self.stations[id].awake = awake;
+                let was = self.dcf.awake[id];
+                self.dcf.awake[id] = awake;
                 if !awake {
                     // A dozing radio hears nothing.
-                    self.stations[id].audible.clear();
+                    self.dcf.audible[id].clear();
                 } else if !was {
                     // Waking mid-frame: re-hear what is still in the
                     // air from the records' start-time power snapshots.
                     // Without this the medium looks spuriously idle and
                     // the station can arm backoff (and collide) under
                     // an ongoing audible transmission.
-                    let channel = self.stations[id].channel;
+                    let channel = self.dcf.channel[id];
                     let mut heard_any = false;
                     for i in 0..self.records.len() {
                         let rec = &self.records[i];
@@ -923,7 +1088,7 @@ impl WlanWorld {
                             .unwrap_or(false);
                         if heard {
                             let tx_id = rec.id;
-                            self.stations[id].audible.insert(tx_id);
+                            self.dcf.audible[id].insert(tx_id);
                             heard_any = true;
                         }
                     }
@@ -933,10 +1098,9 @@ impl WlanWorld {
                 }
             }
             Command::SetChannel(ch) => {
-                let s = &mut self.stations[id];
-                s.channel = ch;
-                s.audible.clear();
-                s.nav_until = now;
+                self.dcf.channel[id] = ch;
+                self.dcf.audible[id].clear();
+                self.dcf.nav_until[id] = now;
             }
             Command::SignalStation {
                 station,
@@ -953,22 +1117,37 @@ impl WlanWorld {
     pub fn enqueue(
         &mut self,
         id: StationId,
-        mut frame: Frame,
+        frame: Frame,
         now: SimTime,
         sched: &mut Scheduler<MacEvent>,
     ) {
-        frame.fc.power_management = self.stations[id].power_mgmt;
+        let fid = self.frames.insert(frame);
+        self.enqueue_id(id, fid, now, sched);
+    }
+
+    /// Queues an arena-resident frame. The caller's reference on `fid`
+    /// transfers to the queue — or back out through a `TxDropped`
+    /// event on overflow.
+    fn enqueue_id(
+        &mut self,
+        id: StationId,
+        fid: FrameId,
+        now: SimTime,
+        sched: &mut Scheduler<MacEvent>,
+    ) {
+        self.frames.get_mut(fid).fc.power_management = self.stations[id].power_mgmt;
         let s = &mut self.stations[id];
         s.stats.queued += 1;
         if s.queue.len() >= self.cfg.queue_limit {
             s.stats.queue_drops += 1;
+            let kind = frame_kind(self.frames.get(fid).fc.subtype);
             self.trace.event(
                 now,
                 Level::Warn,
                 "mac",
                 TraceEvent::Drop {
                     station: id as u32,
-                    kind: frame_kind(frame.fc.subtype),
+                    kind,
                     reason: DropReason::QueueFull,
                 },
             );
@@ -977,11 +1156,18 @@ impl WlanWorld {
             // calling the upper layer inline so a layer that reacts by
             // immediately re-sending into a still-full queue turns into
             // event-loop iterations, not unbounded recursion.
-            sched.schedule_at(now, MacEvent::TxDropped { station: id, frame });
+            self.staged += 1;
+            sched.schedule_at(
+                now,
+                MacEvent::TxDropped {
+                    station: id,
+                    frame: fid,
+                },
+            );
             return;
         }
         s.queue.push_back(Msdu {
-            frame,
+            frame: fid,
             enqueued: now,
         });
         self.queue_gauge.add(now, 1.0);
@@ -992,7 +1178,7 @@ impl WlanWorld {
         if self.stations[id].current.is_some() {
             return;
         }
-        let Some(mut msdu) = self.stations[id].queue.pop_front() else {
+        let Some(msdu) = self.stations[id].queue.pop_front() else {
             return;
         };
         self.queue_gauge.add(now, -1.0);
@@ -1000,10 +1186,11 @@ impl WlanWorld {
         // taken out of the queued frame and kept whole in the attempt;
         // fragments are byte ranges into it, sliced out at build time.
         let seq_no = self.stations[id].seq.next();
-        let body = std::mem::take(&mut msdu.frame.body);
         let frag_threshold = self.cfg.frag_threshold;
-        let can_fragment = msdu.frame.fc.subtype.frame_type() == FrameType::Data
-            && !msdu.frame.receiver().is_group();
+        let frame = self.frames.get_mut(msdu.frame);
+        let body = std::mem::take(&mut frame.body);
+        let can_fragment =
+            frame.fc.subtype.frame_type() == FrameType::Data && !frame.receiver().is_group();
         let mut frag_ranges: VecDeque<(usize, usize)> = VecDeque::new();
         if can_fragment && body.len() > frag_threshold {
             let mut start = 0;
@@ -1015,13 +1202,13 @@ impl WlanWorld {
         } else {
             frag_ranges.push_back((0, body.len()));
         }
-        msdu.frame.seq = Some(SequenceControl {
+        frame.seq = Some(SequenceControl {
             fragment: 0,
             sequence: seq_no,
         });
-        let use_rts = !msdu.frame.receiver().is_group()
+        let peer = frame.receiver();
+        let use_rts = !peer.is_group()
             && frag_ranges.front().map_or(0, |&(a, b)| b - a) + 28 >= self.cfg.rts_threshold;
-        let peer = msdu.frame.receiver();
         let rate = if peer.is_group() {
             self.cfg.standard.base_rate()
         } else {
@@ -1045,9 +1232,9 @@ impl WlanWorld {
 
     /// Starts (or restarts) the DIFS+backoff procedure.
     fn begin_access(&mut self, id: StationId, now: SimTime, sched: &mut Scheduler<MacEvent>) {
-        let cw = self.stations[id].cw;
+        let cw = self.dcf.cw[id];
         let slots = self.rng.below(cw as u64 + 1) as u32;
-        self.stations[id].backoff_slots = Some(slots);
+        self.dcf.backoff_slots[id] = Some(slots);
         self.contenders.insert(id);
         self.trace.event(
             now,
@@ -1063,27 +1250,23 @@ impl WlanWorld {
     }
 
     fn try_arm_access(&mut self, id: StationId, now: SimTime, sched: &mut Scheduler<MacEvent>) {
-        if self.stations[id].backoff_slots.is_none() {
+        if self.dcf.backoff_slots[id].is_none() {
             return;
         }
         if !self.medium_idle(id, now) {
             // Will re-arm on the idle edge / NAV expiry.
-            if self.stations[id].nav_until > now {
-                sched.schedule_at(
-                    self.stations[id].nav_until,
-                    MacEvent::NavExpired { station: id },
-                );
+            if self.dcf.nav_until[id] > now {
+                sched.schedule_at(self.dcf.nav_until[id], MacEvent::NavExpired { station: id });
             }
             return;
         }
-        let s = &mut self.stations[id];
-        if s.access_armed_at.is_some() {
+        if self.dcf.access_armed_at[id].is_some() {
             return;
         }
-        s.timer_gen += 1;
-        let gen = s.timer_gen;
-        s.access_armed_at = Some(now);
-        let slots = s.backoff_slots.expect("checked above");
+        self.dcf.timer_gen[id] += 1;
+        let gen = self.dcf.timer_gen[id];
+        self.dcf.access_armed_at[id] = Some(now);
+        let slots = self.dcf.backoff_slots[id].expect("checked above");
         // The timer is counting down; idle edges can't affect it until
         // a busy edge freezes it again.
         self.contenders.remove(id);
@@ -1094,11 +1277,11 @@ impl WlanWorld {
     /// A busy edge interrupts a counting-down access timer.
     fn freeze_access(&mut self, id: StationId, now: SimTime) {
         let (difs, slot) = (self.difs, self.slot);
-        let s = &mut self.stations[id];
-        let Some(armed_at) = s.access_armed_at else {
+        let d = &mut self.dcf;
+        let Some(armed_at) = d.access_armed_at[id] else {
             return;
         };
-        if let Some(slots) = s.backoff_slots {
+        if let Some(slots) = d.backoff_slots[id] {
             // CSMA vulnerable window: a station whose backoff expires
             // within the CCA detection time of the busy edge has already
             // committed to transmit and cannot react — so two stations
@@ -1115,38 +1298,45 @@ impl WlanWorld {
             } else {
                 ((now - difs_end).as_nanos() / slot.as_nanos().max(1)) as u32
             };
-            s.backoff_slots = Some(slots.saturating_sub(consumed));
+            d.backoff_slots[id] = Some(slots.saturating_sub(consumed));
         }
-        s.access_armed_at = None;
-        s.timer_gen += 1; // Invalidate the pending AccessTimer.
-        if s.backoff_slots.is_some() {
+        d.access_armed_at[id] = None;
+        d.timer_gen[id] += 1; // Invalidate the pending AccessTimer.
+        if d.backoff_slots[id].is_some() {
             // Frozen with slots left: back on the contender wait-list.
             self.contenders.insert(id);
         }
     }
 
+    /// Puts a frame on the air. Consumes one arena reference on
+    /// `frame` — it becomes the new [`TxRecord`]'s, released when the
+    /// record is pruned.
     fn start_transmission(
         &mut self,
         id: StationId,
-        frame: Rc<Frame>,
+        frame: FrameId,
         rate: RateStep,
         now: SimTime,
         sched: &mut Scheduler<MacEvent>,
     ) -> u64 {
         let timing = self.cfg.standard.mac_timing();
-        let dur = airtime(&timing, rate, frame.wire_len());
+        let (wire_len, kind) = {
+            let f = self.frames.get(frame);
+            (f.wire_len(), frame_kind(f.fc.subtype))
+        };
+        let dur = airtime(&timing, rate, wire_len);
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
         let (rx_power, rx_mw, candidates) = self.tx_powers(id, now);
-        let channel = self.stations[id].channel;
+        let channel = self.dcf.channel[id];
         self.trace.event(
             now,
             Level::Debug,
             "mac",
             TraceEvent::Tx {
                 station: id as u32,
-                kind: frame_kind(frame.fc.subtype),
-                len: frame.wire_len() as u32,
+                kind,
+                len: wire_len as u32,
                 rate_mbps: rate.rate.mbps(),
             },
         );
@@ -1163,19 +1353,18 @@ impl WlanWorld {
             candidates: Rc::clone(&candidates),
             done: false,
         });
-        self.stations[id].transmitting = Some(tx_id);
+        self.dcf.transmitting[id] = Some(tx_id);
         self.stations[id].stats.tx_frames += 1;
         // Busy edges at every audible same-channel station — only the
         // candidate list can qualify, since leaked cross-channel power
         // never exceeds the raw power the list was thresholded on.
         for &r in candidates.iter() {
             let power = rx_power[r];
-            let s = &self.stations[r];
-            let overlap = Self::channel_overlap(channel, s.channel);
+            let overlap = Self::channel_overlap(channel, self.dcf.channel[r]);
             let heard = Self::leaked_power(power, overlap)
                 .map(|p| self.audible_at(p))
                 .unwrap_or(false);
-            if s.awake && heard && self.stations[r].audible.insert(tx_id) == 1 {
+            if self.dcf.awake[r] && heard && self.dcf.audible[r].insert(tx_id) == 1 {
                 self.freeze_access(r, now);
             }
         }
@@ -1188,26 +1377,34 @@ impl WlanWorld {
     fn transmit_current(&mut self, id: StationId, now: SimTime, sched: &mut Scheduler<MacEvent>) {
         let std = self.cfg.standard;
         let timing = std.mac_timing();
+        let addr = self.stations[id].addr;
         let (frame, rate, expect) = {
-            let s = &mut self.stations[id];
-            let Some(at) = s.current.as_mut() else {
+            let Some(at) = self.stations[id].current.as_mut() else {
                 return;
             };
             if at.use_rts && !at.cts_received {
                 // RTS first. Its NAV covers the whole exchange.
                 let body_len = at.frag_ranges.front().map_or(0, |&(a, b)| b - a);
-                let data_len = at.msdu.frame.header_len() + body_len + 4;
+                let base = self.frames.get(at.msdu.frame);
+                let data_len = base.header_len() + body_len + 4;
                 let data_air = airtime(&timing, at.rate, data_len);
-                let ra = at.msdu.frame.receiver();
-                let rts = Frame::rts(ra, s.addr, rts_duration(std, data_air));
-                (Rc::new(rts), std.base_rate(), Some(Expecting::Cts))
+                let ra = base.receiver();
+                let rts = Frame::rts(ra, addr, rts_duration(std, data_air));
+                // The fresh reference goes straight to the record.
+                (
+                    self.frames.insert(rts),
+                    std.base_rate(),
+                    Some(Expecting::Cts),
+                )
             } else {
                 // Reuse the cached wire frame on retries of the same
                 // fragment; rebuild only when the inputs changed.
-                let f = match &at.built {
-                    Some(f) => Rc::clone(f),
+                let fid = match at.built {
+                    Some(fid) => fid,
                     None => {
-                        let mut f = at.msdu.frame.clone();
+                        let base = self.frames.get(at.msdu.frame);
+                        let mut f = base.clone();
+                        let header_len = base.header_len();
                         f.body = at
                             .frag_ranges
                             .front()
@@ -1216,61 +1413,78 @@ impl WlanWorld {
                         let more = at.frag_ranges.len() > 1;
                         f.fc.more_fragments = more;
                         f.fc.retry = at.is_retry;
+                        let sequence = f.seq.expect("assigned at queue").sequence;
                         f.seq = Some(SequenceControl {
                             fragment: at.frag_number,
-                            sequence: at.msdu.frame.seq.expect("assigned at queue").sequence,
+                            sequence,
                         });
-                        let next_air = at.frag_ranges.get(1).map(|&(a, b)| {
-                            airtime(&timing, at.rate, at.msdu.frame.header_len() + (b - a) + 4)
-                        });
+                        let next_air = at
+                            .frag_ranges
+                            .get(1)
+                            .map(|&(a, b)| airtime(&timing, at.rate, header_len + (b - a) + 4));
                         f.duration_id = if f.receiver().is_group() {
                             0
                         } else {
                             data_duration(std, more, next_air)
                         };
-                        let f = Rc::new(f);
-                        at.built = Some(Rc::clone(&f));
-                        f
+                        let fid = self.frames.insert(f);
+                        at.built = Some(fid);
+                        fid
                     }
                 };
-                let expect = (!f.receiver().is_group()).then_some(Expecting::Ack);
-                (f, at.rate, expect)
+                // One reference for the record on top of the attempt's
+                // cached one.
+                self.frames.retain(fid);
+                let expect =
+                    (!self.frames.get(fid).receiver().is_group()).then_some(Expecting::Ack);
+                (fid, at.rate, expect)
             }
         };
         self.start_transmission(id, frame, rate, now, sched);
         // The response timeout is armed when our transmission *ends*
         // (handled in TxEnd for the source); remember what we expect.
         if let Some(e) = expect {
-            let s = &mut self.stations[id];
-            s.timer_gen += 1;
-            s.expecting = Some((e, s.timer_gen));
+            self.dcf.timer_gen[id] += 1;
+            self.dcf.expecting[id] = Some((e, self.dcf.timer_gen[id]));
         } else {
-            self.stations[id].expecting = None;
+            self.dcf.expecting[id] = None;
         }
     }
 
     fn schedule_sifs(&mut self, id: StationId, action: PendingTx, sched: &mut Scheduler<MacEvent>) {
-        let s = &mut self.stations[id];
-        s.timer_gen += 1;
-        let gen = s.timer_gen;
-        s.pending = Some((action, gen));
+        self.dcf.timer_gen[id] += 1;
+        let gen = self.dcf.timer_gen[id];
+        self.stations[id].pending = Some((action, gen));
         sched.schedule_in(self.sifs, MacEvent::SifsAction { station: id, gen });
     }
 
     fn handle_tx_end(&mut self, tx_id: u64, now: SimTime, sched: &mut Scheduler<MacEvent>) {
-        let Some(idx) = self.records.iter().position(|r| r.id == tx_id) else {
+        // Records are pushed with ascending ids and pruned in place, so
+        // the lookup can bisect instead of scanning.
+        let Ok(idx) = self.records.binary_search_by_key(&tx_id, |r| r.id) else {
             return;
         };
         self.records[idx].done = true;
         let src = self.records[idx].src;
         let channel = self.records[idx].channel;
-        self.stations[src].transmitting = None;
+        let frame_id = self.records[idx].frame;
+        let rate = self.records[idx].rate;
+        self.dcf.transmitting[src] = None;
+        let (subtype, is_group, wire_bits) = {
+            let f = self.frames.get(frame_id);
+            (
+                f.fc.subtype,
+                f.receiver().is_group(),
+                f.wire_len() as u64 * 8,
+            )
+        };
 
         // Decide reception — only at the start-time audible candidates.
         // Everyone else had raw power below the CS threshold, was never
         // put on an audible set, and would fall straight through the
         // `!audible_at && !was_audible` skip below with no side effect.
-        let mut decoded: Vec<(StationId, Rc<Frame>, Dbm)> = Vec::new();
+        let mut decoded = std::mem::take(&mut self.decoded_scratch);
+        decoded.clear();
         // Only records overlapping this frame in time can trip the
         // half-duplex or interference checks — pre-filter them once
         // instead of rescanning the whole retention horizon for every
@@ -1278,9 +1492,12 @@ impl WlanWorld {
         // stay ascending so the linear-domain interference sum keeps
         // its float accumulation order.
         let (rec_start, rec_end) = (self.records[idx].start, self.records[idx].end);
-        let overlapping: Vec<usize> = (0..self.records.len())
-            .filter(|&o| self.records[o].start < rec_end && self.records[o].end > rec_start)
-            .collect();
+        let mut overlapping = std::mem::take(&mut self.overlap_scratch);
+        overlapping.clear();
+        overlapping.extend(
+            (0..self.records.len())
+                .filter(|&o| self.records[o].start < rec_end && self.records[o].end > rec_start),
+        );
         let rx_power = Rc::clone(&self.records[idx].rx_power);
         let candidates = Rc::clone(&self.records[idx].candidates);
         // Half-duplex sources among the overlapping records, collected
@@ -1292,8 +1509,11 @@ impl WlanWorld {
             tx_srcs.insert(self.records[o].src);
         }
         // The noise floor is a pure function of the link budget; one
-        // evaluation per frame serves every receiver bit-identically.
+        // evaluation per frame serves every receiver bit-identically —
+        // as does its milliwatt image, hoisted here so the SINR loop
+        // below pays one `powf` fewer per candidate.
         let noise = self.budget.noise_floor();
+        let noise_mw = noise.to_milliwatts();
         // Interference sums, precomputed column-wise. Every receiver
         // that reaches the SINR decision shares the same interferer
         // set — the overlapping records minus the completing frame;
@@ -1308,7 +1528,6 @@ impl WlanWorld {
         let n = self.stations.len();
         let mut intf_acc = std::mem::take(&mut self.intf_scratch);
         intf_acc.clear();
-        intf_acc.resize(n, 0.0);
         let mut intf_count = 0usize;
         for &o in &overlapping {
             let rec_o = &self.records[o];
@@ -1318,6 +1537,11 @@ impl WlanWorld {
             let ov = Self::channel_overlap(rec_o.channel, channel);
             if ov <= 0.0 {
                 continue;
+            }
+            if intf_count == 0 {
+                // Zero the accumulator lazily: the common uncontended
+                // frame has no interferers and skips the O(n) clear.
+                intf_acc.resize(n, 0.0);
             }
             intf_count += 1;
             if ov >= 1.0 {
@@ -1345,9 +1569,8 @@ impl WlanWorld {
         }
         for &r in candidates.iter() {
             let power = rx_power[r];
-            let was_audible = self.stations[r].audible.remove(tx_id);
-            let s = &self.stations[r];
-            if !s.awake || s.channel != channel {
+            let was_audible = self.dcf.audible[r].remove(tx_id);
+            if !self.dcf.awake[r] || self.dcf.channel[r] != channel {
                 continue;
             }
             if !self.audible_at(power) && !was_audible {
@@ -1359,38 +1582,51 @@ impl WlanWorld {
                 self.stations[r].stats.rx_errors += 1;
                 continue;
             }
-            let intf_mw = intf_acc[r];
-            let rec = &self.records[idx];
             let success = if !self.cfg.capture && intf_count > 0 {
                 false
             } else {
                 let denom = if intf_count == 0 {
                     noise
                 } else {
-                    sum_powers(&[noise, Dbm::from_milliwatts(intf_mw)]).expect("two terms")
+                    // Inlined two-term `sum_powers(&[noise, from_mw(intf)])`
+                    // with the noise conversion hoisted: the addend order
+                    // and the dB↔mW round trip on the interference sum are
+                    // byte-for-byte what the helper computes.
+                    Dbm::from_milliwatts(
+                        noise_mw + Dbm::from_milliwatts(intf_acc[r]).to_milliwatts(),
+                    )
                 };
                 let sinr = power - denom;
-                let p_ok = rec
-                    .rate
-                    .success_prob(sinr.value(), rec.frame.wire_len() as u64 * 8);
+                let p_ok = self.prob_cache.success_prob(rate, sinr.value(), wire_bits);
                 self.rng.chance(p_ok)
             };
             if success {
-                decoded.push((r, Rc::clone(&self.records[idx].frame), power));
+                decoded.push((r, power));
             } else {
                 self.stations[r].stats.rx_errors += 1;
             }
         }
         self.txsrc_scratch = tx_srcs;
         self.intf_scratch = intf_acc;
+        self.overlap_scratch = overlapping;
 
         // Source-side continuation: arm response timeout or complete.
-        self.continue_after_own_tx(src, tx_id, now, sched);
+        self.continue_after_own_tx(src, subtype, is_group, now, sched);
 
-        // Receiver-side processing.
-        for (r, frame, power) in decoded {
-            self.process_decoded(r, frame, power, now, sched);
+        // Receiver-side processing. The wire frame is checked out of
+        // its slot for the duration — delivery needs `&Frame` alongside
+        // arbitrary `&mut` world mutation, and every receiver shares
+        // the same wire image. Nothing below can release the record's
+        // reference (pruning runs at the end of this function), so the
+        // slot stays allocated throughout.
+        if !decoded.is_empty() {
+            let frame = self.frames.take(frame_id);
+            for &(r, power) in &decoded {
+                self.process_decoded(r, &frame, power, now, sched);
+            }
+            self.frames.restore(frame_id, frame);
         }
+        self.decoded_scratch = decoded;
 
         // Idle edges: resume frozen access procedures. Only contenders
         // (armed backoff, timer not counting) can react; the wait-list
@@ -1402,32 +1638,36 @@ impl WlanWorld {
         scratch.clear();
         self.contenders.collect_into(&mut scratch);
         for &r in &scratch {
-            if self.medium_idle(r, now) && self.stations[r].backoff_slots.is_some() {
+            if self.medium_idle(r, now) && self.dcf.backoff_slots[r].is_some() {
                 self.try_arm_access(r, now, sched);
             }
         }
         self.rearm_scratch = scratch;
 
-        // Prune stale records (keep a 50 ms interference horizon).
+        // Prune stale records (keep a 50 ms interference horizon),
+        // returning each pruned record's frame reference to the arena.
         let horizon = now.saturating_duration_since(SimTime::ZERO);
         if horizon.as_nanos() > 50_000_000 {
             let cutoff = now - SimDuration::from_millis(50);
-            self.records.retain(|rec| !rec.done || rec.end > cutoff);
+            let frames = &mut self.frames;
+            self.records.retain(|rec| {
+                let keep = !rec.done || rec.end > cutoff;
+                if !keep {
+                    frames.release(rec.frame);
+                }
+                keep
+            });
         }
     }
 
     fn continue_after_own_tx(
         &mut self,
         src: StationId,
-        tx_id: u64,
+        subtype: Subtype,
+        is_group: bool,
         now: SimTime,
         sched: &mut Scheduler<MacEvent>,
     ) {
-        let Some(rec) = self.records.iter().find(|r| r.id == tx_id) else {
-            return;
-        };
-        let subtype = rec.frame.fc.subtype;
-        let is_group = rec.frame.receiver().is_group();
         match subtype {
             Subtype::Ack | Subtype::Cts => {
                 // Control responses need no follow-up from us.
@@ -1437,7 +1677,7 @@ impl WlanWorld {
                     if is_group {
                         // Broadcast: complete immediately, no ACK.
                         self.complete_attempt(src, true, now, sched);
-                    } else if let Some((exp, gen)) = self.stations[src].expecting {
+                    } else if let Some((exp, gen)) = self.dcf.expecting[src] {
                         // Arm the CTS/ACK timeout.
                         let resp_air = match exp {
                             Expecting::Cts => cts_airtime(self.cfg.standard),
@@ -1454,7 +1694,7 @@ impl WlanWorld {
     fn process_decoded(
         &mut self,
         r: StationId,
-        frame: Rc<Frame>,
+        frame: &Frame,
         rssi: Dbm,
         now: SimTime,
         sched: &mut Scheduler<MacEvent>,
@@ -1465,8 +1705,8 @@ impl WlanWorld {
             // Virtual carrier sense: honour the Duration field (§4.2).
             if frame.duration_id & 0x8000 == 0 && frame.duration_id > 0 {
                 let nav = now + SimDuration::from_micros(frame.duration_id as u64);
-                if nav > self.stations[r].nav_until {
-                    self.stations[r].nav_until = nav;
+                if nav > self.dcf.nav_until[r] {
+                    self.dcf.nav_until[r] = nav;
                     self.trace.event(
                         now,
                         Level::Debug,
@@ -1487,7 +1727,7 @@ impl WlanWorld {
             Subtype::Cts => self.on_cts(r, now, sched),
             Subtype::Rts => {
                 // Respond with CTS after SIFS if our NAV permits.
-                if self.stations[r].nav_until <= now {
+                if self.dcf.nav_until[r] <= now {
                     let std = self.cfg.standard;
                     let cts = Frame::cts(
                         frame.transmitter().expect("RTS carries TA"),
@@ -1498,7 +1738,7 @@ impl WlanWorld {
             }
             Subtype::PsPoll => {
                 self.stations[r].stats.rx_accepted += 1;
-                self.with_upper(r, now, sched, |u, ctx| u.on_frame(ctx, &frame, rssi));
+                self.with_upper(r, now, sched, |u, ctx| u.on_frame(ctx, frame, rssi));
             }
             _ => {
                 // Data / management.
@@ -1526,12 +1766,12 @@ impl WlanWorld {
                     let full = self.stations[r].reassembly.remove(&key).unwrap_or_default();
                     // Rare path: reassembly genuinely needs its own copy
                     // to splice the rebuilt body in.
-                    let mut complete = (*frame).clone();
+                    let mut complete = frame.clone();
                     complete.body = full;
                     complete.fc.more_fragments = false;
                     self.deliver(r, &complete, rssi, now, sched);
                 } else {
-                    self.deliver(r, &frame, rssi, now, sched);
+                    self.deliver(r, frame, rssi, now, sched);
                 }
             }
         }
@@ -1563,15 +1803,15 @@ impl WlanWorld {
     }
 
     fn on_ack(&mut self, id: StationId, now: SimTime, sched: &mut Scheduler<MacEvent>) {
-        let Some((Expecting::Ack, _)) = self.stations[id].expecting else {
+        let Some((Expecting::Ack, _)) = self.dcf.expecting[id] else {
             return;
         };
-        self.stations[id].expecting = None;
-        self.stations[id].timer_gen += 1; // Cancel the timeout.
+        self.dcf.expecting[id] = None;
+        self.dcf.timer_gen[id] += 1; // Cancel the timeout.
         let peer = self.stations[id]
             .current
             .as_ref()
-            .map(|a| a.msdu.frame.receiver());
+            .map(|a| self.frames.get(a.msdu.frame).receiver());
         if let Some(p) = peer {
             self.stations[id].arf.on_success(p);
         }
@@ -1584,7 +1824,11 @@ impl WlanWorld {
             at.short_retries = 0;
             at.long_retries = 0;
             at.is_retry = false;
-            at.built = None;
+            if let Some(b) = at.built.take() {
+                // The acknowledged fragment's wire frame is done; only
+                // the in-flight record still references it.
+                self.frames.release(b);
+            }
             if !at.frag_ranges.is_empty() {
                 at.frag_number += 1;
                 true
@@ -1602,11 +1846,11 @@ impl WlanWorld {
 
     fn on_cts(&mut self, id: StationId, now: SimTime, sched: &mut Scheduler<MacEvent>) {
         let _ = now;
-        let Some((Expecting::Cts, _)) = self.stations[id].expecting else {
+        let Some((Expecting::Cts, _)) = self.dcf.expecting[id] else {
             return;
         };
-        self.stations[id].expecting = None;
-        self.stations[id].timer_gen += 1;
+        self.dcf.expecting[id] = None;
+        self.dcf.timer_gen[id] += 1;
         if let Some(at) = self.stations[id].current.as_mut() {
             at.cts_received = true;
         }
@@ -1624,29 +1868,31 @@ impl WlanWorld {
         let Some(at) = self.stations[id].current.take() else {
             return;
         };
-        {
+        self.dcf.expecting[id] = None;
+        self.dcf.cw[id] = cw_min;
+        if success {
             let s = &mut self.stations[id];
-            s.expecting = None;
-            if success {
-                s.stats.tx_completions += 1;
-                let delay_us = now
-                    .saturating_duration_since(at.msdu.enqueued)
-                    .as_micros_f64();
-                s.stats.access_delay_us.record(delay_us);
-                self.access_delay_hist.record(delay_us as u64);
-                s.cw = cw_min;
-            } else {
-                s.stats.tx_failures += 1;
-                s.cw = cw_min;
-            }
+            s.stats.tx_completions += 1;
+            let delay_us = now
+                .saturating_duration_since(at.msdu.enqueued)
+                .as_micros_f64();
+            s.stats.access_delay_us.record(delay_us);
+            self.access_delay_hist.record(delay_us as u64);
+        } else {
+            self.stations[id].stats.tx_failures += 1;
         }
-        // Hand the upper layer the MSDU as it queued it: the original
-        // body restored (it was taken into the attempt at queue time)
-        // and the More Fragments bit clear — fragmentation is a MAC
-        // transfer detail, finished either way by now.
-        let mut frame = at.msdu.frame;
+        // Hand the upper layer the MSDU as it queued it: moved out of
+        // the arena with the original body restored (it was taken into
+        // the attempt at queue time) and the More Fragments bit clear —
+        // fragmentation is a MAC transfer detail, finished either way
+        // by now.
+        let mut frame = self.frames.remove(at.msdu.frame);
         frame.body = at.body;
         frame.fc.more_fragments = false;
+        if let Some(b) = at.built {
+            // A failed attempt can still hold a cached wire frame.
+            self.frames.release(b);
+        }
         self.trace.event(
             now,
             Level::Debug,
@@ -1682,18 +1928,18 @@ impl WlanWorld {
         now: SimTime,
         sched: &mut Scheduler<MacEvent>,
     ) {
-        let Some((exp, g)) = self.stations[id].expecting else {
+        let Some((exp, g)) = self.dcf.expecting[id] else {
             return;
         };
         if g != gen {
             return;
         }
-        self.stations[id].expecting = None;
+        self.dcf.expecting[id] = None;
 
         let peer = self.stations[id]
             .current
             .as_ref()
-            .map(|a| a.msdu.frame.receiver());
+            .map(|a| self.frames.get(a.msdu.frame).receiver());
         if let Some(p) = peer {
             self.stations[id].arf.on_failure(p);
         }
@@ -1705,11 +1951,13 @@ impl WlanWorld {
                 return;
             };
             if !at.is_retry {
-                // The retry bit flips into the wire image; drop the
+                // The retry bit flips into the wire image; release the
                 // cached frame so the next transmit rebuilds it. Later
                 // retries of the same fragment reuse that rebuild.
                 at.is_retry = true;
-                at.built = None;
+                if let Some(b) = at.built.take() {
+                    self.frames.release(b);
+                }
             }
             let exceeded = match exp {
                 Expecting::Cts => {
@@ -1745,8 +1993,8 @@ impl WlanWorld {
                 },
             );
             // Double the contention window and re-contend (BEB).
-            let s = &mut self.stations[id];
-            s.cw = ((s.cw + 1) * 2 - 1).min(self.cfg.cw_max());
+            let cw = &mut self.dcf.cw[id];
+            *cw = ((*cw + 1) * 2 - 1).min(self.cfg.cw_max());
             self.begin_access(id, now, sched);
         }
     }
@@ -1764,13 +2012,14 @@ impl WlanWorld {
         if g != gen {
             return;
         }
-        if self.stations[id].transmitting.is_some() {
+        if self.dcf.transmitting[id].is_some() {
             return; // Half-duplex guard.
         }
         match action {
             PendingTx::Control(frame) => {
                 let rate = self.cfg.standard.base_rate();
-                self.start_transmission(id, Rc::new(frame), rate, now, sched);
+                let fid = self.frames.insert(frame);
+                self.start_transmission(id, fid, rate, now, sched);
             }
             PendingTx::NextFragment | PendingTx::DataAfterCts => {
                 self.transmit_current(id, now, sched);
@@ -1794,11 +2043,11 @@ impl World for WlanWorld {
             }
             MacEvent::TxEnd { tx_id } => self.handle_tx_end(tx_id, now, sched),
             MacEvent::AccessTimer { station, gen } => {
-                if self.stations[station].timer_gen != gen {
+                if self.dcf.timer_gen[station] != gen {
                     return;
                 }
-                self.stations[station].access_armed_at = None;
-                self.stations[station].backoff_slots = None;
+                self.dcf.access_armed_at[station] = None;
+                self.dcf.backoff_slots[station] = None;
                 self.contenders.remove(station);
                 if self.stations[station].current.is_some() {
                     self.transmit_current(station, now, sched);
@@ -1811,8 +2060,7 @@ impl World for WlanWorld {
                 self.handle_sifs_action(station, gen, now, sched);
             }
             MacEvent::NavExpired { station } => {
-                if self.stations[station].backoff_slots.is_some() && self.medium_idle(station, now)
-                {
+                if self.dcf.backoff_slots[station].is_some() && self.medium_idle(station, now) {
                     self.try_arm_access(station, now, sched);
                 }
             }
@@ -1833,9 +2081,12 @@ impl World for WlanWorld {
                 }
             }
             MacEvent::Inject { station, frame } => {
-                self.enqueue(station, frame, now, sched);
+                self.staged -= 1;
+                self.enqueue_id(station, frame, now, sched);
             }
             MacEvent::TxDropped { station, frame } => {
+                self.staged -= 1;
+                let frame = self.frames.remove(frame);
                 self.with_upper(station, now, sched, |u, ctx| {
                     u.on_tx_result(ctx, &frame, false)
                 });
@@ -1848,6 +2099,21 @@ impl World for WlanWorld {
 pub fn boot(sim: &mut wn_sim::Simulation<WlanWorld>) {
     sim.scheduler_mut()
         .schedule_at(SimTime::ZERO, MacEvent::Boot);
+}
+
+/// Stages `frame` into the world's arena and schedules its injection
+/// into `station`'s transmit queue at `at` — the one-call form of
+/// [`WlanWorld::stage_frame`] plus a [`MacEvent::Inject`], used by
+/// traffic generators and scenario set-up.
+pub fn inject_at(
+    sim: &mut wn_sim::Simulation<WlanWorld>,
+    at: SimTime,
+    station: StationId,
+    frame: Frame,
+) {
+    let frame = sim.world_mut().stage_frame(frame);
+    sim.scheduler_mut()
+        .schedule_at(at, MacEvent::Inject { station, frame });
 }
 
 #[cfg(test)]
@@ -1890,10 +2156,7 @@ mod tests {
     }
 
     fn inject(sim: &mut Simulation<WlanWorld>, at_ms: u64, station: StationId, frame: Frame) {
-        sim.scheduler_mut().schedule_at(
-            SimTime::from_millis(at_ms),
-            MacEvent::Inject { station, frame },
-        );
+        inject_at(sim, SimTime::from_millis(at_ms), station, frame);
     }
 
     #[test]
@@ -2308,12 +2571,11 @@ mod tests {
         let mut sim = Simulation::new(w);
         boot(&mut sim);
         inject(&mut sim, 1, a, data_frame(0, 2, 4000));
-        sim.scheduler_mut().schedule_at(
+        inject_at(
+            &mut sim,
             SimTime::from_micros(2_100),
-            MacEvent::Inject {
-                station: b,
-                frame: data_frame(1, 2, 400),
-            },
+            b,
+            data_frame(1, 2, 400),
         );
         sim.run_until(SimTime::from_secs(1));
         let w = sim.world();
@@ -2366,10 +2628,10 @@ mod tests {
         );
         for id in [a, r, b] {
             assert!(
-                w.stations[id].audible.is_empty(),
+                w.dcf.audible[id].is_empty(),
                 "station {id} still hears a finished transmission"
             );
-            assert!(w.stations[id].transmitting.is_none());
+            assert!(w.dcf.transmitting[id].is_none());
         }
     }
 
@@ -2751,12 +3013,11 @@ mod tests {
         boot(&mut sim);
         for i in 0..2000u64 {
             // Keep the queue fed.
-            sim.scheduler_mut().schedule_at(
+            inject_at(
+                &mut sim,
                 SimTime::from_micros(i * 400),
-                MacEvent::Inject {
-                    station: a,
-                    frame: data_frame(0, 1, 1500),
-                },
+                a,
+                data_frame(0, 1, 1500),
             );
         }
         sim.run_until(SimTime::from_secs(1));

@@ -93,16 +93,18 @@ impl<E> Ord for Scheduled<E> {
 /// Both back ends order events by the same packed [`event_key`], so
 /// any deterministic simulation produces byte-identical traces and
 /// metrics under either — the differential tests in `wn-check` and
-/// `tests/determinism.rs` enforce exactly that. The binary heap is the
-/// reference implementation; the timer wheel ([`crate::wheel`]) trades
-/// comparison sifts for O(1) bucketing and wins on dense MAC timer
-/// workloads with large pending queues.
+/// `tests/determinism.rs` enforce exactly that. The timer wheel
+/// ([`crate::wheel`]) is the default: it trades comparison sifts for
+/// O(1) bucketing and wins on dense MAC timer workloads with large
+/// pending queues, and a 500-seed dual-scheduler fuzz soak pins it
+/// byte-identical to the heap. The binary heap stays selectable as the
+/// reference implementation (`--scheduler heap` on the CLI tools).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum SchedulerKind {
     /// `std::collections::BinaryHeap` — the reference back end.
-    #[default]
     BinaryHeap,
-    /// Hierarchical timer wheel / calendar queue.
+    /// Hierarchical timer wheel / calendar queue — the default.
+    #[default]
     TimerWheel,
 }
 
@@ -162,10 +164,10 @@ impl<E> Default for Scheduler<E> {
 }
 
 impl<E> Scheduler<E> {
-    /// Creates an empty scheduler at time zero using the reference
-    /// binary-heap back end.
+    /// Creates an empty scheduler at time zero using the default back
+    /// end ([`SchedulerKind::TimerWheel`]).
     pub fn new() -> Self {
-        Self::with_kind(SchedulerKind::BinaryHeap)
+        Self::with_kind(SchedulerKind::default())
     }
 
     /// Creates an empty scheduler at time zero on the given back end.
@@ -328,9 +330,9 @@ pub struct Simulation<W: World> {
 
 impl<W: World> Simulation<W> {
     /// Creates a simulation around `world` with an empty event queue on
-    /// the reference binary-heap scheduler.
+    /// the default scheduler ([`SchedulerKind::TimerWheel`]).
     pub fn new(world: W) -> Self {
-        Self::with_scheduler(world, SchedulerKind::BinaryHeap)
+        Self::with_scheduler(world, SchedulerKind::default())
     }
 
     /// Creates a simulation around `world` draining the given scheduler
@@ -691,7 +693,9 @@ mod tests {
             assert_eq!(kind.label().parse::<SchedulerKind>().unwrap(), kind);
         }
         assert!("calendar".parse::<SchedulerKind>().is_err());
-        assert_eq!(SchedulerKind::default(), SchedulerKind::BinaryHeap);
+        // The wheel earned the default via the 500-seed dual soak; the
+        // heap remains the selectable reference back end.
+        assert_eq!(SchedulerKind::default(), SchedulerKind::TimerWheel);
     }
 
     #[test]

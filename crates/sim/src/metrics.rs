@@ -346,16 +346,43 @@ mod tests {
         assert_eq!(jsonl.lines().count(), 3);
     }
 
+    fn gauge_field(snap: &MetricsSnapshot, field: &str) -> f64 {
+        let row = &snap.rows[0];
+        assert_eq!(row.kind, "gauge");
+        row.fields.iter().find(|(f, _)| *f == field).unwrap().1
+    }
+
     #[test]
     fn gauge_snapshot_uses_capture_time() {
         let mut reg = MetricsRegistry::new();
         reg.gauge("mac", "queue_depth", Some(0), SimTime::ZERO, 0.0)
             .set(SimTime::from_millis(10), 4.0);
         let snap = reg.snapshot(SimTime::from_millis(20));
-        let row = &snap.rows[0];
-        assert_eq!(row.kind, "gauge");
         // 0 for 10 ms then 4 for 10 ms -> time average 2.
-        let avg = row.fields.iter().find(|(f, _)| *f == "time_avg").unwrap().1;
+        let avg = gauge_field(&snap, "time_avg");
         assert!((avg - 2.0).abs() < 1e-9, "{avg}");
+    }
+
+    /// The end-of-run flush shape `report --metrics-json` produces:
+    /// the snapshot deadline sits far past the gauge's last update, and
+    /// the interval from that update to end-of-sim must be weighted at
+    /// the *final* value. Accounting only up to last-update time would
+    /// report 2.0 here (the 0–20 ms average) instead of 1.2.
+    #[test]
+    fn gauge_end_of_run_flush_accounts_tail_interval() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("mac", "queue_depth", Some(0), SimTime::ZERO, 0.0);
+        g.set(SimTime::from_millis(10), 4.0);
+        g.set(SimTime::from_millis(20), 1.0);
+        let snap = reg.snapshot(SimTime::from_millis(100));
+        // (0·10 + 4·10 + 1·80) / 100 = 1.2 — the 80 ms tail counts.
+        let avg = gauge_field(&snap, "time_avg");
+        assert!((avg - 1.2).abs() < 1e-9, "{avg}");
+        assert_eq!(gauge_field(&snap, "current"), 1.0);
+        assert_eq!(gauge_field(&snap, "max"), 4.0);
+        // A later flush of the same registry weights the longer tail.
+        let later = reg.snapshot(SimTime::from_millis(980));
+        let avg = gauge_field(&later, "time_avg");
+        assert!((avg - (40.0 + 960.0) / 980.0).abs() < 1e-9, "{avg}");
     }
 }

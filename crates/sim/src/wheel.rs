@@ -165,6 +165,16 @@ impl<E> TimerWheel<E> {
                 // Everything pending sits past the horizon: re-anchor
                 // on the earliest overflow tick and re-bucket. Rare
                 // (needs a >19 h scheduling gap), amortised O(n).
+                //
+                // No spilled entry can be stranded here: the horizon
+                // test is `msb(tick ^ pos) < HORIZON_BITS`, i.e. "same
+                // 2^36-tick block as the cursor", and cascades never
+                // carry `pos` across a block boundary (the hierarchy
+                // only ever holds same-block ticks). So the *only* way
+                // into a new block is this branch, which re-buckets the
+                // whole spill — overflow entries can never be bypassed
+                // by later-tick hierarchy entries. Pinned by
+                // `overflow_reanchor_matches_heap_order`.
                 debug_assert!(!self.overflow.is_empty());
                 let min_tick = self
                     .overflow
@@ -353,6 +363,87 @@ mod tests {
         wheel.push(key(far + 5, 2), 2);
         assert_eq!(wheel.pop().map(|(_, t)| t), Some(1));
         assert_eq!(wheel.pop().map(|(_, t)| t), Some(2));
+    }
+
+    /// The re-anchor path (`advance` with every level empty) is the
+    /// one place the cursor crosses a 2^36-tick horizon block, and it
+    /// must re-bucket *all* spilled entries before draining resumes —
+    /// an entry left in `overflow` while the hierarchy fills with
+    /// later ticks would pop out of order. This exercises exactly that
+    /// shape: nothing but far-future entries, repeated re-anchors, and
+    /// causally-timed pushes landing both before and after the
+    /// re-anchored cursor.
+    #[test]
+    fn overflow_only_workload_reanchors_in_key_order() {
+        // Spread across many horizon blocks (one tick = 2^10 ns, one
+        // block = 2^46 ns), including same-block pairs and block edges.
+        let times = [
+            1u64 << 47,
+            (1 << 47) + (1 << 45),
+            (1 << 47) + (1 << 45) + 1024,
+            (1 << 46) - 1,
+            1 << 46,
+            (1 << 46) + 1,
+            1 << 50,
+            (1 << 50) + (1 << 44),
+            1 << 55,
+            (1 << 55) + 1,
+            u64::MAX >> 1,
+            u64::MAX,
+        ];
+        let pairs: Vec<(u128, u64)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (key(t, i as u64), i as u64))
+            .collect();
+        assert_sorted_drain(pairs);
+    }
+
+    /// Differential check against a reference heap under the engine's
+    /// causality rule, with push deltas chosen to straddle the wheel
+    /// horizon: small (same block), ~horizon (adjacent block), and far
+    /// past it (deep overflow). Catches any divergence in the
+    /// overflow/re-anchor path that single-shot drains can't reach —
+    /// e.g. a spilled entry skipped while later hierarchy ticks drain.
+    #[test]
+    fn overflow_reanchor_matches_heap_order() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        for seed in 0..40u64 {
+            let mut rng = Rng::new(0xFA2_0000 + seed);
+            let mut wheel = TimerWheel::new();
+            let mut heap: BinaryHeap<Reverse<u128>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            for _ in 0..8 {
+                let k = key(rng.next_u64() % (1 << 48), seq);
+                wheel.push(k, seq);
+                heap.push(Reverse(k));
+                seq += 1;
+            }
+            while let Some(Reverse(expect)) = heap.pop() {
+                let got = wheel.pop().map(|(k, _)| k);
+                assert_eq!(got, Some(expect), "seed {seed}: wheel diverged from heap");
+                let now = (expect >> 64) as u64;
+                // Causal pushes relative to the popped time, spanning
+                // the horizon: same tick, same block, block edge, and
+                // deep overflow.
+                if seq < 400 {
+                    for _ in 0..(rng.next_u64() % 3) {
+                        let delta = match rng.next_u64() % 4 {
+                            0 => rng.next_u64() % 4_096,
+                            1 => rng.next_u64() % (1 << 44),
+                            2 => (1 << 46) - 2048 + rng.next_u64() % 4_096,
+                            _ => (1 << 46) + rng.next_u64() % (1 << 48),
+                        };
+                        let k = key(now.saturating_add(delta), seq);
+                        wheel.push(k, seq);
+                        heap.push(Reverse(k));
+                        seq += 1;
+                    }
+                }
+            }
+            assert!(wheel.is_empty(), "seed {seed}: wheel kept entries");
+        }
     }
 
     #[test]

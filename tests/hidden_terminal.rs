@@ -15,7 +15,7 @@
 
 use wireless_networks::mac80211::addr::MacAddr;
 use wireless_networks::mac80211::frame::{DsBits, Frame, SequenceControl};
-use wireless_networks::mac80211::sim::{boot, MacConfig, MacEvent, NullUpper, WlanWorld};
+use wireless_networks::mac80211::sim::{boot, inject_at, MacConfig, NullUpper, WlanWorld};
 use wireless_networks::phy::geom::{Point, Wall};
 use wireless_networks::phy::medium::{LinkBudget, Radio};
 use wireless_networks::phy::modulation::PhyStandard;
@@ -81,19 +81,18 @@ fn run(rts_threshold: usize) -> WlanWorld {
     // resolve.
     for k in 0..FRAMES_PER_SENDER {
         for sender in [1usize, 2] {
-            sim.scheduler_mut().schedule_at(
+            inject_at(
+                &mut sim,
                 SimTime::ZERO,
-                MacEvent::Inject {
-                    station: sender,
-                    frame: Frame::data(
-                        DsBits::Ibss,
-                        MacAddr::station(0),
-                        MacAddr::station(sender as u32),
-                        MacAddr::random_ibss_bssid(1),
-                        SequenceControl::default(),
-                        vec![0xAB; PAYLOAD],
-                    ),
-                },
+                sender,
+                Frame::data(
+                    DsBits::Ibss,
+                    MacAddr::station(0),
+                    MacAddr::station(sender as u32),
+                    MacAddr::random_ibss_bssid(1),
+                    SequenceControl::default(),
+                    vec![0xAB; PAYLOAD],
+                ),
             );
         }
         let _ = k;

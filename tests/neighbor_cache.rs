@@ -6,7 +6,9 @@
 use wireless_networks::check::check_seed_opts;
 use wireless_networks::mac80211::addr::MacAddr;
 use wireless_networks::mac80211::frame::{DsBits, Frame, SequenceControl};
-use wireless_networks::mac80211::sim::{boot, MacConfig, MacEvent, NullUpper, WlanWorld};
+use wireless_networks::mac80211::sim::{
+    boot, inject_at, MacConfig, MacEvent, NullUpper, WlanWorld,
+};
 use wireless_networks::phy::geom::Point;
 use wireless_networks::phy::modulation::PhyStandard;
 use wireless_networks::sim::{Rng, SchedulerKind, SimTime, Simulation};
@@ -50,12 +52,11 @@ fn cache_stays_coherent_under_random_mobility() {
         // teleport, so cache rebuilds land mid-record too.
         for k in 0..40u64 {
             let src = 1 + (k as usize % (n - 1));
-            sim.scheduler_mut().schedule_at(
+            inject_at(
+                &mut sim,
                 SimTime::from_micros(50 + k * 400),
-                MacEvent::Inject {
-                    station: src,
-                    frame: data_to_sink(src),
-                },
+                src,
+                data_to_sink(src),
             );
         }
         let horizon_us = 30_000u64;
