@@ -37,7 +37,11 @@ fn main() {
             );
         }
         net.sim.run_until(SimTime::from_secs(1));
-        let delivered = net.shared[1].borrow().delivered.len();
+        let delivered = net.shared[1]
+            .lock()
+            .expect("shared state lock")
+            .delivered
+            .len();
         black_box(delivered)
     });
 }

@@ -28,14 +28,22 @@
 //!   with the neighbor cache on and off and fail unless the trace and
 //!   metrics fingerprints are byte-identical (the equivalence contract
 //!   of the cached hot path, including under ESS mobility).
+//! - `--shard-diff` — differential sharding mode: partition every
+//!   seed's deployment into interference shards and replay the
+//!   composition serially and under the windowed shard executor at 1,
+//!   2 and 4 workers, demanding byte-identical trace and metrics
+//!   digests (DESIGN.md §15). Range runs additionally verify a
+//!   multi-shard CITY-DCF grid the generated scenarios cannot reach.
+//!   Non-medium kinds (Bluetooth/ZigBee/WiMAX) are skipped.
 //!
 //! On any violation the process prints one line per failing seed, the
 //! one-line repro command, and exits 1.
 
 use wn_check::{
-    check_range_opts, check_range_with, check_seed_with, repro_command, run, shrink, station_count,
-    ScenarioGen,
+    check_range_opts, check_range_with, check_seed_with, repro_command, run, shard_diff_range,
+    shard_diff_seed, shrink, station_count, ScenarioGen, ShardDiffReport,
 };
+use wn_core::scenarios::city_dcf_point;
 use wn_sim::{worker_count, SchedulerKind};
 
 struct Options {
@@ -46,6 +54,7 @@ struct Options {
     threads: usize,
     dual: bool,
     cache_diff: bool,
+    shard_diff: bool,
     scheduler: SchedulerKind,
 }
 
@@ -58,6 +67,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         threads: worker_count(),
         dual: false,
         cache_diff: false,
+        shard_diff: false,
         scheduler: SchedulerKind::default(),
     };
     let mut i = 0;
@@ -90,6 +100,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--shrink" => opts.shrink = true,
             "--dual" => opts.dual = true,
             "--cache-diff" => opts.cache_diff = true,
+            "--shard-diff" => opts.shard_diff = true,
             "--scheduler" => {
                 i += 1;
                 opts.scheduler = need(i)?.parse::<SchedulerKind>()?;
@@ -213,6 +224,120 @@ fn run_cache_diff(opts: &Options) -> u64 {
     failures
 }
 
+/// Prints one failing shard differential, dual-style: the serial
+/// reference digests against every diverging windowed execution, plus
+/// any partition-soundness failure.
+fn report_shard_divergence(r: &ShardDiffReport) {
+    println!(
+        "seed {}: SHARD DIVERGENCE  {} ({} shards)",
+        r.seed, r.summary, r.shards
+    );
+    if let Some(why) = &r.incoherence {
+        println!("  plan incoherent: {why}");
+    }
+    println!(
+        "  serial:     events={} trace_fnv={:016x} metrics_fnv={:016x}",
+        r.serial.events, r.serial.trace_fnv, r.serial.metrics_fnv
+    );
+    for (workers, w) in &r.windowed {
+        if *w != r.serial {
+            println!(
+                "  {workers} worker(s): events={} trace_fnv={:016x} metrics_fnv={:016x}",
+                w.events, w.trace_fnv, w.metrics_fnv
+            );
+        }
+    }
+    println!("  repro: {} --shard-diff", repro_command(r.seed));
+}
+
+/// Differential sharding mode: every seed's deployment partitioned and
+/// replayed serial-vs-windowed; range runs add a fixed multi-shard
+/// CITY-DCF grid (12 cells on channels 1/6/11 — deeper than any
+/// generated scenario shards). Returns the number of failing seeds.
+fn run_shard_diff(opts: &Options) -> u64 {
+    let t0 = std::time::Instant::now();
+    let mut failures = 0u64;
+    if let Some(seed) = opts.single {
+        match shard_diff_seed(seed) {
+            None => println!("seed {seed}: skip (no shared medium to partition)"),
+            Some(r) if r.divergent() => {
+                failures += 1;
+                report_shard_divergence(&r);
+            }
+            Some(r) => println!(
+                "seed {seed}: ok  {} ({} shards, {} events, trace_fnv={:016x})",
+                r.summary, r.shards, r.serial.events, r.serial.trace_fnv
+            ),
+        }
+        if failures > 0 {
+            return failures;
+        }
+        println!("shard-diff: seed {seed} byte-identical across {{serial, 1, 2, 4 workers}}");
+        return 0;
+    }
+
+    let reports = shard_diff_range(opts.start, opts.count, opts.threads);
+    let (mut skipped, mut ran, mut multi) = (0u64, 0u64, 0u64);
+    for r in &reports {
+        match r {
+            None => skipped += 1,
+            Some(r) => {
+                ran += 1;
+                if r.shards > 1 {
+                    multi += 1;
+                }
+                if r.divergent() {
+                    failures += 1;
+                    report_shard_divergence(r);
+                }
+            }
+        }
+    }
+
+    // The city leg: a grid the scenario generator cannot produce —
+    // every cell its own shard, all worker counts, byte-identical.
+    let city = city_dcf_point(3, 4, 12, 60, 42);
+    if !city.byte_identical() {
+        failures += 1;
+        println!(
+            "CITY-DCF grid: SHARD DIVERGENCE  {} cells -> {} shards{}",
+            city.cells,
+            city.shards,
+            city.incoherence
+                .as_deref()
+                .map(|w| format!("  (plan incoherent: {w})"))
+                .unwrap_or_default()
+        );
+        println!(
+            "  serial:     events={} trace_fnv={:016x} metrics_fnv={:016x}",
+            city.serial.events, city.serial.trace_fnv, city.serial.metrics_fnv
+        );
+        for (workers, w) in &city.windowed {
+            if *w != city.serial {
+                println!(
+                    "  {workers} worker(s): events={} trace_fnv={:016x} metrics_fnv={:016x}",
+                    w.events, w.trace_fnv, w.metrics_fnv
+                );
+            }
+        }
+    }
+
+    println!(
+        "shard-diff fuzz: {} seeds ({}..{}) x {{serial, 1, 2, 4 workers}} + a {}-cell CITY-DCF grid on {} workers in {:.2}s: {} failing ({} run, {} multi-shard, {} skipped)",
+        opts.count,
+        opts.start,
+        opts.start + opts.count,
+        city.cells,
+        opts.threads,
+        t0.elapsed().as_secs_f64(),
+        failures,
+        ran,
+        multi,
+        skipped
+    );
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse(&args) {
@@ -231,6 +356,12 @@ fn main() {
     }
     if opts.cache_diff {
         if run_cache_diff(&opts) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if opts.shard_diff {
+        if run_shard_diff(&opts) > 0 {
             std::process::exit(1);
         }
         return;

@@ -24,14 +24,24 @@
 //! payload-free through each queue (the isolated queue-cost
 //! comparison, since the full run is dominated by MAC/PHY compute).
 //!
-//! `--section neighbors` (or `scheduler`) runs just that section and
-//! prints its JSON object — the CI smoke path, which wants the
-//! section's equivalence assertions without the full campaign cost.
+//! A `shards` section times the spatially-sharded executor on the
+//! CITY-DCF flagship city (one interference shard per BSS): the serial
+//! component composition against the windowed executor at 1, 2 and 4
+//! workers. Digests must be byte-identical in every mode; the speedup
+//! verdict is recorded only on multi-core hosts (a single-core box
+//! degenerates windowed to serial, see DESIGN.md §15).
+//!
+//! `--section neighbors` (or `scheduler`, `arena`, `shards`) runs just
+//! that section and prints its JSON object — the CI smoke path, which
+//! wants the section's equivalence assertions without the full
+//! campaign cost.
 
 use std::time::Instant;
 
 use wn_core::runner;
-use wn_core::scenarios::{scale_dcf_op_log, scale_dcf_point, scale_dcf_point_opts};
+use wn_core::scenarios::{
+    city_dcf_run, city_dcf_size, scale_dcf_op_log, scale_dcf_point, scale_dcf_point_opts,
+};
 use wn_sim::{
     global_events_processed, replay_ops, set_observability, worker_count, SchedulerKind, OP_POP,
 };
@@ -70,7 +80,7 @@ fn main() {
                     Some(s) => section = Some(s.clone()),
                     None => {
                         eprintln!(
-                            "--section needs a name (supported: neighbors, scheduler, arena)"
+                            "--section needs a name (supported: neighbors, scheduler, arena, shards)"
                         );
                         std::process::exit(2);
                     }
@@ -113,8 +123,11 @@ fn main() {
             "neighbors" => neighbors_section(),
             "scheduler" => scheduler_section(),
             "arena" => arena_section(),
+            "shards" => shards_section(),
             other => {
-                eprintln!("unknown section '{other}' (supported: neighbors, scheduler, arena)");
+                eprintln!(
+                    "unknown section '{other}' (supported: neighbors, scheduler, arena, shards)"
+                );
                 std::process::exit(2);
             }
         };
@@ -190,9 +203,11 @@ fn main() {
     let scheduler = scheduler_section();
     let scheduler = scheduler.trim_end();
     let arena = arena_section();
+    let arena = arena.trim_end();
+    let shards = shards_section();
 
     let json = format!(
-        "{{\n  \"campaign\": \"EXPERIMENTS.md full regeneration\",\n  \"host_cores\": {cores},\n  \"identical_output\": true,\n  \"serial\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"parallel\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_off\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_overhead\": {:.3},\n  {speedup_json},\n{neighbors},\n{scheduler},\n{arena}}}\n",
+        "{{\n  \"campaign\": \"EXPERIMENTS.md full regeneration\",\n  \"host_cores\": {cores},\n  \"identical_output\": true,\n  \"serial\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"parallel\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_off\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_overhead\": {:.3},\n  {speedup_json},\n{neighbors},\n{scheduler},\n{arena},\n{shards}}}\n",
         serial.threads,
         serial.wall_s,
         serial.events,
@@ -351,6 +366,83 @@ fn arena_section() -> String {
         heap_rate / BASELINE_HEAP_EV_S,
         wheel_rate / BASELINE_WHEEL_EV_S,
     )
+}
+
+/// Benchmarks the windowed shard executor against the serial component
+/// composition on the CITY-DCF flagship city and returns the
+/// `"shards"` JSON object (indented two spaces, trailing newline).
+/// Every mode must produce byte-identical trace and metrics digests —
+/// that assertion always runs; the speedup number is recorded only
+/// when the host has ≥2 cores (otherwise `null`, with a verdict string
+/// saying why), mirroring the campaign-level speedup gate.
+fn shards_section() -> String {
+    const SEED: u64 = 42;
+    const WORKERS: [usize; 3] = [1, 2, 4];
+    let (rows, cols, senders, duration_ms) = city_dcf_size();
+    let cells = rows * cols;
+    let stations = cells * (senders + 1);
+
+    eprintln!(
+        "perfsuite: CITY-DCF {cells} cells / {stations} stations, {duration_ms}ms: serial composition…"
+    );
+    let t0 = Instant::now();
+    let serial = city_dcf_run(rows, cols, senders, duration_ms, SEED, None);
+    let serial_s = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "perfsuite: serial composition {serial_s:.3} s ({:.0} ev/s)",
+        serial.events as f64 / serial_s
+    );
+
+    let mut windowed = Vec::new();
+    for w in WORKERS {
+        eprintln!("perfsuite: CITY-DCF windowed shard executor, {w} worker(s)…");
+        let t0 = Instant::now();
+        let r = city_dcf_run(rows, cols, senders, duration_ms, SEED, Some(w));
+        let wall = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "perfsuite: windowed x{w}: {wall:.3} s ({:.0} ev/s)",
+            r.events as f64 / wall
+        );
+        assert_eq!(
+            (r.events, r.trace_fnv, r.metrics_fnv),
+            (serial.events, serial.trace_fnv, serial.metrics_fnv),
+            "windowed shard executor at {w} worker(s) diverged from the serial composition"
+        );
+        windowed.push((w, wall, r));
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let best = windowed
+        .iter()
+        .map(|(_, wall, _)| *wall)
+        .fold(f64::INFINITY, f64::min);
+    let speedup_json = if cores < 2 {
+        "\"speedup\": null,\n    \"speedup_verdict\": \"skipped: single-core host, windowed executor degenerates to serial\"".to_string()
+    } else {
+        format!(
+            "\"speedup\": {:.2},\n    \"speedup_verdict\": \"windowed best-of over serial on {cores} cores\"",
+            serial_s / best
+        )
+    };
+
+    let mut out = format!(
+        "  \"shards\": {{\n    \"workload\": \"CITY-DCF rows={rows} cols={cols} senders_per_cell={senders} duration_ms={duration_ms} seed={SEED} ({cells} cells, {stations} stations, one shard per cell)\",\n    \"serial\": {{ \"wall_s\": {serial_s:.3}, \"events\": {}, \"events_per_s\": {:.0} }},\n",
+        serial.events,
+        serial.events as f64 / serial_s,
+    );
+    for (w, wall, r) in &windowed {
+        out.push_str(&format!(
+            "    \"windowed_w{w}\": {{ \"wall_s\": {wall:.3}, \"events_per_s\": {:.0} }},\n",
+            r.events as f64 / wall,
+        ));
+    }
+    out.push_str(&format!(
+        "    \"trace_fnv\": \"{:016x}\",\n    \"metrics_fnv\": \"{:016x}\",\n    \"identical_output\": true,\n    {speedup_json}\n  }}\n",
+        serial.trace_fnv, serial.metrics_fnv,
+    ));
+    out
 }
 
 /// Benchmarks the neighbor-cache hot path against the direct O(n)

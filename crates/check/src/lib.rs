@@ -33,6 +33,7 @@
 pub mod oracle;
 pub mod run;
 pub mod scenario;
+pub mod shard;
 pub mod shrink;
 
 pub use oracle::{oracles, Invariant, Violation};
@@ -42,6 +43,10 @@ pub use run::{
     run_scenario_with, SeedReport,
 };
 pub use scenario::{Scenario, ScenarioGen, ScenarioKind};
+pub use shard::{
+    component_seed, shard_diff_range, shard_diff_scenario, shard_diff_seed, ShardDiffReport,
+    SHARD_WORKER_COUNTS,
+};
 pub use shrink::{shrink, station_count};
 
 /// The one-line command that replays and minimises a failing seed.

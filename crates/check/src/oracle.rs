@@ -52,6 +52,7 @@ pub fn oracles() -> Vec<Box<dyn Invariant>> {
         Box::new(ZigbeeConservation),
         Box::new(BtConservation),
         Box::new(WmanGrantConservation),
+        Box::new(ShardCoherence),
     ]
 }
 
@@ -268,6 +269,33 @@ impl Invariant for FrameLedgerBalanced {
             }
         }
         out
+    }
+}
+
+/// The interference-shard partition stays sound for the whole run:
+/// the runner computes the deployment's shard plan at construction
+/// time and re-validates it against the live world at every slice
+/// boundary (`WlanWorld::shard_plan_incoherence`) — no coupled pair
+/// straddling shards, every cross-shard pair's propagation delay at
+/// least the plan lookahead, station set unchanged. Mobility patches
+/// land between slices, so a partition invalidated by movement (or a
+/// planner bug) surfaces here instead of silently desynchronizing a
+/// sharded execution.
+pub struct ShardCoherence;
+
+impl Invariant for ShardCoherence {
+    fn name(&self) -> &'static str {
+        "shard-coherence"
+    }
+
+    fn check(&self, art: &Artifacts) -> Vec<Violation> {
+        let Some(w) = &art.wlan else {
+            return Vec::new();
+        };
+        w.shard_coherence
+            .iter()
+            .map(|detail| v(self.name(), detail.clone()))
+            .collect()
     }
 }
 

@@ -8,9 +8,9 @@
 //! a pathological scenario still overflows it, those oracles skip
 //! rather than reason from an incomplete window.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use crate::oracle::{self, Violation};
 use crate::scenario::{
@@ -69,6 +69,13 @@ pub struct WlanFacts {
     /// holder that forgot to release) shows up as a growing left side;
     /// a double release panics in debug long before it gets here.
     pub ledger: Vec<(u64, u64)>,
+    /// Shard-plan incoherences sampled at the same slice boundaries as
+    /// the ledger: the interference partition computed at construction
+    /// time is re-validated against the live world after every slice
+    /// (and therefore after every mobility patch the slice absorbed).
+    /// Empty means the partition stayed sound; the `shard-coherence`
+    /// oracle reports anything else.
+    pub shard_coherence: Vec<String>,
 }
 
 /// End-state facts from a ZigBee run.
@@ -125,16 +132,16 @@ pub struct Artifacts {
 
 /// Trace ring size for fuzz runs — big enough that no scenario the
 /// generator can draw evicts records.
-const TRACE_CAPACITY: usize = 1 << 17;
+pub(crate) const TRACE_CAPACITY: usize = 1 << 17;
 
 /// A shared `(receiver, transmitter, sequence)` delivery log.
-type DeliveryLog = Rc<RefCell<Vec<(u32, [u8; 6], u16)>>>;
+pub(crate) type DeliveryLog = Arc<Mutex<Vec<(u32, [u8; 6], u16)>>>;
 
 /// An [`UpperLayer`] that records every unicast data delivery, so the
 /// duplicate-delivery oracle can look for MSDUs that slipped past the
 /// dedup cache.
-struct CheckUpper {
-    delivered: DeliveryLog,
+pub(crate) struct CheckUpper {
+    pub(crate) delivered: DeliveryLog,
 }
 
 impl UpperLayer for CheckUpper {
@@ -146,9 +153,11 @@ impl UpperLayer for CheckUpper {
             return;
         }
         if let (Some(tx), Some(seq)) = (frame.transmitter(), frame.seq) {
-            self.delivered
-                .borrow_mut()
-                .push((ctx.id as u32, tx.0, seq.sequence));
+            self.delivered.lock().expect("delivery log lock").push((
+                ctx.id as u32,
+                tx.0,
+                seq.sequence,
+            ));
         }
     }
 }
@@ -200,6 +209,7 @@ fn mac_counters(world: &WlanWorld, end: SimTime) -> BTreeMap<(&'static str, u32)
     counters
 }
 
+#[allow(clippy::too_many_arguments)]
 fn wlan_facts(
     world: &WlanWorld,
     end: SimTime,
@@ -207,6 +217,7 @@ fn wlan_facts(
     nav_checkable: bool,
     delivered: Vec<(u32, [u8; 6], u16)>,
     ledger: Vec<(u64, u64)>,
+    shard_coherence: Vec<String>,
 ) -> WlanFacts {
     let n = world.station_count();
     WlanFacts {
@@ -221,6 +232,7 @@ fn wlan_facts(
         nav_checkable,
         delivered,
         ledger,
+        shard_coherence,
     }
 }
 
@@ -232,7 +244,7 @@ fn wlan_facts(
 /// trivially.
 const LEDGER_SLICES: u64 = 8;
 
-fn data_frame(from: u32, to: u32, len: usize) -> Frame {
+pub(crate) fn data_frame(from: u32, to: u32, len: usize) -> Frame {
     Frame::data(
         DsBits::Ibss,
         MacAddr::station(to),
@@ -243,7 +255,10 @@ fn data_frame(from: u32, to: u32, len: usize) -> Frame {
     )
 }
 
-fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind, neighbor_cache: bool) -> Artifacts {
+/// The MAC configuration a flat-WLAN scenario maps to. Shared between
+/// the classic single-world runner and the shard component builder so
+/// the two execution modes are the same construction by definition.
+pub(crate) fn wlan_config(seed: u64, w: &WlanScenario) -> MacConfig {
     let mut cfg = MacConfig::new(w.standard);
     cfg.seed = seed;
     cfg.rts_threshold = w.rts_threshold;
@@ -255,21 +270,29 @@ fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind, neighbor_cache: bo
     cfg.cw_max_override = w.cw_max_override;
     cfg.arf = w.arf;
     cfg.failpoint_retry_overrun = w.failpoint_retry_overrun;
+    cfg
+}
 
-    let delivered = Rc::new(RefCell::new(Vec::new()));
-    let mut world = WlanWorld::new(cfg);
+/// Station `i`'s position in a flat-WLAN scenario: the sink at the
+/// origin, senders on a ring.
+pub(crate) fn wlan_station_pos(w: &WlanScenario, i: usize) -> Point {
+    if i == 0 {
+        Point::new(0.0, 0.0)
+    } else {
+        let a = i as f64 / (w.stations - 1) as f64 * std::f64::consts::TAU;
+        Point::new(w.radius_m * a.cos(), w.radius_m * a.sin())
+    }
+}
+
+fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind, neighbor_cache: bool) -> Artifacts {
+    let delivered = Arc::new(Mutex::new(Vec::new()));
+    let mut world = WlanWorld::new(wlan_config(seed, w));
     world.set_neighbor_cache(neighbor_cache);
     world.trace = Trace::new(TRACE_CAPACITY);
     for i in 0..w.stations {
-        let pos = if i == 0 {
-            Point::new(0.0, 0.0)
-        } else {
-            let a = i as f64 / (w.stations - 1) as f64 * std::f64::consts::TAU;
-            Point::new(w.radius_m * a.cos(), w.radius_m * a.sin())
-        };
         world.add_station(
             MacAddr::station(i as u32),
-            pos,
+            wlan_station_pos(w, i),
             Box::new(CheckUpper {
                 delivered: delivered.clone(),
             }),
@@ -280,6 +303,10 @@ fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind, neighbor_cache: bo
         // unicast to it walks the full retry ladder.
         world.set_channel(0, 11);
     }
+    // The interference partition this deployment would shard into —
+    // re-validated at every slice boundary below, feeding the
+    // shard-coherence oracle.
+    let plan = world.shard_plan(SimTime::ZERO, None);
 
     let mut sim = Simulation::with_scheduler(world, kind);
     wlan_boot(&mut sim);
@@ -295,16 +322,27 @@ fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind, neighbor_cache: bo
     }
     let end = SimTime::from_millis(w.duration_ms);
     let mut ledger = Vec::with_capacity(LEDGER_SLICES as usize);
+    let mut shard_coherence = Vec::new();
     for s in 1..=LEDGER_SLICES {
-        sim.run_until(SimTime::from_micros(
-            w.duration_ms * 1000 * s / LEDGER_SLICES,
-        ));
+        let slice_end = SimTime::from_micros(w.duration_ms * 1000 * s / LEDGER_SLICES);
+        sim.run_until(slice_end);
         ledger.push(sim.world().frame_ledger());
+        if let Some(inc) = sim.world().shard_plan_incoherence(&plan, slice_end) {
+            shard_coherence.push(inc.to_string());
+        }
     }
 
     let mut world = sim.into_world();
-    let delivered = std::mem::take(&mut *delivered.borrow_mut());
-    let facts = wlan_facts(&world, end, w.symmetric(), true, delivered, ledger);
+    let delivered = std::mem::take(&mut *delivered.lock().expect("delivery log lock"));
+    let facts = wlan_facts(
+        &world,
+        end,
+        w.symmetric(),
+        true,
+        delivered,
+        ledger,
+        shard_coherence,
+    );
     Artifacts {
         trace: std::mem::take(&mut world.trace),
         metrics_fnv: fnv1a(world.metrics_snapshot(end).to_jsonl("fuzz").as_bytes()),
@@ -316,7 +354,17 @@ fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind, neighbor_cache: bo
     }
 }
 
-fn run_ess(seed: u64, e: &EssScenario, kind: SchedulerKind, neighbor_cache: bool) -> Artifacts {
+/// Builds the ESS simulation a scenario describes — construction only,
+/// no events run. Shared between the classic runner and the shard
+/// harness (an ESS is always a single shard: scanning and roaming
+/// switch channels mid-run, which collapses any static conflict-graph
+/// partition, so the whole ESS advances as one component).
+pub(crate) fn build_ess_sim(
+    seed: u64,
+    e: &EssScenario,
+    kind: SchedulerKind,
+    neighbor_cache: bool,
+) -> Simulation<WlanWorld> {
     let ssid = Ssid::new("Fuzz").expect("valid ssid");
     let mut mac = MacConfig::new(wn_phy::modulation::PhyStandard::Dot11g);
     mac.seed = seed;
@@ -352,19 +400,45 @@ fn run_ess(seed: u64, e: &EssScenario, kind: SchedulerKind, neighbor_cache: bool
             SimTime::from_secs(1),
         );
     }
+    ess.sim
+}
+
+fn run_ess(seed: u64, e: &EssScenario, kind: SchedulerKind, neighbor_cache: bool) -> Artifacts {
+    let mut sim = build_ess_sim(seed, e, kind, neighbor_cache);
+    // The execution partition of an ESS is the trivial single shard
+    // (see `build_ess_sim`); re-validating it at each slice still
+    // catches station-set drift under mobility.
+    let n = sim.world().station_count();
+    let plan = wn_mac80211::shard::ShardPlan {
+        shard_of: vec![0; n],
+        shards: vec![(0..n).collect()],
+        lookahead: SimDuration::MAX,
+        max_interference_range_m: f64::INFINITY,
+    };
     let end = SimTime::from_secs(e.duration_s);
     let mut ledger = Vec::with_capacity(LEDGER_SLICES as usize);
+    let mut shard_coherence = Vec::new();
     for s in 1..=LEDGER_SLICES {
-        ess.sim.run_until(SimTime::from_millis(
-            e.duration_s * 1000 * s / LEDGER_SLICES,
-        ));
-        ledger.push(ess.sim.world().frame_ledger());
+        let slice_end = SimTime::from_millis(e.duration_s * 1000 * s / LEDGER_SLICES);
+        sim.run_until(slice_end);
+        ledger.push(sim.world().frame_ledger());
+        if let Some(inc) = sim.world().shard_plan_incoherence(&plan, slice_end) {
+            shard_coherence.push(inc.to_string());
+        }
     }
 
-    let mut world = ess.sim.into_world();
+    let mut world = sim.into_world();
     // Channel switching (scanning / roaming) silently clears NAV, so
     // NAV reasoning is unsound here; fairness likewise (uppers differ).
-    let facts = wlan_facts(&world, end, false, false, Vec::new(), ledger);
+    let facts = wlan_facts(
+        &world,
+        end,
+        false,
+        false,
+        Vec::new(),
+        ledger,
+        shard_coherence,
+    );
     Artifacts {
         trace: std::mem::take(&mut world.trace),
         metrics_fnv: fnv1a(world.metrics_snapshot(end).to_jsonl("fuzz").as_bytes()),

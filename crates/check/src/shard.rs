@@ -1,0 +1,318 @@
+//! The sharded-vs-serial differential harness (DESIGN.md §15).
+//!
+//! A fuzz scenario's deployment is partitioned into interference
+//! shards ([`WlanWorld::shard_plan`]); each shard becomes its own
+//! component world, built by the *same* construction code the classic
+//! runner uses. The composition is then executed twice:
+//!
+//! - **serial** — each component advanced straight to the horizon
+//!   with one `run_until`, one after another;
+//! - **windowed** — all components advanced in lockstep lookahead
+//!   windows on scoped threads (1, 2 and 4 workers), barrier between
+//!   windows ([`wn_mac80211::shard::run_components_windowed`]).
+//!
+//! Traces and metrics are digested in shard order in both modes, and
+//! the digests must be byte-identical — the same differential
+//! contract `--dual` enforces across scheduler back ends and
+//! `--cache-diff` across propagation paths. A single-component plan
+//! additionally bridges to the classic engine: its serial composition
+//! is the very same construction `run_scenario` executes, so the
+//! digests must equal the classic fingerprints too (verified by a
+//! unit test here).
+//!
+//! Non-WLAN scenario kinds (Bluetooth, ZigBee, WiMAX) have no shared
+//! medium to partition and are skipped ([`shard_diff_seed`] returns
+//! `None`).
+
+use crate::run::{
+    build_ess_sim, data_frame, wlan_config, wlan_station_pos, CheckUpper, TRACE_CAPACITY,
+};
+use crate::scenario::{EssScenario, Scenario, ScenarioGen, ScenarioKind, WlanScenario};
+use std::sync::{Arc, Mutex};
+use wn_mac80211::addr::MacAddr;
+use wn_mac80211::shard::{
+    executor_window, run_components_serial, run_components_windowed, ShardRunReport,
+};
+use wn_mac80211::sim::{boot as wlan_boot, inject_at, WlanWorld};
+use wn_sim::par::par_map_with;
+use wn_sim::trace::Trace;
+use wn_sim::{SchedulerKind, SimDuration, SimTime, Simulation};
+
+/// The shard-executor worker counts every differential point runs
+/// under — the "1, 2 and 4 shard configurations" of the contract.
+pub const SHARD_WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Smallest executor window the harness batches the lookahead up to
+/// (barrier crossings are pure overhead; see DESIGN.md §15 for why
+/// batching above the raw lookahead is sound here).
+const WINDOW_FLOOR: SimDuration = SimDuration::from_micros(64);
+
+pub use wn_mac80211::shard::component_seed;
+
+/// One seed's sharded-vs-serial differential outcome.
+pub struct ShardDiffReport {
+    /// The seed.
+    pub seed: u64,
+    /// Scenario one-liner.
+    pub summary: String,
+    /// Scenario kind tag.
+    pub kind: &'static str,
+    /// Number of shards the deployment partitioned into.
+    pub shards: usize,
+    /// The serial (reference) composition.
+    pub serial: ShardRunReport,
+    /// The windowed compositions, one per entry of
+    /// [`SHARD_WORKER_COUNTS`].
+    pub windowed: Vec<(usize, ShardRunReport)>,
+    /// A partition-soundness failure on the planning world, if any
+    /// (`None` = the plan validates).
+    pub incoherence: Option<String>,
+}
+
+impl ShardDiffReport {
+    /// Whether any windowed execution diverged from the serial
+    /// reference, or the plan failed validation.
+    pub fn divergent(&self) -> bool {
+        self.incoherence.is_some() || self.windowed.iter().any(|(_, r)| *r != self.serial)
+    }
+}
+
+/// Builds component `k` of a flat-WLAN scenario: the stations in
+/// `members` (global ids, ascending), at their scenario positions,
+/// with the scenario's traffic — exactly the classic construction
+/// restricted to one shard. Injection targets keep their global
+/// addresses; a sink outside this shard is simply a MAC address that
+/// never answers, which is indistinguishable from the deaf-sink fault
+/// the generator already exercises.
+fn build_wlan_component(
+    seed: u64,
+    w: &WlanScenario,
+    members: &[usize],
+    k: usize,
+) -> Simulation<WlanWorld> {
+    let mut cfg = wlan_config(seed, w);
+    cfg.seed = component_seed(seed, k);
+    let delivered = Arc::new(Mutex::new(Vec::new()));
+    let mut world = WlanWorld::new(cfg);
+    world.set_neighbor_cache(true);
+    world.trace = Trace::new(TRACE_CAPACITY);
+    for &g in members {
+        world.add_station(
+            MacAddr::station(g as u32),
+            wlan_station_pos(w, g),
+            Box::new(CheckUpper {
+                delivered: delivered.clone(),
+            }),
+        );
+    }
+    if w.deaf_sink {
+        if let Some(local) = members.iter().position(|&g| g == 0) {
+            world.set_channel(local, 11);
+        }
+    }
+    let mut sim = Simulation::new(world);
+    wlan_boot(&mut sim);
+    for (local, &g) in members.iter().enumerate() {
+        if g == 0 {
+            continue;
+        }
+        for f in 0..u64::from(w.frames_per_sender) {
+            inject_at(
+                &mut sim,
+                SimTime::from_micros(f * w.interval_us),
+                local,
+                data_frame(g as u32, 0, w.payload),
+            );
+        }
+    }
+    sim
+}
+
+fn shard_diff_wlan(sc: &Scenario, w: &WlanScenario) -> ShardDiffReport {
+    // Planning world: the same deployment, no traffic. `None` for the
+    // interference range couples every overlapping-channel pair, so
+    // the only splits are exact channel-orthogonality splits — zero
+    // spectral overlap means exactly zero leaked power, never a small
+    // number (the cross-shard silence argument, DESIGN.md §15).
+    let mut planning = WlanWorld::new(wlan_config(sc.seed, w));
+    let log = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..w.stations {
+        planning.add_station(
+            MacAddr::station(i as u32),
+            wlan_station_pos(w, i),
+            Box::new(CheckUpper {
+                delivered: log.clone(),
+            }),
+        );
+    }
+    if w.deaf_sink {
+        planning.set_channel(0, 11);
+    }
+    let plan = planning.shard_plan(SimTime::ZERO, None);
+    let incoherence = planning
+        .shard_plan_incoherence(&plan, SimTime::ZERO)
+        .map(|i| i.to_string());
+
+    let horizon = SimTime::from_millis(w.duration_ms);
+    let window = executor_window(&plan, horizon, WINDOW_FLOOR);
+    let build = |k: usize| build_wlan_component(sc.seed, w, &plan.shards[k], k);
+    let serial = run_components_serial(plan.shard_count(), horizon, "fuzz", build);
+    let windowed = SHARD_WORKER_COUNTS
+        .iter()
+        .map(|&workers| {
+            (
+                workers,
+                run_components_windowed(
+                    plan.shard_count(),
+                    horizon,
+                    window,
+                    workers,
+                    "fuzz",
+                    build,
+                ),
+            )
+        })
+        .collect();
+    ShardDiffReport {
+        seed: sc.seed,
+        summary: sc.summary(),
+        kind: sc.kind_tag(),
+        shards: plan.shard_count(),
+        serial,
+        windowed,
+        incoherence,
+    }
+}
+
+fn shard_diff_ess(sc: &Scenario, e: &EssScenario) -> ShardDiffReport {
+    // An ESS is one shard (see `build_ess_sim`), so the differential
+    // degenerates to single-run_until vs windowed-run_until over the
+    // identical world — which is precisely the slicing-invariance leg
+    // of the contract, with the thread hand-off exercised on top.
+    let horizon = SimTime::from_secs(e.duration_s);
+    let window = SimDuration::from_nanos((horizon.as_nanos() / 8).max(1));
+    let build = |_k: usize| build_ess_sim(sc.seed, e, SchedulerKind::default(), true);
+    let serial = run_components_serial(1, horizon, "fuzz", build);
+    let windowed = SHARD_WORKER_COUNTS
+        .iter()
+        .map(|&workers| {
+            (
+                workers,
+                run_components_windowed(1, horizon, window, workers, "fuzz", build),
+            )
+        })
+        .collect();
+    ShardDiffReport {
+        seed: sc.seed,
+        summary: sc.summary(),
+        kind: sc.kind_tag(),
+        shards: 1,
+        serial,
+        windowed,
+        incoherence: None,
+    }
+}
+
+/// Runs the sharded-vs-serial differential for one explicit scenario;
+/// `None` for kinds without a shared medium to partition.
+pub fn shard_diff_scenario(sc: &Scenario) -> Option<ShardDiffReport> {
+    match &sc.kind {
+        ScenarioKind::Wlan(w) => Some(shard_diff_wlan(sc, w)),
+        ScenarioKind::Ess(e) => Some(shard_diff_ess(sc, e)),
+        ScenarioKind::Bluetooth(_) | ScenarioKind::Zigbee(_) | ScenarioKind::Wman(_) => None,
+    }
+}
+
+/// Generates the scenario for `seed` and runs the sharded-vs-serial
+/// differential on it.
+pub fn shard_diff_seed(seed: u64) -> Option<ShardDiffReport> {
+    shard_diff_scenario(&ScenarioGen::default().scenario(seed))
+}
+
+/// [`shard_diff_seed`] over a seed range, fanned out over `threads`
+/// workers (each seed's differential is self-contained, so reports
+/// are identical for any worker count). `None` entries are skipped
+/// kinds.
+pub fn shard_diff_range(start: u64, count: u64, threads: usize) -> Vec<Option<ShardDiffReport>> {
+    let seeds: Vec<u64> = (start..start + count).collect();
+    par_map_with(threads, seeds, shard_diff_seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::check_seed;
+    use wn_sim::stats::fnv1a;
+
+    fn first_seed_of_kind(kind: &str, pred: impl Fn(&Scenario) -> bool) -> (u64, Scenario) {
+        for seed in 0..500 {
+            let sc = ScenarioGen::default().scenario(seed);
+            if sc.kind_tag() == kind && pred(&sc) {
+                return (seed, sc);
+            }
+        }
+        panic!("no {kind} scenario in the first 500 seeds");
+    }
+
+    /// The bridge to the classic engine: a flat WLAN without the
+    /// deaf-sink fault is one conflict component, so its "sharded"
+    /// composition is the identical construction `run_scenario`
+    /// executes — fingerprints must match exactly.
+    #[test]
+    fn single_shard_composition_equals_classic_run() {
+        let (seed, sc) = first_seed_of_kind("wlan", |sc| match &sc.kind {
+            ScenarioKind::Wlan(w) => !w.deaf_sink,
+            _ => false,
+        });
+        let diff = shard_diff_scenario(&sc).expect("wlan shards");
+        assert_eq!(diff.shards, 1, "non-deaf flat WLAN must be one shard");
+        let classic = check_seed(seed);
+        assert_eq!(diff.serial.trace_fnv, classic.trace_fnv);
+        assert_eq!(diff.serial.metrics_fnv, classic.metrics_fnv);
+        assert!(!diff.divergent());
+    }
+
+    /// The deaf-sink fault parks the sink on an orthogonal channel,
+    /// which must split it into its own shard — and the windowed
+    /// executions must still be byte-identical to serial.
+    #[test]
+    fn deaf_sink_splits_and_stays_identical() {
+        let (_seed, sc) = first_seed_of_kind("wlan", |sc| match &sc.kind {
+            ScenarioKind::Wlan(w) => w.deaf_sink,
+            _ => false,
+        });
+        let diff = shard_diff_scenario(&sc).expect("wlan shards");
+        assert_eq!(diff.shards, 2, "deaf sink must shard off: {}", diff.summary);
+        assert!(!diff.divergent());
+        // The digests are over non-empty content in every mode.
+        assert!(diff.serial.events > 0);
+        assert_ne!(diff.serial.trace_fnv, fnv1a(b""));
+    }
+
+    /// ESS scenarios pin to a single shard but still exercise the
+    /// windowed executor against the straight run.
+    #[test]
+    fn ess_windowed_matches_serial() {
+        let (_seed, sc) = first_seed_of_kind("ess", |_| true);
+        let diff = shard_diff_scenario(&sc).expect("ess shards");
+        assert_eq!(diff.shards, 1);
+        assert!(!diff.divergent());
+    }
+
+    /// Non-medium kinds are skipped, not zero-filled.
+    #[test]
+    fn non_wlan_kinds_are_skipped() {
+        let (_seed, sc) = first_seed_of_kind("bt", |_| true);
+        assert!(shard_diff_scenario(&sc).is_none());
+    }
+
+    #[test]
+    fn component_seed_zero_is_base() {
+        assert_eq!(component_seed(0xDEAD_BEEF, 0), 0xDEAD_BEEF);
+        assert_ne!(component_seed(0xDEAD_BEEF, 1), 0xDEAD_BEEF);
+        assert_ne!(
+            component_seed(0xDEAD_BEEF, 1),
+            component_seed(0xDEAD_BEEF, 2)
+        );
+    }
+}

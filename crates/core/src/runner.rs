@@ -216,6 +216,46 @@ fn run_scale_dcf() -> ExperimentOutput {
     }
 }
 
+fn run_city_dcf() -> ExperimentOutput {
+    let (points, r) = scenarios::city_dcf(42);
+    let mut md = format!("{}\n", r.to_markdown());
+    let _ = writeln!(
+        md,
+        "| cells | stations | senders/cell | horizon [ms] | shards | lookahead [ns] | per-sender [kbps] | aggregate [Mbps] | cross-BSS Jain | byte-identical |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|---|---|");
+    for p in &points {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {} | {} | {} | {} | {:.1} | {:.2} | {:.4} | {} |",
+            p.cells,
+            p.stations,
+            p.senders_per_cell,
+            p.duration_ms,
+            p.shards,
+            p.lookahead.as_nanos(),
+            p.per_station_kbps,
+            p.aggregate_mbps,
+            p.jain_cross_bss,
+            if p.byte_identical() { "yes" } else { "NO" },
+        );
+    }
+    let _ = writeln!(md);
+    let _ = writeln!(
+        md,
+        "Each cell is an independent interference shard (channels 1/6/11, \
+         200 m street grid); every row ran serially and under the windowed \
+         shard executor at 1/2/4 workers with byte-identical trace and \
+         metrics digests (DESIGN.md §15). Shard-executor wall-clock: see \
+         `BENCH_campaign.json` (`shards` section).\n"
+    );
+    ExperimentOutput {
+        id: "CITY-DCF",
+        passed: r.passed(),
+        markdown: md,
+    }
+}
+
 /// The full registry, in the order sections appear in EXPERIMENTS.md.
 pub fn experiments() -> Vec<Experiment> {
     macro_rules! exp {
@@ -296,6 +336,11 @@ pub fn experiments() -> Vec<Experiment> {
             "SCALE-DCF",
             "DCF saturation collapse, 10 → 1000 stations",
             run_scale_dcf
+        ),
+        exp!(
+            "CITY-DCF",
+            "Spatially-sharded city, 108 BSSes on channels 1/6/11",
+            run_city_dcf
         ),
     ]
 }
@@ -403,13 +448,13 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_ordered_like_the_report() {
         let exps = experiments();
-        assert_eq!(exps.len(), 22);
+        assert_eq!(exps.len(), 23);
         let mut seen = std::collections::BTreeSet::new();
         for e in &exps {
             assert!(seen.insert(e.id), "duplicate id {}", e.id);
         }
         assert_eq!(exps[0].id, "FIG-1.1");
-        assert_eq!(exps.last().unwrap().id, "SCALE-DCF");
+        assert_eq!(exps.last().unwrap().id, "CITY-DCF");
     }
 
     #[test]

@@ -8,6 +8,10 @@ use crate::experiment::ExperimentReport;
 use crate::registry::Technology;
 use wn_mac80211::addr::MacAddr;
 use wn_mac80211::frame::{DsBits, Frame, SequenceControl};
+use wn_mac80211::shard::{
+    component_seed, digest_components, executor_window, propagation_delay, run_components_serial,
+    run_components_windowed, ShardRunReport,
+};
 use wn_mac80211::sim::{boot, inject_at, MacConfig, NullUpper, WlanWorld};
 use wn_net80211::builder::{ibss_send, schedule_walk, send_app_data, EssBuilder, IbssBuilder};
 use wn_net80211::ssid::Ssid;
@@ -518,8 +522,17 @@ pub fn fig_1_9_ibss_vs_bss(seed: u64) -> (Figure, ExperimentReport) {
         );
     }
     ibss.sim.run_until(SimTime::from_secs(3));
-    let ibss_delivered = ibss.shared[1].borrow().delivered.len() as u64;
-    let ibss_last = ibss.shared[1].borrow().delivered.last().map(|d| d.0);
+    let ibss_delivered = ibss.shared[1]
+        .lock()
+        .expect("shared state lock")
+        .delivered
+        .len() as u64;
+    let ibss_last = ibss.shared[1]
+        .lock()
+        .expect("shared state lock")
+        .delivered
+        .last()
+        .map(|d| d.0);
 
     // Infrastructure: same endpoints, AP in the middle relays.
     let mut ess = EssBuilder::new(mac, ssid)
@@ -541,7 +554,11 @@ pub fn fig_1_9_ibss_vs_bss(seed: u64) -> (Figure, ExperimentReport) {
         );
     }
     ess.sim.run_until(SimTime::from_secs(6));
-    let bss_delivered = ess.sta_shared[1].borrow().delivered.len() as u64;
+    let bss_delivered = ess.sta_shared[1]
+        .lock()
+        .expect("shared state lock")
+        .delivered
+        .len() as u64;
     let airtime_ibss = ibss.sim.world().stats(0).tx_frames;
     let ap_frames = ess.sim.world().stats(ess.ap_ids[0]).tx_frames;
 
@@ -619,7 +636,7 @@ pub fn fig_1_10_ess_roaming(seed: u64) -> (RoamingOutcome, ExperimentReport) {
         );
     }
     ess.sim.run_until(SimTime::from_secs(80));
-    let sh = ess.sta_shared[0].borrow();
+    let sh = ess.sta_shared[0].lock().expect("shared state lock");
     let serving_order: Vec<MacAddr> = sh.assoc_events.iter().map(|&(_, b)| b).collect();
     let handoff_gap_s = sh
         .assoc_events
@@ -1700,6 +1717,425 @@ pub fn scale_dcf(seed: u64) -> (Vec<ScaleDcfPoint>, ExperimentReport) {
 }
 
 // ---------------------------------------------------------------------
+// CITY-DCF — spatially-sharded parallel worlds
+//
+// A city block grid of saturated BSSes: cells every 200 m on channels
+// 1/6/11 (colored so no two co-channel cells are closer than 200·√2 m),
+// one sink plus a sender ring per cell. The deployment partitions into
+// one interference shard per cell (`WlanWorld::shard_plan` with the
+// 250 m co-channel radius), and every point runs the composition twice
+// — serial reference vs the windowed shard executor at 1/2/4 workers —
+// and demands byte-identical digests (DESIGN.md §15).
+// ---------------------------------------------------------------------
+
+/// Street-grid spacing between neighbouring cell centres [m].
+pub const CITY_DCF_SPACING_M: f64 = 200.0;
+
+/// Radius of each cell's sender ring around its sink [m].
+pub const CITY_DCF_RING_M: f64 = 8.0;
+
+/// The classic 2.4 GHz non-overlapping channel plan; cell `(row, col)`
+/// takes `CITY_DCF_CHANNELS[(2·row + col) % 3]`, which keeps every
+/// co-channel pair of cells at least `√2 ×` the grid spacing apart.
+pub const CITY_DCF_CHANNELS: [u8; 3] = [1, 6, 11];
+
+/// Co-channel coupling radius handed to [`WlanWorld::shard_plan`]:
+/// beyond 250 m (and inaudibility, which the plan also checks) two
+/// same-channel stations are treated as non-interfering.
+pub const CITY_DCF_RANGE_M: f64 = 250.0;
+
+/// Shard-executor worker counts every CITY-DCF point is verified at.
+pub const CITY_DCF_WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Smallest executor window the point batches the lookahead up to —
+/// same rationale as the fuzz harness (barrier crossings are pure
+/// overhead; batching is sound because shards are exactly decoupled).
+const CITY_DCF_WINDOW_FLOOR: SimDuration = SimDuration::from_micros(64);
+
+/// One CITY-DCF point: the city's shard partition plus the
+/// serial-vs-windowed differential outcome and the usual saturation
+/// observables, reduced cross-BSS.
+pub struct CityDcfPoint {
+    /// Grid cells (= BSSes).
+    pub cells: usize,
+    /// Total stations (cells × (senders + 1)).
+    pub stations: usize,
+    /// Contending senders per cell.
+    pub senders_per_cell: usize,
+    /// Virtual milliseconds simulated.
+    pub duration_ms: u64,
+    /// Shards the plan produced (must equal `cells`).
+    pub shards: usize,
+    /// The plan's conservative cross-shard lookahead.
+    pub lookahead: SimDuration,
+    /// The executor window actually used.
+    pub window: SimDuration,
+    /// Mean per-sender delivered goodput [kbps].
+    pub per_station_kbps: f64,
+    /// Aggregate delivered goodput [Mbps].
+    pub aggregate_mbps: f64,
+    /// Jain fairness index over per-BSS completion totals.
+    pub jain_cross_bss: f64,
+    /// True when every sender city-wide still holds an unserved
+    /// backlog at the horizon.
+    pub saturated: bool,
+    /// Partition-soundness failure on the planning world, if any.
+    pub incoherence: Option<String>,
+    /// The serial (reference) composition.
+    pub serial: ShardRunReport,
+    /// Windowed compositions, one per [`CITY_DCF_WORKER_COUNTS`] entry.
+    pub windowed: Vec<(usize, ShardRunReport)>,
+}
+
+impl CityDcfPoint {
+    /// Whether every windowed execution matched the serial reference
+    /// byte-for-byte and the plan validated.
+    pub fn byte_identical(&self) -> bool {
+        self.incoherence.is_none() && self.windowed.iter().all(|(_, r)| *r == self.serial)
+    }
+}
+
+/// The channel of grid cell `cell` in a `cols`-wide grid.
+fn city_dcf_channel(cell: usize, cols: usize) -> u8 {
+    let (row, col) = (cell / cols, cell % cols);
+    CITY_DCF_CHANNELS[(2 * row + col) % 3]
+}
+
+/// Position of local station `local` (0 = sink at the cell centre,
+/// 1..=senders on the ring) of grid cell `cell`.
+fn city_dcf_pos(cell: usize, cols: usize, local: usize, senders: usize) -> Point {
+    let (row, col) = (cell / cols, cell % cols);
+    let cx = col as f64 * CITY_DCF_SPACING_M;
+    let cy = row as f64 * CITY_DCF_SPACING_M;
+    if local == 0 {
+        Point::new(cx, cy)
+    } else {
+        let a = local as f64 / senders as f64 * std::f64::consts::TAU;
+        Point::new(
+            cx + CITY_DCF_RING_M * a.cos(),
+            cy + CITY_DCF_RING_M * a.sin(),
+        )
+    }
+}
+
+/// Per-cell offered backlog: ≈1.25× the collision-free capacity plus a
+/// floor, like SCALE-DCF but with a smaller floor — a 96-sender cell
+/// completes only a handful of frames per sender, and the city stages
+/// every frame up front across hundreds of component worlds.
+fn city_dcf_frames_per_sender(senders: usize, duration_ms: u64) -> u64 {
+    duration_ms * 1_000 / (120 * senders as u64) + 16
+}
+
+fn city_dcf_config(seed: u64, senders: usize, duration_ms: u64) -> MacConfig {
+    let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+    cfg.seed = seed;
+    cfg.arf = false;
+    cfg.queue_limit = city_dcf_frames_per_sender(senders, duration_ms) as usize;
+    cfg
+}
+
+/// The full-city planning world: every station of every cell, on the
+/// cell's channel, no traffic. Global station ids are cell-major —
+/// cell `c` owns ids `c·(senders+1) ..= c·(senders+1)+senders`, local
+/// id 0 is the sink.
+fn city_dcf_planning_world(
+    rows: usize,
+    cols: usize,
+    senders: usize,
+    duration_ms: u64,
+    seed: u64,
+) -> WlanWorld {
+    let per_cell = senders + 1;
+    let n = rows * cols * per_cell;
+    let mut w = WlanWorld::new(city_dcf_config(seed, senders, duration_ms));
+    w.add_stations(
+        n,
+        |g| city_dcf_pos(g / per_cell, cols, g % per_cell, senders),
+        |_| Box::new(NullUpper),
+    );
+    for g in 0..n {
+        w.set_channel(g, city_dcf_channel(g / per_cell, cols));
+    }
+    w
+}
+
+/// Builds shard `k` of the city: the member stations (global ids,
+/// ascending) at their grid positions on their cell channels, the
+/// whole per-sender backlog pre-staged with the SCALE-DCF round-robin
+/// stride. Seeded with [`component_seed`] so every shard's RNG stream
+/// is independent and reproducible.
+fn city_dcf_component(
+    members: &[usize],
+    k: usize,
+    cols: usize,
+    senders: usize,
+    duration_ms: u64,
+    seed: u64,
+) -> Simulation<WlanWorld> {
+    let per_cell = senders + 1;
+    let frames_per_sender = city_dcf_frames_per_sender(senders, duration_ms);
+    let mut cfg = city_dcf_config(seed, senders, duration_ms);
+    cfg.seed = component_seed(seed, k);
+    let mut w = WlanWorld::new(cfg);
+    w.set_neighbor_cache(true);
+    for &g in members {
+        w.add_station(
+            MacAddr::station(g as u32),
+            city_dcf_pos(g / per_cell, cols, g % per_cell, senders),
+            Box::new(NullUpper),
+        );
+    }
+    for (local, &g) in members.iter().enumerate() {
+        w.set_channel(local, city_dcf_channel(g / per_cell, cols));
+    }
+    let mut sim = Simulation::new(w);
+    boot(&mut sim);
+    let stride_ns = duration_ms * 900_000 / (frames_per_sender * senders as u64);
+    for (local, &g) in members.iter().enumerate() {
+        let (cell, lid) = (g / per_cell, g % per_cell);
+        if lid == 0 {
+            continue;
+        }
+        let sink = (cell * per_cell) as u32;
+        for f in 0..frames_per_sender {
+            let j = f * senders as u64 + (lid as u64 - 1);
+            inject_at(
+                &mut sim,
+                SimTime::from_nanos(j * stride_ns),
+                local,
+                data_frame(g as u32, sink, SCALE_DCF_PAYLOAD),
+            );
+        }
+    }
+    sim
+}
+
+/// Runs one CITY-DCF point: plan the partition on the full planning
+/// world, execute the composition serially (keeping the component
+/// worlds for per-BSS observables), then re-execute under the
+/// windowed shard executor at each worker count and digest everything
+/// in shard order for the byte-identity comparison.
+pub fn city_dcf_point(
+    rows: usize,
+    cols: usize,
+    senders: usize,
+    duration_ms: u64,
+    seed: u64,
+) -> CityDcfPoint {
+    let cells = rows * cols;
+    let per_cell = senders + 1;
+    let planning = city_dcf_planning_world(rows, cols, senders, duration_ms, seed);
+    let plan = planning.shard_plan(SimTime::ZERO, Some(CITY_DCF_RANGE_M));
+    let incoherence = planning
+        .shard_plan_incoherence(&plan, SimTime::ZERO)
+        .map(|i| i.to_string());
+    drop(planning);
+
+    let horizon = SimTime::from_millis(duration_ms);
+    let window = executor_window(&plan, horizon, CITY_DCF_WINDOW_FLOOR);
+    let build = |k: usize| city_dcf_component(&plan.shards[k], k, cols, senders, duration_ms, seed);
+
+    // Serial reference, run by hand so the component worlds stay
+    // available for the cross-BSS reduction below.
+    let mut sims: Vec<Simulation<WlanWorld>> = (0..plan.shard_count()).map(build).collect();
+    let per_shard_events: Vec<u64> = sims.iter_mut().map(|s| s.run_until(horizon)).collect();
+    let serial = digest_components(&sims, per_shard_events, horizon, "CITY-DCF");
+
+    // Per-BSS completions and the queue-conservation saturation check,
+    // reduced over every component's metrics snapshot.
+    let mut cell_completions = vec![0u64; cells];
+    let mut saturated = true;
+    for (k, sim) in sims.iter().enumerate() {
+        let snap = sim.world().metrics_snapshot(horizon);
+        let counter = |name: &str, local: usize| -> u64 {
+            snap.rows
+                .iter()
+                .find(|r| {
+                    r.kind == "counter"
+                        && r.key.layer == "mac"
+                        && r.key.name == name
+                        && r.key.station == Some(local as u32)
+                })
+                .map_or(0, |r| r.fields.first().map_or(0, |&(_, v)| v as u64))
+        };
+        for (local, &g) in plan.shards[k].iter().enumerate() {
+            if g % per_cell == 0 {
+                continue;
+            }
+            let done = counter("tx_completions", local);
+            cell_completions[g / per_cell] += done;
+            let queued = counter("queued", local);
+            let failed = counter("tx_failures", local);
+            let dropped = counter("queue_drops", local);
+            saturated &= queued > done + failed + dropped;
+        }
+    }
+    drop(sims);
+
+    let windowed = CITY_DCF_WORKER_COUNTS
+        .iter()
+        .map(|&workers| {
+            (
+                workers,
+                run_components_windowed(
+                    plan.shard_count(),
+                    horizon,
+                    window,
+                    workers,
+                    "CITY-DCF",
+                    build,
+                ),
+            )
+        })
+        .collect();
+
+    let total: u64 = cell_completions.iter().sum();
+    let sum_sq: f64 = cell_completions
+        .iter()
+        .map(|&c| (c as f64) * (c as f64))
+        .sum();
+    let jain_cross_bss = if total == 0 {
+        0.0
+    } else {
+        (total as f64) * (total as f64) / (cells as f64 * sum_sq)
+    };
+    let duration_s = duration_ms as f64 / 1_000.0;
+    let goodput_bits = (total * SCALE_DCF_PAYLOAD as u64 * 8) as f64;
+    let all_senders = (cells * senders) as f64;
+    CityDcfPoint {
+        cells,
+        stations: cells * per_cell,
+        senders_per_cell: senders,
+        duration_ms,
+        shards: plan.shard_count(),
+        lookahead: plan.lookahead,
+        window,
+        per_station_kbps: goodput_bits / duration_s / all_senders / 1_000.0,
+        aggregate_mbps: goodput_bits / duration_s / 1e6,
+        jain_cross_bss,
+        saturated,
+        incoherence,
+        serial,
+        windowed,
+    }
+}
+
+/// Runs the city once under a single executor mode — `None` = serial
+/// reference, `Some(workers)` = windowed shard executor — and returns
+/// the digest report. The perfsuite `shards` section times these
+/// calls individually (plan + build + run each time, so the modes pay
+/// identical setup cost) and asserts the digests agree.
+pub fn city_dcf_run(
+    rows: usize,
+    cols: usize,
+    senders: usize,
+    duration_ms: u64,
+    seed: u64,
+    workers: Option<usize>,
+) -> ShardRunReport {
+    let planning = city_dcf_planning_world(rows, cols, senders, duration_ms, seed);
+    let plan = planning.shard_plan(SimTime::ZERO, Some(CITY_DCF_RANGE_M));
+    drop(planning);
+    let horizon = SimTime::from_millis(duration_ms);
+    let build = |k: usize| city_dcf_component(&plan.shards[k], k, cols, senders, duration_ms, seed);
+    match workers {
+        None => run_components_serial(plan.shard_count(), horizon, "CITY-DCF", build),
+        Some(w) => {
+            let window = executor_window(&plan, horizon, CITY_DCF_WINDOW_FLOOR);
+            run_components_windowed(plan.shard_count(), horizon, window, w, "CITY-DCF", build)
+        }
+    }
+}
+
+/// The flagship city size `(rows, cols, senders_per_cell,
+/// duration_ms)`: 108 BSSes / 10,476 stations in release (the "≥100
+/// BSSes, ≥10k stations" contract), a same-shape 6-cell block in debug
+/// where the tier-1 suite re-runs the campaign.
+pub fn city_dcf_size() -> (usize, usize, usize, u64) {
+    if cfg!(debug_assertions) {
+        (2, 3, 4, 40)
+    } else {
+        (9, 12, 96, 60)
+    }
+}
+
+/// The densification sweep behind the monotone-collapse claim:
+/// `senders_per_cell` values run on a reduced grid (same spacing, same
+/// coloring) so per-sender goodput collapses with cell population
+/// while the partition stays one-shard-per-cell.
+pub fn city_dcf_collapse_sweep() -> (usize, usize, Vec<usize>, u64) {
+    if cfg!(debug_assertions) {
+        (2, 2, vec![2, 4], 30)
+    } else {
+        (3, 3, vec![8, 32, 96], 60)
+    }
+}
+
+/// CITY-DCF — the city-scale shard differential plus the cross-BSS
+/// fairness and densification-collapse claims, as an experiment
+/// report. Returns the collapse sweep points with the flagship city
+/// last.
+pub fn city_dcf(seed: u64) -> (Vec<CityDcfPoint>, ExperimentReport) {
+    let (s_rows, s_cols, sweep, s_dur) = city_dcf_collapse_sweep();
+    let mut points: Vec<CityDcfPoint> = sweep
+        .iter()
+        .map(|&n| city_dcf_point(s_rows, s_cols, n, s_dur, seed))
+        .collect();
+    let (rows, cols, senders, duration_ms) = city_dcf_size();
+    points.push(city_dcf_point(rows, cols, senders, duration_ms, seed));
+    let city = points.last().expect("flagship point");
+
+    // The street gap between neighbouring cells' bounding boxes —
+    // what the plan's bbox lookahead should resolve to (± float slack
+    // on the ring hull).
+    let gap_floor = propagation_delay(CITY_DCF_SPACING_M - 2.0 * CITY_DCF_RING_M - 1.0);
+    let gap_ceil = propagation_delay(CITY_DCF_SPACING_M);
+
+    let mut report = ExperimentReport::new(
+        "CITY-DCF",
+        "Spatially-sharded city of saturated BSSes on channels 1/6/11",
+    );
+    report
+        .claim(
+            "the city partitions into exactly one shard per BSS",
+            points.iter().all(|p| p.shards == p.cells),
+        )
+        .claim(
+            "every shard plan validates (no coupled pair straddles shards)",
+            points.iter().all(|p| p.incoherence.is_none()),
+        )
+        .claim(
+            "windowed shard executor is byte-identical to serial at 1/2/4 workers",
+            points.iter().all(|p| p.byte_identical()),
+        )
+        .claim(
+            "cross-shard lookahead resolves the 184 m street gap",
+            points
+                .iter()
+                .all(|p| p.lookahead >= gap_floor && p.lookahead <= gap_ceil),
+        )
+        .claim(
+            "cross-BSS Jain fairness >= 0.95 (symmetric cells, independent streams)",
+            points.iter().all(|p| p.jain_cross_bss >= 0.95),
+        )
+        .claim(
+            "per-sender goodput collapses monotonically as cells densify",
+            points[..sweep.len()]
+                .windows(2)
+                .all(|w| w[1].per_station_kbps <= w[0].per_station_kbps),
+        )
+        .claim(
+            "every sender city-wide stays backlogged to the horizon",
+            points.iter().all(|p| p.saturated),
+        )
+        .claim(
+            "the flagship city completes under the shard executor",
+            city.serial.events > 0 && city.windowed.iter().all(|(_, r)| r.events > 0),
+        );
+    (points, report)
+}
+
+// ---------------------------------------------------------------------
 // Observability exports
 //
 // One compact, fully deterministic instrumented run per protocol layer.
@@ -2043,5 +2479,29 @@ mod tests {
         }
         assert!(report.passed(), "{}", report.to_markdown());
         assert_eq!(points.len(), scale_dcf_sweep().len());
+    }
+
+    #[test]
+    fn city_dcf_passes() {
+        let (points, report) = city_dcf(11);
+        for p in &points {
+            eprintln!(
+                "CITY-DCF cells={:3} stations={:5} senders/cell={:3} shards={:3} \
+                 lookahead={}ns window={}ns jain={:.4} per_sender={:.1} kbps \
+                 identical={} trace_fnv={:016x}",
+                p.cells,
+                p.stations,
+                p.senders_per_cell,
+                p.shards,
+                p.lookahead.as_nanos(),
+                p.window.as_nanos(),
+                p.jain_cross_bss,
+                p.per_station_kbps,
+                p.byte_identical(),
+                p.serial.trace_fnv,
+            );
+        }
+        assert!(report.passed(), "{}", report.to_markdown());
+        assert_eq!(points.len(), city_dcf_collapse_sweep().2.len() + 1);
     }
 }

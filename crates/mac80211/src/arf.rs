@@ -7,7 +7,7 @@
 //! neighbour, since link quality is per-link.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::addr::MacAddr;
 use wn_phy::modulation::{PhyStandard, RateStep};
@@ -62,13 +62,13 @@ struct LinkState {
 
 /// An ARF controller managing one station's links.
 ///
-/// The rate ladder is shared (`Rc<[RateStep]>`), so cloning a template
+/// The rate ladder is shared (`Arc<[RateStep]>`), so cloning a template
 /// controller for each of N stations — the bulk-boot fast path in
 /// [`crate::sim::WlanWorld`] — bumps a refcount instead of reallocating
 /// the ladder N times.
 #[derive(Clone, Debug)]
 pub struct Arf {
-    ladder: Rc<[RateStep]>,
+    ladder: Arc<[RateStep]>,
     params: ArfParams,
     links: HashMap<MacAddr, LinkState>,
     enabled: bool,
@@ -78,7 +78,7 @@ pub struct Arf {
 impl Arf {
     /// Creates a controller for `std`'s rate ladder.
     pub fn new(std: PhyStandard, params: ArfParams, enabled: bool) -> Self {
-        let ladder: Rc<[RateStep]> = std.rate_ladder().into();
+        let ladder: Arc<[RateStep]> = std.rate_ladder().into();
         let fixed_index = ladder.len() - 1;
         Arf {
             ladder,

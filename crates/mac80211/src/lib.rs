@@ -22,6 +22,7 @@ pub mod dedup;
 pub mod duration;
 pub mod frame;
 pub mod neighbors;
+pub mod shard;
 pub mod sim;
 
 pub use addr::MacAddr;

@@ -25,12 +25,12 @@
 //! is *raw* co-channel power against the CS threshold, a superset of
 //! what any receiver on an overlapping channel can hear after the
 //! spectral-mask discount, so per-member awake/channel/leak checks in
-//! the MAC stay exactly where they were. Rows are `Rc`-shared
+//! the MAC stay exactly where they were. Rows are `Arc`-shared
 //! copy-on-write: an in-flight transmission snapshots its row at start
 //! time for free, and a mobility update clones the row before writing,
 //! leaving the snapshot untouched.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::sim::StationId;
 use wn_phy::units::Dbm;
@@ -49,9 +49,9 @@ use wn_phy::units::Dbm;
 /// threshold, ascending.
 #[derive(Default)]
 pub struct NeighborCache {
-    rows: Vec<Rc<Vec<Dbm>>>,
-    mw_rows: Vec<Rc<Vec<f64>>>,
-    audible: Vec<Rc<Vec<StationId>>>,
+    rows: Vec<Arc<Vec<Dbm>>>,
+    mw_rows: Vec<Arc<Vec<f64>>>,
+    audible: Vec<Arc<Vec<StationId>>>,
 }
 
 impl NeighborCache {
@@ -98,9 +98,9 @@ impl NeighborCache {
                 row.push(p);
                 mw.push(p.to_milliwatts());
             }
-            self.rows.push(Rc::new(row));
-            self.mw_rows.push(Rc::new(mw));
-            self.audible.push(Rc::new(aud));
+            self.rows.push(Arc::new(row));
+            self.mw_rows.push(Arc::new(mw));
+            self.audible.push(Arc::new(aud));
         }
     }
 
@@ -135,24 +135,24 @@ impl NeighborCache {
             row.push(p);
             mw.push(p.to_milliwatts());
         }
-        self.rows[id] = Rc::new(row);
-        self.mw_rows[id] = Rc::new(mw);
-        self.audible[id] = Rc::new(aud);
+        self.rows[id] = Arc::new(row);
+        self.mw_rows[id] = Arc::new(mw);
+        self.audible[id] = Arc::new(aud);
         for src in 0..n {
             if src == id {
                 continue;
             }
             let p = power(src, id);
-            Rc::make_mut(&mut self.rows[src])[id] = p;
-            Rc::make_mut(&mut self.mw_rows[src])[id] = p.to_milliwatts();
+            Arc::make_mut(&mut self.rows[src])[id] = p;
+            Arc::make_mut(&mut self.mw_rows[src])[id] = p.to_milliwatts();
             let hears = p.value() >= cs.value();
             let list = &self.audible[src];
             match list.binary_search(&id) {
                 Ok(pos) if !hears => {
-                    Rc::make_mut(&mut self.audible[src]).remove(pos);
+                    Arc::make_mut(&mut self.audible[src]).remove(pos);
                 }
                 Err(pos) if hears => {
-                    Rc::make_mut(&mut self.audible[src]).insert(pos, id);
+                    Arc::make_mut(&mut self.audible[src]).insert(pos, id);
                 }
                 _ => {}
             }
@@ -160,20 +160,20 @@ impl NeighborCache {
     }
 
     /// The cached power row for `src` (shared, copy-on-write).
-    pub fn row(&self, src: StationId) -> Rc<Vec<Dbm>> {
-        Rc::clone(&self.rows[src])
+    pub fn row(&self, src: StationId) -> Arc<Vec<Dbm>> {
+        Arc::clone(&self.rows[src])
     }
 
     /// The linear-milliwatt mirror of [`row`](Self::row) (shared,
     /// copy-on-write; entry `dst` is bit-identical to
     /// `row[dst].to_milliwatts()`).
-    pub fn mw_row(&self, src: StationId) -> Rc<Vec<f64>> {
-        Rc::clone(&self.mw_rows[src])
+    pub fn mw_row(&self, src: StationId) -> Arc<Vec<f64>> {
+        Arc::clone(&self.mw_rows[src])
     }
 
     /// The sorted audible-neighbor list for `src` (shared).
-    pub fn audible_list(&self, src: StationId) -> Rc<Vec<StationId>> {
-        Rc::clone(&self.audible[src])
+    pub fn audible_list(&self, src: StationId) -> Arc<Vec<StationId>> {
+        Arc::clone(&self.audible[src])
     }
 
     /// Verifies every cached entry (powers and audible lists) against

@@ -1,0 +1,339 @@
+//! Spatial interference shards: partitioning a deployment into
+//! independently-advancing worlds (DESIGN.md §15).
+//!
+//! The conflict graph couples two stations when their channels
+//! spectrally overlap **and** they are mutually relevant at RF level —
+//! audible in either direction per the propagation model, or within
+//! the caller's maximum interference range. Its connected components
+//! are the *shards*: no MAC-level interaction can ever cross a shard
+//! boundary, because cross-channel leakage with zero spectral overlap
+//! is exactly zero (`leaked_power` returns `None`, not a small
+//! number) and beyond-range co-channel stations never enter each
+//! other's candidate lists.
+//!
+//! [`WlanWorld::shard_plan`](crate::sim::WlanWorld::shard_plan)
+//! computes the partition; this module holds the plan type, the
+//! coherence checks behind the `shard-coherence` oracle, and the
+//! component-run harness that executes one simulation per shard —
+//! serially straight to the horizon, or windowed on scoped threads
+//! via [`wn_sim::run_shards_windowed`] — and digests the merged
+//! output in shard order so the two executions can be compared
+//! byte-for-byte.
+
+use crate::sim::WlanWorld;
+use wn_sim::stats::fnv1a;
+use wn_sim::{run_shards_windowed, SimDuration, SimTime, Simulation};
+
+/// Station index within a world (mirrors `sim::StationId`).
+pub type StationId = usize;
+
+/// Propagation speed, metres per nanosecond (vacuum light speed; the
+/// same constant the medium uses for airtime propagation delay).
+pub const METRES_PER_NANOSECOND: f64 = 0.299_792_458;
+
+/// The propagation delay across `dist_m` metres, rounded **down** to
+/// whole nanoseconds so it is a conservative (never optimistic) bound.
+pub fn propagation_delay(dist_m: f64) -> SimDuration {
+    SimDuration::from_nanos((dist_m / METRES_PER_NANOSECOND).floor() as u64)
+}
+
+/// A partition of a deployment's stations into interference shards.
+///
+/// Produced by [`WlanWorld::shard_plan`]; consumed by the component
+/// builders in `wn-check`/`wn-core` (which construct one world per
+/// shard) and re-validated by the `shard-coherence` oracle after
+/// mobility patches.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// Station → shard index.
+    pub shard_of: Vec<usize>,
+    /// Shard → member stations, ascending; shards are ordered by
+    /// their smallest member id, so the partition (and everything
+    /// merged in shard order) is deterministic.
+    pub shards: Vec<Vec<StationId>>,
+    /// The smallest propagation delay between any two stations in
+    /// different shards (a lower bound computed from shard bounding
+    /// boxes): the classic conservative-DES lookahead. `MAX` when
+    /// there are fewer than two shards.
+    pub lookahead: SimDuration,
+    /// The co-channel coupling radius the plan was computed with
+    /// (infinite when the caller passed `None`).
+    pub max_interference_range_m: f64,
+}
+
+impl ShardPlan {
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Stations covered by the plan.
+    pub fn station_count(&self) -> usize {
+        self.shard_of.len()
+    }
+}
+
+/// A way the world can contradict a [`ShardPlan`]; `None` from the
+/// checks below means coherent. Reported by the `shard-coherence`
+/// oracle.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardIncoherence {
+    /// Two coupled stations (overlapping channels, audible or within
+    /// range) are assigned to different shards.
+    CoupledAcrossShards {
+        /// First station of the offending pair.
+        a: StationId,
+        /// Second station of the offending pair.
+        b: StationId,
+        /// Their distance, metres.
+        dist_m: f64,
+    },
+    /// The plan's lookahead exceeds some cross-shard pair's actual
+    /// propagation delay (the conservative bound would be violated).
+    LookaheadExceedsDelay {
+        /// First station of the offending pair.
+        a: StationId,
+        /// Second station of the offending pair.
+        b: StationId,
+        /// That pair's propagation delay.
+        delay: SimDuration,
+    },
+    /// The world gained or lost stations since the plan was computed.
+    StationCountChanged {
+        /// Stations the plan covers.
+        planned: usize,
+        /// Stations the world holds now.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for ShardIncoherence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardIncoherence::CoupledAcrossShards { a, b, dist_m } => write!(
+                f,
+                "coupled stations {a} and {b} ({dist_m:.1} m apart) straddle shards"
+            ),
+            ShardIncoherence::LookaheadExceedsDelay { a, b, delay } => write!(
+                f,
+                "plan lookahead exceeds the {delay} propagation delay of cross-shard pair ({a}, {b})"
+            ),
+            ShardIncoherence::StationCountChanged { planned, actual } => write!(
+                f,
+                "plan covers {planned} stations but the world holds {actual}"
+            ),
+        }
+    }
+}
+
+/// The digested output of a component run: everything the
+/// sharded-vs-serial differential contract compares.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardRunReport {
+    /// Number of component worlds executed.
+    pub shards: usize,
+    /// Total events across all components.
+    pub events: u64,
+    /// Per-component event totals, in shard order.
+    pub per_shard_events: Vec<u64>,
+    /// FNV-1a over the per-shard trace JSONL, concatenated in shard
+    /// order.
+    pub trace_fnv: u64,
+    /// FNV-1a over the per-shard metrics-snapshot JSONL, concatenated
+    /// in shard order.
+    pub metrics_fnv: u64,
+}
+
+/// Mixer for per-component RNG streams: component `k` of a plan seeds
+/// its world with `base ^ (k · φ64)`, so component 0 keeps the base
+/// seed (the bridge to the classic single-world engine) and every
+/// further component gets an independent, reproducible stream.
+pub fn component_seed(base: u64, k: usize) -> u64 {
+    base ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Digests a slice of already-run component simulations into a
+/// [`ShardRunReport`]: per-shard trace and metrics JSONL concatenated
+/// in shard order, then FNV-1a'd. Public so callers that need
+/// per-component observables (CITY-DCF extracts per-BSS counters) can
+/// run the components themselves and still produce the exact digest
+/// the differential contract compares.
+pub fn digest_components(
+    sims: &[Simulation<WlanWorld>],
+    per_shard_events: Vec<u64>,
+    horizon: SimTime,
+    tag: &str,
+) -> ShardRunReport {
+    let mut trace_jsonl = String::new();
+    let mut metrics_jsonl = String::new();
+    for sim in sims {
+        trace_jsonl.push_str(&sim.world().trace.to_jsonl(tag));
+        metrics_jsonl.push_str(&sim.world().metrics_snapshot(horizon).to_jsonl(tag));
+    }
+    ShardRunReport {
+        shards: sims.len(),
+        events: per_shard_events.iter().sum(),
+        trace_fnv: fnv1a(trace_jsonl.as_bytes()),
+        metrics_fnv: fnv1a(metrics_jsonl.as_bytes()),
+        per_shard_events,
+    }
+}
+
+/// Runs `count` component worlds **serially**: each is built by
+/// `build(k)` and advanced straight to `horizon` with a single
+/// `run_until` call. This is the reference execution of the
+/// differential contract.
+pub fn run_components_serial<B>(
+    count: usize,
+    horizon: SimTime,
+    tag: &str,
+    build: B,
+) -> ShardRunReport
+where
+    B: Fn(usize) -> Simulation<WlanWorld>,
+{
+    let mut sims: Vec<Simulation<WlanWorld>> = (0..count).map(&build).collect();
+    let per_shard_events: Vec<u64> = sims.iter_mut().map(|s| s.run_until(horizon)).collect();
+    digest_components(&sims, per_shard_events, horizon, tag)
+}
+
+/// Runs `count` component worlds under the **windowed shard
+/// executor**: all components are built up front (in shard order,
+/// deterministically), then advanced in lockstep `window`-sized steps
+/// on up to `workers` scoped threads with a barrier between windows.
+///
+/// Worlds never exchange state, so the barrier discipline — and the
+/// worker count — cannot change any component's event execution; the
+/// differential harness verifies exactly that, byte for byte, against
+/// [`run_components_serial`].
+pub fn run_components_windowed<B>(
+    count: usize,
+    horizon: SimTime,
+    window: SimDuration,
+    workers: usize,
+    tag: &str,
+    build: B,
+) -> ShardRunReport
+where
+    B: Fn(usize) -> Simulation<WlanWorld> + Sync,
+{
+    let mut sims: Vec<Simulation<WlanWorld>> = (0..count).map(&build).collect();
+    let (per_shard_events, _msgs) =
+        run_shards_windowed(&mut sims, workers, window, horizon, |sim, deadline| {
+            sim.run_until(deadline)
+        });
+    digest_components(&sims, per_shard_events, horizon, tag)
+}
+
+/// Picks the executor window for a plan: the cross-shard lookahead,
+/// batched up to at least `floor` (windows far smaller than the
+/// horizon only add barrier crossings — safe in either case because
+/// shards are *exactly* decoupled, see DESIGN.md §15), and clamped so
+/// a single-shard or infinite-lookahead plan still advances in a
+/// bounded number of windows.
+pub fn executor_window(plan: &ShardPlan, horizon: SimTime, floor: SimDuration) -> SimDuration {
+    let eighth = SimDuration::from_nanos((horizon.as_nanos() / 8).max(1));
+    // Degenerate lookaheads — single shard, unbounded (MAX), or zero
+    // (shards whose bounding boxes touch, e.g. a cross-channel shard
+    // inside another's hull) — fall back to horizon/8: the window is
+    // free to be anything because cross-shard coupling is exactly
+    // zero, and 8 windows bound the barrier count.
+    if plan.shard_count() < 2
+        || plan.lookahead == SimDuration::MAX
+        || plan.lookahead == SimDuration::ZERO
+    {
+        return eighth;
+    }
+    let mut w = plan.lookahead;
+    if w < floor {
+        let mult = floor.as_nanos().div_ceil(w.as_nanos());
+        w = SimDuration::from_nanos(w.as_nanos().saturating_mul(mult));
+    }
+    w.min(eighth).max(SimDuration::from_nanos(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::FrameId;
+    use crate::neighbors::NeighborCache;
+    use crate::sim::{MacConfig, WlanWorld};
+    use wn_sim::ShardMsg;
+
+    /// Compile-time `Send` audit (ISSUE 8 satellite): the whole shard
+    /// payload chain must stay `Send` so worlds can migrate onto
+    /// executor threads. A reintroduced `Rc`/`RefCell` anywhere in
+    /// these types fails this *at build time*.
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn shard_payload_types_are_send() {
+        assert_send::<FrameId>();
+        assert_send::<NeighborCache>();
+        assert_send::<WlanWorld>();
+        assert_send::<Simulation<WlanWorld>>();
+        assert_send::<ShardMsg>();
+        assert_send::<ShardPlan>();
+        assert_send::<ShardRunReport>();
+    }
+
+    #[test]
+    fn propagation_delay_rounds_down() {
+        // 300 m ≈ 1000.69 ns of flight time → 1000 ns conservative.
+        assert_eq!(propagation_delay(300.0), SimDuration::from_nanos(1000));
+        assert_eq!(propagation_delay(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn executor_window_batches_lookahead_up_to_floor() {
+        let plan = ShardPlan {
+            shard_of: vec![0, 1],
+            shards: vec![vec![0], vec![1]],
+            lookahead: SimDuration::from_nanos(700),
+            max_interference_range_m: 250.0,
+        };
+        let w = executor_window(
+            &plan,
+            SimTime::from_millis(100),
+            SimDuration::from_micros(64),
+        );
+        // An integer multiple of the lookahead, at least the floor.
+        assert_eq!(w.as_nanos() % 700, 0);
+        assert!(w >= SimDuration::from_micros(64));
+        // Single-shard plans fall back to horizon/8.
+        let single = ShardPlan {
+            shard_of: vec![0],
+            shards: vec![vec![0]],
+            lookahead: SimDuration::MAX,
+            max_interference_range_m: f64::INFINITY,
+        };
+        let w1 = executor_window(
+            &single,
+            SimTime::from_millis(8),
+            SimDuration::from_micros(64),
+        );
+        assert_eq!(w1, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn component_harness_serial_equals_windowed_on_empty_worlds() {
+        let build = |k: usize| {
+            let mut cfg = MacConfig::new(wn_phy::PhyStandard::Dot11b);
+            cfg.seed = 0x5eed ^ k as u64;
+            Simulation::new(WlanWorld::new(cfg))
+        };
+        let horizon = SimTime::from_millis(2);
+        let serial = run_components_serial(3, horizon, "shard", build);
+        for workers in [1, 2, 4] {
+            let windowed = run_components_windowed(
+                3,
+                horizon,
+                SimDuration::from_micros(64),
+                workers,
+                "shard",
+                build,
+            );
+            assert_eq!(serial, windowed, "workers {workers}");
+        }
+    }
+}

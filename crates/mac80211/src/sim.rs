@@ -21,8 +21,8 @@
 //! drive the MAC with [`Command`]s.
 
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crate::addr::MacAddr;
 use crate::arena::{FrameArena, FrameId};
@@ -236,7 +236,11 @@ impl UpperCtx<'_> {
 }
 
 /// The interface the architecture layer implements on top of the MAC.
-pub trait UpperLayer {
+///
+/// `Send` is a supertrait so whole worlds can migrate onto shard
+/// executor threads (DESIGN.md §15); uppers share state via
+/// `Arc<Mutex<..>>` rather than `Rc<RefCell<..>>`.
+pub trait UpperLayer: Send {
     /// Called once when the simulation boots.
     fn on_start(&mut self, ctx: &mut UpperCtx) {
         let _ = ctx;
@@ -437,15 +441,15 @@ struct TxRecord {
     /// Received power at every station, by id — a start-time snapshot
     /// shared with the neighbor cache (copy-on-write: mobility after
     /// tx start patches the cache, not this row).
-    rx_power: Rc<Vec<Dbm>>,
+    rx_power: Arc<Vec<Dbm>>,
     /// Linear-milliwatt mirror of `rx_power` (bit-identical to
     /// `to_milliwatts` of each entry), snapshotted from the neighbor
     /// cache when it is on; `None` on the direct path, which converts
     /// per interference sum like the pre-cache code always did.
-    rx_mw: Option<Rc<Vec<f64>>>,
+    rx_mw: Option<Arc<Vec<f64>>>,
     /// Stations whose raw start-time power meets the CS threshold,
     /// ascending — the only ones busy/idle-edge delivery visits.
-    candidates: Rc<Vec<StationId>>,
+    candidates: Arc<Vec<StationId>>,
     done: bool,
 }
 
@@ -715,6 +719,13 @@ impl WlanWorld {
         self.neighbor_cache
     }
 
+    /// The propagation neighbor cache (empty until primed or first
+    /// used). Exposed read-only so partition property tests can check
+    /// shard assignments against the cached audible-neighbor lists.
+    pub fn neighbor_cache(&self) -> &NeighborCache {
+        &self.neighbors
+    }
+
     /// Adds a station; returns its id. All stations must be added
     /// before the `Boot` event runs.
     pub fn add_station(
@@ -947,6 +958,192 @@ impl WlanWorld {
             .find_incoherence(self.cfg.cs_threshold, |a, b| self.rx_power_at(a, b, now))
     }
 
+    /// Computes the interference-shard partition of the current
+    /// deployment (DESIGN.md §15): the connected components of the
+    /// conflict graph that couples two stations when their channels
+    /// spectrally overlap **and** they are within
+    /// `max_interference_range_m` of each other or audible in either
+    /// direction per the propagation model. Stations in different
+    /// components can never exchange MAC-observable energy, so each
+    /// component can advance as an independent world.
+    ///
+    /// `None` for the range couples every overlapping-channel pair
+    /// regardless of distance unless neither direction is audible —
+    /// the most conservative co-channel split.
+    ///
+    /// The pair scan is O(n²) with aggressive early-outs (union-find
+    /// root identity, memoized spectral overlap, distance before any
+    /// link-budget evaluation), which keeps 10k-station city plans in
+    /// the low seconds; plans are computed once per scenario, not per
+    /// event.
+    pub fn shard_plan(
+        &self,
+        now: SimTime,
+        max_interference_range_m: Option<f64>,
+    ) -> crate::shard::ShardPlan {
+        use crate::shard::propagation_delay;
+        let n = self.stations.len();
+        let range = max_interference_range_m.unwrap_or(f64::INFINITY);
+
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut parent: Vec<usize> = (0..n).collect();
+
+        // Spectral overlap memo for the 2.4 GHz channel plan — the
+        // pair scan would otherwise re-derive the same channel pair
+        // millions of times on city-scale worlds.
+        let mut overlap_memo = [[f64::NAN; 16]; 16];
+        let mut overlap = |a: u8, b: u8| -> f64 {
+            if a == b {
+                return 1.0;
+            }
+            if a < 16 && b < 16 {
+                let v = overlap_memo[a as usize][b as usize];
+                if !v.is_nan() {
+                    return v;
+                }
+                let v = Self::channel_overlap(a, b);
+                overlap_memo[a as usize][b as usize] = v;
+                return v;
+            }
+            Self::channel_overlap(a, b)
+        };
+
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if find(&mut parent, i) == find(&mut parent, j) {
+                    continue;
+                }
+                if overlap(self.dcf.channel[i], self.dcf.channel[j]) <= 0.0 {
+                    continue;
+                }
+                let d = self.stations[i].pos.distance_to(self.stations[j].pos);
+                let coupled = d <= range
+                    || self.audible_at(self.rx_power_at(i, j, now))
+                    || self.audible_at(self.rx_power_at(j, i, now));
+                if coupled {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    parent[ri.max(rj)] = ri.min(rj);
+                }
+            }
+        }
+
+        // Components in first-occurrence order: each shard's index is
+        // determined by its smallest member id, so the partition is a
+        // pure function of the deployment.
+        let mut shard_of = vec![usize::MAX; n];
+        let mut shards: Vec<Vec<StationId>> = Vec::new();
+        let mut root_shard: HashMap<usize, usize> = HashMap::new();
+        for (i, slot) in shard_of.iter_mut().enumerate() {
+            let r = find(&mut parent, i);
+            let s = *root_shard.entry(r).or_insert_with(|| {
+                shards.push(Vec::new());
+                shards.len() - 1
+            });
+            *slot = s;
+            shards[s].push(i);
+        }
+
+        // Lookahead: a lower bound on the smallest cross-shard
+        // distance via per-shard bounding boxes (O(K²) instead of
+        // O(n²); a lower bound keeps the propagation-delay claim
+        // conservative).
+        let mut lookahead = SimDuration::MAX;
+        if shards.len() >= 2 {
+            let boxes: Vec<([f64; 3], [f64; 3])> = shards
+                .iter()
+                .map(|members| {
+                    let mut lo = [f64::INFINITY; 3];
+                    let mut hi = [f64::NEG_INFINITY; 3];
+                    for &m in members {
+                        let p = self.stations[m].pos;
+                        for (k, v) in [p.x, p.y, p.z].into_iter().enumerate() {
+                            lo[k] = lo[k].min(v);
+                            hi[k] = hi[k].max(v);
+                        }
+                    }
+                    (lo, hi)
+                })
+                .collect();
+            let mut min_d2 = f64::INFINITY;
+            for a in 0..boxes.len() {
+                for b in (a + 1)..boxes.len() {
+                    let mut d2 = 0.0;
+                    for k in 0..3 {
+                        let gap = (boxes[a].0[k] - boxes[b].1[k])
+                            .max(boxes[b].0[k] - boxes[a].1[k])
+                            .max(0.0);
+                        d2 += gap * gap;
+                    }
+                    min_d2 = min_d2.min(d2);
+                }
+            }
+            lookahead = propagation_delay(min_d2.sqrt());
+        }
+
+        crate::shard::ShardPlan {
+            shard_of,
+            shards,
+            lookahead,
+            max_interference_range_m: range,
+        }
+    }
+
+    /// Re-validates a [`ShardPlan`](crate::shard::ShardPlan) against
+    /// the world's *current* state: station count unchanged, no
+    /// coupled pair straddling shards, and every cross-shard pair's
+    /// propagation delay at least the plan's lookahead. `None` means
+    /// coherent. The check behind the `shard-coherence` oracle —
+    /// mobility patches move stations after the plan is computed, and
+    /// a stale plan must be caught, not trusted.
+    pub fn shard_plan_incoherence(
+        &self,
+        plan: &crate::shard::ShardPlan,
+        now: SimTime,
+    ) -> Option<crate::shard::ShardIncoherence> {
+        use crate::shard::{propagation_delay, ShardIncoherence};
+        let n = self.stations.len();
+        if plan.shard_of.len() != n {
+            return Some(ShardIncoherence::StationCountChanged {
+                planned: plan.shard_of.len(),
+                actual: n,
+            });
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if plan.shard_of[i] == plan.shard_of[j] {
+                    continue;
+                }
+                let d = self.stations[i].pos.distance_to(self.stations[j].pos);
+                if Self::channel_overlap(self.dcf.channel[i], self.dcf.channel[j]) > 0.0 {
+                    let coupled = d <= plan.max_interference_range_m
+                        || self.audible_at(self.rx_power_at(i, j, now))
+                        || self.audible_at(self.rx_power_at(j, i, now));
+                    if coupled {
+                        return Some(ShardIncoherence::CoupledAcrossShards {
+                            a: i,
+                            b: j,
+                            dist_m: d,
+                        });
+                    }
+                }
+                if plan.lookahead != SimDuration::MAX && propagation_delay(d) < plan.lookahead {
+                    return Some(ShardIncoherence::LookaheadExceedsDelay {
+                        a: i,
+                        b: j,
+                        delay: propagation_delay(d),
+                    });
+                }
+            }
+        }
+        None
+    }
+
     /// Start-time received powers and audible-candidate list for a
     /// transmission from `id`: the cached row when the neighbor cache
     /// is on, a fresh O(n) evaluation otherwise. Candidates are the
@@ -959,7 +1156,7 @@ impl WlanWorld {
         &mut self,
         id: StationId,
         now: SimTime,
-    ) -> (Rc<Vec<Dbm>>, Option<Rc<Vec<f64>>>, Rc<Vec<StationId>>) {
+    ) -> (Arc<Vec<Dbm>>, Option<Arc<Vec<f64>>>, Arc<Vec<StationId>>) {
         if self.neighbor_cache {
             self.ensure_neighbors(now);
             return (
@@ -982,7 +1179,7 @@ impl WlanWorld {
             }
             row.push(p);
         }
-        (Rc::new(row), None, Rc::new(candidates))
+        (Arc::new(row), None, Arc::new(candidates))
     }
 
     fn audible_at(&self, power: Dbm) -> bool {
@@ -992,7 +1189,7 @@ impl WlanWorld {
     /// Spectral overlap between two 2.4 GHz channels (1.0 co-channel,
     /// 0.0 orthogonal) — adjacent channels leak energy into each other,
     /// the §6 interference mechanism behind the 1/6/11 channel plan.
-    fn channel_overlap(a: u8, b: u8) -> f64 {
+    pub(crate) fn channel_overlap(a: u8, b: u8) -> f64 {
         if a == b {
             return 1.0;
         }
@@ -1348,9 +1545,9 @@ impl WlanWorld {
             rate,
             start: now,
             end: now + dur,
-            rx_power: Rc::clone(&rx_power),
+            rx_power: Arc::clone(&rx_power),
             rx_mw,
-            candidates: Rc::clone(&candidates),
+            candidates: Arc::clone(&candidates),
             done: false,
         });
         self.dcf.transmitting[id] = Some(tx_id);
@@ -1498,8 +1695,8 @@ impl WlanWorld {
             (0..self.records.len())
                 .filter(|&o| self.records[o].start < rec_end && self.records[o].end > rec_start),
         );
-        let rx_power = Rc::clone(&self.records[idx].rx_power);
-        let candidates = Rc::clone(&self.records[idx].candidates);
+        let rx_power = Arc::clone(&self.records[idx].rx_power);
+        let candidates = Arc::clone(&self.records[idx].candidates);
         // Half-duplex sources among the overlapping records, collected
         // once into a bitset so the per-receiver check is O(1) instead
         // of a rescan of the overlap list.
@@ -2674,22 +2871,22 @@ mod tests {
 
     #[test]
     fn upper_layer_timer_and_tx_result_callbacks() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::Arc;
+        use std::sync::Mutex;
 
         #[derive(Default)]
         struct Log {
             timers: u32,
             results: Vec<bool>,
         }
-        struct App(Rc<RefCell<Log>>);
+        struct App(Arc<Mutex<Log>>);
         impl UpperLayer for App {
             fn on_start(&mut self, ctx: &mut UpperCtx) {
                 ctx.set_timer(SimDuration::from_millis(5), 42);
             }
             fn on_timer(&mut self, ctx: &mut UpperCtx, tag: u64) {
                 assert_eq!(tag, 42);
-                self.0.borrow_mut().timers += 1;
+                self.0.lock().unwrap().timers += 1;
                 let f = Frame::data(
                     DsBits::Ibss,
                     MacAddr::station(1),
@@ -2701,10 +2898,10 @@ mod tests {
                 ctx.send(f);
             }
             fn on_tx_result(&mut self, _ctx: &mut UpperCtx, _f: &Frame, ok: bool) {
-                self.0.borrow_mut().results.push(ok);
+                self.0.lock().unwrap().results.push(ok);
             }
         }
-        let log = Rc::new(RefCell::new(Log::default()));
+        let log = Arc::new(Mutex::new(Log::default()));
         let mut w = WlanWorld::new(MacConfig::new(PhyStandard::Dot11g));
         w.add_station(
             MacAddr::station(0),
@@ -2719,8 +2916,8 @@ mod tests {
         let mut sim = Simulation::new(w);
         boot(&mut sim);
         sim.run_until(SimTime::from_secs(1));
-        assert_eq!(log.borrow().timers, 1);
-        assert_eq!(log.borrow().results, vec![true]);
+        assert_eq!(log.lock().unwrap().timers, 1);
+        assert_eq!(log.lock().unwrap().results, vec![true]);
     }
 
     #[test]
@@ -2806,8 +3003,8 @@ mod tests {
 
     #[test]
     fn signal_station_crosses_the_backbone() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::Arc;
+        use std::sync::Mutex;
 
         // Station 0 signals station 1 out-of-band (the DS mechanism).
         struct Sender;
@@ -2821,13 +3018,13 @@ mod tests {
             }
         }
         #[derive(Default)]
-        struct Receiver(Rc<RefCell<Vec<(u64, SimTime)>>>);
+        struct Receiver(Arc<Mutex<Vec<(u64, SimTime)>>>);
         impl UpperLayer for Receiver {
             fn on_timer(&mut self, ctx: &mut UpperCtx, tag: u64) {
-                self.0.borrow_mut().push((tag, ctx.now));
+                self.0.lock().unwrap().push((tag, ctx.now));
             }
         }
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut w = WlanWorld::new(MacConfig::new(PhyStandard::Dot11g));
         w.add_station(MacAddr::station(0), Point::new(0.0, 0.0), Box::new(Sender));
         w.add_station(
@@ -2838,7 +3035,7 @@ mod tests {
         let mut sim = Simulation::new(w);
         boot(&mut sim);
         sim.run_until(SimTime::from_secs(1));
-        let got = log.borrow();
+        let got = log.lock().unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].0, 99);
         assert_eq!(got[0].1, SimTime::from_micros(150), "wire latency honoured");
@@ -2894,19 +3091,20 @@ mod tests {
     /// with MF clear.
     #[test]
     fn tx_result_preserves_body_and_clears_mf_bit() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::Arc;
+        use std::sync::Mutex;
 
         #[derive(Default)]
-        struct Seen(Rc<RefCell<Vec<(usize, bool, bool)>>>);
+        struct Seen(Arc<Mutex<Vec<(usize, bool, bool)>>>);
         impl UpperLayer for Seen {
             fn on_tx_result(&mut self, _ctx: &mut UpperCtx, f: &Frame, ok: bool) {
                 self.0
-                    .borrow_mut()
+                    .lock()
+                    .unwrap()
                     .push((f.body.len(), f.fc.more_fragments, ok));
             }
         }
-        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen = Arc::new(Mutex::new(Vec::new()));
         let mut cfg = MacConfig::new(PhyStandard::Dot11g);
         cfg.frag_threshold = 400; // 1000 B -> 3 fragments.
         cfg.seed = 3;
@@ -2926,7 +3124,7 @@ mod tests {
         inject(&mut sim, 1, 0, data_frame(0, 1, 1000));
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(
-            *seen.borrow(),
+            *seen.lock().unwrap(),
             vec![(1000, false, true)],
             "callback frame must carry the full original body, MF clear"
         );
@@ -2938,17 +3136,17 @@ mod tests {
     /// arrive. Every queued MSDU must get exactly one outcome callback.
     #[test]
     fn queue_overflow_reports_failure_to_upper_layer() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::Arc;
+        use std::sync::Mutex;
 
         #[derive(Default)]
-        struct Outcomes(Rc<RefCell<Vec<bool>>>);
+        struct Outcomes(Arc<Mutex<Vec<bool>>>);
         impl UpperLayer for Outcomes {
             fn on_tx_result(&mut self, _ctx: &mut UpperCtx, _f: &Frame, ok: bool) {
-                self.0.borrow_mut().push(ok);
+                self.0.lock().unwrap().push(ok);
             }
         }
-        let outcomes = Rc::new(RefCell::new(Vec::new()));
+        let outcomes = Arc::new(Mutex::new(Vec::new()));
         let mut cfg = MacConfig::new(PhyStandard::Dot11g);
         cfg.queue_limit = 4;
         let mut w = WlanWorld::new(cfg);
@@ -2970,7 +3168,7 @@ mod tests {
         }
         sim.run_until(SimTime::from_secs(2));
         let w = sim.world();
-        let got = outcomes.borrow();
+        let got = outcomes.lock().unwrap();
         assert_eq!(
             got.len(),
             10,

@@ -12,9 +12,9 @@
 //!   advertised in the TIM, and released one per PS-Poll with the
 //!   More Data bit set while more remain.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use crate::ds::{DsFrame, DsHandle};
 use crate::ie::{AssocReqBody, AssocRespBody, AuthAlgorithm, AuthBody, BeaconBody};
@@ -90,7 +90,7 @@ pub struct ApShared {
 }
 
 /// A cloneable handle to [`ApShared`].
-pub type ApSharedHandle = Rc<RefCell<ApShared>>;
+pub type ApSharedHandle = Arc<Mutex<ApShared>>;
 
 struct StaEntry {
     aid: u16,
@@ -111,7 +111,7 @@ pub struct ApLogic {
 impl ApLogic {
     /// Creates an AP; `ds` is `None` for a standalone BSS.
     pub fn new(cfg: ApConfig, ds: Option<DsHandle>) -> (Self, ApSharedHandle) {
-        let shared: ApSharedHandle = Rc::new(RefCell::new(ApShared::default()));
+        let shared: ApSharedHandle = Arc::new(Mutex::new(ApShared::default()));
         (
             ApLogic {
                 cfg,
@@ -146,7 +146,7 @@ impl ApLogic {
             if entry.power_save {
                 if entry.buffered.len() < self.cfg.ps_buffer_limit {
                     entry.buffered.push_back((sa, payload));
-                    self.shared.borrow_mut().ps_buffered += 1;
+                    self.shared.lock().expect("shared state lock").ps_buffered += 1;
                 }
                 return;
             }
@@ -178,11 +178,13 @@ impl ApLogic {
             );
             ctx.send(f);
             if let Some(ds) = &self.ds {
-                let latency = ds.borrow().wire_latency;
-                let targets =
-                    ds.borrow_mut()
-                        .route_broadcast(ctx.now, ctx.id, DsFrame { da, sa, payload });
-                self.shared.borrow_mut().to_ds += 1;
+                let latency = ds.lock().expect("shared state lock").wire_latency;
+                let targets = ds.lock().expect("shared state lock").route_broadcast(
+                    ctx.now,
+                    ctx.id,
+                    DsFrame { da, sa, payload },
+                );
+                self.shared.lock().expect("shared state lock").to_ds += 1;
                 for ap in targets {
                     ctx.command(Command::SignalStation {
                         station: ap,
@@ -194,19 +196,21 @@ impl ApLogic {
             return;
         }
         if self.stas.contains_key(&da) {
-            self.shared.borrow_mut().bridged_local += 1;
+            self.shared.lock().expect("shared state lock").bridged_local += 1;
             self.send_downlink(ctx, da, sa, payload);
             return;
         }
         match &self.ds {
             Some(ds) => {
-                let latency = ds.borrow().wire_latency;
-                let target = ds
-                    .borrow_mut()
-                    .route(ctx.now, ctx.id, DsFrame { da, sa, payload });
+                let latency = ds.lock().expect("shared state lock").wire_latency;
+                let target = ds.lock().expect("shared state lock").route(
+                    ctx.now,
+                    ctx.id,
+                    DsFrame { da, sa, payload },
+                );
                 match target {
                     Some(ap) => {
-                        self.shared.borrow_mut().to_ds += 1;
+                        self.shared.lock().expect("shared state lock").to_ds += 1;
                         ctx.command(Command::SignalStation {
                             station: ap,
                             tag: TAG_DS,
@@ -214,14 +218,14 @@ impl ApLogic {
                         });
                     }
                     None => {
-                        self.shared.borrow_mut().to_portal += 1;
+                        self.shared.lock().expect("shared state lock").to_portal += 1;
                     }
                 }
             }
             None => {
                 // No backbone: unknown destinations "leave" via the
                 // AP's own uplink.
-                self.shared.borrow_mut().to_portal += 1;
+                self.shared.lock().expect("shared state lock").to_portal += 1;
             }
         }
     }
@@ -252,16 +256,16 @@ impl UpperLayer for ApLogic {
                     body,
                 );
                 ctx.send(f);
-                self.shared.borrow_mut().beacons += 1;
+                self.shared.lock().expect("shared state lock").beacons += 1;
                 ctx.set_timer(self.cfg.beacon_interval, TAG_BEACON);
             }
             TAG_DS => {
                 let frames = match &self.ds {
-                    Some(ds) => ds.borrow_mut().drain(ctx.id),
+                    Some(ds) => ds.lock().expect("shared state lock").drain(ctx.id),
                     None => Vec::new(),
                 };
                 for df in frames {
-                    self.shared.borrow_mut().from_ds += 1;
+                    self.shared.lock().expect("shared state lock").from_ds += 1;
                     if df.da.is_group() {
                         let f = Frame::data(
                             DsBits::FromAp,
@@ -351,9 +355,15 @@ impl UpperLayer for ApLogic {
                             }
                         };
                         if let Some(ds) = &self.ds {
-                            ds.borrow_mut().associate(from, ctx.id);
+                            ds.lock()
+                                .expect("shared state lock")
+                                .associate(from, ctx.id);
                         }
-                        self.shared.borrow_mut().associations.push((ctx.now, from));
+                        self.shared
+                            .lock()
+                            .expect("shared state lock")
+                            .associations
+                            .push((ctx.now, from));
                         ctx.emit(
                             Level::Info,
                             TraceEvent::Assoc {
@@ -387,10 +397,11 @@ impl UpperLayer for ApLogic {
             Subtype::Disassoc | Subtype::Deauth => {
                 self.stas.remove(&from);
                 if let Some(ds) = &self.ds {
-                    ds.borrow_mut().disassociate(from);
+                    ds.lock().expect("shared state lock").disassociate(from);
                 }
                 self.shared
-                    .borrow_mut()
+                    .lock()
+                    .expect("shared state lock")
                     .disassociations
                     .push((ctx.now, from));
             }

@@ -1,9 +1,9 @@
 //! Scenario builders: infrastructure BSS/ESS and ad hoc IBSS networks
 //! (the two §3.2 architectures), plus mobility and traffic helpers.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use crate::ap::{ApConfig, ApLogic, ApSharedHandle};
 use crate::ds::{new_ds, DsHandle};
@@ -164,7 +164,11 @@ pub fn send_app_data(
     payload: Vec<u8>,
     at: SimTime,
 ) {
-    shared.borrow_mut().outgoing.push_back((da, payload));
+    shared
+        .lock()
+        .expect("shared state lock")
+        .outgoing
+        .push_back((da, payload));
     sim.scheduler_mut().schedule_at(
         at,
         MacEvent::UpperTimer {
@@ -263,7 +267,7 @@ pub struct IbssNodeShared {
 }
 
 /// Handle to an ad hoc node's shared state.
-pub type IbssShared = Rc<RefCell<IbssNodeShared>>;
+pub type IbssShared = Arc<Mutex<IbssNodeShared>>;
 
 /// An ad hoc (IBSS) peer: §3.2 "devices transmit directly peer-to-peer
 /// … No access point is required".
@@ -275,7 +279,7 @@ pub struct IbssNode {
 impl IbssNode {
     /// Creates a node for the IBSS identified by `bssid`.
     pub fn new(bssid: MacAddr) -> (Self, IbssShared) {
-        let shared: IbssShared = Rc::new(RefCell::new(IbssNodeShared::default()));
+        let shared: IbssShared = Arc::new(Mutex::new(IbssNodeShared::default()));
         (
             IbssNode {
                 bssid,
@@ -290,7 +294,12 @@ impl UpperLayer for IbssNode {
     fn on_timer(&mut self, ctx: &mut UpperCtx, tag: u64) {
         if tag == TAG_APP {
             loop {
-                let item = self.shared.borrow_mut().outgoing.pop_front();
+                let item = self
+                    .shared
+                    .lock()
+                    .expect("shared state lock")
+                    .outgoing
+                    .pop_front();
                 let Some((da, payload)) = item else { break };
                 let f = Frame::data(
                     DsBits::Ibss,
@@ -309,14 +318,15 @@ impl UpperLayer for IbssNode {
         if frame.fc.subtype == wn_mac80211::frame::Subtype::Data {
             let sa = frame.source().unwrap_or(MacAddr::ZERO);
             self.shared
-                .borrow_mut()
+                .lock()
+                .expect("shared state lock")
                 .delivered
                 .push((ctx.now, sa, frame.body.clone()));
         }
     }
 
     fn on_tx_result(&mut self, _ctx: &mut UpperCtx, _frame: &Frame, success: bool) {
-        let mut sh = self.shared.borrow_mut();
+        let mut sh = self.shared.lock().expect("shared state lock");
         if success {
             sh.tx_ok += 1;
         } else {
@@ -390,7 +400,11 @@ pub fn ibss_send(
     payload: Vec<u8>,
     at: SimTime,
 ) {
-    shared.borrow_mut().outgoing.push_back((da, payload));
+    shared
+        .lock()
+        .expect("shared state lock")
+        .outgoing
+        .push_back((da, payload));
     sim.scheduler_mut().schedule_at(
         at,
         MacEvent::UpperTimer {
@@ -423,12 +437,17 @@ mod tests {
             .sta(Point::new(10.0, 0.0))
             .build();
         ess.sim.run_until(SimTime::from_secs(3));
-        let sh = ess.sta_shared[0].borrow();
+        let sh = ess.sta_shared[0].lock().expect("shared state lock");
         assert_eq!(sh.state, StaState::Associated);
         assert_eq!(sh.bssid, Some(MacAddr::access_point(0)));
         assert_eq!(sh.aid, 1);
         assert!(sh.beacons_heard > 5, "beacons_heard = {}", sh.beacons_heard);
-        assert!(ess.ds.borrow().serving_ap(MacAddr::station(0)).is_some());
+        assert!(ess
+            .ds
+            .lock()
+            .expect("shared state lock")
+            .serving_ap(MacAddr::station(0))
+            .is_some());
     }
 
     #[test]
@@ -454,7 +473,7 @@ mod tests {
             );
         }
         ess.sim.run_until(SimTime::from_secs(4));
-        let got = ess.sta_shared[1].borrow();
+        let got = ess.sta_shared[1].lock().expect("shared state lock");
         assert_eq!(got.delivered.len(), 5);
         assert_eq!(
             got.delivered[0].1,
@@ -462,7 +481,13 @@ mod tests {
             "SA preserved through relay"
         );
         assert_eq!(got.delivered[0].2, b"msg-0");
-        assert_eq!(ess.ap_shared[0].borrow().bridged_local, 5);
+        assert_eq!(
+            ess.ap_shared[0]
+                .lock()
+                .expect("shared state lock")
+                .bridged_local,
+            5
+        );
     }
 
     #[test]
@@ -484,8 +509,20 @@ mod tests {
             SimTime::from_secs(2),
         );
         ess.sim.run_until(SimTime::from_secs(3));
-        assert_eq!(ess.ds.borrow().portal_frames().len(), 1);
-        assert_eq!(ess.ds.borrow().portal_frames()[0].1.payload, b"GET /");
+        assert_eq!(
+            ess.ds
+                .lock()
+                .expect("shared state lock")
+                .portal_frames()
+                .len(),
+            1
+        );
+        assert_eq!(
+            ess.ds.lock().expect("shared state lock").portal_frames()[0]
+                .1
+                .payload,
+            b"GET /"
+        );
     }
 
     #[test]
@@ -499,11 +536,17 @@ mod tests {
             .sta(Point::new(295.0, 0.0))
             .build();
         ess.sim.run_until(SimTime::from_secs(3));
-        assert_eq!(ess.sta_shared[0].borrow().state, StaState::Associated);
-        assert_eq!(ess.sta_shared[1].borrow().state, StaState::Associated);
+        assert_eq!(
+            ess.sta_shared[0].lock().expect("shared state lock").state,
+            StaState::Associated
+        );
+        assert_eq!(
+            ess.sta_shared[1].lock().expect("shared state lock").state,
+            StaState::Associated
+        );
         assert_ne!(
-            ess.sta_shared[0].borrow().bssid,
-            ess.sta_shared[1].borrow().bssid,
+            ess.sta_shared[0].lock().expect("shared state lock").bssid,
+            ess.sta_shared[1].lock().expect("shared state lock").bssid,
             "each STA should pick its nearby AP"
         );
         let sta0 = ess.sta_ids[0];
@@ -517,11 +560,14 @@ mod tests {
             SimTime::from_secs(3),
         );
         ess.sim.run_until(SimTime::from_secs(5));
-        let got = ess.sta_shared[1].borrow();
+        let got = ess.sta_shared[1].lock().expect("shared state lock");
         assert_eq!(got.delivered.len(), 1, "frame must traverse the DS");
         assert_eq!(got.delivered[0].2, b"across the ESS");
-        assert_eq!(ess.ap_shared[0].borrow().to_ds, 1);
-        assert_eq!(ess.ap_shared[1].borrow().from_ds, 1);
+        assert_eq!(ess.ap_shared[0].lock().expect("shared state lock").to_ds, 1);
+        assert_eq!(
+            ess.ap_shared[1].lock().expect("shared state lock").from_ds,
+            1
+        );
     }
 
     #[test]
@@ -538,7 +584,7 @@ mod tests {
         ess.sim.world_mut().trace.set_min_level(Level::Info);
         ess.sim.run_until(SimTime::from_secs(2));
         assert_eq!(
-            ess.sta_shared[0].borrow().bssid,
+            ess.sta_shared[0].lock().expect("shared state lock").bssid,
             Some(MacAddr::access_point(0)),
             "starts on the near AP"
         );
@@ -554,7 +600,7 @@ mod tests {
             SimTime::from_secs(2),
         );
         ess.sim.run_until(SimTime::from_secs(80));
-        let sh = ess.sta_shared[0].borrow();
+        let sh = ess.sta_shared[0].lock().expect("shared state lock");
         assert_eq!(
             sh.state,
             StaState::Associated,
@@ -571,7 +617,10 @@ mod tests {
             sh.assoc_events
         );
         assert_eq!(
-            ess.ds.borrow().serving_ap(MacAddr::station(0)),
+            ess.ds
+                .lock()
+                .expect("shared state lock")
+                .serving_ap(MacAddr::station(0)),
             Some(ess.ap_ids[1]),
             "DS association moved to AP1"
         );
@@ -608,12 +657,16 @@ mod tests {
             SimTime::from_millis(10),
         );
         net.sim.run_until(SimTime::from_secs(1));
-        let got = net.shared[1].borrow();
+        let got = net.shared[1].lock().expect("shared state lock");
         assert_eq!(got.delivered.len(), 1);
         assert_eq!(got.delivered[0].1, MacAddr::station(0));
-        assert_eq!(net.shared[0].borrow().tx_ok, 1);
+        assert_eq!(net.shared[0].lock().expect("shared state lock").tx_ok, 1);
         // The third node saw nothing (unicast).
-        assert!(net.shared[2].borrow().delivered.is_empty());
+        assert!(net.shared[2]
+            .lock()
+            .expect("shared state lock")
+            .delivered
+            .is_empty());
     }
 
     #[test]
@@ -636,7 +689,15 @@ mod tests {
         );
         net.sim.run_until(SimTime::from_secs(1));
         for i in 1..4 {
-            assert_eq!(net.shared[i].borrow().delivered.len(), 1, "node {i}");
+            assert_eq!(
+                net.shared[i]
+                    .lock()
+                    .expect("shared state lock")
+                    .delivered
+                    .len(),
+                1,
+                "node {i}"
+            );
         }
     }
 
@@ -650,7 +711,10 @@ mod tests {
             .sta_with(Point::new(-5.0, 0.0), cfg)
             .build();
         ess.sim.run_until(SimTime::from_secs(3));
-        assert_eq!(ess.sta_shared[1].borrow().state, StaState::Associated);
+        assert_eq!(
+            ess.sta_shared[1].lock().expect("shared state lock").state,
+            StaState::Associated
+        );
         // Give the PS STA time to settle into its doze cycle, then send.
         let sta0 = ess.sta_ids[0];
         let sh0 = ess.sta_shared[0].clone();
@@ -665,12 +729,16 @@ mod tests {
             );
         }
         ess.sim.run_until(SimTime::from_secs(6));
-        let sh = ess.sta_shared[1].borrow();
+        let sh = ess.sta_shared[1].lock().expect("shared state lock");
         assert_eq!(sh.delivered.len(), 3, "all buffered frames retrieved");
         assert!(sh.ps_polls >= 1, "PS-Poll was used: {}", sh.ps_polls);
         assert!(sh.dozes >= 2, "the STA dozed between beacons: {}", sh.dozes);
         assert!(
-            ess.ap_shared[0].borrow().ps_buffered >= 1,
+            ess.ap_shared[0]
+                .lock()
+                .expect("shared state lock")
+                .ps_buffered
+                >= 1,
             "AP buffered for the dozer"
         );
         drop(sh);
@@ -704,12 +772,18 @@ mod tests {
         // secret" succeeds.
         let mut good = build(b"wep-shared-secret");
         good.sim.run_until(SimTime::from_secs(3));
-        assert_eq!(good.sta_shared[0].borrow().state, StaState::Associated);
+        assert_eq!(
+            good.sta_shared[0].lock().expect("shared state lock").state,
+            StaState::Associated
+        );
 
         // Wrong key: authentication refused, never associates.
         let mut bad = build(b"wrong-key");
         bad.sim.run_until(SimTime::from_secs(3));
-        assert_ne!(bad.sta_shared[0].borrow().state, StaState::Associated);
+        assert_ne!(
+            bad.sta_shared[0].lock().expect("shared state lock").state,
+            StaState::Associated
+        );
 
         // Open-auth STA against a shared-key AP is refused too.
         let mut ap_cfg = ApConfig::open(ssid(), 1);
@@ -720,7 +794,10 @@ mod tests {
             .sta(Point::new(8.0, 0.0))
             .build();
         open.sim.run_until(SimTime::from_secs(3));
-        assert_ne!(open.sta_shared[0].borrow().state, StaState::Associated);
+        assert_ne!(
+            open.sta_shared[0].lock().expect("shared state lock").state,
+            StaState::Associated
+        );
     }
 
     #[test]
@@ -741,20 +818,32 @@ mod tests {
         let mut active = build(true, 41);
         active.sim.run_until(SimTime::from_millis(600));
         assert_eq!(
-            active.sta_shared[0].borrow().state,
+            active.sta_shared[0]
+                .lock()
+                .expect("shared state lock")
+                .state,
             StaState::Associated,
             "active scan should join within one dwell"
         );
         let mut passive = build(false, 41);
         passive.sim.run_until(SimTime::from_millis(600));
         assert_ne!(
-            passive.sta_shared[0].borrow().state,
+            passive.sta_shared[0]
+                .lock()
+                .expect("shared state lock")
+                .state,
             StaState::Associated,
             "passive scan cannot have seen a 900 ms beacon yet"
         );
         // Passive still converges eventually.
         passive.sim.run_until(SimTime::from_secs(30));
-        assert_eq!(passive.sta_shared[0].borrow().state, StaState::Associated);
+        assert_eq!(
+            passive.sta_shared[0]
+                .lock()
+                .expect("shared state lock")
+                .state,
+            StaState::Associated
+        );
     }
 
     #[test]
@@ -770,14 +859,14 @@ mod tests {
         ess.sim.run_until(SimTime::from_secs(4));
         let mut aids = Vec::new();
         for sh in &ess.sta_shared {
-            let sh = sh.borrow();
+            let sh = sh.lock().expect("shared state lock");
             assert_eq!(sh.state, StaState::Associated);
             aids.push(sh.aid);
         }
         aids.sort_unstable();
         aids.dedup();
         assert_eq!(aids.len(), 8, "every STA got a distinct AID");
-        assert_eq!(ess.ds.borrow().station_count(), 8);
+        assert_eq!(ess.ds.lock().expect("shared state lock").station_count(), 8);
     }
 
     #[test]
@@ -811,7 +900,7 @@ mod tests {
         }
         ess.sim.run_until(SimTime::from_secs(70));
         // The STA stayed (or got back) on the network.
-        let sh = ess.sta_shared[0].borrow();
+        let sh = ess.sta_shared[0].lock().expect("shared state lock");
         assert!(
             !sh.assoc_events.is_empty(),
             "station should have associated at least once"
@@ -827,8 +916,16 @@ mod tests {
                 .sta(Point::new(12.0, 0.0))
                 .build();
             ess.sim.run_until(SimTime::from_secs(2));
-            let a = ess.sta_shared[0].borrow().assoc_events.clone();
-            let b = ess.sta_shared[1].borrow().assoc_events.clone();
+            let a = ess.sta_shared[0]
+                .lock()
+                .expect("shared state lock")
+                .assoc_events
+                .clone();
+            let b = ess.sta_shared[1]
+                .lock()
+                .expect("shared state lock")
+                .assoc_events
+                .clone();
             (a, b)
         };
         assert_eq!(run(), run());

@@ -8,9 +8,9 @@
 //! wired LAN (frames whose destination is not any wireless STA leave
 //! through the portal, and wired hosts can inject frames back in).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use wn_mac80211::addr::MacAddr;
 use wn_mac80211::sim::StationId;
@@ -43,11 +43,11 @@ pub struct DistributionSystem {
 }
 
 /// A cheap cloneable handle to a [`DistributionSystem`].
-pub type DsHandle = Rc<RefCell<DistributionSystem>>;
+pub type DsHandle = Arc<Mutex<DistributionSystem>>;
 
 /// Creates a fresh DS handle with the given wire latency.
 pub fn new_ds(wire_latency: SimDuration) -> DsHandle {
-    Rc::new(RefCell::new(DistributionSystem {
+    Arc::new(Mutex::new(DistributionSystem {
         wire_latency,
         ..DistributionSystem::default()
     }))

@@ -18,9 +18,9 @@
 //! 6. **Power save** (optional) — doze between beacons, wake for the
 //!    TIM, PS-Poll buffered frames out of the AP (§4.2).
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use crate::ie::{AssocReqBody, AssocRespBody, AuthAlgorithm, AuthBody, BeaconBody};
 use crate::ssid::Ssid;
@@ -149,7 +149,7 @@ impl Default for StaShared {
 }
 
 /// A cloneable handle to [`StaShared`].
-pub type StaSharedHandle = Rc<RefCell<StaShared>>;
+pub type StaSharedHandle = Arc<Mutex<StaShared>>;
 
 struct Candidate {
     bssid: MacAddr,
@@ -175,7 +175,7 @@ pub struct StaLogic {
 impl StaLogic {
     /// Creates a station client.
     pub fn new(cfg: StaConfig) -> (Self, StaSharedHandle) {
-        let shared: StaSharedHandle = Rc::new(RefCell::new(StaShared::default()));
+        let shared: StaSharedHandle = Arc::new(Mutex::new(StaShared::default()));
         (
             StaLogic {
                 cfg,
@@ -196,7 +196,7 @@ impl StaLogic {
     fn start_scan(&mut self, ctx: &mut UpperCtx) {
         // Leaving an established association to reacquire (beacon loss,
         // weak signal, deauth) is the other half of §3.2 roaming.
-        if self.shared.borrow().state == StaState::Associated {
+        if self.shared.lock().expect("shared state lock").state == StaState::Associated {
             ctx.emit(
                 Level::Info,
                 TraceEvent::Handoff {
@@ -204,8 +204,8 @@ impl StaLogic {
                 },
             );
         }
-        self.shared.borrow_mut().state = StaState::Scanning;
-        self.shared.borrow_mut().bssid = None;
+        self.shared.lock().expect("shared state lock").state = StaState::Scanning;
+        self.shared.lock().expect("shared state lock").bssid = None;
         self.serving = None;
         self.best = None;
         self.scan_index = 0;
@@ -239,7 +239,7 @@ impl StaLogic {
             return;
         };
         ctx.command(Command::SetChannel(best.channel));
-        self.shared.borrow_mut().state = StaState::Authenticating;
+        self.shared.lock().expect("shared state lock").state = StaState::Authenticating;
         let body = AuthBody {
             algorithm: self.cfg.auth,
             transaction: 1,
@@ -264,15 +264,23 @@ impl StaLogic {
     }
 
     fn drain_app_queue(&mut self, ctx: &mut UpperCtx) {
-        let bssid = match self.shared.borrow().state {
-            StaState::Associated => self.shared.borrow().bssid,
-            _ => None,
+        let bssid = {
+            let sh = self.shared.lock().expect("shared state lock");
+            match sh.state {
+                StaState::Associated => sh.bssid,
+                _ => None,
+            }
         };
         let Some(bssid) = bssid else {
             return;
         };
         loop {
-            let item = self.shared.borrow_mut().outgoing.pop_front();
+            let item = self
+                .shared
+                .lock()
+                .expect("shared state lock")
+                .outgoing
+                .pop_front();
             let Some((da, payload)) = item else {
                 break;
             };
@@ -303,7 +311,7 @@ impl StaLogic {
                 doze: true,
             },
         );
-        self.shared.borrow_mut().dozes += 1;
+        self.shared.lock().expect("shared state lock").dozes += 1;
         ctx.set_timer(sleep, TAG_PS_WAKE);
     }
 }
@@ -316,7 +324,7 @@ impl UpperLayer for StaLogic {
     fn on_timer(&mut self, ctx: &mut UpperCtx, tag: u64) {
         match tag & 0xFF {
             TAG_SCAN => {
-                if self.shared.borrow().state != StaState::Scanning {
+                if self.shared.lock().expect("shared state lock").state != StaState::Scanning {
                     return;
                 }
                 self.scan_index += 1;
@@ -329,7 +337,7 @@ impl UpperLayer for StaLogic {
                 }
             }
             TAG_WATCH => {
-                if self.shared.borrow().state != StaState::Associated {
+                if self.shared.lock().expect("shared state lock").state != StaState::Associated {
                     return;
                 }
                 if self.beacon_seen_since_watch {
@@ -351,7 +359,9 @@ impl UpperLayer for StaLogic {
                 }
             }
             TAG_APP => self.drain_app_queue(ctx),
-            TAG_PS_WAKE if self.shared.borrow().state == StaState::Associated => {
+            TAG_PS_WAKE
+                if self.shared.lock().expect("shared state lock").state == StaState::Associated =>
+            {
                 ctx.command(Command::SetAwake(true));
                 ctx.emit(
                     Level::Debug,
@@ -364,7 +374,10 @@ impl UpperLayer for StaLogic {
             TAG_JOIN_TIMEOUT => {
                 let gen = tag >> 8;
                 if gen == self.join_generation
-                    && !matches!(self.shared.borrow().state, StaState::Associated)
+                    && !matches!(
+                        self.shared.lock().expect("shared state lock").state,
+                        StaState::Associated
+                    )
                 {
                     self.start_scan(ctx);
                 }
@@ -385,7 +398,7 @@ impl UpperLayer for StaLogic {
                 let bssid = frame
                     .bssid()
                     .unwrap_or(frame.transmitter().unwrap_or(MacAddr::ZERO));
-                let state = self.shared.borrow().state;
+                let state = self.shared.lock().expect("shared state lock").state;
                 match state {
                     StaState::Scanning => {
                         let better = self
@@ -402,10 +415,10 @@ impl UpperLayer for StaLogic {
                         }
                     }
                     StaState::Associated => {
-                        let my_bssid = self.shared.borrow().bssid;
+                        let my_bssid = self.shared.lock().expect("shared state lock").bssid;
                         if Some(bssid) == my_bssid {
                             self.beacon_seen_since_watch = true;
-                            self.shared.borrow_mut().beacons_heard += 1;
+                            self.shared.lock().expect("shared state lock").beacons_heard += 1;
                             // Exponentially-smoothed serving RSSI.
                             self.current_rssi = if self.current_rssi.is_finite() {
                                 0.8 * self.current_rssi + 0.2 * rssi.value()
@@ -427,9 +440,9 @@ impl UpperLayer for StaLogic {
                             }
                             // Power save: poll if the TIM lists us, else doze.
                             if self.cfg.power_save {
-                                let aid = self.shared.borrow().aid;
+                                let aid = self.shared.lock().expect("shared state lock").aid;
                                 if body.tim.contains(&aid) {
-                                    self.shared.borrow_mut().ps_polls += 1;
+                                    self.shared.lock().expect("shared state lock").ps_polls += 1;
                                     ctx.command(Command::SetAwake(true));
                                     ctx.send(Frame::ps_poll(bssid, ctx.addr, aid));
                                 } else {
@@ -457,7 +470,8 @@ impl UpperLayer for StaLogic {
                 }
             }
             Subtype::Auth => {
-                if self.shared.borrow().state != StaState::Authenticating {
+                if self.shared.lock().expect("shared state lock").state != StaState::Authenticating
+                {
                     return;
                 }
                 let Ok(body) = AuthBody::decode(&frame.body) else {
@@ -492,7 +506,8 @@ impl UpperLayer for StaLogic {
                     }
                     (2, 0) | (4, 0) => {
                         // Authenticated: associate.
-                        self.shared.borrow_mut().state = StaState::Associating;
+                        self.shared.lock().expect("shared state lock").state =
+                            StaState::Associating;
                         let req = AssocReqBody {
                             ssid: self.cfg.ssid.clone(),
                         };
@@ -513,7 +528,7 @@ impl UpperLayer for StaLogic {
                 }
             }
             Subtype::AssocResp | Subtype::ReassocResp => {
-                if self.shared.borrow().state != StaState::Associating {
+                if self.shared.lock().expect("shared state lock").state != StaState::Associating {
                     return;
                 }
                 let Ok(body) = AssocRespBody::decode(&frame.body) else {
@@ -529,7 +544,7 @@ impl UpperLayer for StaLogic {
                     .map(|s| s.bssid)
                     .unwrap_or(MacAddr::ZERO);
                 {
-                    let mut sh = self.shared.borrow_mut();
+                    let mut sh = self.shared.lock().expect("shared state lock");
                     sh.state = StaState::Associated;
                     sh.bssid = Some(bssid);
                     sh.aid = body.aid;
@@ -576,14 +591,20 @@ impl UpperLayer for StaLogic {
             Subtype::Data if frame.fc.from_ds => {
                 let sa = frame.source().unwrap_or(MacAddr::ZERO);
                 self.shared
-                    .borrow_mut()
+                    .lock()
+                    .expect("shared state lock")
                     .delivered
                     .push((ctx.now, sa, frame.body.clone()));
                 if self.cfg.power_save {
                     if frame.fc.more_data {
-                        let aid = self.shared.borrow().aid;
-                        let bssid = self.shared.borrow().bssid.unwrap_or(MacAddr::ZERO);
-                        self.shared.borrow_mut().ps_polls += 1;
+                        let aid = self.shared.lock().expect("shared state lock").aid;
+                        let bssid = self
+                            .shared
+                            .lock()
+                            .expect("shared state lock")
+                            .bssid
+                            .unwrap_or(MacAddr::ZERO);
+                        self.shared.lock().expect("shared state lock").ps_polls += 1;
                         ctx.send(Frame::ps_poll(bssid, ctx.addr, aid));
                     } else {
                         self.doze_until_next_beacon(ctx);
@@ -591,7 +612,7 @@ impl UpperLayer for StaLogic {
                 }
             }
             Subtype::Deauth | Subtype::Disassoc
-                if self.shared.borrow().state == StaState::Associated =>
+                if self.shared.lock().expect("shared state lock").state == StaState::Associated =>
             {
                 self.start_scan(ctx);
             }
@@ -601,7 +622,7 @@ impl UpperLayer for StaLogic {
 
     fn on_tx_result(&mut self, _ctx: &mut UpperCtx, frame: &Frame, success: bool) {
         if frame.fc.subtype == Subtype::Data {
-            let mut sh = self.shared.borrow_mut();
+            let mut sh = self.shared.lock().expect("shared state lock");
             if success {
                 sh.tx_ok += 1;
             } else {

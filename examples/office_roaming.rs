@@ -31,7 +31,7 @@ fn main() {
     ess.sim.run_until(SimTime::from_secs(2));
     println!(
         "t=2s: laptop associated to {:?}",
-        ess.sta_shared[0].borrow().bssid
+        ess.sta_shared[0].lock().expect("shared state lock").bssid
     );
 
     // Walk from AP0's office to AP1's office at 5 m/s (a brisk walk).
@@ -62,7 +62,7 @@ fn main() {
     }
     ess.sim.run_until(SimTime::from_secs(80));
 
-    let sh = ess.sta_shared[0].borrow();
+    let sh = ess.sta_shared[0].lock().expect("shared state lock");
     println!("\nassociation history:");
     for (t, bssid) in &sh.assoc_events {
         println!("  {t} -> {bssid}");
@@ -75,7 +75,10 @@ fn main() {
     );
     println!(
         "DS now maps the laptop to AP id {:?}",
-        ess.ds.borrow().serving_ap(MacAddr::station(0))
+        ess.ds
+            .lock()
+            .expect("shared state lock")
+            .serving_ap(MacAddr::station(0))
     );
 
     // The packaged experiment: run the canonical FIG-1.10 scenario too.

@@ -28,7 +28,7 @@ fn main() {
     // Let scanning, authentication and association complete.
     net.sim.run_until(SimTime::from_secs(2));
     for (i, sh) in net.sta_shared.iter().enumerate() {
-        let sh = sh.borrow();
+        let sh = sh.lock().expect("shared state lock");
         println!(
             "station {i}: state={:?} bssid={:?} aid={} (beacons heard: {})",
             sh.state, sh.bssid, sh.aid, sh.beacons_heard
@@ -48,7 +48,10 @@ fn main() {
         SimTime::from_millis(2100),
     );
     net.sim.run_until(SimTime::from_secs(3));
-    let delivered = &net.sta_shared[1].borrow().delivered;
+    let delivered = &net.sta_shared[1]
+        .lock()
+        .expect("shared state lock")
+        .delivered;
     println!(
         "\ndesktop received {} message(s): {:?}",
         delivered.len(),
@@ -63,7 +66,10 @@ fn main() {
     );
     println!(
         "AP bridged {} frame(s) locally",
-        net.ap_shared[0].borrow().bridged_local
+        net.ap_shared[0]
+            .lock()
+            .expect("shared state lock")
+            .bridged_local
     );
 
     // 3. Saturation throughput of the cell (the MAC-efficiency story).

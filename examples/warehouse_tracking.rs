@@ -95,7 +95,7 @@ fn main() {
         );
     }
     ess.sim.run_until(SimTime::from_secs(125));
-    let sh = ess.sta_shared[0].borrow();
+    let sh = ess.sta_shared[0].lock().expect("shared state lock");
     println!(
         "forklift: {} pick orders of {} received while wandering; association history:",
         sh.delivered.len(),

@@ -1,0 +1,107 @@
+//! CITY-DCF at full scale: the spatially-sharded city of saturated
+//! BSSes, proven byte-identical between the serial composition and
+//! the windowed shard executor (DESIGN.md §15), checked from the
+//! point observables rather than the experiment harness's own claims.
+//!
+//! The flagship city is release-sized (108 BSSes, 10,476 stations);
+//! the tier-1 debug suite skips this file and CI runs it in the
+//! release job, like `scale_dcf.rs`.
+
+use wireless_networks::core::scenarios::{
+    city_dcf_collapse_sweep, city_dcf_point, city_dcf_size, CityDcfPoint,
+};
+
+fn dump(p: &CityDcfPoint) {
+    eprintln!(
+        "CITY-DCF cells={} stations={} senders/cell={} shards={} lookahead={}ns \
+         jain={:.4} per_sender={:.1} kbps identical={}",
+        p.cells,
+        p.stations,
+        p.senders_per_cell,
+        p.shards,
+        p.lookahead.as_nanos(),
+        p.jain_cross_bss,
+        p.per_station_kbps,
+        p.byte_identical(),
+    );
+}
+
+/// The headline contract: ≥100 BSSes / ≥10k stations partition into
+/// one shard per cell, complete under the shard executor at 1, 2 and
+/// 4 workers, and every execution digests byte-identically to the
+/// serial reference — with the cross-BSS load balanced (Jain ≥ 0.95)
+/// and every sender saturated to the horizon.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-sized city (10k+ stations); run with --release (CI does)"
+)]
+fn flagship_city_is_byte_identical_under_the_shard_executor() {
+    let (rows, cols, senders, duration_ms) = city_dcf_size();
+    let p = city_dcf_point(rows, cols, senders, duration_ms, 42);
+    dump(&p);
+
+    assert!(p.cells >= 100, "flagship must cover >=100 BSSes");
+    assert!(p.stations >= 10_000, "flagship must cover >=10k stations");
+    assert_eq!(p.shards, p.cells, "one interference shard per BSS");
+    assert!(
+        p.incoherence.is_none(),
+        "plan failed validation: {:?}",
+        p.incoherence
+    );
+    assert!(p.serial.events > 0, "the city must actually run");
+    assert_eq!(
+        p.windowed.iter().map(|(w, _)| *w).collect::<Vec<_>>(),
+        vec![1, 2, 4],
+        "all three worker counts must run"
+    );
+    for (workers, r) in &p.windowed {
+        assert_eq!(
+            (r.events, r.trace_fnv, r.metrics_fnv),
+            (p.serial.events, p.serial.trace_fnv, p.serial.metrics_fnv),
+            "windowed x{workers} diverged from the serial composition"
+        );
+    }
+    assert!(
+        p.jain_cross_bss >= 0.95,
+        "cross-BSS Jain {:.4} < 0.95",
+        p.jain_cross_bss
+    );
+    assert!(p.saturated, "a sender drained its queue before the horizon");
+}
+
+/// Densifying the cells collapses per-sender goodput monotonically
+/// while the partition stays one-shard-per-cell and every point stays
+/// byte-identical — contention is per-cell, sharding is free.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-sized sweep; run with --release (CI does)"
+)]
+fn densification_collapses_per_sender_goodput_monotonically() {
+    let (rows, cols, sweep, duration_ms) = city_dcf_collapse_sweep();
+    let points: Vec<CityDcfPoint> = sweep
+        .iter()
+        .map(|&n| city_dcf_point(rows, cols, n, duration_ms, 42))
+        .collect();
+    for p in &points {
+        dump(p);
+        assert_eq!(p.shards, p.cells);
+        assert!(
+            p.byte_identical(),
+            "divergence at {} senders/cell",
+            p.senders_per_cell
+        );
+        assert!(p.saturated);
+    }
+    for pair in points.windows(2) {
+        assert!(
+            pair[1].per_station_kbps <= pair[0].per_station_kbps,
+            "goodput rose from {:.1} to {:.1} kbps as cells densified ({} -> {} senders)",
+            pair[0].per_station_kbps,
+            pair[1].per_station_kbps,
+            pair[0].senders_per_cell,
+            pair[1].senders_per_cell,
+        );
+    }
+}

@@ -38,7 +38,10 @@ fn wpa2_protected_payload_over_the_air() {
         .sta(Point::new(-6.0, 0.0))
         .build();
     ess.sim.run_until(SimTime::from_secs(2));
-    assert_eq!(ess.sta_shared[0].borrow().state, StaState::Associated);
+    assert_eq!(
+        ess.sta_shared[0].lock().expect("shared state lock").state,
+        StaState::Associated
+    );
 
     // STA0 encrypts for STA1 with the session TK and ships ciphertext.
     let mut tx = CcmpSession::new(ptk.tk, spa);
@@ -60,7 +63,11 @@ fn wpa2_protected_payload_over_the_air() {
     ess.sim.run_until(SimTime::from_secs(3));
 
     // STA1 receives the ciphertext through the AP and decrypts.
-    let delivered = ess.sta_shared[1].borrow().delivered.clone();
+    let delivered = ess.sta_shared[1]
+        .lock()
+        .expect("shared state lock")
+        .delivered
+        .clone();
     assert_eq!(delivered.len(), 1);
     let body = &delivered[0].2;
     let pn = u64::from_be_bytes(body[..8].try_into().unwrap());
@@ -125,7 +132,11 @@ fn tkip_protected_payload_over_the_air() {
     }
     ess.sim.run_until(SimTime::from_secs(3));
 
-    let delivered = ess.sta_shared[1].borrow().delivered.clone();
+    let delivered = ess.sta_shared[1]
+        .lock()
+        .expect("shared state lock")
+        .delivered
+        .clone();
     assert_eq!(delivered.len(), 2);
     let mut plain = Vec::new();
     let mut packets = Vec::new();
@@ -166,7 +177,14 @@ fn both_architectures_carry_traffic() {
         SimTime::from_millis(5),
     );
     ibss.sim.run_until(SimTime::from_secs(1));
-    assert_eq!(ibss.shared[1].borrow().delivered.len(), 1);
+    assert_eq!(
+        ibss.shared[1]
+            .lock()
+            .expect("shared state lock")
+            .delivered
+            .len(),
+        1
+    );
 
     let ssid = Ssid::new("Infra").unwrap();
     let mut ess = EssBuilder::new(mac, ssid)
@@ -186,7 +204,14 @@ fn both_architectures_carry_traffic() {
         SimTime::from_millis(2100),
     );
     ess.sim.run_until(SimTime::from_secs(3));
-    assert_eq!(ess.sta_shared[1].borrow().delivered.len(), 1);
+    assert_eq!(
+        ess.sta_shared[1]
+            .lock()
+            .expect("shared state lock")
+            .delivered
+            .len(),
+        1
+    );
     assert!(
         ess.sim.world().stats(ess.ap_ids[0]).tx_frames > 0,
         "the AP relayed"
@@ -210,13 +235,17 @@ fn portal_injection_reaches_wireless_sta() {
         .sta(Point::new(7.0, 0.0))
         .build();
     ess.sim.run_until(SimTime::from_secs(2));
-    assert_eq!(ess.sta_shared[0].borrow().state, StaState::Associated);
+    assert_eq!(
+        ess.sta_shared[0].lock().expect("shared state lock").state,
+        StaState::Associated
+    );
 
     // A wired host pushes a frame into the distribution system.
     let wired_host = MacAddr([0x00, 0x50, 0x56, 0x01, 0x02, 0x03]);
     let target_ap = ess
         .ds
-        .borrow_mut()
+        .lock()
+        .expect("shared state lock")
         .inject_from_portal(DsFrame {
             da: MacAddr::station(0),
             sa: wired_host,
@@ -234,7 +263,11 @@ fn portal_injection_reaches_wireless_sta() {
     );
     ess.sim.run_until(SimTime::from_secs(3));
 
-    let delivered = ess.sta_shared[0].borrow().delivered.clone();
+    let delivered = ess.sta_shared[0]
+        .lock()
+        .expect("shared state lock")
+        .delivered
+        .clone();
     assert_eq!(delivered.len(), 1);
     assert_eq!(delivered[0].1, wired_host, "SA preserved end to end");
     assert_eq!(delivered[0].2, b"web page bytes");
@@ -286,13 +319,15 @@ fn whole_stack_deterministic() {
         }
         ess.sim.run_until(SimTime::from_secs(4));
         let deliveries: Vec<(u64, Vec<u8>)> = ess.sta_shared[1]
-            .borrow()
+            .lock()
+            .expect("shared state lock")
             .delivered
             .iter()
             .map(|(t, _, b)| (t.as_nanos(), b.clone()))
             .collect();
         let assoc: Vec<u64> = ess.sta_shared[0]
-            .borrow()
+            .lock()
+            .expect("shared state lock")
             .assoc_events
             .iter()
             .map(|(t, _)| t.as_nanos())
