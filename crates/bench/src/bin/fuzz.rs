@@ -35,16 +35,37 @@
 //!   digests (DESIGN.md §15). Range runs additionally verify a
 //!   multi-shard CITY-DCF grid the generated scenarios cannot reach.
 //!   Non-medium kinds (Bluetooth/ZigBee/WiMAX) are skipped.
+//! - `--qos` — the EDCA/A-MPDU corpus (DESIGN.md §16): every seed maps
+//!   to a QoS WLAN world (mixed-AC traffic, aggregation on/off, OBSS
+//!   twin cells), each run oracle-checked through both scheduler back
+//!   ends, the neighbor cache on/off, and the windowed shard executor,
+//!   demanding byte-identical fingerprints throughout. The leg then
+//!   runs two gates: the AIFSN-swap fail-point self-test (the planted
+//!   AC_VO/AC_BK parameter swap must be caught by the
+//!   priority-inversion oracle and shrunk to a small repro) and the
+//!   legacy-equivalence differential (the classic 200-seed digest must
+//!   still hash to its recorded pre-QoS fingerprint, proving the QoS
+//!   machinery is byte-invisible when off).
 //!
 //! On any violation the process prints one line per failing seed, the
 //! one-line repro command, and exits 1.
 
 use wn_check::{
-    check_range_opts, check_range_with, check_seed_with, repro_command, run, shard_diff_range,
-    shard_diff_seed, shrink, station_count, ScenarioGen, ShardDiffReport,
+    check_range_gen, check_range_opts, check_range_with, check_seed_with, range_digest,
+    repro_command, run, shard_diff_range, shard_diff_range_gen, shard_diff_seed, shrink,
+    station_count, ScenarioGen, ShardDiffReport,
 };
 use wn_core::scenarios::city_dcf_point;
+use wn_sim::stats::fnv1a;
 use wn_sim::{worker_count, SchedulerKind};
+
+/// FNV-1a of `range_digest(0, 200, _)` over the classic corpus as
+/// recorded *before* the QoS machinery landed. The `--qos` leg
+/// recomputes the digest and demands this exact fingerprint: with EDCA
+/// off, every scenario, trace and metrics snapshot must remain
+/// byte-identical to the pre-QoS engine.
+const LEGACY_DIGEST_SEEDS: u64 = 200;
+const LEGACY_DIGEST_FNV: u64 = 0x4a49_300b_696f_7708;
 
 struct Options {
     start: u64,
@@ -55,6 +76,7 @@ struct Options {
     dual: bool,
     cache_diff: bool,
     shard_diff: bool,
+    qos: bool,
     scheduler: SchedulerKind,
 }
 
@@ -68,6 +90,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         dual: false,
         cache_diff: false,
         shard_diff: false,
+        qos: false,
         scheduler: SchedulerKind::default(),
     };
     let mut i = 0;
@@ -101,6 +124,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--dual" => opts.dual = true,
             "--cache-diff" => opts.cache_diff = true,
             "--shard-diff" => opts.shard_diff = true,
+            "--qos" => opts.qos = true,
             "--scheduler" => {
                 i += 1;
                 opts.scheduler = need(i)?.parse::<SchedulerKind>()?;
@@ -123,13 +147,31 @@ fn parse(args: &[String]) -> Result<Options, String> {
 /// Prints the violations for one failing seed; with `--shrink`, also
 /// minimises the scenario and prints the shrunk repro.
 fn report_failure(seed: u64, summary: &str, violations: &[wn_check::Violation], do_shrink: bool) {
+    report_failure_gen(
+        &ScenarioGen::default(),
+        seed,
+        summary,
+        violations,
+        do_shrink,
+    );
+}
+
+/// [`report_failure`] under an explicit generator, so `--qos` failures
+/// shrink the scenario the QoS corpus actually drew.
+fn report_failure_gen(
+    gen: &ScenarioGen,
+    seed: u64,
+    summary: &str,
+    violations: &[wn_check::Violation],
+    do_shrink: bool,
+) {
     println!("seed {seed}: FAIL  {summary}");
     for v in violations {
         println!("  {v}");
     }
     println!("  repro: {}", repro_command(seed));
     if do_shrink {
-        let sc = ScenarioGen::default().scenario(seed);
+        let sc = gen.scenario(seed);
         let still_fails = |c: &wn_check::Scenario| !run::check_scenario(c).is_empty();
         let min = shrink(&sc, still_fails);
         println!(
@@ -338,6 +380,149 @@ fn run_shard_diff(opts: &Options) -> u64 {
     failures
 }
 
+/// The QoS corpus leg: oracle-checked EDCA/A-MPDU worlds across both
+/// scheduler back ends, the neighbor cache on/off and the windowed
+/// shard executor, then the AIFSN-swap self-test and the
+/// legacy-equivalence differential. Returns the number of failures.
+fn run_qos(opts: &Options) -> u64 {
+    let (start, count) = match opts.single {
+        Some(seed) => (seed, 1),
+        None => (opts.start, opts.count),
+    };
+    let t0 = std::time::Instant::now();
+    let gen = ScenarioGen::with_qos();
+    let mut failures = 0u64;
+
+    // Leg 1: oracle sweep through both schedulers, fingerprints equal.
+    let heap = check_range_gen(
+        gen,
+        start,
+        count,
+        opts.threads,
+        SchedulerKind::BinaryHeap,
+        true,
+    );
+    let wheel = check_range_gen(
+        gen,
+        start,
+        count,
+        opts.threads,
+        SchedulerKind::TimerWheel,
+        true,
+    );
+    for (h, w) in heap.iter().zip(&wheel) {
+        if h.events != w.events || h.trace_fnv != w.trace_fnv || h.metrics_fnv != w.metrics_fnv {
+            failures += 1;
+            println!(
+                "seed {}: SCHEDULER DIVERGENCE (qos)  {}\n  heap:  events={} trace_fnv={:016x} metrics_fnv={:016x}\n  wheel: events={} trace_fnv={:016x} metrics_fnv={:016x}",
+                h.seed, h.summary, h.events, h.trace_fnv, h.metrics_fnv, w.events, w.trace_fnv, w.metrics_fnv
+            );
+        }
+        if !h.violations.is_empty() {
+            failures += 1;
+            report_failure_gen(&gen, h.seed, &h.summary, &h.violations, opts.shrink);
+        }
+    }
+
+    // Leg 2: the cached propagation path against the direct one.
+    let direct = check_range_gen(
+        gen,
+        start,
+        count,
+        opts.threads,
+        SchedulerKind::TimerWheel,
+        false,
+    );
+    for (c, d) in wheel.iter().zip(&direct) {
+        if c.events != d.events || c.trace_fnv != d.trace_fnv || c.metrics_fnv != d.metrics_fnv {
+            failures += 1;
+            println!(
+                "seed {}: NEIGHBOR-CACHE DIVERGENCE (qos)  {}\n  cached: events={} trace_fnv={:016x} metrics_fnv={:016x}\n  direct: events={} trace_fnv={:016x} metrics_fnv={:016x}",
+                c.seed, c.summary, c.events, c.trace_fnv, c.metrics_fnv, d.events, d.trace_fnv, d.metrics_fnv
+            );
+        }
+    }
+
+    // Leg 3: the windowed shard executor against the serial reference.
+    let mut multi = 0u64;
+    for r in shard_diff_range_gen(gen, start, count, opts.threads)
+        .iter()
+        .flatten()
+    {
+        if r.shards > 1 {
+            multi += 1;
+        }
+        if r.divergent() {
+            failures += 1;
+            report_shard_divergence(r);
+        }
+    }
+
+    // Self-test: the planted AC_VO/AC_BK parameter swap must be caught
+    // by the priority-inversion oracle somewhere in the range — and the
+    // catching scenario must shrink to a small repro that still fails.
+    let swap = ScenarioGen::with_qos_aifsn_swap();
+    let fires = |sc: &wn_check::Scenario| {
+        run::check_scenario(sc)
+            .iter()
+            .any(|v| v.oracle == "edca-priority")
+    };
+    let mut caught = None;
+    for seed in start..start + count {
+        let sc = swap.scenario(seed);
+        if fires(&sc) {
+            caught = Some((seed, shrink(&sc, fires)));
+            break;
+        }
+    }
+    match caught {
+        Some((seed, min)) => {
+            if !fires(&min) {
+                failures += 1;
+                println!("aifsn-swap self-test: shrunk repro no longer fails");
+            }
+            println!(
+                "aifsn-swap self-test: caught at seed {seed}, shrunk to {} stations: {}",
+                station_count(&min),
+                min.summary()
+            );
+        }
+        None => {
+            failures += 1;
+            println!(
+                "aifsn-swap self-test: planted priority inversion never caught in seeds {start}..{}",
+                start + count
+            );
+        }
+    }
+
+    // The legacy-equivalence differential: with QoS off, the classic
+    // corpus must still produce its recorded pre-QoS digest, byte for
+    // byte.
+    let legacy = fnv1a(range_digest(0, LEGACY_DIGEST_SEEDS, opts.threads).as_bytes());
+    if legacy != LEGACY_DIGEST_FNV {
+        failures += 1;
+        println!(
+            "legacy-equivalence: classic {LEGACY_DIGEST_SEEDS}-seed digest hashed to \
+             {legacy:016x}, expected {LEGACY_DIGEST_FNV:016x} — the QoS machinery leaked \
+             into the EDCA-off path"
+        );
+    }
+
+    println!(
+        "qos fuzz: {} seeds ({}..{}) x {{heap, wheel, direct, shard executor}} + aifsn-swap self-test + {}-seed legacy digest on {} workers in {:.2}s: {} failing ({} multi-shard)",
+        count,
+        start,
+        start + count,
+        LEGACY_DIGEST_SEEDS,
+        opts.threads,
+        t0.elapsed().as_secs_f64(),
+        failures,
+        multi
+    );
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse(&args) {
@@ -362,6 +547,12 @@ fn main() {
     }
     if opts.shard_diff {
         if run_shard_diff(&opts) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if opts.qos {
+        if run_qos(&opts) > 0 {
             std::process::exit(1);
         }
         return;

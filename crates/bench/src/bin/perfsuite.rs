@@ -31,16 +31,24 @@
 //! verdict is recorded only on multi-core hosts (a single-core box
 //! degenerates windowed to serial, see DESIGN.md §15).
 //!
-//! `--section neighbors` (or `scheduler`, `arena`, `shards`) runs just
-//! that section and prints its JSON object — the CI smoke path, which
-//! wants the section's equivalence assertions without the full
-//! campaign cost.
+//! A `qos` section races A-MPDU aggregation on vs off on the saturated
+//! DENSE-OBSS flagship block: the same offered backlog through the
+//! EDCA queues with the aggregation cap at the default 16 MPDUs and
+//! clamped to 1 (one MPDU per TXOP). The offered load must match
+//! exactly and the aggregated run must deliver at least as much — the
+//! deterministic form of "aggregation amortises contention overhead".
+//!
+//! `--section neighbors` (or `scheduler`, `arena`, `shards`, `qos`)
+//! runs just that section and prints its JSON object — the CI smoke
+//! path, which wants the section's equivalence assertions without the
+//! full campaign cost.
 
 use std::time::Instant;
 
 use wn_core::runner;
 use wn_core::scenarios::{
-    city_dcf_run, city_dcf_size, scale_dcf_op_log, scale_dcf_point, scale_dcf_point_opts,
+    city_dcf_run, city_dcf_size, dense_obss_point_opts, scale_dcf_op_log, scale_dcf_point,
+    scale_dcf_point_opts, DENSE_OBSS_MIX,
 };
 use wn_sim::{
     global_events_processed, replay_ops, set_observability, worker_count, SchedulerKind, OP_POP,
@@ -80,7 +88,7 @@ fn main() {
                     Some(s) => section = Some(s.clone()),
                     None => {
                         eprintln!(
-                            "--section needs a name (supported: neighbors, scheduler, arena, shards)"
+                            "--section needs a name (supported: neighbors, scheduler, arena, shards, qos)"
                         );
                         std::process::exit(2);
                     }
@@ -124,9 +132,10 @@ fn main() {
             "scheduler" => scheduler_section(),
             "arena" => arena_section(),
             "shards" => shards_section(),
+            "qos" => qos_section(),
             other => {
                 eprintln!(
-                    "unknown section '{other}' (supported: neighbors, scheduler, arena, shards)"
+                    "unknown section '{other}' (supported: neighbors, scheduler, arena, shards, qos)"
                 );
                 std::process::exit(2);
             }
@@ -205,9 +214,11 @@ fn main() {
     let arena = arena_section();
     let arena = arena.trim_end();
     let shards = shards_section();
+    let shards = shards.trim_end();
+    let qos = qos_section();
 
     let json = format!(
-        "{{\n  \"campaign\": \"EXPERIMENTS.md full regeneration\",\n  \"host_cores\": {cores},\n  \"identical_output\": true,\n  \"serial\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"parallel\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_off\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_overhead\": {:.3},\n  {speedup_json},\n{neighbors},\n{scheduler},\n{arena},\n{shards}}}\n",
+        "{{\n  \"campaign\": \"EXPERIMENTS.md full regeneration\",\n  \"host_cores\": {cores},\n  \"identical_output\": true,\n  \"serial\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"parallel\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_off\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_overhead\": {:.3},\n  {speedup_json},\n{neighbors},\n{scheduler},\n{arena},\n{shards},\n{qos}}}\n",
         serial.threads,
         serial.wall_s,
         serial.events,
@@ -441,6 +452,71 @@ fn shards_section() -> String {
     out.push_str(&format!(
         "    \"trace_fnv\": \"{:016x}\",\n    \"metrics_fnv\": \"{:016x}\",\n    \"identical_output\": true,\n    {speedup_json}\n  }}\n",
         serial.trace_fnv, serial.metrics_fnv,
+    ));
+    out
+}
+
+/// Benchmarks A-MPDU aggregation on the saturated DENSE-OBSS flagship
+/// block and returns the `"qos"` JSON object (indented two spaces,
+/// trailing newline): the identical per-AC offered backlog pushed
+/// through the EDCA queues with the aggregation cap at the default
+/// (16 MPDUs per A-MPDU) and clamped to 1. Panics if the two runs
+/// disagree on offered load or if turning aggregation on loses
+/// goodput — both runs are fully deterministic, so the comparison is
+/// stable across hosts.
+fn qos_section() -> String {
+    const ROWS: usize = 3;
+    const COLS: usize = 3;
+    const DURATION_MS: u64 = 120;
+    const SEED: u64 = 42;
+    const CAPS: [usize; 2] = [1, 16];
+
+    let mut runs = Vec::new();
+    for cap in CAPS {
+        eprintln!("perfsuite: DENSE-OBSS {ROWS}x{COLS} dur={DURATION_MS}ms ampdu_max_mpdus={cap}…");
+        let ev0 = global_events_processed();
+        let t0 = Instant::now();
+        let p = dense_obss_point_opts(ROWS, COLS, DURATION_MS, SEED, DENSE_OBSS_MIX, cap);
+        let wall = t0.elapsed().as_secs_f64();
+        let events = global_events_processed() - ev0;
+        eprintln!(
+            "perfsuite: ampdu={cap}: {wall:.3} s, {:.2} Mbps delivered ({:.0} ev/s)",
+            p.aggregate_mbps,
+            events as f64 / wall
+        );
+        runs.push((cap, wall, events, p));
+    }
+    let (no_agg, agg) = (&runs[0], &runs[1]);
+    assert_eq!(
+        no_agg.3.offered, agg.3.offered,
+        "aggregation cap changed the offered backlog"
+    );
+    assert!(
+        agg.3.completed >= no_agg.3.completed,
+        "A-MPDU aggregation lost goodput on the saturated block: {} < {} MSDUs",
+        agg.3.completed,
+        no_agg.3.completed
+    );
+    let gain = agg.3.aggregate_mbps / no_agg.3.aggregate_mbps.max(f64::MIN_POSITIVE);
+    eprintln!("perfsuite: A-MPDU aggregation: {gain:.2}x goodput vs one MPDU per TXOP");
+
+    let mut out = format!(
+        "  \"qos\": {{\n    \"workload\": \"DENSE-OBSS rows={ROWS} cols={COLS} duration_ms={DURATION_MS} seed={SEED}, EDCA queues, aggregation on vs off\",\n    \"offered_msdus\": {},\n",
+        no_agg.3.offered,
+    );
+    for (cap, wall, events, p) in &runs {
+        let label = if *cap == 1 { "no_aggregation" } else { "ampdu" };
+        out.push_str(&format!(
+            "    \"{label}\": {{ \"ampdu_max_mpdus\": {cap}, \"wall_s\": {wall:.3}, \"events\": {events}, \"completed_msdus\": {}, \"delivered_frac\": {:.3}, \"goodput_mbps\": {:.2}, \"vo_p50_us\": {}, \"be_p50_us\": {} }},\n",
+            p.completed,
+            p.delivered_frac(),
+            p.aggregate_mbps,
+            p.ac_p50_us[0],
+            p.ac_p50_us[2],
+        ));
+    }
+    out.push_str(&format!(
+        "    \"identical_offered_load\": true,\n    \"aggregation_goodput_gain\": {gain:.2}\n  }}\n"
     ));
     out
 }

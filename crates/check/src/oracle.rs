@@ -53,6 +53,8 @@ pub fn oracles() -> Vec<Box<dyn Invariant>> {
         Box::new(BtConservation),
         Box::new(WmanGrantConservation),
         Box::new(ShardCoherence),
+        Box::new(BlockAckConservation),
+        Box::new(EdcaPriorityInversion),
     ]
 }
 
@@ -568,6 +570,204 @@ impl Invariant for BtConservation {
                 format!(
                     "injected {} != delivered {} + pending {}",
                     b.injected, b.delivered, b.pending
+                ),
+            )];
+        }
+        Vec::new()
+    }
+}
+
+/// Block-ack window conservation (QoS corpus): every MPDU sequence
+/// number a station put on the air inside an A-MPDU is resolved
+/// *exactly once* — acknowledged by a `BlockAckRx` bit or dropped with
+/// an `MpduDrop` (retry budget exhausted) — never both, never twice,
+/// and never resolved without a prior `AmpduTx` carrying it. A
+/// sequence must not reappear in a later aggregate once resolved
+/// (retransmission after completion), and the per-station totals must
+/// close against the MAC counters: acknowledged sequences are exactly
+/// `tx_completions`, dropped ones exactly `tx_failures`. Sequences
+/// still in flight at the horizon are the tolerated tail (they sit in
+/// `pending`, which the frame-conservation oracle already balances).
+/// Sound because a generated scenario cannot wrap the 4096-sequence
+/// space; skipped when the trace ring evicted records.
+pub struct BlockAckConservation;
+
+/// Per-sequence lifecycle inside one station+AC block-ack scoreboard.
+#[derive(Clone, Copy, PartialEq)]
+enum MpduState {
+    InFlight,
+    Acked,
+    Dropped,
+}
+
+impl Invariant for BlockAckConservation {
+    fn name(&self) -> &'static str {
+        "block-ack-window"
+    }
+
+    fn check(&self, art: &Artifacts) -> Vec<Violation> {
+        let Some(w) = &art.wlan else {
+            return Vec::new();
+        };
+        if !w.edca || art.trace.dropped() > 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        // (station, ac, seq) → lifecycle state.
+        let mut board: HashMap<(u32, u8, u16), MpduState> = HashMap::new();
+        let mut acked: HashMap<u32, u64> = HashMap::new();
+        let mut dropped: HashMap<u32, u64> = HashMap::new();
+        for (t, e) in art.trace.events() {
+            match *e {
+                TraceEvent::AmpduTx {
+                    station,
+                    ac,
+                    ssn,
+                    bitmap,
+                } => {
+                    for k in 0..64u16 {
+                        if bitmap >> k & 1 == 0 {
+                            continue;
+                        }
+                        let seq = ssn.wrapping_add(k) & 0x0FFF;
+                        match board.insert((station, ac, seq), MpduState::InFlight) {
+                            Some(MpduState::Acked) | Some(MpduState::Dropped) => out.push(v(
+                                self.name(),
+                                format!(
+                                    "sta {station} ac {ac} retransmitted seq {seq} at {t} \
+                                     after it was already resolved"
+                                ),
+                            )),
+                            _ => {}
+                        }
+                    }
+                }
+                TraceEvent::BlockAckRx {
+                    station,
+                    ac,
+                    ssn,
+                    bitmap,
+                } => {
+                    for k in 0..64u16 {
+                        if bitmap >> k & 1 == 0 {
+                            continue;
+                        }
+                        let seq = ssn.wrapping_add(k) & 0x0FFF;
+                        match board.insert((station, ac, seq), MpduState::Acked) {
+                            Some(MpduState::InFlight) => {
+                                *acked.entry(station).or_default() += 1;
+                            }
+                            prior => out.push(v(
+                                self.name(),
+                                format!(
+                                    "sta {station} ac {ac} seq {seq} acknowledged at {t} \
+                                     {}",
+                                    if prior.is_none() {
+                                        "without ever being transmitted"
+                                    } else {
+                                        "twice (or after being dropped)"
+                                    }
+                                ),
+                            )),
+                        }
+                    }
+                }
+                TraceEvent::MpduDrop { station, ac, seq } => {
+                    match board.insert((station, ac, seq), MpduState::Dropped) {
+                        Some(MpduState::InFlight) => {
+                            *dropped.entry(station).or_default() += 1;
+                        }
+                        prior => out.push(v(
+                            self.name(),
+                            format!(
+                                "sta {station} ac {ac} seq {seq} dropped at {t} {}",
+                                if prior.is_none() {
+                                    "without ever being transmitted"
+                                } else {
+                                    "after it was already resolved"
+                                }
+                            ),
+                        )),
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (i, s) in w.stats.iter().enumerate() {
+            let sid = i as u32;
+            let a = acked.get(&sid).copied().unwrap_or(0);
+            let d = dropped.get(&sid).copied().unwrap_or(0);
+            if a != s.tx_completions {
+                out.push(v(
+                    self.name(),
+                    format!(
+                        "sta {i}: {a} block-acked MPDUs but {} completions counted",
+                        s.tx_completions
+                    ),
+                ));
+            }
+            if d != s.tx_failures {
+                out.push(v(
+                    self.name(),
+                    format!(
+                        "sta {i}: {d} dropped MPDUs but {} failures counted",
+                        s.tx_failures
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// EDCA priority inversion (QoS corpus): in a fully drained run — no
+/// MSDUs pending at the horizon and no queue overflows, so the per-AC
+/// delay populations are complete rather than survivor-censored —
+/// voice must not wait fundamentally longer than background. The bound
+/// is deliberately loose (AC_VO median at most 2× AC_BK's, with a
+/// sample-count gate on both categories); legitimate EDCA clears it
+/// easily since AC_VO contends with AIFSN 2 and CW 3–7 against
+/// AC_BK's AIFSN 7 and CW 15–1023, while the planted AIFSN-swap
+/// fail-point (which hands AC_VO the background parameters and vice
+/// versa) inverts the ladder far past 2× under contention.
+pub struct EdcaPriorityInversion;
+
+impl Invariant for EdcaPriorityInversion {
+    fn name(&self) -> &'static str {
+        "edca-priority"
+    }
+
+    fn check(&self, art: &Artifacts) -> Vec<Violation> {
+        let Some(w) = &art.wlan else {
+            return Vec::new();
+        };
+        if !w.edca {
+            return Vec::new();
+        }
+        // Censoring guard: a starved category completes only its
+        // early, cheap frames, which *shrinks* its observed median —
+        // comparing quantiles is only sound over complete populations.
+        let drained =
+            w.pending.iter().all(|&p| p == 0) && w.stats.iter().all(|s| s.queue_drops == 0);
+        if !drained {
+            return Vec::new();
+        }
+        const VO: usize = 0;
+        const BK: usize = 3;
+        const MIN_SAMPLES: u64 = 20;
+        if w.ac_samples[VO] < MIN_SAMPLES || w.ac_samples[BK] < MIN_SAMPLES {
+            return Vec::new();
+        }
+        let (Some(vo), Some(bk)) = (w.ac_p50_us[VO], w.ac_p50_us[BK]) else {
+            return Vec::new();
+        };
+        if vo > bk.saturating_mul(2) {
+            return vec![v(
+                self.name(),
+                format!(
+                    "AC_VO median access delay {vo} µs exceeds 2x AC_BK's {bk} µs \
+                     ({} vs {} samples) — the priority ladder is inverted",
+                    w.ac_samples[VO], w.ac_samples[BK]
                 ),
             )];
         }

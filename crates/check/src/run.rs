@@ -20,7 +20,8 @@ use crate::scenario::{
 use wn_mac80211::addr::MacAddr;
 use wn_mac80211::frame::{DsBits, Frame, SequenceControl, Subtype};
 use wn_mac80211::sim::{
-    boot as wlan_boot, inject_at, MacConfig, StationStats, UpperCtx, UpperLayer, WlanWorld,
+    boot as wlan_boot, inject_at, qos_inject_at, AccessCategory, MacConfig, StationStats, UpperCtx,
+    UpperLayer, WlanWorld,
 };
 use wn_net80211::builder::{schedule_walk, EssBuilder};
 use wn_net80211::sta::StaConfig;
@@ -76,6 +77,15 @@ pub struct WlanFacts {
     /// Empty means the partition stayed sound; the `shard-coherence`
     /// oracle reports anything else.
     pub shard_coherence: Vec<String>,
+    /// EDCA was on (QoS corpus) — gates the QoS oracles.
+    pub edca: bool,
+    /// The AC_VO/AC_BK parameter-swap fail-point was armed.
+    pub failpoint_aifsn_swap: bool,
+    /// Per-access-category median access delay (µs), `None` before any
+    /// completion in that category. Indexed AC_VO..AC_BK.
+    pub ac_p50_us: [Option<u64>; 4],
+    /// Per-access-category completion counts behind those medians.
+    pub ac_samples: [u64; 4],
 }
 
 /// End-state facts from a ZigBee run.
@@ -220,6 +230,7 @@ fn wlan_facts(
     shard_coherence: Vec<String>,
 ) -> WlanFacts {
     let n = world.station_count();
+    let acs = AccessCategory::ALL;
     WlanFacts {
         stats: (0..n).map(|i| world.stats(i).clone()).collect(),
         pending: (0..n).map(|i| world.pending_msdus(i)).collect(),
@@ -233,6 +244,10 @@ fn wlan_facts(
         delivered,
         ledger,
         shard_coherence,
+        edca: world.config().edca,
+        failpoint_aifsn_swap: world.config().failpoint_aifsn_swap,
+        ac_p50_us: acs.map(|ac| world.ac_delay_quantile(ac, 0.5)),
+        ac_samples: acs.map(|ac| world.ac_delay_samples(ac)),
     }
 }
 
@@ -270,18 +285,40 @@ pub(crate) fn wlan_config(seed: u64, w: &WlanScenario) -> MacConfig {
     cfg.cw_max_override = w.cw_max_override;
     cfg.arf = w.arf;
     cfg.failpoint_retry_overrun = w.failpoint_retry_overrun;
+    cfg.edca = w.edca;
+    cfg.ampdu_max_mpdus = w.ampdu_max_mpdus;
+    cfg.ampdu_per_mpdu_loss = w.ampdu_per_mpdu_loss;
+    cfg.failpoint_aifsn_swap = w.failpoint_aifsn_swap;
     cfg
 }
 
 /// Station `i`'s position in a flat-WLAN scenario: the sink at the
-/// origin, senders on a ring.
+/// origin, senders on a ring. The OBSS twin cell is the same ring
+/// shifted three radii along x — overlapped in carrier-sense range
+/// (one contention domain) but its own BSS.
 pub(crate) fn wlan_station_pos(w: &WlanScenario, i: usize) -> Point {
+    let (cell, i) = (i / w.stations, i % w.stations);
+    let dx = cell as f64 * 3.0 * w.radius_m;
     if i == 0 {
-        Point::new(0.0, 0.0)
+        Point::new(dx, 0.0)
     } else {
         let a = i as f64 / (w.stations - 1) as f64 * std::f64::consts::TAU;
-        Point::new(w.radius_m * a.cos(), w.radius_m * a.sin())
+        Point::new(dx + w.radius_m * a.cos(), w.radius_m * a.sin())
     }
+}
+
+/// The sink global station `g` floods in a flat-WLAN scenario, or
+/// `None` when `g` is itself a cell's sink.
+pub(crate) fn wlan_sink_of(w: &WlanScenario, g: usize) -> Option<usize> {
+    let sink = g / w.stations * w.stations;
+    (g != sink).then_some(sink)
+}
+
+/// The access category sender `g`'s `k`-th frame rides in a QoS
+/// scenario: a deterministic cycle over all four ACs, phase-shifted
+/// per sender so every station offers a mixed-AC load.
+pub(crate) fn wlan_ac_of(g: usize, k: u64) -> AccessCategory {
+    AccessCategory::from_index((g + k as usize) % 4).expect("4 ACs")
 }
 
 fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind, neighbor_cache: bool) -> Artifacts {
@@ -289,7 +326,7 @@ fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind, neighbor_cache: bo
     let mut world = WlanWorld::new(wlan_config(seed, w));
     world.set_neighbor_cache(neighbor_cache);
     world.trace = Trace::new(TRACE_CAPACITY);
-    for i in 0..w.stations {
+    for i in 0..w.total_stations() {
         world.add_station(
             MacAddr::station(i as u32),
             wlan_station_pos(w, i),
@@ -310,14 +347,18 @@ fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind, neighbor_cache: bo
 
     let mut sim = Simulation::with_scheduler(world, kind);
     wlan_boot(&mut sim);
-    for i in 1..w.stations {
+    for g in 0..w.total_stations() {
+        let Some(sink) = wlan_sink_of(w, g) else {
+            continue;
+        };
         for k in 0..u64::from(w.frames_per_sender) {
-            inject_at(
-                &mut sim,
-                SimTime::from_micros(k * w.interval_us),
-                i,
-                data_frame(i as u32, 0, w.payload),
-            );
+            let at = SimTime::from_micros(k * w.interval_us);
+            let frame = data_frame(g as u32, sink as u32, w.payload);
+            if w.edca {
+                qos_inject_at(&mut sim, at, g, frame, wlan_ac_of(g, k));
+            } else {
+                inject_at(&mut sim, at, g, frame);
+            }
         }
     }
     let end = SimTime::from_millis(w.duration_ms);
@@ -647,7 +688,18 @@ pub fn check_seed_with(seed: u64, scheduler: SchedulerKind) -> SeedReport {
 
 /// [`check_seed`] with explicit scheduler and neighbor-cache choices.
 pub fn check_seed_opts(seed: u64, scheduler: SchedulerKind, neighbor_cache: bool) -> SeedReport {
-    let sc = ScenarioGen::default().scenario(seed);
+    check_seed_gen(&ScenarioGen::default(), seed, scheduler, neighbor_cache)
+}
+
+/// [`check_seed_opts`] under an explicit scenario generator — how the
+/// `--qos` corpus and the fail-point self-tests run seeds.
+pub fn check_seed_gen(
+    gen: &ScenarioGen,
+    seed: u64,
+    scheduler: SchedulerKind,
+    neighbor_cache: bool,
+) -> SeedReport {
+    let sc = gen.scenario(seed);
     let art = run_scenario_opts(&sc, scheduler, neighbor_cache);
     let violations = run_oracles(&art);
     SeedReport {
@@ -688,9 +740,28 @@ pub fn check_range_opts(
     scheduler: SchedulerKind,
     neighbor_cache: bool,
 ) -> Vec<SeedReport> {
+    check_range_gen(
+        ScenarioGen::default(),
+        start,
+        count,
+        threads,
+        scheduler,
+        neighbor_cache,
+    )
+}
+
+/// [`check_range_opts`] under an explicit scenario generator.
+pub fn check_range_gen(
+    gen: ScenarioGen,
+    start: u64,
+    count: u64,
+    threads: usize,
+    scheduler: SchedulerKind,
+    neighbor_cache: bool,
+) -> Vec<SeedReport> {
     let seeds: Vec<u64> = (start..start + count).collect();
     par_map_with(threads, seeds, move |seed| {
-        check_seed_opts(seed, scheduler, neighbor_cache)
+        check_seed_gen(&gen, seed, scheduler, neighbor_cache)
     })
 }
 

@@ -73,13 +73,38 @@ pub struct WlanScenario {
     /// `failpoint_retry_overrun`, the deliberate off-by-one the retry
     /// oracle must catch (oracle self-test only).
     pub failpoint_retry_overrun: bool,
+    /// QoS switch: EDCA queues + A-MPDU aggregation, mixed-AC traffic
+    /// (`fuzz --qos` corpus; always `false` in the default corpus so
+    /// legacy digests stay byte-identical).
+    pub edca: bool,
+    /// A-MPDU aggregate size cap (MPDUs; 1 = aggregation effectively
+    /// off while still exercising the QoS data path).
+    pub ampdu_max_mpdus: usize,
+    /// Per-MPDU delimiter-loss probability inside a decoded aggregate.
+    pub ampdu_per_mpdu_loss: f64,
+    /// Fault toggle: arm [`wn_mac80211::sim::MacConfig`]'s
+    /// `failpoint_aifsn_swap`, the planted AC_VO/AC_BK parameter swap
+    /// the priority-inversion oracle must catch (self-test only).
+    pub failpoint_aifsn_swap: bool,
+    /// Add a second, co-channel BSS cell (its own sink + sender ring)
+    /// one `radius_m`-scaled offset away — the OBSS leg of the QoS
+    /// corpus.
+    pub obss_cell: bool,
 }
 
 impl WlanScenario {
     /// `true` when every sender has an identical offered load and
-    /// distance, so DCF fairness bounds apply.
+    /// distance, so DCF fairness bounds apply. An OBSS twin cell
+    /// breaks the single-ring symmetry (the second sink sits among
+    /// the "senders" the fairness oracle would compare).
     pub fn symmetric(&self) -> bool {
-        !self.deaf_sink && !self.failpoint_retry_overrun
+        !self.deaf_sink && !self.failpoint_retry_overrun && !self.obss_cell
+    }
+
+    /// Stations the runner actually creates: the scenario ring, plus
+    /// its OBSS twin when armed.
+    pub fn total_stations(&self) -> usize {
+        self.stations * (1 + usize::from(self.obss_cell))
     }
 }
 
@@ -219,7 +244,7 @@ impl Scenario {
         match &self.kind {
             ScenarioKind::Wlan(w) => format!(
                 "wlan seed={} stations={} frames={}x{} payload={} dur={}ms rts={} frag={} \
-                 queue={} retry={}/{}{}{}",
+                 queue={} retry={}/{}{}{}{}",
                 self.seed,
                 w.stations,
                 w.stations - 1,
@@ -236,6 +261,21 @@ impl Scenario {
                     " failpoint"
                 } else {
                     ""
+                },
+                if w.edca {
+                    format!(
+                        " edca ampdu={} loss={:.2}{}{}",
+                        w.ampdu_max_mpdus,
+                        w.ampdu_per_mpdu_loss,
+                        if w.obss_cell { " obss" } else { "" },
+                        if w.failpoint_aifsn_swap {
+                            " aifsn-swap"
+                        } else {
+                            ""
+                        },
+                    )
+                } else {
+                    String::new()
                 },
             ),
             ScenarioKind::Ess(e) => format!(
@@ -288,6 +328,14 @@ pub struct ScenarioGen {
     /// oracle must catch (and the shrinker minimise) the planted
     /// off-by-one. Normal fuzzing leaves it off.
     pub inject_retry_overrun: bool,
+    /// Draw the QoS corpus instead of the mixed one: every seed maps
+    /// to an EDCA/A-MPDU WLAN world (mixed-AC traffic, aggregation
+    /// on/off, OBSS twin cells). Off by default so the classic
+    /// corpus — and every recorded digest over it — is untouched.
+    pub qos: bool,
+    /// Arm the AC_VO/AC_BK parameter-swap fail-point in every QoS
+    /// world: the priority-inversion oracle's self-test switch.
+    pub inject_aifsn_swap: bool,
 }
 
 impl ScenarioGen {
@@ -295,6 +343,25 @@ impl ScenarioGen {
     pub fn with_retry_overrun() -> Self {
         ScenarioGen {
             inject_retry_overrun: true,
+            ..Self::default()
+        }
+    }
+
+    /// The QoS-corpus generator (`fuzz --qos`).
+    pub fn with_qos() -> Self {
+        ScenarioGen {
+            qos: true,
+            ..Self::default()
+        }
+    }
+
+    /// The QoS corpus with the AIFSN-swap fail-point armed (the
+    /// priority-inversion oracle self-test).
+    pub fn with_qos_aifsn_swap() -> Self {
+        ScenarioGen {
+            qos: true,
+            inject_aifsn_swap: true,
+            ..Self::default()
         }
     }
 
@@ -303,6 +370,16 @@ impl ScenarioGen {
         // Decorrelate from the worlds' own seeding (they fork off the
         // raw seed) without losing determinism.
         let mut rng = Rng::new(seed ^ 0xC0FF_EE00_5EED_FACE);
+        if self.qos {
+            // The QoS corpus is its own seed space: every seed is an
+            // EDCA world. Drawn from the same decorrelated stream but
+            // never interleaved with the classic draws, so enabling it
+            // cannot shift what any classic seed generates.
+            return Scenario {
+                seed,
+                kind: ScenarioKind::Wlan(self.qos_wlan(&mut rng)),
+            };
+        }
         let kind = match rng.below(100) {
             0..=44 => ScenarioKind::Wlan(self.wlan(&mut rng)),
             45..=59 => ScenarioKind::Ess(Self::ess(&mut rng)),
@@ -356,6 +433,55 @@ impl ScenarioGen {
             arf: rng.chance(0.7),
             deaf_sink: rng.chance(0.12),
             failpoint_retry_overrun: self.inject_retry_overrun,
+            edca: false,
+            ampdu_max_mpdus: 16,
+            ampdu_per_mpdu_loss: 0.0,
+            failpoint_aifsn_swap: false,
+            obss_cell: false,
+        }
+    }
+
+    /// One world of the QoS corpus: an EDCA/A-MPDU ring (sometimes
+    /// twinned into an OBSS pair), mixed-AC traffic injected by the
+    /// runner, aggregation size swept down to 1 (off), and the same
+    /// deaf-sink fault leg the classic corpus has so block-ack
+    /// timeouts walk the per-MPDU retry ladder.
+    fn qos_wlan(&self, rng: &mut Rng) -> WlanScenario {
+        let standard = *rng.choose(&[
+            PhyStandard::Dot11b,
+            PhyStandard::Dot11a,
+            PhyStandard::Dot11g,
+            PhyStandard::Dot11n,
+        ]);
+        WlanScenario {
+            stations: 2 + rng.below(6) as usize,
+            radius_m: rng.f64_range(5.0, 15.0),
+            standard,
+            payload: 100 + rng.below(1200) as usize,
+            frames_per_sender: 12 + rng.below(40) as u32,
+            interval_us: 300 + rng.below(2700),
+            duration_ms: 40 + rng.below(80),
+            // The EDCA transmit path aggregates instead of using
+            // RTS/CTS or fragmentation; keep both off.
+            rts_threshold: usize::MAX,
+            frag_threshold: usize::MAX,
+            queue_limit: 8 + rng.below(57) as usize,
+            retry_limit_short: 3 + rng.below(6) as u32,
+            retry_limit_long: 2 + rng.below(5) as u32,
+            cw_min_override: None,
+            cw_max_override: None,
+            arf: rng.chance(0.5),
+            deaf_sink: rng.chance(0.12),
+            failpoint_retry_overrun: self.inject_retry_overrun,
+            edca: true,
+            ampdu_max_mpdus: *rng.choose(&[1usize, 4, 8, 16, 32]),
+            ampdu_per_mpdu_loss: if rng.chance(0.35) {
+                rng.f64_range(0.05, 0.35)
+            } else {
+                0.0
+            },
+            failpoint_aifsn_swap: self.inject_aifsn_swap,
+            obss_cell: rng.chance(0.3),
         }
     }
 
@@ -508,5 +634,46 @@ mod tests {
             _ => false,
         });
         assert!(armed);
+    }
+
+    #[test]
+    fn qos_generator_emits_only_edca_worlds_and_covers_the_axes() {
+        let g = ScenarioGen::with_qos();
+        let (mut agg_off, mut agg_on, mut obss, mut lossy) = (false, false, false, false);
+        for seed in 0..100 {
+            let sc = g.scenario(seed);
+            let ScenarioKind::Wlan(ref w) = sc.kind else {
+                panic!("qos corpus drew a non-WLAN world: {}", sc.summary());
+            };
+            assert!(w.edca, "qos corpus drew a legacy world: {}", sc.summary());
+            agg_off |= w.ampdu_max_mpdus == 1;
+            agg_on |= w.ampdu_max_mpdus > 1;
+            obss |= w.obss_cell;
+            lossy |= w.ampdu_per_mpdu_loss > 0.0;
+        }
+        assert!(agg_off && agg_on && obss && lossy);
+    }
+
+    #[test]
+    fn aifsn_swap_generator_arms_the_failpoint() {
+        let g = ScenarioGen::with_qos_aifsn_swap();
+        for seed in 0..20 {
+            match g.scenario(seed).kind {
+                ScenarioKind::Wlan(ref w) => assert!(w.failpoint_aifsn_swap),
+                _ => panic!("qos corpus drew a non-WLAN world"),
+            }
+        }
+    }
+
+    /// Turning the QoS corpus on must not disturb what the classic
+    /// generator draws — the legacy-digest equivalence contract starts
+    /// here.
+    #[test]
+    fn qos_flag_leaves_the_classic_corpus_untouched() {
+        let classic = ScenarioGen::default();
+        for seed in 0..64 {
+            let s = classic.scenario(seed).summary();
+            assert!(!s.contains("edca"), "classic corpus grew QoS fields: {s}");
+        }
     }
 }

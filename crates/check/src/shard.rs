@@ -25,7 +25,8 @@
 //! `None`).
 
 use crate::run::{
-    build_ess_sim, data_frame, wlan_config, wlan_station_pos, CheckUpper, TRACE_CAPACITY,
+    build_ess_sim, data_frame, wlan_ac_of, wlan_config, wlan_sink_of, wlan_station_pos, CheckUpper,
+    TRACE_CAPACITY,
 };
 use crate::scenario::{EssScenario, Scenario, ScenarioGen, ScenarioKind, WlanScenario};
 use std::sync::{Arc, Mutex};
@@ -33,7 +34,7 @@ use wn_mac80211::addr::MacAddr;
 use wn_mac80211::shard::{
     executor_window, run_components_serial, run_components_windowed, ShardRunReport,
 };
-use wn_mac80211::sim::{boot as wlan_boot, inject_at, WlanWorld};
+use wn_mac80211::sim::{boot as wlan_boot, inject_at, qos_inject_at, WlanWorld};
 use wn_sim::par::par_map_with;
 use wn_sim::trace::Trace;
 use wn_sim::{SchedulerKind, SimDuration, SimTime, Simulation};
@@ -113,16 +114,17 @@ fn build_wlan_component(
     let mut sim = Simulation::new(world);
     wlan_boot(&mut sim);
     for (local, &g) in members.iter().enumerate() {
-        if g == 0 {
+        let Some(sink) = wlan_sink_of(w, g) else {
             continue;
-        }
+        };
         for f in 0..u64::from(w.frames_per_sender) {
-            inject_at(
-                &mut sim,
-                SimTime::from_micros(f * w.interval_us),
-                local,
-                data_frame(g as u32, 0, w.payload),
-            );
+            let at = SimTime::from_micros(f * w.interval_us);
+            let frame = data_frame(g as u32, sink as u32, w.payload);
+            if w.edca {
+                qos_inject_at(&mut sim, at, local, frame, wlan_ac_of(g, f));
+            } else {
+                inject_at(&mut sim, at, local, frame);
+            }
         }
     }
     sim
@@ -136,7 +138,7 @@ fn shard_diff_wlan(sc: &Scenario, w: &WlanScenario) -> ShardDiffReport {
     // number (the cross-shard silence argument, DESIGN.md §15).
     let mut planning = WlanWorld::new(wlan_config(sc.seed, w));
     let log = Arc::new(Mutex::new(Vec::new()));
-    for i in 0..w.stations {
+    for i in 0..w.total_stations() {
         planning.add_station(
             MacAddr::station(i as u32),
             wlan_station_pos(w, i),
@@ -236,6 +238,20 @@ pub fn shard_diff_seed(seed: u64) -> Option<ShardDiffReport> {
 pub fn shard_diff_range(start: u64, count: u64, threads: usize) -> Vec<Option<ShardDiffReport>> {
     let seeds: Vec<u64> = (start..start + count).collect();
     par_map_with(threads, seeds, shard_diff_seed)
+}
+
+/// [`shard_diff_range`] under an explicit scenario generator — the
+/// shard-executor leg of the `--qos` corpus.
+pub fn shard_diff_range_gen(
+    gen: ScenarioGen,
+    start: u64,
+    count: u64,
+    threads: usize,
+) -> Vec<Option<ShardDiffReport>> {
+    let seeds: Vec<u64> = (start..start + count).collect();
+    par_map_with(threads, seeds, move |seed| {
+        shard_diff_scenario(&gen.scenario(seed))
+    })
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ const MAX_RUNS: usize = 64;
 /// creates — the headline size the shrinker tries to minimise.
 pub fn station_count(sc: &Scenario) -> usize {
     match &sc.kind {
-        ScenarioKind::Wlan(w) => w.stations,
+        ScenarioKind::Wlan(w) => w.total_stations(),
         ScenarioKind::Ess(e) => e.aps + e.sta_power_save.len(),
         ScenarioKind::Bluetooth(b) => b.device_count(),
         ScenarioKind::Zigbee(z) => z.topology.node_count(),
@@ -36,6 +36,11 @@ fn candidates(sc: &Scenario) -> Vec<Scenario> {
     };
     match &sc.kind {
         ScenarioKind::Wlan(w) => {
+            if w.obss_cell {
+                let mut c = w.clone();
+                c.obss_cell = false;
+                push(ScenarioKind::Wlan(c));
+            }
             if w.stations > 2 {
                 let mut c = w.clone();
                 c.stations = (c.stations / 2).max(2);
@@ -44,6 +49,16 @@ fn candidates(sc: &Scenario) -> Vec<Scenario> {
             if w.frames_per_sender > 1 {
                 let mut c = w.clone();
                 c.frames_per_sender = (c.frames_per_sender / 2).max(1);
+                push(ScenarioKind::Wlan(c));
+            }
+            if w.ampdu_max_mpdus > 1 {
+                let mut c = w.clone();
+                c.ampdu_max_mpdus = (c.ampdu_max_mpdus / 2).max(1);
+                push(ScenarioKind::Wlan(c));
+            }
+            if w.ampdu_per_mpdu_loss > 0.0 {
+                let mut c = w.clone();
+                c.ampdu_per_mpdu_loss = 0.0;
                 push(ScenarioKind::Wlan(c));
             }
             if w.duration_ms > 10 {
@@ -203,6 +218,11 @@ mod tests {
                 arf: false,
                 deaf_sink: true,
                 failpoint_retry_overrun: true,
+                edca: false,
+                ampdu_max_mpdus: 16,
+                ampdu_per_mpdu_loss: 0.0,
+                failpoint_aifsn_swap: false,
+                obss_cell: false,
             }),
         }
     }

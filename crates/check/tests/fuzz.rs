@@ -49,6 +49,11 @@ fn planted_bug_scenario(stations: usize, failpoint: bool) -> Scenario {
             arf: false,
             deaf_sink: true,
             failpoint_retry_overrun: failpoint,
+            edca: false,
+            ampdu_max_mpdus: 16,
+            ampdu_per_mpdu_loss: 0.0,
+            failpoint_aifsn_swap: false,
+            obss_cell: false,
         }),
     }
 }
@@ -113,6 +118,74 @@ fn ledger_oracle_fires_on_imbalance() {
     assert!(
         violations.iter().any(|v| v.oracle == "frame-ledger"),
         "imbalanced ledger not reported: {violations:?}"
+    );
+}
+
+/// A contended, fully-draining EDCA world — the regime where the
+/// priority-inversion oracle's censoring guards all pass. Drawn from
+/// the QoS corpus itself (seed 1, which the `--qos` self-test leg
+/// catches) with the fail-point toggled explicitly, so the test pins
+/// the exact scenario the fuzzer minimises.
+fn qos_scenario(aifsn_swap: bool) -> Scenario {
+    let mut sc = ScenarioGen::with_qos().scenario(1);
+    match sc.kind {
+        ScenarioKind::Wlan(ref mut w) => w.failpoint_aifsn_swap = aifsn_swap,
+        _ => panic!("qos corpus drew a non-WLAN world"),
+    }
+    sc
+}
+
+#[test]
+fn qos_seeds_are_clean() {
+    let gen = ScenarioGen::with_qos();
+    for seed in 0..30 {
+        let r = wn_check::check_seed_gen(&gen, seed, Default::default(), true);
+        assert!(
+            r.violations.is_empty(),
+            "qos seed {} ({}) violated: {:?}",
+            r.seed,
+            r.summary,
+            r.violations
+        );
+    }
+}
+
+#[test]
+fn planted_aifsn_swap_is_caught_and_shrunk() {
+    // Without the fail-point the same contended QoS world is clean…
+    let clean = run::check_scenario(&qos_scenario(false));
+    assert!(clean.is_empty(), "control scenario violated: {clean:?}");
+
+    // …with it, AC_VO runs on AC_BK's parameters and the
+    // priority-inversion oracle fires…
+    let sc = qos_scenario(true);
+    let fires = |c: &Scenario| {
+        run::check_scenario(c)
+            .iter()
+            .any(|v| v.oracle == "edca-priority")
+    };
+    assert!(fires(&sc), "planted AIFSN swap not caught");
+
+    // …and the shrinker reduces the repro while it still fails.
+    let min = shrink(&sc, fires);
+    assert!(
+        station_count(&min) <= 3,
+        "shrunk repro still has {} stations",
+        station_count(&min)
+    );
+    assert!(fires(&min), "shrunk scenario no longer fails");
+}
+
+#[test]
+fn block_ack_oracle_fires_on_tampered_counters() {
+    // Vacuity guard: cook the books after a clean QoS run — one extra
+    // claimed completion must split the block-ack ledger.
+    let mut art = run::run_scenario(&qos_scenario(false));
+    art.wlan.as_mut().expect("wlan facts").stats[1].tx_completions += 1;
+    let violations = run::run_oracles(&art);
+    assert!(
+        violations.iter().any(|v| v.oracle == "block-ack-window"),
+        "tampered completion count not reported: {violations:?}"
     );
 }
 

@@ -256,6 +256,53 @@ fn run_city_dcf() -> ExperimentOutput {
     }
 }
 
+fn run_dense_obss() -> ExperimentOutput {
+    let (points, r) = scenarios::dense_obss(42);
+    let mut md = format!("{}\n", r.to_markdown());
+    let _ = writeln!(
+        md,
+        "| grid | APs | max co-channel | horizon [ms] | VO p50/p99 [µs] | VI p50/p99 [µs] | BE p50/p99 [µs] | BK p50/p99 [µs] | class Jain | delivered |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|---|---|");
+    for p in &points {
+        let _ = writeln!(
+            md,
+            "| {}x{} | {} | {} | {} | {}/{} | {}/{} | {}/{} | {}/{} | {:.4} | {:.0}% |",
+            p.grid.0,
+            p.grid.1,
+            p.aps,
+            p.cochannel_max,
+            p.duration_ms,
+            p.ac_p50_us[0],
+            p.ac_p99_us[0],
+            p.ac_p50_us[1],
+            p.ac_p99_us[1],
+            p.ac_p50_us[2],
+            p.ac_p99_us[2],
+            p.ac_p50_us[3],
+            p.ac_p99_us[3],
+            p.jain_airtime_within_class,
+            p.delivered_frac() * 100.0,
+        );
+    }
+    let _ = writeln!(md);
+    let _ = writeln!(
+        md,
+        "Every AP offers the same fixed downlink rate through the four \
+         EDCA queues (A-MPDU on), so densifying the block shrinks each \
+         co-channel class's airtime share: latency climbs with density \
+         while AC_VO keeps its priority margin over AC_BE and airtime \
+         stays Jain-fair inside each class. The last row re-runs the \
+         densest grid on a data-heavy traffic mix. Aggregation-on vs \
+         -off throughput: see `BENCH_campaign.json` (`qos` section).\n"
+    );
+    ExperimentOutput {
+        id: "DENSE-OBSS",
+        passed: r.passed(),
+        markdown: md,
+    }
+}
+
 /// The full registry, in the order sections appear in EXPERIMENTS.md.
 pub fn experiments() -> Vec<Experiment> {
     macro_rules! exp {
@@ -341,6 +388,11 @@ pub fn experiments() -> Vec<Experiment> {
             "CITY-DCF",
             "Spatially-sharded city, 108 BSSes on channels 1/6/11",
             run_city_dcf
+        ),
+        exp!(
+            "DENSE-OBSS",
+            "EDCA/A-MPDU apartment block, overlapping BSSes",
+            run_dense_obss
         ),
     ]
 }
@@ -448,13 +500,13 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_ordered_like_the_report() {
         let exps = experiments();
-        assert_eq!(exps.len(), 23);
+        assert_eq!(exps.len(), 24);
         let mut seen = std::collections::BTreeSet::new();
         for e in &exps {
             assert!(seen.insert(e.id), "duplicate id {}", e.id);
         }
         assert_eq!(exps[0].id, "FIG-1.1");
-        assert_eq!(exps.last().unwrap().id, "CITY-DCF");
+        assert_eq!(exps.last().unwrap().id, "DENSE-OBSS");
     }
 
     #[test]

@@ -12,7 +12,9 @@ use wn_mac80211::shard::{
     component_seed, digest_components, executor_window, propagation_delay, run_components_serial,
     run_components_windowed, ShardRunReport,
 };
-use wn_mac80211::sim::{boot, inject_at, MacConfig, NullUpper, WlanWorld};
+use wn_mac80211::sim::{
+    boot, inject_at, qos_inject_at, AccessCategory, MacConfig, NullUpper, WlanWorld,
+};
 use wn_net80211::builder::{ibss_send, schedule_walk, send_app_data, EssBuilder, IbssBuilder};
 use wn_net80211::ssid::Ssid;
 use wn_phy::geom::Point;
@@ -2131,6 +2133,286 @@ pub fn city_dcf(seed: u64) -> (Vec<CityDcfPoint>, ExperimentReport) {
         .claim(
             "the flagship city completes under the shard executor",
             city.serial.events > 0 && city.windowed.iter().all(|(_, r)| r.events > 0),
+        );
+    (points, report)
+}
+
+// ---------------------------------------------------------------------
+// DENSE-OBSS — EDCA/A-MPDU apartment block
+//
+// An apartment block of QoS BSSes: APs every 10 m on channels 1/6/11
+// (same coloring as CITY-DCF, but here co-channel cells are well
+// inside carrier-sense range, so every channel is one overlapping
+// contention domain). Each AP saturates a downlink to its own client
+// with a fixed per-AC traffic mix through the EDCA queues and A-MPDU
+// aggregation; the sweep densifies the block and watches per-AC
+// latency quantiles grow while AC_VO stays ahead of AC_BE and airtime
+// stays Jain-fair inside each co-channel class.
+// ---------------------------------------------------------------------
+
+/// Flat-to-flat spacing between neighbouring APs [m].
+pub const DENSE_OBSS_SPACING_M: f64 = 10.0;
+
+/// Client offset from its AP [m].
+pub const DENSE_OBSS_CLIENT_M: f64 = 2.0;
+
+/// Payload bytes per MSDU in the DENSE-OBSS downlink.
+pub const DENSE_OBSS_PAYLOAD: usize = 800;
+
+/// Per-AP offered rate in frames per millisecond (≈ 12 Mbps at the
+/// 800-B payload): a lone AP is comfortably stable, two co-channel
+/// neighbours are near the knee, three or more overload the channel —
+/// the regime where per-AC latency growth with density is measurable.
+pub const DENSE_OBSS_FRAMES_PER_MS: u64 = 2;
+
+/// Offered traffic mix in percent per access category (VO/VI/BE/BK).
+pub const DENSE_OBSS_MIX: [u64; 4] = [15, 15, 40, 30];
+
+/// One DENSE-OBSS sweep point.
+pub struct DenseObssPoint {
+    /// Grid shape (rows, cols).
+    pub grid: (usize, usize),
+    /// APs in the block (= BSSes = grid cells).
+    pub aps: usize,
+    /// Total stations (2 per cell: AP + client).
+    pub stations: usize,
+    /// Largest co-channel class in the block.
+    pub cochannel_max: usize,
+    /// Virtual milliseconds simulated.
+    pub duration_ms: u64,
+    /// Per-AC access-delay p50 [µs], indexed by `AccessCategory`.
+    pub ac_p50_us: [u64; 4],
+    /// Per-AC access-delay p99 [µs], indexed by `AccessCategory`.
+    pub ac_p99_us: [u64; 4],
+    /// Worst Jain index over per-AP airtime within one co-channel
+    /// class (classes of one AP are trivially fair and skipped).
+    pub jain_airtime_within_class: f64,
+    /// MSDUs offered block-wide.
+    pub offered: u64,
+    /// MSDUs delivered block-wide.
+    pub completed: u64,
+    /// Aggregate delivered goodput [Mbps].
+    pub aggregate_mbps: f64,
+}
+
+impl DenseObssPoint {
+    /// Delivered fraction of the offered backlog.
+    pub fn delivered_frac(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// The channel of grid cell `cell` — CITY-DCF's coloring, reused so
+/// the two families stay comparable.
+fn dense_obss_channel(cell: usize, cols: usize) -> u8 {
+    city_dcf_channel(cell, cols)
+}
+
+/// Builds the apartment block and stages every AP's per-AC downlink
+/// backlog, spread over 90 % of the horizon with a per-AP/per-AC phase
+/// so injections never synchronise block-wide.
+fn dense_obss_sim(
+    rows: usize,
+    cols: usize,
+    duration_ms: u64,
+    seed: u64,
+    mix: [u64; 4],
+    ampdu_max_mpdus: usize,
+) -> Simulation<WlanWorld> {
+    let cells = rows * cols;
+    let counts = {
+        let total = DENSE_OBSS_FRAMES_PER_MS * duration_ms;
+        mix.map(|pct| (total * pct / 100).max(1))
+    };
+    let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+    cfg.seed = seed;
+    cfg.arf = false;
+    cfg.edca = true;
+    cfg.ampdu_max_mpdus = ampdu_max_mpdus;
+    cfg.queue_limit = counts.iter().sum::<u64>() as usize + 4;
+    let mut w = WlanWorld::new(cfg);
+    w.set_neighbor_cache(true);
+    for cell in 0..cells {
+        let (row, col) = (cell / cols, cell % cols);
+        let cx = col as f64 * DENSE_OBSS_SPACING_M;
+        let cy = row as f64 * DENSE_OBSS_SPACING_M;
+        let ap = w.add_station(
+            MacAddr::station(2 * cell as u32),
+            Point::new(cx, cy),
+            Box::new(NullUpper),
+        );
+        let client = w.add_station(
+            MacAddr::station(2 * cell as u32 + 1),
+            Point::new(cx + DENSE_OBSS_CLIENT_M, cy),
+            Box::new(NullUpper),
+        );
+        let ch = dense_obss_channel(cell, cols);
+        w.set_channel(ap, ch);
+        w.set_channel(client, ch);
+    }
+    let mut sim = Simulation::new(w);
+    boot(&mut sim);
+    let horizon_ns = duration_ms * 900_000; // inject over 90 %
+    for cell in 0..cells {
+        let ap = 2 * cell;
+        for (aci, &n) in counts.iter().enumerate() {
+            let ac = AccessCategory::from_index(aci).expect("4 ACs");
+            let stride = horizon_ns / n;
+            let phase = (cell as u64 * 131 + aci as u64 * 37) * 1_000;
+            for f in 0..n {
+                qos_inject_at(
+                    &mut sim,
+                    SimTime::from_nanos(f * stride + phase % stride.max(1)),
+                    ap,
+                    data_frame(2 * cell as u32, 2 * cell as u32 + 1, DENSE_OBSS_PAYLOAD),
+                    ac,
+                );
+            }
+        }
+    }
+    sim
+}
+
+/// Runs one DENSE-OBSS point and reduces the per-AC and per-class
+/// observables.
+pub fn dense_obss_point(
+    rows: usize,
+    cols: usize,
+    duration_ms: u64,
+    seed: u64,
+    mix: [u64; 4],
+) -> DenseObssPoint {
+    dense_obss_point_opts(rows, cols, duration_ms, seed, mix, 16)
+}
+
+/// [`dense_obss_point`] with the A-MPDU aggregation cap exposed —
+/// `ampdu_max_mpdus = 1` degenerates to one MPDU per TXOP (aggregation
+/// effectively off), which is what the perfsuite `qos` section races
+/// against the default cap on the same saturated block.
+pub fn dense_obss_point_opts(
+    rows: usize,
+    cols: usize,
+    duration_ms: u64,
+    seed: u64,
+    mix: [u64; 4],
+    ampdu_max_mpdus: usize,
+) -> DenseObssPoint {
+    let cells = rows * cols;
+    let mut sim = dense_obss_sim(rows, cols, duration_ms, seed, mix, ampdu_max_mpdus);
+    sim.run_until(SimTime::from_millis(duration_ms));
+    let w = sim.world();
+
+    let mut ac_p50_us = [0u64; 4];
+    let mut ac_p99_us = [0u64; 4];
+    for ac in AccessCategory::ALL {
+        ac_p50_us[ac.index()] = w.ac_delay_quantile(ac, 0.5).unwrap_or(0);
+        ac_p99_us[ac.index()] = w.ac_delay_quantile(ac, 0.99).unwrap_or(0);
+    }
+
+    // Airtime fairness inside each co-channel class of APs.
+    let mut class_airtimes: std::collections::BTreeMap<u8, Vec<f64>> = Default::default();
+    for cell in 0..cells {
+        class_airtimes
+            .entry(dense_obss_channel(cell, cols))
+            .or_default()
+            .push(w.station_airtime_us(2 * cell) as f64);
+    }
+    let mut jain_min = 1.0f64;
+    for xs in class_airtimes.values().filter(|xs| xs.len() > 1) {
+        let sum: f64 = xs.iter().sum();
+        let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+        if sum_sq > 0.0 {
+            jain_min = jain_min.min(sum * sum / (xs.len() as f64 * sum_sq));
+        } else {
+            jain_min = 0.0;
+        }
+    }
+    let cochannel_max = class_airtimes.values().map(Vec::len).max().unwrap_or(0);
+
+    let counts = {
+        let total = DENSE_OBSS_FRAMES_PER_MS * duration_ms;
+        mix.map(|pct| (total * pct / 100).max(1))
+    };
+    let offered = counts.iter().sum::<u64>() * cells as u64;
+    let completed: u64 = (0..cells).map(|c| w.stats(2 * c).tx_completions).sum();
+    let duration_s = duration_ms as f64 / 1_000.0;
+    DenseObssPoint {
+        grid: (rows, cols),
+        aps: cells,
+        stations: 2 * cells,
+        cochannel_max,
+        duration_ms,
+        ac_p50_us,
+        ac_p99_us,
+        jain_airtime_within_class: jain_min,
+        offered,
+        completed,
+        aggregate_mbps: (completed * DENSE_OBSS_PAYLOAD as u64 * 8) as f64 / duration_s / 1e6,
+    }
+}
+
+/// The density sweep `(rows, cols)` list and horizon: up to a 25-AP
+/// block in release ("tens of APs"), a 2-point miniature in debug
+/// where tier-1 re-runs the campaign.
+pub fn dense_obss_sweep() -> (Vec<(usize, usize)>, u64) {
+    if cfg!(debug_assertions) {
+        (vec![(2, 2), (3, 3)], 40)
+    } else {
+        (vec![(2, 2), (3, 3), (4, 4), (5, 5)], 120)
+    }
+}
+
+/// DENSE-OBSS — the EDCA/A-MPDU densification sweep as an experiment
+/// report. Returns the density sweep on the balanced mix, then the
+/// flagship grid re-run on a data-heavy mix (the traffic-class-mix
+/// axis) as the last point.
+pub fn dense_obss(seed: u64) -> (Vec<DenseObssPoint>, ExperimentReport) {
+    let (sweep, duration_ms) = dense_obss_sweep();
+    let mut points: Vec<DenseObssPoint> = sweep
+        .iter()
+        .map(|&(r, c)| dense_obss_point(r, c, duration_ms, seed, DENSE_OBSS_MIX))
+        .collect();
+    let &(fr, fc) = sweep.last().expect("non-empty sweep");
+    points.push(dense_obss_point(fr, fc, duration_ms, seed, [5, 10, 55, 30]));
+    let sweep_pts = &points[..sweep.len()];
+
+    const VO: usize = 0;
+    const BE: usize = 2;
+    let mut report = ExperimentReport::new(
+        "DENSE-OBSS",
+        "EDCA/A-MPDU apartment block on channels 1/6/11",
+    );
+    report
+        .claim(
+            "per-AC p50 access delay grows with AP density (every AC)",
+            sweep_pts.windows(2).all(|w| {
+                (0..4).all(|ac| w[1].ac_p50_us[ac] as f64 >= w[0].ac_p50_us[ac] as f64 * 0.95)
+            }),
+        )
+        .claim(
+            "AC_VO p99 stays below AC_BE p99 at every density and mix",
+            points.iter().all(|p| p.ac_p99_us[VO] < p.ac_p99_us[BE]),
+        )
+        .claim(
+            "airtime Jain >= 0.9 within every co-channel class",
+            points.iter().all(|p| p.jain_airtime_within_class >= 0.9),
+        )
+        .claim(
+            "the sparsest block delivers >= 90% of its offered load",
+            sweep_pts[0].delivered_frac() >= 0.9,
+        )
+        .claim(
+            "the densest block is overloaded (delivery strictly below offered)",
+            sweep_pts.last().expect("non-empty").completed
+                < sweep_pts.last().expect("non-empty").offered,
+        )
+        .claim(
+            "every point delivers traffic on all four ACs",
+            points.iter().all(|p| p.ac_p99_us.iter().all(|&q| q > 0)),
         );
     (points, report)
 }

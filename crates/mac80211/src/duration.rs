@@ -12,6 +12,12 @@ use wn_sim::SimDuration;
 pub const ACK_LEN: usize = 14;
 /// Length in bytes of an RTS control frame on the air.
 pub const RTS_LEN: usize = 20;
+/// Length in bytes of a compressed BlockAck on the air: 16-byte
+/// control header + 2-byte SSN + 8-byte bitmap + FCS.
+pub const BLOCK_ACK_LEN: usize = 30;
+/// Per-MPDU framing overhead inside an A-MPDU aggregate: the 4-byte
+/// subframe delimiter (sequence number + length).
+pub const AMPDU_DELIMITER_LEN: usize = 4;
 
 /// Airtime of a frame of `wire_len` bytes at `rate`, including the PHY
 /// preamble/PLCP overhead.
@@ -86,6 +92,63 @@ pub fn cts_duration(std: PhyStandard, rts_duration_us: u16) -> u16 {
     rts_duration_us.saturating_sub(consumed)
 }
 
+// ----- EDCA (802.11e) arbitration + TXOP arithmetic -----
+
+/// Airtime of a compressed BlockAck at the base rate.
+pub fn block_ack_airtime(std: PhyStandard) -> SimDuration {
+    airtime(&std.mac_timing(), std.base_rate(), BLOCK_ACK_LEN)
+}
+
+/// AIFS for an access category: `SIFS + AIFSN × slot` (802.11e §9.2.10
+/// equivalent). AIFSN ≥ 2 for stations; AIFSN = 2 with the legacy slot
+/// count reproduces DIFS.
+pub fn aifs(std: PhyStandard, aifsn: u8) -> SimDuration {
+    sifs(std) + slot(std) * aifsn as u64
+}
+
+/// NAV value for a QoS data frame / A-MPDU aggregate: SIFS + BlockAck
+/// (the implicit-BAR response this model uses).
+pub fn ampdu_duration(std: PhyStandard) -> u16 {
+    to_duration_field(sifs(std) + block_ack_airtime(std))
+}
+
+/// How many MPDUs of `mpdu_wire_len` bytes (delimiter included) fit in
+/// a TXOP of `txop_us` microseconds at `rate`, counting the SIFS +
+/// BlockAck response into the budget. Always at least 1 — a TXOP too
+/// short for a single MPDU degenerates to one, never zero, so a
+/// misconfigured limit cannot wedge a queue. A `txop_us` of 0 means
+/// "no TXOP limit" and returns `usize::MAX`.
+pub fn txop_mpdu_budget(
+    std: PhyStandard,
+    rate: RateStep,
+    txop_us: u64,
+    mpdu_wire_len: usize,
+) -> usize {
+    if txop_us == 0 {
+        return usize::MAX;
+    }
+    let txop = SimDuration::from_micros(txop_us);
+    let response = sifs(std) + block_ack_airtime(std);
+    if txop <= response {
+        return 1;
+    }
+    let data_budget = txop - response;
+    // First MPDU pays the preamble; the rest ride the same PPDU.
+    let timing = std.mac_timing();
+    let first = airtime(&timing, rate, mpdu_wire_len);
+    if first >= data_budget {
+        return 1;
+    }
+    let per_extra = SimDuration::for_bits(mpdu_wire_len as u64 * 8, rate.rate.bps());
+    let remaining = data_budget - first;
+    let extra = if per_extra == SimDuration::ZERO {
+        0
+    } else {
+        (remaining.as_nanos() / per_extra.as_nanos().max(1)) as usize
+    };
+    1 + extra
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,5 +216,64 @@ mod tests {
         for s in PhyStandard::ALL {
             assert!(sifs(s) < difs(s), "{s:?}");
         }
+    }
+
+    #[test]
+    fn aifs_reproduces_difs_at_aifsn_2_and_grows_per_slot() {
+        // 802.11 DIFS = SIFS + 2×slot, so AIFSN=2 must equal DIFS on
+        // every standard — the legacy-equivalence anchor of the EDCA
+        // arbitration math.
+        for s in PhyStandard::ALL {
+            assert_eq!(aifs(s, 2), difs(s), "{s:?}");
+            assert_eq!(aifs(s, 3) - aifs(s, 2), slot(s), "{s:?}");
+            assert_eq!(aifs(s, 7) - aifs(s, 2), slot(s) * 5, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn block_ack_airtime_exceeds_ack_airtime() {
+        // A 30-byte BA always outlasts a 14-byte ACK at the same rate.
+        for s in PhyStandard::ALL {
+            assert!(block_ack_airtime(s) > ack_airtime(s), "{s:?}");
+            assert!(ampdu_duration(s) > 0, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn txop_budget_counts_mpdus_not_ppdus() {
+        let std = PhyStandard::Dot11g;
+        let rate = std.base_rate(); // 6 Mbps
+                                    // A 1200-byte MPDU at 6 Mbps is 1.6 ms of payload plus 20 µs
+                                    // preamble; SIFS+BA eat ~70 µs. In a 5 ms TXOP the first MPDU
+                                    // pays the preamble and the rest pack back to back: 3 fit.
+        let n = txop_mpdu_budget(std, rate, 5_000, 1200);
+        assert_eq!(n, 3, "5 ms at 6 Mbps fits 3×1200 B MPDUs, got {n}");
+        // Doubling the TXOP at least doubles the budget's payload room.
+        assert!(txop_mpdu_budget(std, rate, 10_000, 1200) >= 2 * n - 1);
+    }
+
+    #[test]
+    fn txop_budget_never_starves() {
+        let std = PhyStandard::Dot11b;
+        let rate = std.base_rate(); // 1 Mbps: one MPDU blows any short TXOP
+        assert_eq!(txop_mpdu_budget(std, rate, 32, 1500), 1);
+        assert_eq!(txop_mpdu_budget(std, rate, 1, 4), 1);
+        // TXOP 0 = unlimited.
+        assert_eq!(txop_mpdu_budget(std, rate, 0, 1500), usize::MAX);
+    }
+
+    #[test]
+    fn txop_budget_monotone_in_txop_and_antitone_in_mpdu_len() {
+        let std = PhyStandard::Dot11a;
+        let rate = std.base_rate();
+        let mut prev = 0;
+        for txop_us in [500, 1_000, 2_000, 4_000, 8_000] {
+            let n = txop_mpdu_budget(std, rate, txop_us, 400);
+            assert!(n >= prev, "budget shrank as TXOP grew");
+            prev = n;
+        }
+        let long = txop_mpdu_budget(std, rate, 4_000, 1600);
+        let short = txop_mpdu_budget(std, rate, 4_000, 200);
+        assert!(short >= long, "shorter MPDUs must pack at least as many");
     }
 }

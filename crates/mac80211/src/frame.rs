@@ -69,11 +69,20 @@ pub enum Subtype {
     Cts,
     /// Acknowledgement.
     Ack,
+    /// Block Ack Request — solicits a block ack for an A-MPDU window
+    /// starting at the carried sequence number (802.11e/n).
+    BlockAckReq,
+    /// Compressed Block Ack — a starting sequence number plus a 64-bit
+    /// bitmap acknowledging individual MPDUs of an aggregate.
+    BlockAck,
     // Data.
     /// Plain data.
     Data,
     /// Data-less null frame (power-management signalling).
     NullData,
+    /// QoS data — an access-category-tagged data frame; in this model
+    /// also the carrier of A-MPDU aggregates.
+    QosData,
 }
 
 impl Subtype {
@@ -92,12 +101,15 @@ impl Subtype {
             Disassoc => (FrameType::Management, 10),
             Auth => (FrameType::Management, 11),
             Deauth => (FrameType::Management, 12),
+            BlockAckReq => (FrameType::Control, 8),
+            BlockAck => (FrameType::Control, 9),
             PsPoll => (FrameType::Control, 10),
             Rts => (FrameType::Control, 11),
             Cts => (FrameType::Control, 12),
             Ack => (FrameType::Control, 13),
             Data => (FrameType::Data, 0),
             NullData => (FrameType::Data, 4),
+            QosData => (FrameType::Data, 8),
         }
     }
 
@@ -115,12 +127,15 @@ impl Subtype {
             (0, 10) => Disassoc,
             (0, 11) => Auth,
             (0, 12) => Deauth,
+            (1, 8) => BlockAckReq,
+            (1, 9) => BlockAck,
             (1, 10) => PsPoll,
             (1, 11) => Rts,
             (1, 12) => Cts,
             (1, 13) => Ack,
             (2, 0) => Data,
             (2, 4) => NullData,
+            (2, 8) => QosData,
             _ => return None,
         })
     }
@@ -398,6 +413,40 @@ impl Frame {
         }
     }
 
+    /// A Block Ack Request control frame soliciting a block ack for
+    /// the A-MPDU window starting at `ssn`.
+    pub fn block_ack_req(ra: MacAddr, ta: MacAddr, duration_us: u16, ssn: u16) -> Frame {
+        Frame {
+            fc: FrameControl::new(Subtype::BlockAckReq),
+            duration_id: duration_us,
+            addr1: ra,
+            addr2: Some(ta),
+            addr3: None,
+            seq: None,
+            addr4: None,
+            body: (ssn & 0x0FFF).to_le_bytes().to_vec(),
+        }
+    }
+
+    /// A compressed Block Ack control frame: the starting sequence
+    /// number plus a 64-bit bitmap where bit `k` acknowledges sequence
+    /// `ssn + k`.
+    pub fn block_ack(ra: MacAddr, ta: MacAddr, ssn: u16, bitmap: u64) -> Frame {
+        let mut body = Vec::with_capacity(10);
+        body.extend_from_slice(&(ssn & 0x0FFF).to_le_bytes());
+        body.extend_from_slice(&bitmap.to_le_bytes());
+        Frame {
+            fc: FrameControl::new(Subtype::BlockAck),
+            duration_id: 0,
+            addr1: ra,
+            addr2: Some(ta),
+            addr3: None,
+            seq: None,
+            addr4: None,
+            body,
+        }
+    }
+
     /// A data frame inside a BSS or IBSS, DS bits per §4.2's table.
     pub fn data(
         ds: DsBits,
@@ -499,13 +548,35 @@ impl Frame {
         (self.fc.subtype == Subtype::PsPoll).then_some(self.duration_id & 0x3FFF)
     }
 
+    /// The starting sequence number carried by a BlockAck or
+    /// BlockAckReq (`None` for other subtypes or a truncated body).
+    pub fn ba_ssn(&self) -> Option<u16> {
+        match self.fc.subtype {
+            Subtype::BlockAck | Subtype::BlockAckReq if self.body.len() >= 2 => {
+                Some(u16::from_le_bytes([self.body[0], self.body[1]]) & 0x0FFF)
+            }
+            _ => None,
+        }
+    }
+
+    /// The compressed 64-bit acknowledgement bitmap of a BlockAck
+    /// (`None` for other subtypes or a truncated body).
+    pub fn ba_bitmap(&self) -> Option<u64> {
+        match self.fc.subtype {
+            Subtype::BlockAck if self.body.len() >= 10 => Some(u64::from_le_bytes(
+                self.body[2..10].try_into().expect("8 bytes"),
+            )),
+            _ => None,
+        }
+    }
+
     // ----- codec -----
 
     /// Header length in bytes for this frame's kind.
     pub fn header_len(&self) -> usize {
         match self.fc.subtype {
             Subtype::Cts | Subtype::Ack => 10,
-            Subtype::Rts | Subtype::PsPoll => 16,
+            Subtype::Rts | Subtype::PsPoll | Subtype::BlockAckReq | Subtype::BlockAck => 16,
             _ => {
                 if self.addr4.is_some() {
                     30
@@ -546,6 +617,10 @@ impl Frame {
             Subtype::Cts | Subtype::Ack => {}
             Subtype::Rts | Subtype::PsPoll => {
                 out.extend_from_slice(&self.addr2.expect("RTS/PS-Poll carry a TA").0);
+            }
+            Subtype::BlockAckReq | Subtype::BlockAck => {
+                out.extend_from_slice(&self.addr2.expect("BAR/BA carry a TA").0);
+                out.extend_from_slice(&self.body);
             }
             _ => {
                 out.extend_from_slice(&self.addr2.unwrap_or(MacAddr::ZERO).0);
@@ -609,6 +684,16 @@ impl Frame {
                 seq: None,
                 addr4: None,
                 body: Vec::new(),
+            }),
+            Subtype::BlockAckReq | Subtype::BlockAck => Ok(Frame {
+                fc,
+                duration_id,
+                addr1,
+                addr2: Some(take_addr(10)?),
+                addr3: None,
+                seq: None,
+                addr4: None,
+                body: payload[16..].to_vec(),
             }),
             _ => {
                 let addr2 = take_addr(10)?;
@@ -1003,12 +1088,82 @@ mod tests {
             Rts,
             Cts,
             Ack,
+            BlockAckReq,
+            BlockAck,
             Data,
             NullData,
+            QosData,
         ] {
             let (ty, code) = sub.codes();
             assert_eq!(Subtype::from_codes(ty.code(), code), Some(sub));
         }
+    }
+
+    #[test]
+    fn block_ack_bitmap_roundtrip() {
+        let ba = Frame::block_ack(sta(1), sta(2), 0x0ABC, 0xDEAD_BEEF_0BAD_F00D);
+        // 16-byte control header + 2-byte SSN + 8-byte bitmap + FCS.
+        assert_eq!(ba.to_bytes().len(), 30);
+        let back = Frame::from_bytes(&ba.to_bytes()).unwrap();
+        assert_eq!(back, ba);
+        assert_eq!(back.ba_ssn(), Some(0x0ABC));
+        assert_eq!(back.ba_bitmap(), Some(0xDEAD_BEEF_0BAD_F00D));
+        assert!(!back.fc.subtype.needs_ack(), "a BA is never acked");
+
+        let bar = Frame::block_ack_req(sta(2), sta(1), 120, 77);
+        assert_eq!(bar.to_bytes().len(), 22);
+        let back = Frame::from_bytes(&bar.to_bytes()).unwrap();
+        assert_eq!(back, bar);
+        assert_eq!(back.ba_ssn(), Some(77));
+        assert_eq!(back.ba_bitmap(), None, "a BAR carries no bitmap");
+        assert!(!back.fc.subtype.needs_ack());
+    }
+
+    #[test]
+    fn block_ack_ssn_is_twelve_bits() {
+        let ba = Frame::block_ack(sta(1), sta(2), 0xFFFF, 1);
+        assert_eq!(ba.ba_ssn(), Some(0x0FFF), "SSN wraps into 12 bits");
+        assert_eq!(Frame::ack(sta(1)).ba_ssn(), None);
+        assert_eq!(Frame::ack(sta(1)).ba_bitmap(), None);
+    }
+
+    #[test]
+    fn corrupted_block_ack_fails_fcs() {
+        let ba = Frame::block_ack(sta(1), sta(2), 42, u64::MAX);
+        let bytes = ba.to_bytes();
+        // Flip one bit at every byte position, including inside the
+        // bitmap and the FCS itself: every corruption must be caught.
+        for pos in 0..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[pos] ^= 0x04;
+            assert!(
+                matches!(
+                    Frame::from_bytes(&corrupted),
+                    Err(FrameError::BadFcs { .. })
+                ),
+                "corruption at {pos} not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn qos_data_roundtrips_like_data() {
+        let mut f = Frame::data(
+            DsBits::Ibss,
+            sta(2),
+            sta(1),
+            MacAddr::random_ibss_bssid(1),
+            SequenceControl {
+                fragment: 0,
+                sequence: 99,
+            },
+            vec![0xAA; 48],
+        );
+        f.fc.subtype = Subtype::QosData;
+        let back = Frame::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(back.fc.subtype, Subtype::QosData);
+        assert!(Subtype::QosData.needs_ack());
     }
 
     #[test]

@@ -115,6 +115,12 @@ pub enum FrameKind {
     Data,
     /// Data frame with empty body (power-management signalling).
     NullData,
+    /// QoS data frame / A-MPDU aggregate (802.11e/n).
+    QosData,
+    /// Block Ack Request.
+    BlockAckReq,
+    /// Compressed Block Ack.
+    BlockAck,
     /// Anything a particular MAC cannot map onto the variants above.
     Other,
 }
@@ -276,6 +282,53 @@ pub enum TraceEvent {
         /// Whether the key was recovered.
         ok: bool,
     },
+    /// EDCA per-access-category contention backoff armed (802.11e).
+    EdcaBackoff {
+        /// Station deferring.
+        station: u32,
+        /// Access category (0 = AC_VO … 3 = AC_BK).
+        ac: u8,
+        /// Slots drawn from the category's contention window.
+        slots: u32,
+        /// The category's current contention window size.
+        cw: u32,
+    },
+    /// An A-MPDU aggregate was put on the air. Bit `k` of `bitmap` set
+    /// means an MPDU with sequence number `ssn + k` rode the aggregate.
+    AmpduTx {
+        /// Transmitting station.
+        station: u32,
+        /// Access category of the aggregate.
+        ac: u8,
+        /// Starting sequence number of the block-ack window.
+        ssn: u16,
+        /// MPDU presence bitmap relative to `ssn`.
+        bitmap: u64,
+    },
+    /// A block ack was processed by the originator. Bit `k` of `bitmap`
+    /// set means the MPDU with sequence `ssn + k` was acknowledged and
+    /// completed by this block ack (already-completed sequences are
+    /// masked out, so each sequence number completes at most once).
+    BlockAckRx {
+        /// Originating (data-sending) station processing the BA.
+        station: u32,
+        /// Access category of the acknowledged aggregate.
+        ac: u8,
+        /// Starting sequence number of the block-ack window.
+        ssn: u16,
+        /// Acknowledged-MPDU bitmap relative to `ssn`.
+        bitmap: u64,
+    },
+    /// An MPDU exhausted its retry budget and left the block-ack
+    /// window unacknowledged.
+    MpduDrop {
+        /// Originating station dropping the MPDU.
+        station: u32,
+        /// Access category of the dropped MPDU.
+        ac: u8,
+        /// Sequence number of the dropped MPDU.
+        seq: u16,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -343,6 +396,36 @@ impl fmt::Display for TraceEvent {
                 method,
                 ok,
             } => write!(f, "crack sta={station} method={method} ok={ok}"),
+            TraceEvent::EdcaBackoff {
+                station,
+                ac,
+                slots,
+                cw,
+            } => write!(
+                f,
+                "edca-backoff sta={station} ac={ac} slots={slots} cw={cw}"
+            ),
+            TraceEvent::AmpduTx {
+                station,
+                ac,
+                ssn,
+                bitmap,
+            } => write!(
+                f,
+                "ampdu-tx sta={station} ac={ac} ssn={ssn} bitmap={bitmap:#x}"
+            ),
+            TraceEvent::BlockAckRx {
+                station,
+                ac,
+                ssn,
+                bitmap,
+            } => write!(
+                f,
+                "block-ack-rx sta={station} ac={ac} ssn={ssn} bitmap={bitmap:#x}"
+            ),
+            TraceEvent::MpduDrop { station, ac, seq } => {
+                write!(f, "mpdu-drop sta={station} ac={ac} seq={seq}")
+            }
         }
     }
 }
@@ -367,6 +450,10 @@ impl TraceEvent {
             TraceEvent::Deliver { .. } => "deliver",
             TraceEvent::Forward { .. } => "forward",
             TraceEvent::Crack { .. } => "crack",
+            TraceEvent::EdcaBackoff { .. } => "edca_backoff",
+            TraceEvent::AmpduTx { .. } => "ampdu_tx",
+            TraceEvent::BlockAckRx { .. } => "block_ack_rx",
+            TraceEvent::MpduDrop { .. } => "mpdu_drop",
         }
     }
 
@@ -388,7 +475,11 @@ impl TraceEvent {
             | TraceEvent::Grant { station, .. }
             | TraceEvent::Deliver { station, .. }
             | TraceEvent::Forward { station, .. }
-            | TraceEvent::Crack { station, .. } => station,
+            | TraceEvent::Crack { station, .. }
+            | TraceEvent::EdcaBackoff { station, .. }
+            | TraceEvent::AmpduTx { station, .. }
+            | TraceEvent::BlockAckRx { station, .. }
+            | TraceEvent::MpduDrop { station, .. } => station,
         }
     }
 
@@ -467,6 +558,25 @@ impl TraceEvent {
             TraceEvent::Crack { method, ok, .. } => {
                 json::push_str_field(out, "method", method);
                 json::push_bool_field(out, "ok", ok);
+            }
+            TraceEvent::EdcaBackoff { ac, slots, cw, .. } => {
+                json::push_u64_field(out, "ac", u64::from(ac));
+                json::push_u64_field(out, "slots", u64::from(slots));
+                json::push_u64_field(out, "cw", u64::from(cw));
+            }
+            TraceEvent::AmpduTx {
+                ac, ssn, bitmap, ..
+            }
+            | TraceEvent::BlockAckRx {
+                ac, ssn, bitmap, ..
+            } => {
+                json::push_u64_field(out, "ac", u64::from(ac));
+                json::push_u64_field(out, "ssn", u64::from(ssn));
+                json::push_u64_field(out, "bitmap", bitmap);
+            }
+            TraceEvent::MpduDrop { ac, seq, .. } => {
+                json::push_u64_field(out, "ac", u64::from(ac));
+                json::push_u64_field(out, "seq", u64::from(seq));
             }
         }
     }
