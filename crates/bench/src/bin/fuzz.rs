@@ -35,6 +35,14 @@
 //!   digests (DESIGN.md §15). Range runs additionally verify a
 //!   multi-shard CITY-DCF grid the generated scenarios cannot reach.
 //!   Non-medium kinds (Bluetooth/ZigBee/WiMAX) are skipped.
+//! - `--grid-diff` — differential spatial-index mode: replay every
+//!   seed with the spatial grid index on (sparse neighbor rows,
+//!   grid-backed shard planning) and off (exhaustive dense scans) and
+//!   fail unless the trace and metrics fingerprints are byte-identical
+//!   (the grid's equivalence contract, DESIGN.md §17). Range runs
+//!   additionally plan a multi-cell CITY-DCF street grid through both
+//!   `shard_plan` and `shard_plan_exhaustive` and demand identical
+//!   partitions and lookaheads.
 //! - `--qos` — the EDCA/A-MPDU corpus (DESIGN.md §16): every seed maps
 //!   to a QoS WLAN world (mixed-AC traffic, aggregation on/off, OBSS
 //!   twin cells), each run oracle-checked through both scheduler back
@@ -51,13 +59,13 @@
 //! one-line repro command, and exits 1.
 
 use wn_check::{
-    check_range_gen, check_range_opts, check_range_with, check_seed_with, range_digest,
-    repro_command, run, shard_diff_range, shard_diff_range_gen, shard_diff_seed, shrink,
-    station_count, ScenarioGen, ShardDiffReport,
+    check_range_gen, check_range_grid, check_range_opts, check_range_with, check_seed_with,
+    range_digest, repro_command, run, shard_diff_range, shard_diff_range_gen, shard_diff_seed,
+    shrink, station_count, ScenarioGen, ShardDiffReport,
 };
-use wn_core::scenarios::city_dcf_point;
+use wn_core::scenarios::{city_dcf_point, metro_dcf_planning_world, CITY_DCF_RANGE_M};
 use wn_sim::stats::fnv1a;
-use wn_sim::{worker_count, SchedulerKind};
+use wn_sim::{worker_count, SchedulerKind, SimTime};
 
 /// FNV-1a of `range_digest(0, 200, _)` over the classic corpus as
 /// recorded *before* the QoS machinery landed. The `--qos` leg
@@ -76,6 +84,7 @@ struct Options {
     dual: bool,
     cache_diff: bool,
     shard_diff: bool,
+    grid_diff: bool,
     qos: bool,
     scheduler: SchedulerKind,
 }
@@ -90,6 +99,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         dual: false,
         cache_diff: false,
         shard_diff: false,
+        grid_diff: false,
         qos: false,
         scheduler: SchedulerKind::default(),
     };
@@ -124,6 +134,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--dual" => opts.dual = true,
             "--cache-diff" => opts.cache_diff = true,
             "--shard-diff" => opts.shard_diff = true,
+            "--grid-diff" => opts.grid_diff = true,
             "--qos" => opts.qos = true,
             "--scheduler" => {
                 i += 1;
@@ -259,6 +270,78 @@ fn run_cache_diff(opts: &Options) -> u64 {
         count,
         start,
         start + count,
+        opts.threads,
+        t0.elapsed().as_secs_f64(),
+        failures
+    );
+    failures
+}
+
+/// Differential spatial-index mode: the same seed range with the grid
+/// index on (sparse rows, grid shard planning) vs off (exhaustive
+/// dense scans), demanding identical fingerprints, plus a fixed
+/// multi-cell CITY-DCF planning world compared pair-for-pair through
+/// the grid and exhaustive planners. Returns the number of failures.
+fn run_grid_diff(opts: &Options) -> u64 {
+    let (start, count) = match opts.single {
+        Some(seed) => (seed, 1),
+        None => (opts.start, opts.count),
+    };
+    let t0 = std::time::Instant::now();
+    let gridded = check_range_grid(start, count, opts.threads, true);
+    let exhaustive = check_range_grid(start, count, opts.threads, false);
+    let mut failures = 0u64;
+    for (g, e) in gridded.iter().zip(&exhaustive) {
+        let agree =
+            g.events == e.events && g.trace_fnv == e.trace_fnv && g.metrics_fnv == e.metrics_fnv;
+        if !agree {
+            failures += 1;
+            println!(
+                "seed {}: GRID DIVERGENCE  {}\n  grid:       events={} trace_fnv={:016x} metrics_fnv={:016x}\n  exhaustive: events={} trace_fnv={:016x} metrics_fnv={:016x}",
+                g.seed, g.summary, g.events, g.trace_fnv, g.metrics_fnv, e.events, e.trace_fnv, e.metrics_fnv
+            );
+            println!("  repro: {} --grid-diff", repro_command(g.seed));
+        }
+        if !g.violations.is_empty() {
+            failures += 1;
+            report_failure(g.seed, &g.summary, &g.violations, opts.shrink);
+        }
+    }
+
+    // The planning leg: a street grid the scenario generator cannot
+    // produce, planned through the grid index and the exhaustive O(n²)
+    // scan. Both partitions, lookaheads and re-validation verdicts
+    // must match exactly.
+    let world = metro_dcf_planning_world(3, 4, 12, 60, 42);
+    let grid_plan = world.shard_plan(SimTime::ZERO, Some(CITY_DCF_RANGE_M));
+    let exhaustive_plan = world.shard_plan_exhaustive(SimTime::ZERO, Some(CITY_DCF_RANGE_M));
+    if grid_plan.shard_of != exhaustive_plan.shard_of
+        || grid_plan.lookahead != exhaustive_plan.lookahead
+    {
+        failures += 1;
+        println!(
+            "CITY-DCF planning: GRID DIVERGENCE  grid {} shards lookahead {:?} vs exhaustive {} shards lookahead {:?}",
+            grid_plan.shards.len(),
+            grid_plan.lookahead,
+            exhaustive_plan.shards.len(),
+            exhaustive_plan.lookahead
+        );
+    }
+    let grid_verdict = world.shard_plan_incoherence(&grid_plan, SimTime::ZERO);
+    let exhaustive_verdict = world.shard_plan_incoherence_exhaustive(&grid_plan, SimTime::ZERO);
+    if grid_verdict.is_some() || exhaustive_verdict.is_some() {
+        failures += 1;
+        println!(
+            "CITY-DCF planning: INCOHERENT PLAN  grid verdict {grid_verdict:?}, exhaustive verdict {exhaustive_verdict:?}"
+        );
+    }
+
+    println!(
+        "grid-diff fuzz: {} seeds ({}..{}) x {{grid, exhaustive}} + a {}-station CITY-DCF planning check on {} workers in {:.2}s: {} failing",
+        count,
+        start,
+        start + count,
+        grid_plan.shard_of.len(),
         opts.threads,
         t0.elapsed().as_secs_f64(),
         failures
@@ -547,6 +630,12 @@ fn main() {
     }
     if opts.shard_diff {
         if run_shard_diff(&opts) > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+    if opts.grid_diff {
+        if run_grid_diff(&opts) > 0 {
             std::process::exit(1);
         }
         return;

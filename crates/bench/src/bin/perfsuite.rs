@@ -38,20 +38,29 @@
 //! exactly and the aggregated run must deliver at least as much — the
 //! deterministic form of "aggregation amortises contention overhead".
 //!
-//! `--section neighbors` (or `scheduler`, `arena`, `shards`, `qos`)
-//! runs just that section and prints its JSON object — the CI smoke
-//! path, which wants the section's equivalence assertions without the
-//! full campaign cost.
+//! A `grid` section measures what the spatial hash grid buys on the
+//! CITY-DCF flagship city (DESIGN.md §17): the sparse grid-backed
+//! neighbor-cache build and shard plan against the dense O(n²)
+//! equivalents, both live in the same process so the before/after
+//! comparison is honest, plus a plan-only scaling row at the METRO-DCF
+//! 100k+ flagship. The partitions must be identical and the plan must
+//! re-validate coherent.
+//!
+//! `--section neighbors` (or `scheduler`, `arena`, `shards`, `qos`,
+//! `grid`) runs just that section and prints its JSON object — the CI
+//! smoke path, which wants the section's equivalence assertions
+//! without the full campaign cost.
 
 use std::time::Instant;
 
 use wn_core::runner;
 use wn_core::scenarios::{
-    city_dcf_run, city_dcf_size, dense_obss_point_opts, scale_dcf_op_log, scale_dcf_point,
-    scale_dcf_point_opts, DENSE_OBSS_MIX,
+    city_dcf_run, city_dcf_size, dense_obss_point_opts, metro_dcf_planning_world, metro_dcf_sweep,
+    scale_dcf_op_log, scale_dcf_point, scale_dcf_point_opts, CITY_DCF_RANGE_M, DENSE_OBSS_MIX,
 };
 use wn_sim::{
-    global_events_processed, replay_ops, set_observability, worker_count, SchedulerKind, OP_POP,
+    global_events_processed, replay_ops, set_observability, worker_count, SchedulerKind, SimTime,
+    OP_POP,
 };
 
 struct Pass {
@@ -88,7 +97,7 @@ fn main() {
                     Some(s) => section = Some(s.clone()),
                     None => {
                         eprintln!(
-                            "--section needs a name (supported: neighbors, scheduler, arena, shards, qos)"
+                            "--section needs a name (supported: neighbors, scheduler, arena, shards, qos, grid)"
                         );
                         std::process::exit(2);
                     }
@@ -133,9 +142,10 @@ fn main() {
             "arena" => arena_section(),
             "shards" => shards_section(),
             "qos" => qos_section(),
+            "grid" => grid_section(),
             other => {
                 eprintln!(
-                    "unknown section '{other}' (supported: neighbors, scheduler, arena, shards, qos)"
+                    "unknown section '{other}' (supported: neighbors, scheduler, arena, shards, qos, grid)"
                 );
                 std::process::exit(2);
             }
@@ -202,7 +212,9 @@ fn main() {
     } else {
         let speedup = serial.wall_s / parallel.wall_s;
         (
-            format!("\"speedup\": {speedup:.2}"),
+            format!(
+                "\"speedup\": {speedup:.2},\n  \"speedup_verdict\": \"parallel over serial campaign on {cores} cores\""
+            ),
             format!("speedup {speedup:.2}x"),
         )
     };
@@ -216,9 +228,11 @@ fn main() {
     let shards = shards_section();
     let shards = shards.trim_end();
     let qos = qos_section();
+    let qos = qos.trim_end();
+    let grid = grid_section();
 
     let json = format!(
-        "{{\n  \"campaign\": \"EXPERIMENTS.md full regeneration\",\n  \"host_cores\": {cores},\n  \"identical_output\": true,\n  \"serial\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"parallel\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_off\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_overhead\": {:.3},\n  {speedup_json},\n{neighbors},\n{scheduler},\n{arena},\n{shards},\n{qos}}}\n",
+        "{{\n  \"campaign\": \"EXPERIMENTS.md full regeneration\",\n  \"host_cores\": {cores},\n  \"identical_output\": true,\n  \"serial\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"parallel\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_off\": {{\n    \"threads\": {},\n    \"wall_s\": {:.3},\n    \"events\": {},\n    \"events_per_s\": {:.0}\n  }},\n  \"tracing_overhead\": {:.3},\n  {speedup_json},\n{neighbors},\n{scheduler},\n{arena},\n{shards},\n{qos},\n{grid}}}\n",
         serial.threads,
         serial.wall_s,
         serial.events,
@@ -578,4 +592,102 @@ fn neighbors_section() -> String {
     }
     out.push_str("  }\n");
     out
+}
+
+/// Measures what the spatial hash grid buys on the CITY-DCF flagship
+/// planning world (DESIGN.md §17) and returns the `"grid"` JSON object
+/// (indented two spaces, trailing newline): the sparse grid-backed
+/// neighbor-cache build and grid shard plan against the dense matrix
+/// build and exhaustive O(n²) plan, measured live in the same process,
+/// plus a plan-only scaling row at the METRO-DCF flagship (100k+
+/// stations in release, where the dense paths are no longer feasible).
+/// Panics unless both planners produce the identical partition and the
+/// plan re-validates coherent; the speedup verdict is always recorded
+/// (the section is single-threaded, so core count is irrelevant).
+fn grid_section() -> String {
+    const SEED: u64 = 42;
+    let (rows, cols, senders, duration_ms) = city_dcf_size();
+    let stations = rows * cols * (senders + 1);
+
+    // Grid path: sparse 27-cell-neighborhood cache build + grid plan.
+    let mut grid_world = metro_dcf_planning_world(rows, cols, senders, duration_ms, SEED);
+    eprintln!("perfsuite: grid CITY-DCF n={stations}: sparse cache build…");
+    let t0 = Instant::now();
+    grid_world.prime_neighbor_cache(SimTime::ZERO);
+    let grid_build_s = t0.elapsed().as_secs_f64();
+    let (sparse, grid_stored) = grid_world
+        .neighbor_cache_stats()
+        .expect("planning world primes its neighbor cache");
+    assert!(sparse, "grid world built a dense cache");
+    let incoherent = grid_world.grid_incoherence(SimTime::ZERO);
+    assert!(incoherent.is_empty(), "grid incoherent: {incoherent:?}");
+    eprintln!("perfsuite: grid plan…");
+    let t0 = Instant::now();
+    let grid_plan = grid_world.shard_plan(SimTime::ZERO, Some(CITY_DCF_RANGE_M));
+    let grid_plan_s = t0.elapsed().as_secs_f64();
+    assert!(
+        grid_world
+            .shard_plan_incoherence(&grid_plan, SimTime::ZERO)
+            .is_none(),
+        "grid plan failed re-validation"
+    );
+
+    // Dense baseline, live: full n x n matrix build + exhaustive plan.
+    let mut dense_world = metro_dcf_planning_world(rows, cols, senders, duration_ms, SEED);
+    dense_world.set_grid_index(false);
+    eprintln!("perfsuite: dense CITY-DCF n={stations}: full matrix build…");
+    let t0 = Instant::now();
+    dense_world.prime_neighbor_cache(SimTime::ZERO);
+    let dense_build_s = t0.elapsed().as_secs_f64();
+    let (dense_sparse, dense_stored) = dense_world
+        .neighbor_cache_stats()
+        .expect("planning world primes its neighbor cache");
+    assert!(!dense_sparse, "grid-off world built a sparse cache");
+    eprintln!("perfsuite: exhaustive plan…");
+    let t0 = Instant::now();
+    let dense_plan = dense_world.shard_plan_exhaustive(SimTime::ZERO, Some(CITY_DCF_RANGE_M));
+    let dense_plan_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        grid_plan.shard_of, dense_plan.shard_of,
+        "grid and exhaustive planners disagree on the partition"
+    );
+    assert_eq!(grid_plan.lookahead, dense_plan.lookahead);
+    assert!(
+        grid_stored <= dense_stored,
+        "sparse rows store more pairs than the dense matrix"
+    );
+
+    let build_speedup = dense_build_s / grid_build_s.max(f64::MIN_POSITIVE);
+    let plan_speedup = dense_plan_s / grid_plan_s.max(f64::MIN_POSITIVE);
+    eprintln!(
+        "perfsuite: grid at n={stations}: {build_speedup:.1}x build, {plan_speedup:.1}x plan, {grid_stored}/{dense_stored} stored pairs"
+    );
+
+    // The scaling row: plan-only at the METRO-DCF flagship, where the
+    // dense matrix (tens of GB) and the O(n²) pair scan are no longer
+    // an option. The grid planner is the only way to get a partition
+    // at this size; the row records that it stays tractable.
+    let (mrows, mcols, msenders, mduration) = *metro_dcf_sweep().last().expect("sweep non-empty");
+    let metro_stations = mrows * mcols * (msenders + 1);
+    eprintln!("perfsuite: METRO-DCF n={metro_stations}: grid plan-only scaling row…");
+    let metro_world = metro_dcf_planning_world(mrows, mcols, msenders, mduration, SEED);
+    let t0 = Instant::now();
+    let metro_plan = metro_world.shard_plan(SimTime::ZERO, Some(CITY_DCF_RANGE_M));
+    let metro_plan_s = t0.elapsed().as_secs_f64();
+    assert!(
+        metro_world
+            .shard_plan_incoherence(&metro_plan, SimTime::ZERO)
+            .is_none(),
+        "metro grid plan failed re-validation"
+    );
+    eprintln!(
+        "perfsuite: METRO-DCF n={metro_stations}: {} shards in {metro_plan_s:.3} s",
+        metro_plan.shards.len()
+    );
+
+    format!(
+        "  \"grid\": {{\n    \"workload\": \"CITY-DCF planning world rows={rows} cols={cols} senders_per_cell={senders} seed={SEED} ({stations} stations), grid vs dense, live in-process\",\n    \"cache_build\": {{\n      \"grid\": {{ \"wall_s\": {grid_build_s:.3}, \"stored_pairs\": {grid_stored} }},\n      \"dense\": {{ \"wall_s\": {dense_build_s:.3}, \"stored_pairs\": {dense_stored} }},\n      \"speedup\": {build_speedup:.2}\n    }},\n    \"shard_plan\": {{\n      \"grid\": {{ \"wall_s\": {grid_plan_s:.3} }},\n      \"exhaustive\": {{ \"wall_s\": {dense_plan_s:.3} }},\n      \"shards\": {},\n      \"identical_partition\": true,\n      \"speedup\": {plan_speedup:.2}\n    }},\n    \"metro_plan_only\": {{\n      \"note\": \"grid planner at the METRO-DCF flagship; the dense paths are infeasible at this size\",\n      \"stations\": {metro_stations},\n      \"shards\": {},\n      \"wall_s\": {metro_plan_s:.3}\n    }},\n    \"speedup_verdict\": \"grid over dense, single-threaded, measured live at n={stations}\"\n  }}\n",
+        grid_plan.shards.len(),
+        metro_plan.shards.len(),
+    )
 }

@@ -38,9 +38,10 @@ pub mod shrink;
 
 pub use oracle::{oracles, Invariant, Violation};
 pub use run::{
-    check_range, check_range_gen, check_range_opts, check_range_with, check_seed, check_seed_gen,
-    check_seed_opts, check_seed_with, range_digest, range_digest_with, run_oracles, run_scenario,
-    run_scenario_opts, run_scenario_with, SeedReport,
+    check_range, check_range_gen, check_range_grid, check_range_opts, check_range_with, check_seed,
+    check_seed_gen, check_seed_grid, check_seed_opts, check_seed_with, range_digest,
+    range_digest_with, run_oracles, run_scenario, run_scenario_grid, run_scenario_opts,
+    run_scenario_with, SeedReport,
 };
 pub use scenario::{Scenario, ScenarioGen, ScenarioKind};
 pub use shard::{

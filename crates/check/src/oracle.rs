@@ -53,6 +53,7 @@ pub fn oracles() -> Vec<Box<dyn Invariant>> {
         Box::new(BtConservation),
         Box::new(WmanGrantConservation),
         Box::new(ShardCoherence),
+        Box::new(GridCoherence),
         Box::new(BlockAckConservation),
         Box::new(EdcaPriorityInversion),
     ]
@@ -295,6 +296,34 @@ impl Invariant for ShardCoherence {
             return Vec::new();
         };
         w.shard_coherence
+            .iter()
+            .map(|detail| v(self.name(), detail.clone()))
+            .collect()
+    }
+}
+
+/// The spatial grid index stays coherent for the whole run: at every
+/// slice boundary the runner checks the grid's structural invariants
+/// against the live position table (each station in exactly one cell,
+/// the cell its position hashes to, membership sorted) and re-derives
+/// every sparse neighbor-row entry from the link budget — including
+/// the soundness claim that every pair the grid *omitted* is below
+/// the carrier-sense floor (`WlanWorld::grid_incoherence`). A stale
+/// cell after a mobility patch, or an audible pair the 27-cell
+/// neighborhood missed, surfaces here instead of silently deafening a
+/// station. Vacuous on dense (grid-off or anisotropic) worlds.
+pub struct GridCoherence;
+
+impl Invariant for GridCoherence {
+    fn name(&self) -> &'static str {
+        "grid-coherence"
+    }
+
+    fn check(&self, art: &Artifacts) -> Vec<Violation> {
+        let Some(w) = &art.wlan else {
+            return Vec::new();
+        };
+        w.grid_coherence
             .iter()
             .map(|detail| v(self.name(), detail.clone()))
             .collect()

@@ -77,6 +77,14 @@ pub struct WlanFacts {
     /// Empty means the partition stayed sound; the `shard-coherence`
     /// oracle reports anything else.
     pub shard_coherence: Vec<String>,
+    /// Spatial-grid incoherences sampled at the same slice boundaries:
+    /// the grid's structural invariants (cell membership vs live
+    /// positions) plus the sparse neighbor rows' stored-vs-fresh
+    /// check, which includes the soundness claim that every pair the
+    /// grid omitted is below the carrier-sense floor. Always empty on
+    /// dense (grid-off or anisotropic) worlds; the `grid-coherence`
+    /// oracle reports anything else.
+    pub grid_coherence: Vec<String>,
     /// EDCA was on (QoS corpus) — gates the QoS oracles.
     pub edca: bool,
     /// The AC_VO/AC_BK parameter-swap fail-point was armed.
@@ -194,9 +202,23 @@ pub fn run_scenario_with(sc: &Scenario, kind: SchedulerKind) -> Artifacts {
 /// the dual-scheduler mode does for queue back ends. Non-WLAN worlds
 /// have no such cache; the flag is ignored for them.
 pub fn run_scenario_opts(sc: &Scenario, kind: SchedulerKind, neighbor_cache: bool) -> Artifacts {
+    run_scenario_grid(sc, kind, neighbor_cache, true)
+}
+
+/// [`run_scenario_opts`] with an explicit spatial-grid-index switch.
+/// Grid-backed (sparse-row, O(n·k)) and exhaustive (dense, O(n²))
+/// scans must be byte-identical — the `--grid-diff` fuzz mode replays
+/// the same seed through both and demands identical fingerprints.
+/// Non-WLAN worlds have no grid; the flag is ignored for them.
+pub fn run_scenario_grid(
+    sc: &Scenario,
+    kind: SchedulerKind,
+    neighbor_cache: bool,
+    grid_index: bool,
+) -> Artifacts {
     match &sc.kind {
-        ScenarioKind::Wlan(w) => run_wlan(sc.seed, w, kind, neighbor_cache),
-        ScenarioKind::Ess(e) => run_ess(sc.seed, e, kind, neighbor_cache),
+        ScenarioKind::Wlan(w) => run_wlan(sc.seed, w, kind, neighbor_cache, grid_index),
+        ScenarioKind::Ess(e) => run_ess(sc.seed, e, kind, neighbor_cache, grid_index),
         ScenarioKind::Bluetooth(b) => run_bt(b, kind),
         ScenarioKind::Zigbee(z) => run_zigbee(sc.seed, z, kind),
         ScenarioKind::Wman(w) => run_wman(w, kind),
@@ -228,6 +250,7 @@ fn wlan_facts(
     delivered: Vec<(u32, [u8; 6], u16)>,
     ledger: Vec<(u64, u64)>,
     shard_coherence: Vec<String>,
+    grid_coherence: Vec<String>,
 ) -> WlanFacts {
     let n = world.station_count();
     let acs = AccessCategory::ALL;
@@ -244,6 +267,7 @@ fn wlan_facts(
         delivered,
         ledger,
         shard_coherence,
+        grid_coherence,
         edca: world.config().edca,
         failpoint_aifsn_swap: world.config().failpoint_aifsn_swap,
         ac_p50_us: acs.map(|ac| world.ac_delay_quantile(ac, 0.5)),
@@ -321,10 +345,17 @@ pub(crate) fn wlan_ac_of(g: usize, k: u64) -> AccessCategory {
     AccessCategory::from_index((g + k as usize) % 4).expect("4 ACs")
 }
 
-fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind, neighbor_cache: bool) -> Artifacts {
+fn run_wlan(
+    seed: u64,
+    w: &WlanScenario,
+    kind: SchedulerKind,
+    neighbor_cache: bool,
+    grid_index: bool,
+) -> Artifacts {
     let delivered = Arc::new(Mutex::new(Vec::new()));
     let mut world = WlanWorld::new(wlan_config(seed, w));
     world.set_neighbor_cache(neighbor_cache);
+    world.set_grid_index(grid_index);
     world.trace = Trace::new(TRACE_CAPACITY);
     for i in 0..w.total_stations() {
         world.add_station(
@@ -364,6 +395,7 @@ fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind, neighbor_cache: bo
     let end = SimTime::from_millis(w.duration_ms);
     let mut ledger = Vec::with_capacity(LEDGER_SLICES as usize);
     let mut shard_coherence = Vec::new();
+    let mut grid_coherence = Vec::new();
     for s in 1..=LEDGER_SLICES {
         let slice_end = SimTime::from_micros(w.duration_ms * 1000 * s / LEDGER_SLICES);
         sim.run_until(slice_end);
@@ -371,6 +403,7 @@ fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind, neighbor_cache: bo
         if let Some(inc) = sim.world().shard_plan_incoherence(&plan, slice_end) {
             shard_coherence.push(inc.to_string());
         }
+        grid_coherence.extend(sim.world().grid_incoherence(slice_end));
     }
 
     let mut world = sim.into_world();
@@ -383,6 +416,7 @@ fn run_wlan(seed: u64, w: &WlanScenario, kind: SchedulerKind, neighbor_cache: bo
         delivered,
         ledger,
         shard_coherence,
+        grid_coherence,
     );
     Artifacts {
         trace: std::mem::take(&mut world.trace),
@@ -444,8 +478,15 @@ pub(crate) fn build_ess_sim(
     ess.sim
 }
 
-fn run_ess(seed: u64, e: &EssScenario, kind: SchedulerKind, neighbor_cache: bool) -> Artifacts {
+fn run_ess(
+    seed: u64,
+    e: &EssScenario,
+    kind: SchedulerKind,
+    neighbor_cache: bool,
+    grid_index: bool,
+) -> Artifacts {
     let mut sim = build_ess_sim(seed, e, kind, neighbor_cache);
+    sim.world_mut().set_grid_index(grid_index);
     // The execution partition of an ESS is the trivial single shard
     // (see `build_ess_sim`); re-validating it at each slice still
     // catches station-set drift under mobility.
@@ -459,6 +500,7 @@ fn run_ess(seed: u64, e: &EssScenario, kind: SchedulerKind, neighbor_cache: bool
     let end = SimTime::from_secs(e.duration_s);
     let mut ledger = Vec::with_capacity(LEDGER_SLICES as usize);
     let mut shard_coherence = Vec::new();
+    let mut grid_coherence = Vec::new();
     for s in 1..=LEDGER_SLICES {
         let slice_end = SimTime::from_millis(e.duration_s * 1000 * s / LEDGER_SLICES);
         sim.run_until(slice_end);
@@ -466,6 +508,7 @@ fn run_ess(seed: u64, e: &EssScenario, kind: SchedulerKind, neighbor_cache: bool
         if let Some(inc) = sim.world().shard_plan_incoherence(&plan, slice_end) {
             shard_coherence.push(inc.to_string());
         }
+        grid_coherence.extend(sim.world().grid_incoherence(slice_end));
     }
 
     let mut world = sim.into_world();
@@ -479,6 +522,7 @@ fn run_ess(seed: u64, e: &EssScenario, kind: SchedulerKind, neighbor_cache: bool
         Vec::new(),
         ledger,
         shard_coherence,
+        grid_coherence,
     );
     Artifacts {
         trace: std::mem::take(&mut world.trace),
@@ -689,6 +733,38 @@ pub fn check_seed_with(seed: u64, scheduler: SchedulerKind) -> SeedReport {
 /// [`check_seed`] with explicit scheduler and neighbor-cache choices.
 pub fn check_seed_opts(seed: u64, scheduler: SchedulerKind, neighbor_cache: bool) -> SeedReport {
     check_seed_gen(&ScenarioGen::default(), seed, scheduler, neighbor_cache)
+}
+
+/// [`check_seed`] with an explicit spatial-grid-index switch — the
+/// `--grid-diff` fuzz mode runs every seed once with the grid on
+/// (sparse neighbor rows, grid-backed shard plans) and once off
+/// (exhaustive dense scans) and demands identical fingerprints.
+pub fn check_seed_grid(seed: u64, scheduler: SchedulerKind, grid_index: bool) -> SeedReport {
+    let sc = ScenarioGen::default().scenario(seed);
+    let art = run_scenario_grid(&sc, scheduler, true, grid_index);
+    let violations = run_oracles(&art);
+    SeedReport {
+        seed,
+        summary: sc.summary(),
+        kind: sc.kind_tag(),
+        events: art.trace.events().count(),
+        trace_fnv: fnv1a(art.trace.to_jsonl("fuzz").as_bytes()),
+        metrics_fnv: art.metrics_fnv,
+        violations,
+    }
+}
+
+/// [`check_seed_grid`] over a seed range across `threads` workers.
+pub fn check_range_grid(
+    start: u64,
+    count: u64,
+    threads: usize,
+    grid_index: bool,
+) -> Vec<SeedReport> {
+    let seeds: Vec<u64> = (start..start + count).collect();
+    par_map_with(threads, seeds, move |seed| {
+        check_seed_grid(seed, SchedulerKind::default(), grid_index)
+    })
 }
 
 /// [`check_seed_opts`] under an explicit scenario generator — how the

@@ -2138,6 +2138,240 @@ pub fn city_dcf(seed: u64) -> (Vec<CityDcfPoint>, ExperimentReport) {
 }
 
 // ---------------------------------------------------------------------
+// METRO-DCF — the city swept to metropolitan scale on the grid index
+//
+// The CITY-DCF street grid, 10k → 100k+ stations. What makes the
+// sweep tractable is the spatial hash grid (`wn-mac80211::grid`):
+// `shard_plan` unions only 27-cell neighborhoods instead of the O(n²)
+// pair scan, the neighbor cache stores sparse grid-keyed rows instead
+// of the n×n matrix, and plan re-validation sweeps the same index —
+// so construction and planning stay O(n·k) while the event loop stays
+// exactly the per-cell component worlds CITY-DCF already runs.
+// ---------------------------------------------------------------------
+
+/// Shard-executor worker count each METRO-DCF point is verified at
+/// (one count, not CITY-DCF's three — the metro sweep trades executor
+/// breadth for deployment scale).
+pub const METRO_DCF_WORKER_COUNTS: [usize; 1] = [4];
+
+/// Largest deployment whose planning world also primes the sparse
+/// neighbor cache for the build-time/storage observables. Beyond this
+/// the rows (n·k entries) stop being an interesting measurement and
+/// start being a memory bill; planning itself never needs them.
+const METRO_DCF_BUILD_CAP: usize = 20_000;
+
+/// One METRO-DCF point: the metro's grid-backed shard partition, the
+/// planning/build wall-clock observables, and the serial-vs-windowed
+/// differential outcome.
+pub struct MetroDcfPoint {
+    /// Grid cells (= BSSes).
+    pub cells: usize,
+    /// Total stations (cells × (senders + 1)).
+    pub stations: usize,
+    /// Contending senders per cell.
+    pub senders_per_cell: usize,
+    /// Virtual milliseconds simulated.
+    pub duration_ms: u64,
+    /// Shards the plan produced (must equal `cells`).
+    pub shards: usize,
+    /// The plan's conservative cross-shard lookahead.
+    pub lookahead: SimDuration,
+    /// The executor window actually used.
+    pub window: SimDuration,
+    /// Wall-clock of the grid-backed `shard_plan` on the full
+    /// planning world [ms].
+    pub plan_ms: f64,
+    /// Wall-clock of the sparse neighbor-cache build on the planning
+    /// world [ms]; `None` above [`METRO_DCF_BUILD_CAP`].
+    pub build_ms: Option<f64>,
+    /// Pair entries the sparse rows stored (dense would be n·(n−1));
+    /// `None` above the build cap.
+    pub stored_entries: Option<usize>,
+    /// Grid/sparse-row coherence verdict on the primed planning world
+    /// (vacuously true above the build cap).
+    pub grid_coherent: bool,
+    /// Partition-soundness failure on the planning world, if any.
+    pub incoherence: Option<String>,
+    /// The serial (reference) composition.
+    pub serial: ShardRunReport,
+    /// Windowed compositions, one per [`METRO_DCF_WORKER_COUNTS`].
+    pub windowed: Vec<(usize, ShardRunReport)>,
+}
+
+impl MetroDcfPoint {
+    /// Whether every windowed execution matched the serial reference
+    /// byte-for-byte and the plan validated.
+    pub fn byte_identical(&self) -> bool {
+        self.incoherence.is_none() && self.windowed.iter().all(|(_, r)| *r == self.serial)
+    }
+
+    /// Dense-matrix pair count the sparse rows are measured against.
+    pub fn dense_entries(&self) -> usize {
+        self.stations * (self.stations - 1)
+    }
+}
+
+/// The full-metro planning world — [`city_dcf_planning_world`]'s
+/// street grid at metro sweep sizes, public so the perfsuite grid
+/// section and the fuzz planning-equality leg construct the exact
+/// deployment the experiment plans.
+pub fn metro_dcf_planning_world(
+    rows: usize,
+    cols: usize,
+    senders: usize,
+    duration_ms: u64,
+    seed: u64,
+) -> WlanWorld {
+    city_dcf_planning_world(rows, cols, senders, duration_ms, seed)
+}
+
+/// The metro sweep `(rows, cols, senders_per_cell, duration_ms)`:
+/// 10,476 → 32,980 → 102,238 stations in release (the "100k+
+/// stations" contract, on short horizons), same-shape small grids in
+/// debug where the tier-1 suite re-runs the campaign.
+pub fn metro_dcf_sweep() -> Vec<(usize, usize, usize, u64)> {
+    if cfg!(debug_assertions) {
+        vec![(2, 2, 3, 20), (3, 3, 3, 20)]
+    } else {
+        vec![(9, 12, 96, 15), (17, 20, 96, 15), (31, 34, 96, 15)]
+    }
+}
+
+/// Runs one METRO-DCF point: time the grid-backed plan (and, under
+/// the build cap, the sparse neighbor-cache build) on the full
+/// planning world, validate the partition, then execute the
+/// composition serially and under the windowed shard executor and
+/// compare digests.
+pub fn metro_dcf_point(
+    rows: usize,
+    cols: usize,
+    senders: usize,
+    duration_ms: u64,
+    seed: u64,
+) -> MetroDcfPoint {
+    let cells = rows * cols;
+    let per_cell = senders + 1;
+    let n = cells * per_cell;
+    let mut planning = metro_dcf_planning_world(rows, cols, senders, duration_ms, seed);
+
+    let (build_ms, stored_entries, grid_coherent) = if n <= METRO_DCF_BUILD_CAP {
+        let t0 = std::time::Instant::now();
+        planning.prime_neighbor_cache(SimTime::ZERO);
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let stored = planning
+            .neighbor_cache_stats()
+            .filter(|&(sparse, _)| sparse)
+            .map(|(_, entries)| entries);
+        let coherent = planning.grid_incoherence(SimTime::ZERO).is_empty();
+        (Some(build_ms), stored, coherent)
+    } else {
+        (None, None, true)
+    };
+
+    let t0 = std::time::Instant::now();
+    let plan = planning.shard_plan(SimTime::ZERO, Some(CITY_DCF_RANGE_M));
+    let plan_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let incoherence = planning
+        .shard_plan_incoherence(&plan, SimTime::ZERO)
+        .map(|i| i.to_string());
+    drop(planning);
+
+    let horizon = SimTime::from_millis(duration_ms);
+    let window = executor_window(&plan, horizon, CITY_DCF_WINDOW_FLOOR);
+    let build = |k: usize| city_dcf_component(&plan.shards[k], k, cols, senders, duration_ms, seed);
+    let serial = run_components_serial(plan.shard_count(), horizon, "METRO-DCF", build);
+    let windowed = METRO_DCF_WORKER_COUNTS
+        .iter()
+        .map(|&w| {
+            (
+                w,
+                run_components_windowed(plan.shard_count(), horizon, window, w, "METRO-DCF", build),
+            )
+        })
+        .collect();
+
+    MetroDcfPoint {
+        cells,
+        stations: n,
+        senders_per_cell: senders,
+        duration_ms,
+        shards: plan.shard_count(),
+        lookahead: plan.lookahead,
+        window,
+        plan_ms,
+        build_ms,
+        stored_entries,
+        grid_coherent,
+        incoherence,
+        serial,
+        windowed,
+    }
+}
+
+/// METRO-DCF — the grid-indexed metro sweep as an experiment report.
+pub fn metro_dcf(seed: u64) -> (Vec<MetroDcfPoint>, ExperimentReport) {
+    let points: Vec<MetroDcfPoint> = metro_dcf_sweep()
+        .into_iter()
+        .map(|(rows, cols, senders, dur)| metro_dcf_point(rows, cols, senders, dur, seed))
+        .collect();
+    let flagship = points.last().expect("non-empty sweep");
+
+    // The scale contract: 100k+ stations in release; in debug the
+    // tier-1 suite runs the same shapes shrunk, so the bar shrinks
+    // with them.
+    let scale_floor = if cfg!(debug_assertions) { 36 } else { 100_000 };
+    // The storage contract on the last point under the build cap:
+    // release demands the sparse rows beat the dense matrix 10×; the
+    // shrunk debug grids only reach strict improvement (their corner
+    // cells are barely out of reach of each other).
+    let sparsity_ok = match points
+        .iter()
+        .rev()
+        .find_map(|p| p.stored_entries.map(|s| (s, p.dense_entries())))
+    {
+        Some((stored, dense)) => {
+            if cfg!(debug_assertions) {
+                stored < dense
+            } else {
+                stored.saturating_mul(10) <= dense
+            }
+        }
+        None => false,
+    };
+
+    let mut report = ExperimentReport::new(
+        "METRO-DCF",
+        "Grid-indexed metropolitan street grid, 10k -> 100k+ stations",
+    );
+    report
+        .claim(
+            "the metro partitions into exactly one shard per street cell",
+            points.iter().all(|p| p.shards == p.cells),
+        )
+        .claim(
+            "every grid-backed shard plan validates against the live world",
+            points.iter().all(|p| p.incoherence.is_none()),
+        )
+        .claim(
+            "windowed shard executor is byte-identical to serial",
+            points.iter().all(|p| p.byte_identical()),
+        )
+        .claim(
+            "the sweep reaches metropolitan scale",
+            flagship.stations >= scale_floor,
+        )
+        .claim(
+            "sparse grid rows beat the dense neighbor matrix",
+            sparsity_ok,
+        )
+        .claim(
+            "the spatial grid index stays coherent on every primed planning world",
+            points.iter().all(|p| p.grid_coherent),
+        );
+    (points, report)
+}
+
+// ---------------------------------------------------------------------
 // DENSE-OBSS — EDCA/A-MPDU apartment block
 //
 // An apartment block of QoS BSSes: APs every 10 m on channels 1/6/11

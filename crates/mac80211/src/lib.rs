@@ -21,6 +21,7 @@ pub mod arf;
 pub mod dedup;
 pub mod duration;
 pub mod frame;
+pub mod grid;
 pub mod neighbors;
 pub mod shard;
 pub mod sim;

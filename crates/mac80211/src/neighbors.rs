@@ -7,12 +7,18 @@
 //! module provides the three data structures that cut those to the
 //! stations actually involved, without changing a single trace byte:
 //!
-//! - [`NeighborCache`] — a pairwise rx-power matrix (in dBm and,
-//!   mirrored bit-for-bit, in linear milliwatts for the interference
-//!   sums) plus, per transmitter, the sorted list of stations that can
-//!   hear it at the carrier-sense threshold. Static topologies compute
+//! - [`NeighborCache`] — pairwise rx-power rows (in dBm and, mirrored
+//!   bit-for-bit, in linear milliwatts for the interference sums)
+//!   plus, per transmitter, the sorted list of stations that can hear
+//!   it at the carrier-sense threshold. Static topologies compute
 //!   propagation once; mobility dirties only the moved station's row
-//!   and column.
+//!   and column. Rows come in two representations: *dense* (an entry
+//!   for every station, the original n×n matrix) and *sparse* (entries
+//!   only for the stations a [`crate::grid::SpatialGrid`] neighborhood
+//!   query returns — everyone within one cell edge, a superset of
+//!   audibility when the cell edge is at least the maximum audible
+//!   range). Sparse mode turns an O(n²) build into O(n·k) and a
+//!   mobility patch into O(k).
 //! - [`AudibleSet`] — the per-station set of in-flight transmission
 //!   ids, with O(1) insert and O(members) removal instead of the old
 //!   `Vec::retain` full scan.
@@ -25,7 +31,14 @@
 //! is *raw* co-channel power against the CS threshold, a superset of
 //! what any receiver on an overlapping channel can hear after the
 //! spectral-mask discount, so per-member awake/channel/leak checks in
-//! the MAC stay exactly where they were. Rows are `Arc`-shared
+//! the MAC stay exactly where they were. A sparse row's omissions are
+//! sound the same way: an omitted station is beyond one grid cell
+//! edge, hence below the carrier-sense floor by construction, so every
+//! threshold decision reads the same answer from the −∞ it gets back;
+//! its (sub-CS) power no longer enters interference sums, which is
+//! bit-identical whenever the deployment fits within one neighborhood
+//! span (every fuzz-corpus world does) and is the documented
+//! interference-truncation semantic beyond that. Rows are `Arc`-shared
 //! copy-on-write: an in-flight transmission snapshots its row at start
 //! time for free, and a mobility update clones the row before writing,
 //! leaving the snapshot untouched.
@@ -35,20 +48,137 @@ use std::sync::Arc;
 use crate::sim::StationId;
 use wn_phy::units::Dbm;
 
+/// One transmitter's received-power row, as snapshotted by an
+/// in-flight transmission record: power at every station in dBm plus
+/// the bit-exact linear-milliwatt mirror used by interference sums.
+///
+/// Dense rows (`keys == None`) index directly by station id and carry
+/// the +inf diagonal the original matrix had; the mW mirror is absent
+/// only on the uncached direct path, which converts per entry exactly
+/// as the pre-cache code did. Sparse rows store entries for the sorted
+/// `keys` subset only (self excluded) and answer −∞ for everyone else
+/// — omitted stations are below the carrier-sense floor by grid
+/// construction.
+#[derive(Clone)]
+pub struct RxRow {
+    keys: Option<Arc<Vec<StationId>>>,
+    dbm: Arc<Vec<Dbm>>,
+    mw: Option<Arc<Vec<f64>>>,
+}
+
+impl RxRow {
+    /// A dense row; `mw` is `None` on the uncached direct path.
+    pub fn dense(dbm: Arc<Vec<Dbm>>, mw: Option<Arc<Vec<f64>>>) -> Self {
+        RxRow {
+            keys: None,
+            dbm,
+            mw,
+        }
+    }
+
+    /// Received power at `dst`; −∞ for entries a sparse row omits
+    /// (beyond the grid neighborhood, hence below the CS floor).
+    pub fn get(&self, dst: StationId) -> Dbm {
+        match &self.keys {
+            None => self.dbm[dst],
+            Some(k) => match k.binary_search(&dst) {
+                Ok(i) => self.dbm[i],
+                Err(_) => Dbm(f64::NEG_INFINITY),
+            },
+        }
+    }
+
+    /// [`get`](Self::get) for ascending `dst` sequences: `cursor`
+    /// (starting at 0 for each fresh sequence) advances monotonically
+    /// through a sparse row's keys, making a whole candidates sweep
+    /// O(k) instead of O(c·log k). Dense rows ignore the cursor.
+    pub fn get_seq(&self, dst: StationId, cursor: &mut usize) -> Dbm {
+        match &self.keys {
+            None => self.dbm[dst],
+            Some(k) => {
+                while *cursor < k.len() && k[*cursor] < dst {
+                    *cursor += 1;
+                }
+                if *cursor < k.len() && k[*cursor] == dst {
+                    self.dbm[*cursor]
+                } else {
+                    Dbm(f64::NEG_INFINITY)
+                }
+            }
+        }
+    }
+
+    /// Adds this row's linear-milliwatt image into `acc` (full
+    /// spectral overlap), preserving the exact float semantics of the
+    /// pre-sparse code: cached dense rows add the memoized mirror
+    /// slice-wise; the direct path converts each dBm entry in place.
+    /// Sparse rows add their stored entries at their key slots, in
+    /// ascending key order — each slot still receives at most one term
+    /// per transmission, in the same record order as before.
+    pub fn accumulate_mw(&self, acc: &mut [f64]) {
+        match (&self.keys, &self.mw) {
+            (None, Some(mw)) => {
+                for (a, m) in acc.iter_mut().zip(mw.iter()) {
+                    *a += m;
+                }
+            }
+            (None, None) => {
+                for (a, p) in acc.iter_mut().zip(self.dbm.iter()) {
+                    *a += p.to_milliwatts();
+                }
+            }
+            (Some(keys), Some(mw)) => {
+                for (&k, &m) in keys.iter().zip(mw.iter()) {
+                    acc[k] += m;
+                }
+            }
+            (Some(keys), None) => {
+                for (&k, &p) in keys.iter().zip(self.dbm.iter()) {
+                    acc[k] += p.to_milliwatts();
+                }
+            }
+        }
+    }
+
+    /// Fractional-overlap variant of [`accumulate_mw`](Self::accumulate_mw):
+    /// every entry is discounted by `shift` dB before conversion,
+    /// exactly as the uncached path computed it.
+    pub fn accumulate_shifted_mw(&self, shift: f64, acc: &mut [f64]) {
+        match &self.keys {
+            None => {
+                for (a, p) in acc.iter_mut().zip(self.dbm.iter()) {
+                    *a += Dbm(p.value() + shift).to_milliwatts();
+                }
+            }
+            Some(keys) => {
+                for (&k, &p) in keys.iter().zip(self.dbm.iter()) {
+                    acc[k] += Dbm(p.value() + shift).to_milliwatts();
+                }
+            }
+        }
+    }
+}
+
 /// Pairwise rx-power cache with per-transmitter audible-neighbor lists.
 ///
-/// `rows[src][dst]` is the raw received power at `dst` of a
-/// transmission from `src` (the diagonal is +inf: a station trivially
-/// "hears" itself at any threshold, and the MAC skips it explicitly).
-/// `mw_rows` mirrors `rows` in linear milliwatts
+/// Dense mode (`keys == None`): `rows[src][dst]` is the raw received
+/// power at `dst` of a transmission from `src` (the diagonal is +inf:
+/// a station trivially "hears" itself at any threshold, and the MAC
+/// skips it explicitly). Sparse mode (`keys == Some`): `rows[src][i]`
+/// is the power at `keys[src][i]`, the sorted grid neighborhood of
+/// `src` with `src` itself excluded — stations beyond the neighborhood
+/// are below the carrier-sense floor by construction and read back as
+/// −∞. `mw_rows` mirrors `rows` in linear milliwatts
 /// (`Dbm::to_milliwatts` of the same entry, bit for bit) — the
 /// interference sums in the reception path run in the linear domain,
 /// and memoizing the dB→mW conversion is where most of the
 /// transcendental math in a saturated cell goes. `audible[src]` lists
 /// every `dst != src` whose raw power meets the carrier-sense
-/// threshold, ascending.
+/// threshold, ascending; audible lists are always a subset of the
+/// stored keys.
 #[derive(Default)]
 pub struct NeighborCache {
+    keys: Option<Vec<Arc<Vec<StationId>>>>,
     rows: Vec<Arc<Vec<Dbm>>>,
     mw_rows: Vec<Arc<Vec<f64>>>,
     audible: Vec<Arc<Vec<StationId>>>,
@@ -60,22 +190,42 @@ impl NeighborCache {
         Self::default()
     }
 
-    /// Whether [`build`](Self::build) has run since the last
+    /// Whether [`build`](Self::build) or
+    /// [`build_sparse`](Self::build_sparse) has run since the last
     /// [`clear`](Self::clear).
     pub fn is_built(&self) -> bool {
         !self.rows.is_empty()
     }
 
+    /// Whether the cache holds sparse grid-backed rows.
+    pub fn is_sparse(&self) -> bool {
+        self.keys.is_some()
+    }
+
+    /// Total stored pair entries — n·(n−1) in dense mode, the sum of
+    /// neighborhood sizes in sparse mode (what the grid saved).
+    pub fn stored_entries(&self) -> usize {
+        match &self.keys {
+            Some(keys) => keys.iter().map(|k| k.len()).sum(),
+            None => {
+                let n = self.rows.len();
+                n.saturating_mul(n.saturating_sub(1))
+            }
+        }
+    }
+
     /// Drops all cached state (topology-shaping setup calls, e.g. a
     /// radio swap, call this; the next use rebuilds).
     pub fn clear(&mut self) {
+        self.keys = None;
         self.rows.clear();
         self.mw_rows.clear();
         self.audible.clear();
     }
 
-    /// Builds the full matrix for `n` stations from `power(src, dst)`,
-    /// marking `dst` audible from `src` when the raw power meets `cs`.
+    /// Builds the full dense matrix for `n` stations from
+    /// `power(src, dst)`, marking `dst` audible from `src` when the
+    /// raw power meets `cs`.
     pub fn build(&mut self, n: usize, cs: Dbm, mut power: impl FnMut(StationId, StationId) -> Dbm) {
         self.clear();
         self.rows.reserve(n);
@@ -104,13 +254,65 @@ impl NeighborCache {
         }
     }
 
+    /// Builds sparse grid-backed rows for `n` stations: for each
+    /// `src`, `neighbors_of(src, &mut scratch)` must append the sorted
+    /// candidate set (typically a 27-cell grid neighborhood; `src`
+    /// itself may be included and is skipped). Only those pairs are
+    /// evaluated and stored — O(n·k) instead of O(n²). Soundness is
+    /// the caller's contract: every station outside the candidate set
+    /// must be below `cs` from `src`.
+    pub fn build_sparse(
+        &mut self,
+        n: usize,
+        cs: Dbm,
+        mut power: impl FnMut(StationId, StationId) -> Dbm,
+        mut neighbors_of: impl FnMut(StationId, &mut Vec<StationId>),
+    ) {
+        self.clear();
+        let mut keys = Vec::with_capacity(n);
+        self.rows.reserve(n);
+        self.mw_rows.reserve(n);
+        self.audible.reserve(n);
+        let mut scratch = Vec::new();
+        for src in 0..n {
+            scratch.clear();
+            neighbors_of(src, &mut scratch);
+            debug_assert!(
+                scratch.windows(2).all(|w| w[0] < w[1]),
+                "neighborhood for {src} not sorted/unique"
+            );
+            let mut ks = Vec::with_capacity(scratch.len());
+            let mut row = Vec::with_capacity(scratch.len());
+            let mut mw = Vec::with_capacity(scratch.len());
+            let mut aud = Vec::new();
+            for &dst in &scratch {
+                if dst == src {
+                    continue;
+                }
+                let p = power(src, dst);
+                if p.value() >= cs.value() {
+                    aud.push(dst);
+                }
+                ks.push(dst);
+                row.push(p);
+                mw.push(p.to_milliwatts());
+            }
+            keys.push(Arc::new(ks));
+            self.rows.push(Arc::new(row));
+            self.mw_rows.push(Arc::new(mw));
+            self.audible.push(Arc::new(aud));
+        }
+        self.keys = Some(keys);
+    }
+
     /// Recomputes one station's row and column after it moved (or
     /// changed its radio): its own row and audible list are rebuilt
     /// from scratch, and every other station's entry *to* it is
     /// patched in place, maintaining the sorted audible lists by
     /// binary search. Rows shared with in-flight transmission records
     /// are cloned before writing (copy-on-write), so those records
-    /// keep their start-time snapshot.
+    /// keep their start-time snapshot. Dense mode only — sparse caches
+    /// patch via [`rebuild_station_sparse`](Self::rebuild_station_sparse).
     pub fn rebuild_station(
         &mut self,
         id: StationId,
@@ -119,6 +321,7 @@ impl NeighborCache {
     ) {
         let n = self.rows.len();
         debug_assert!(id < n, "rebuild_station on an unbuilt cache");
+        debug_assert!(self.keys.is_none(), "dense rebuild on a sparse cache");
         let mut row = Vec::with_capacity(n);
         let mut mw = Vec::with_capacity(n);
         let mut aud = Vec::new();
@@ -146,29 +349,106 @@ impl NeighborCache {
             Arc::make_mut(&mut self.rows[src])[id] = p;
             Arc::make_mut(&mut self.mw_rows[src])[id] = p.to_milliwatts();
             let hears = p.value() >= cs.value();
-            let list = &self.audible[src];
-            match list.binary_search(&id) {
-                Ok(pos) if !hears => {
-                    Arc::make_mut(&mut self.audible[src]).remove(pos);
-                }
-                Err(pos) if hears => {
-                    Arc::make_mut(&mut self.audible[src]).insert(pos, id);
-                }
-                _ => {}
-            }
+            self.patch_audible(src, id, hears);
         }
     }
 
-    /// The cached power row for `src` (shared, copy-on-write).
-    pub fn row(&self, src: StationId) -> Arc<Vec<Dbm>> {
-        Arc::clone(&self.rows[src])
+    /// Sparse-mode mobility patch: the moved station's row is rebuilt
+    /// over `new_keys` (its sorted post-move neighborhood, `id`
+    /// excluded), every station in `new_keys` gains or refreshes its
+    /// entry *to* `id`, and every station in `stale` (the pre-move
+    /// neighborhood minus the post-move one) drops its entry — O(k)
+    /// where the dense patch was O(n). Copy-on-write discipline is the
+    /// same as [`rebuild_station`](Self::rebuild_station): the keys,
+    /// powers and milliwatt mirror of a patched row always change
+    /// together, so an in-flight snapshot stays internally consistent.
+    pub fn rebuild_station_sparse(
+        &mut self,
+        id: StationId,
+        cs: Dbm,
+        mut power: impl FnMut(StationId, StationId) -> Dbm,
+        new_keys: &[StationId],
+        stale: &[StationId],
+    ) {
+        debug_assert!(self.keys.is_some(), "sparse rebuild on a dense cache");
+        debug_assert!(new_keys.windows(2).all(|w| w[0] < w[1]));
+        let mut ks = Vec::with_capacity(new_keys.len());
+        let mut row = Vec::with_capacity(new_keys.len());
+        let mut mw = Vec::with_capacity(new_keys.len());
+        let mut aud = Vec::new();
+        for &dst in new_keys {
+            if dst == id {
+                continue;
+            }
+            let p = power(id, dst);
+            if p.value() >= cs.value() {
+                aud.push(dst);
+            }
+            ks.push(dst);
+            row.push(p);
+            mw.push(p.to_milliwatts());
+        }
+        let keys = self.keys.as_mut().expect("checked sparse");
+        keys[id] = Arc::new(ks);
+        self.rows[id] = Arc::new(row);
+        self.mw_rows[id] = Arc::new(mw);
+        self.audible[id] = Arc::new(aud);
+
+        for &src in new_keys {
+            if src == id {
+                continue;
+            }
+            let p = power(src, id);
+            let keys = self.keys.as_mut().expect("checked sparse");
+            match keys[src].binary_search(&id) {
+                Ok(i) => {
+                    // Entry exists: refresh the value in place.
+                    Arc::make_mut(&mut self.rows[src])[i] = p;
+                    Arc::make_mut(&mut self.mw_rows[src])[i] = p.to_milliwatts();
+                }
+                Err(i) => {
+                    Arc::make_mut(&mut keys[src]).insert(i, id);
+                    Arc::make_mut(&mut self.rows[src]).insert(i, p);
+                    Arc::make_mut(&mut self.mw_rows[src]).insert(i, p.to_milliwatts());
+                }
+            }
+            self.patch_audible(src, id, p.value() >= cs.value());
+        }
+        for &src in stale {
+            if src == id {
+                continue;
+            }
+            let keys = self.keys.as_mut().expect("checked sparse");
+            if let Ok(i) = keys[src].binary_search(&id) {
+                Arc::make_mut(&mut keys[src]).remove(i);
+                Arc::make_mut(&mut self.rows[src]).remove(i);
+                Arc::make_mut(&mut self.mw_rows[src]).remove(i);
+            }
+            self.patch_audible(src, id, false);
+        }
     }
 
-    /// The linear-milliwatt mirror of [`row`](Self::row) (shared,
-    /// copy-on-write; entry `dst` is bit-identical to
-    /// `row[dst].to_milliwatts()`).
-    pub fn mw_row(&self, src: StationId) -> Arc<Vec<f64>> {
-        Arc::clone(&self.mw_rows[src])
+    fn patch_audible(&mut self, src: StationId, dst: StationId, hears: bool) {
+        let list = &self.audible[src];
+        match list.binary_search(&dst) {
+            Ok(pos) if !hears => {
+                Arc::make_mut(&mut self.audible[src]).remove(pos);
+            }
+            Err(pos) if hears => {
+                Arc::make_mut(&mut self.audible[src]).insert(pos, dst);
+            }
+            _ => {}
+        }
+    }
+
+    /// The cached power row for `src` (shared, copy-on-write), in
+    /// whichever representation the cache was built with.
+    pub fn row(&self, src: StationId) -> RxRow {
+        RxRow {
+            keys: self.keys.as_ref().map(|k| Arc::clone(&k[src])),
+            dbm: Arc::clone(&self.rows[src]),
+            mw: Some(Arc::clone(&self.mw_rows[src])),
+        }
     }
 
     /// The sorted audible-neighbor list for `src` (shared).
@@ -178,8 +458,11 @@ impl NeighborCache {
 
     /// Verifies every cached entry (powers and audible lists) against
     /// a fresh evaluation — the oracle behind the mobility-invalidation
-    /// property test. Returns the first mismatch as
-    /// `(src, dst, cached, fresh)`.
+    /// property test and the grid-coherence fuzz oracle. In sparse
+    /// mode an *absent* pair is coherent only if its fresh power is
+    /// below `cs` (the grid's soundness claim) and it is not listed
+    /// audible; such a violation reports the −∞ the row would answer.
+    /// Returns the first mismatch as `(src, dst, cached, fresh)`.
     pub fn find_incoherence(
         &self,
         cs: Dbm,
@@ -187,18 +470,37 @@ impl NeighborCache {
     ) -> Option<(StationId, StationId, Dbm, Dbm)> {
         let n = self.rows.len();
         for src in 0..n {
+            let row = self.row(src);
             for dst in 0..n {
                 if dst == src {
                     continue;
                 }
                 let fresh = power(src, dst);
-                let cached = self.rows[src][dst];
+                let cached = row.get(dst);
                 let listed = self.audible[src].binary_search(&dst).is_ok();
+                let stored = match &self.keys {
+                    None => true,
+                    Some(keys) => keys[src].binary_search(&dst).is_ok(),
+                };
+                if !stored {
+                    // Omitted by the grid: must be genuinely sub-CS.
+                    if fresh.value() >= cs.value() || listed {
+                        return Some((src, dst, cached, fresh));
+                    }
+                    continue;
+                }
                 // The mw mirror must stay bit-identical to the dBm
                 // entry's conversion, not merely numerically close.
+                let mw_cached = match &self.keys {
+                    None => self.mw_rows[src][dst],
+                    Some(keys) => {
+                        let i = keys[src].binary_search(&dst).expect("stored");
+                        self.mw_rows[src][i]
+                    }
+                };
                 if cached.value() != fresh.value()
                     || listed != (fresh.value() >= cs.value())
-                    || self.mw_rows[src][dst].to_bits() != fresh.to_milliwatts().to_bits()
+                    || mw_cached.to_bits() != fresh.to_milliwatts().to_bits()
                 {
                     return Some((src, dst, cached, fresh));
                 }
@@ -372,6 +674,8 @@ mod tests {
         let mut c = NeighborCache::new();
         c.build(4, cs, power(&xs));
         assert!(c.is_built());
+        assert!(!c.is_sparse());
+        assert_eq!(c.stored_entries(), 12);
         assert!(c.find_incoherence(cs, power(&xs)).is_none());
         // 0 hears 1 (−50) and 2 (−60) but not 3 (−120).
         assert_eq!(*c.audible_list(0), vec![1, 2]);
@@ -380,24 +684,88 @@ mod tests {
         // moves next to 0: the snapshots must keep the old power, the
         // cache the new — in dBm and in the milliwatt mirror alike.
         let snapshot = c.row(0);
-        let mw_snapshot = c.mw_row(0);
         xs[3] = 5.0;
         c.rebuild_station(3, cs, power(&xs));
-        assert_eq!(snapshot[3], Dbm(-120.0));
-        assert_eq!(c.row(0)[3], Dbm(-45.0));
-        assert_eq!(
-            mw_snapshot[3].to_bits(),
-            Dbm(-120.0).to_milliwatts().to_bits()
-        );
-        assert_eq!(
-            c.mw_row(0)[3].to_bits(),
-            Dbm(-45.0).to_milliwatts().to_bits()
-        );
+        assert_eq!(snapshot.get(3), Dbm(-120.0));
+        assert_eq!(c.row(0).get(3), Dbm(-45.0));
+        let mut mw = vec![0.0; 4];
+        snapshot.accumulate_mw(&mut mw);
+        assert_eq!(mw[3].to_bits(), Dbm(-120.0).to_milliwatts().to_bits());
         assert_eq!(*c.audible_list(0), vec![1, 2, 3]);
         assert_eq!(*c.audible_list(3), vec![0, 1, 2]);
         assert!(c.find_incoherence(cs, power(&xs)).is_none());
 
         c.clear();
         assert!(!c.is_built());
+    }
+
+    #[test]
+    fn sparse_rows_store_only_the_neighborhood_and_patch_moves() {
+        // Four stations on a line; the "grid" neighborhood is within
+        // 30 units. Station 3 (at 80) is beyond everyone's horizon and
+        // beyond the CS floor, so its omission is sound.
+        let mut xs = [0.0f64, 10.0, 20.0, 80.0];
+        let cs = Dbm(-75.0);
+        fn power(xs: &[f64; 4]) -> impl FnMut(StationId, StationId) -> Dbm + '_ {
+            move |a, b| Dbm(-((xs[a] - xs[b]).abs()) - 40.0)
+        }
+        fn hood(xs: &[f64; 4]) -> impl FnMut(StationId, &mut Vec<StationId>) + '_ {
+            move |src, out| {
+                out.extend((0..4).filter(|&d| (xs[src] - xs[d]).abs() <= 30.0));
+            }
+        }
+        let mut c = NeighborCache::new();
+        c.build_sparse(4, cs, power(&xs), hood(&xs));
+        assert!(c.is_sparse());
+        assert!(c.stored_entries() < 12, "sparse must omit far pairs");
+        assert!(c.find_incoherence(cs, power(&xs)).is_none());
+        assert_eq!(*c.audible_list(0), vec![1, 2]);
+        assert_eq!(c.row(0).get(3), Dbm(f64::NEG_INFINITY));
+        assert_eq!(c.row(0).get(1), Dbm(-50.0));
+
+        // Sequential access agrees with random access.
+        let row = c.row(0);
+        let mut cur = 0;
+        for d in [1usize, 2, 3] {
+            assert_eq!(row.get_seq(d, &mut cur), row.get(d));
+        }
+
+        // Station 3 moves next to the cluster: its row rebuilds over
+        // the new neighborhood, everyone gains an entry to it, and a
+        // pre-move snapshot still answers −∞.
+        let snapshot = c.row(0);
+        xs[3] = 5.0;
+        let new_keys = [0usize, 1, 2];
+        c.rebuild_station_sparse(3, cs, power(&xs), &new_keys, &[]);
+        assert_eq!(snapshot.get(3), Dbm(f64::NEG_INFINITY));
+        assert_eq!(c.row(0).get(3), Dbm(-45.0));
+        assert_eq!(*c.audible_list(0), vec![1, 2, 3]);
+        assert_eq!(*c.audible_list(3), vec![0, 1, 2]);
+        assert!(c.find_incoherence(cs, power(&xs)).is_none());
+
+        // And back out again: stale entries must disappear.
+        xs[3] = 80.0;
+        c.rebuild_station_sparse(3, cs, power(&xs), &[], &new_keys);
+        assert_eq!(c.row(0).get(3), Dbm(f64::NEG_INFINITY));
+        assert_eq!(*c.audible_list(0), vec![1, 2]);
+        assert!(c.find_incoherence(cs, power(&xs)).is_none());
+    }
+
+    #[test]
+    fn sparse_incoherence_flags_an_omitted_audible_pair() {
+        // A neighborhood that wrongly omits an audible station must be
+        // reported: the grid's soundness contract is what the fuzz
+        // oracle leans on.
+        let xs = [0.0f64, 10.0];
+        let cs = Dbm(-75.0);
+        let mut c = NeighborCache::new();
+        c.build_sparse(
+            2,
+            cs,
+            |a, b| Dbm(-((xs[a] - xs[b]).abs()) - 40.0),
+            |_, _| {},
+        );
+        let got = c.find_incoherence(cs, |a, b| Dbm(-((xs[a] - xs[b]).abs()) - 40.0));
+        assert_eq!(got, Some((0, 1, Dbm(f64::NEG_INFINITY), Dbm(-50.0))));
     }
 }

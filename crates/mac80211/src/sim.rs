@@ -30,7 +30,8 @@ use crate::arf::{Arf, ArfParams};
 use crate::dedup::DedupCache;
 use crate::duration::{ack_airtime, airtime, cts_airtime, data_duration, rts_duration};
 use crate::frame::{Frame, FrameType, SequenceControl, SequenceCounter, Subtype};
-use crate::neighbors::{AudibleSet, IdBitSet, NeighborCache};
+use crate::grid::SpatialGrid;
+use crate::neighbors::{AudibleSet, IdBitSet, NeighborCache, RxRow};
 use wn_phy::geom::Point;
 use wn_phy::medium::{coupled_rx_power, LinkBudget, Radio};
 use wn_phy::modulation::{PhyStandard, RateStep};
@@ -646,15 +647,13 @@ struct TxRecord {
     rate: RateStep,
     start: SimTime,
     end: SimTime,
-    /// Received power at every station, by id — a start-time snapshot
-    /// shared with the neighbor cache (copy-on-write: mobility after
-    /// tx start patches the cache, not this row).
-    rx_power: Arc<Vec<Dbm>>,
-    /// Linear-milliwatt mirror of `rx_power` (bit-identical to
-    /// `to_milliwatts` of each entry), snapshotted from the neighbor
-    /// cache when it is on; `None` on the direct path, which converts
-    /// per interference sum like the pre-cache code always did.
-    rx_mw: Option<Arc<Vec<f64>>>,
+    /// Received power per station (with the bit-exact linear-milliwatt
+    /// mirror inside) — a start-time snapshot shared with the neighbor
+    /// cache (copy-on-write: mobility after tx start patches the
+    /// cache, not this row). Sparse grid-backed rows answer −∞ for
+    /// stations beyond the transmitter's cell neighborhood, which are
+    /// below the carrier-sense floor by construction.
+    rx_power: RxRow,
     /// Stations whose raw start-time power meets the CS threshold,
     /// ascending — the only ones busy/idle-edge delivery visits.
     candidates: Arc<Vec<StationId>>,
@@ -813,6 +812,23 @@ pub struct WlanWorld {
     /// [`set_loss_model`](Self::set_loss_model) (time-varying models
     /// cannot be cached).
     neighbor_cache: bool,
+    /// The spatial hash grid backing sparse neighbor rows; alive
+    /// exactly while the cache is built in sparse mode, kept in sync
+    /// with station positions by [`set_position`](Self::set_position).
+    grid: Option<SpatialGrid>,
+    /// Whether position-driven scans may use the spatial grid (on by
+    /// default; engaging additionally requires an isotropic loss model
+    /// and a finite probed audible reach).
+    grid_index: bool,
+    /// Whether the loss closure is a pure monotone function of the
+    /// pair's distance — the precondition for probing the audible
+    /// reach along a single ray. True for the built-in log-distance
+    /// model; cleared by every loss-model replacement except
+    /// [`set_loss_model_static_isotropic`](Self::set_loss_model_static_isotropic).
+    loss_isotropic: bool,
+    /// Reused scratch for grid neighborhood queries during mobility
+    /// patches.
+    hood_scratch: Vec<StationId>,
     /// Contender wait-list: stations with an armed backoff whose
     /// access timer is not running — the only ones an idle edge can
     /// affect.
@@ -883,6 +899,10 @@ impl WlanWorld {
             staged: 0,
             neighbors: NeighborCache::new(),
             neighbor_cache: neighbor_cache_default(),
+            grid: None,
+            grid_index: true,
+            loss_isotropic: true,
+            hood_scratch: Vec::new(),
             contenders: IdBitSet::new(),
             rearm_scratch: Vec::new(),
             txsrc_scratch: IdBitSet::new(),
@@ -926,18 +946,37 @@ impl WlanWorld {
     pub fn set_loss_model(&mut self, loss: Box<dyn Fn(Point, Point, Hertz, SimTime) -> Db + Send>) {
         self.loss = loss;
         self.neighbor_cache = false;
-        self.neighbors.clear();
+        self.loss_isotropic = false;
+        self.invalidate_neighbors();
     }
 
     /// Replaces the propagation model with one the caller guarantees
     /// ignores the time argument (any pure function of geometry), so
-    /// the neighbor cache stays eligible.
+    /// the neighbor cache stays eligible. The model may still be
+    /// anisotropic (walls, shadowing), so the audible-reach probe —
+    /// and with it the spatial grid — is disabled; the cache falls
+    /// back to dense rows.
     pub fn set_loss_model_static(
         &mut self,
         loss: Box<dyn Fn(Point, Point, Hertz, SimTime) -> Db + Send>,
     ) {
         self.loss = loss;
-        self.neighbors.clear();
+        self.loss_isotropic = false;
+        self.invalidate_neighbors();
+    }
+
+    /// Replaces the propagation model with one the caller guarantees
+    /// is a pure **monotone function of the pair's distance** (no time
+    /// dependence, no geometry beyond `a.distance_to(b)`): the
+    /// strongest contract, keeping both the neighbor cache and the
+    /// spatial grid's radial reach probe sound.
+    pub fn set_loss_model_static_isotropic(
+        &mut self,
+        loss: Box<dyn Fn(Point, Point, Hertz, SimTime) -> Db + Send>,
+    ) {
+        self.loss = loss;
+        self.loss_isotropic = true;
+        self.invalidate_neighbors();
     }
 
     /// Enables or disables the propagation neighbor cache for this
@@ -948,8 +987,31 @@ impl WlanWorld {
     pub fn set_neighbor_cache(&mut self, on: bool) {
         self.neighbor_cache = on;
         if !on {
-            self.neighbors.clear();
+            self.invalidate_neighbors();
         }
+    }
+
+    /// Enables or disables the spatial grid index for this world's
+    /// position-driven scans (sparse neighbor rows, grid-backed shard
+    /// planning). On by default; turning it off forces the dense
+    /// O(n²) representations — the reference the `fuzz --grid-diff`
+    /// differential leg compares against.
+    pub fn set_grid_index(&mut self, on: bool) {
+        if self.grid_index != on {
+            self.grid_index = on;
+            self.invalidate_neighbors();
+        }
+    }
+
+    /// Whether position-driven scans may use the spatial grid.
+    pub fn grid_index_enabled(&self) -> bool {
+        self.grid_index
+    }
+
+    /// The live spatial grid (present only while the neighbor cache is
+    /// built in sparse mode). Test and oracle hook.
+    pub fn spatial_grid(&self) -> Option<&SpatialGrid> {
+        self.grid.as_ref()
     }
 
     /// Whether this world memoizes propagation.
@@ -972,8 +1034,15 @@ impl WlanWorld {
         pos: Point,
         upper: Box<dyn UpperLayer>,
     ) -> StationId {
+        self.invalidate_neighbors(); // Stale matrix shape; rebuilt on first tx.
+        self.push_station(addr, pos, upper)
+    }
+
+    /// Appends one station without touching the neighbor cache; the
+    /// caller has already invalidated it (once per batch, not per
+    /// station).
+    fn push_station(&mut self, addr: MacAddr, pos: Point, upper: Box<dyn UpperLayer>) -> StationId {
         let id = self.stations.len();
-        self.neighbors.clear(); // Stale matrix shape; rebuilt on first tx.
         self.stations.push(Station {
             addr,
             pos,
@@ -1008,6 +1077,10 @@ impl WlanWorld {
     /// One table reservation up front plus the shared-ladder ARF
     /// template make each added station allocation-free — the setup
     /// cost that dominates a 1000-station SCALE-DCF world otherwise.
+    /// The neighbor cache and spatial grid are invalidated **once**
+    /// for the whole batch and rebuilt lazily at the first
+    /// transmission, so batched adds never pay per-station O(n·k)
+    /// rebuild work.
     pub fn add_stations(
         &mut self,
         n: usize,
@@ -1016,9 +1089,10 @@ impl WlanWorld {
     ) -> std::ops::Range<StationId> {
         let start = self.stations.len();
         self.reserve_stations(n);
+        self.invalidate_neighbors();
         for i in 0..n {
             let id = start + i;
-            self.add_station(MacAddr::station(id as u32), pos(i), upper(i));
+            self.push_station(MacAddr::station(id as u32), pos(i), upper(i));
         }
         start..self.stations.len()
     }
@@ -1046,7 +1120,7 @@ impl WlanWorld {
     /// Sets a station's radio parameters (before boot).
     pub fn set_radio(&mut self, id: StationId, radio: Radio) {
         self.stations[id].radio = radio;
-        self.neighbors.clear();
+        self.invalidate_neighbors();
     }
 
     /// Sets a station's channel directly (scenario setup).
@@ -1218,16 +1292,105 @@ impl WlanWorld {
         coupled_rx_power(&a.radio, &b.radio, loss)
     }
 
+    /// Drops the neighbor cache and its backing grid together (they
+    /// are built as a unit and must die as one).
+    fn invalidate_neighbors(&mut self) {
+        self.neighbors.clear();
+        self.grid = None;
+    }
+
+    /// The maximum distance at which any pair of this world's radios
+    /// can meet the carrier-sense threshold, probed radially against
+    /// the loss closure (exponential search for the first inaudible
+    /// distance, then bisection — the same shape as
+    /// `LinkBudget::max_range_for_rate`). Uses the worst-case coupling
+    /// over the radios actually present: the strongest EIRP paired
+    /// with the highest receive gain, so the bound holds for every
+    /// pair. `None` when the model is not isotropic (a single ray
+    /// would under-estimate reach through wall-free directions) or the
+    /// reach exceeds the probe horizon — callers must then fall back
+    /// to exhaustive scans.
+    pub fn audible_reach_m(&self, now: SimTime) -> Option<f64> {
+        if !self.loss_isotropic || self.stations.is_empty() {
+            return None;
+        }
+        let mut eirp = f64::NEG_INFINITY;
+        let mut rx_gain = f64::NEG_INFINITY;
+        for s in &self.stations {
+            eirp = eirp.max(s.radio.tx_power.value() + s.radio.tx_gain.value());
+            rx_gain = rx_gain.max(s.radio.rx_gain.value());
+        }
+        let max_loss = eirp + rx_gain - self.cfg.cs_threshold.value();
+        let origin = Point::new(0.0, 0.0);
+        let loss_at =
+            |d: f64| (self.loss)(origin, Point::new(d, 0.0), self.budget.frequency, now).value();
+        // Propagation models clamp below 1 m, and the grid clamps its
+        // cell edge to 1 m anyway.
+        if loss_at(1.0) > max_loss {
+            return Some(1.0);
+        }
+        const HORIZON_M: f64 = 1.0e7;
+        let mut hi = 2.0;
+        while loss_at(hi) <= max_loss {
+            hi *= 2.0;
+            if hi > HORIZON_M {
+                return None;
+            }
+        }
+        let mut lo = hi / 2.0;
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if loss_at(mid) <= max_loss {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // The upper bisection bound: strictly inaudible, so every
+        // audible pair is strictly inside one cell edge.
+        Some(hi)
+    }
+
+    /// Builds the spatial grid for the current deployment when
+    /// eligible: grid indexing on, an isotropic loss model, and a
+    /// finite probed audible reach (the cell edge).
+    fn build_grid(&self, now: SimTime) -> Option<SpatialGrid> {
+        if !self.grid_index {
+            return None;
+        }
+        let reach = self.audible_reach_m(now)?;
+        Some(SpatialGrid::build(
+            reach,
+            self.stations.iter().map(|s| s.pos),
+        ))
+    }
+
     /// Builds the neighbor cache if it is not current (the matrix is
-    /// otherwise built lazily at the first transmission).
+    /// otherwise built lazily at the first transmission): sparse
+    /// grid-backed rows when the grid is eligible — O(n·k) — dense
+    /// O(n²) otherwise.
     fn ensure_neighbors(&mut self, now: SimTime) {
         if self.neighbors.is_built() {
             return;
         }
         let mut cache = std::mem::take(&mut self.neighbors);
-        cache.build(self.stations.len(), self.cfg.cs_threshold, |a, b| {
-            self.rx_power_at(a, b, now)
-        });
+        match self.build_grid(now) {
+            Some(grid) => {
+                cache.build_sparse(
+                    self.stations.len(),
+                    self.cfg.cs_threshold,
+                    |a, b| self.rx_power_at(a, b, now),
+                    |src, out| grid.neighborhood_into(grid.cell_of(src), out),
+                );
+                self.grid = Some(grid);
+            }
+            None => {
+                cache.build(self.stations.len(), self.cfg.cs_threshold, |a, b| {
+                    self.rx_power_at(a, b, now)
+                });
+                self.grid = None;
+            }
+        }
         self.neighbors = cache;
     }
 
@@ -1237,6 +1400,16 @@ impl WlanWorld {
         if self.neighbor_cache {
             self.ensure_neighbors(now);
         }
+    }
+
+    /// `(sparse, stored pair entries)` of the built neighbor cache —
+    /// `None` before the lazy build. Entries are n·(n−1) dense; sparse
+    /// rows store only grid neighborhoods, and this is the hook the
+    /// storage-factor claims and the perfsuite grid section read.
+    pub fn neighbor_cache_stats(&self) -> Option<(bool, usize)> {
+        self.neighbors
+            .is_built()
+            .then(|| (self.neighbors.is_sparse(), self.neighbors.stored_entries()))
     }
 
     /// Compares every cached (src, dst) power and audibility entry
@@ -1249,6 +1422,80 @@ impl WlanWorld {
     ) -> Option<(StationId, StationId, Dbm, Dbm)> {
         self.neighbors
             .find_incoherence(self.cfg.cs_threshold, |a, b| self.rx_power_at(a, b, now))
+    }
+
+    /// Grid/world coherence for the `grid-coherence` fuzz oracle:
+    /// the spatial grid's structural invariants against the current
+    /// positions, plus the sparse rows' stored-vs-fresh check — which
+    /// includes the grid-soundness claim that every omitted pair is
+    /// below the carrier-sense floor. Empty when coherent, or when no
+    /// grid is active (dense worlds have nothing grid-shaped to
+    /// contradict).
+    pub fn grid_incoherence(&self, now: SimTime) -> Vec<String> {
+        let mut out = Vec::new();
+        let Some(grid) = &self.grid else {
+            return out;
+        };
+        if let Some(e) = grid.find_incoherence(|id| self.stations[id].pos) {
+            out.push(format!("grid structure: {e}"));
+        }
+        if let Some((src, dst, cached, fresh)) = self.neighbor_cache_incoherence(now) {
+            out.push(format!(
+                "sparse row {src}->{dst}: cached {cached:?}, fresh {fresh:?}"
+            ));
+        }
+        out
+    }
+
+    /// Moves a station (the [`MacEvent::SetPosition`] handler, exposed
+    /// for mobility models driving the world directly). With a live
+    /// grid the patch is O(k): the mover's cell membership updates,
+    /// its sparse row rebuilds over the *new* neighborhood, and only
+    /// the rows of stations entering or leaving that neighborhood are
+    /// touched — stations two cells away never were and never become
+    /// audible, so their rows are correct untouched. Dense caches keep
+    /// the O(n) row+column rebuild.
+    pub fn set_position(&mut self, station: StationId, pos: Point, now: SimTime) {
+        self.stations[station].pos = pos;
+        if !(self.neighbor_cache && self.neighbors.is_built()) {
+            return;
+        }
+        // Mobility dirties exactly one row and one column; rows
+        // snapshotted by in-flight records keep their start-time
+        // values (copy-on-write).
+        let mut cache = std::mem::take(&mut self.neighbors);
+        match self.grid.take() {
+            Some(mut grid) => {
+                let mut old_hood = std::mem::take(&mut self.hood_scratch);
+                old_hood.clear();
+                grid.neighborhood_into(grid.cell_of(station), &mut old_hood);
+                grid.move_station(station, pos);
+                let mut new_hood = Vec::new();
+                grid.neighborhood_into(grid.cell_of(station), &mut new_hood);
+                // Stations in the old neighborhood but not the new one
+                // fell out of audible reach on both sides of the pair.
+                let stale: Vec<StationId> = old_hood
+                    .iter()
+                    .copied()
+                    .filter(|id| new_hood.binary_search(id).is_err())
+                    .collect();
+                cache.rebuild_station_sparse(
+                    station,
+                    self.cfg.cs_threshold,
+                    |a, b| self.rx_power_at(a, b, now),
+                    &new_hood,
+                    &stale,
+                );
+                self.hood_scratch = old_hood;
+                self.grid = Some(grid);
+            }
+            None => {
+                cache.rebuild_station(station, self.cfg.cs_threshold, |a, b| {
+                    self.rx_power_at(a, b, now)
+                });
+            }
+        }
+        self.neighbors = cache;
     }
 
     /// Computes the interference-shard partition of the current
@@ -1264,27 +1511,146 @@ impl WlanWorld {
     /// regardless of distance unless neither direction is audible —
     /// the most conservative co-channel split.
     ///
-    /// The pair scan is O(n²) with aggressive early-outs (union-find
-    /// root identity, memoized spectral overlap, distance before any
-    /// link-budget evaluation), which keeps 10k-station city plans in
-    /// the low seconds; plans are computed once per scenario, not per
-    /// event.
+    /// The grid-backed scan is O(n·k): stations pair only against
+    /// their 27-cell neighborhood, with the cell edge at
+    /// `max(range, audible reach)` so any omitted pair is uncoupled by
+    /// construction. An infinite range collapses to channel-class
+    /// unions (distance is irrelevant there), and worlds the grid
+    /// cannot index (anisotropic loss) fall back to the exhaustive
+    /// O(n²) scan, which debug builds also run as a cross-check
+    /// asserting the two partitions identical.
     pub fn shard_plan(
         &self,
         now: SimTime,
         max_interference_range_m: Option<f64>,
     ) -> crate::shard::ShardPlan {
-        use crate::shard::propagation_delay;
+        match self.shard_plan_grid(now, max_interference_range_m) {
+            Some(plan) => {
+                #[cfg(debug_assertions)]
+                {
+                    let exhaustive = self.shard_plan_exhaustive(now, max_interference_range_m);
+                    debug_assert_eq!(
+                        plan.shard_of, exhaustive.shard_of,
+                        "grid shard plan diverged from the exhaustive scan"
+                    );
+                    debug_assert_eq!(plan.lookahead, exhaustive.lookahead);
+                }
+                plan
+            }
+            None => self.shard_plan_exhaustive(now, max_interference_range_m),
+        }
+    }
+
+    /// Union-find with path halving; roots are always the smallest
+    /// member seen so far, but the canonical numbering in
+    /// [`shard_plan_finish`](Self::shard_plan_finish) does not depend
+    /// on it.
+    fn uf_find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    fn uf_union(parent: &mut [usize], a: usize, b: usize) {
+        let (ra, rb) = (Self::uf_find(parent, a), Self::uf_find(parent, b));
+        if ra != rb {
+            parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+
+    /// The shard-coupling predicate for one pair (spectral overlap
+    /// and in-range-or-audible), shared by every planning path.
+    fn pair_coupled(&self, i: StationId, j: StationId, range: f64, now: SimTime) -> bool {
+        if Self::channel_overlap(self.dcf.channel[i], self.dcf.channel[j]) <= 0.0 {
+            return false;
+        }
+        let d = self.stations[i].pos.distance_to(self.stations[j].pos);
+        d <= range
+            || self.audible_at(self.rx_power_at(i, j, now))
+            || self.audible_at(self.rx_power_at(j, i, now))
+    }
+
+    /// Grid-accelerated planner; `None` when the world is not grid
+    /// eligible (finite range but no probeable reach).
+    fn shard_plan_grid(
+        &self,
+        now: SimTime,
+        max_interference_range_m: Option<f64>,
+    ) -> Option<crate::shard::ShardPlan> {
+        if !self.grid_index {
+            return None;
+        }
+        let n = self.stations.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        match max_interference_range_m {
+            None => {
+                // Infinite range: `d <= range` holds for every pair,
+                // so two stations couple iff their channels spectrally
+                // overlap — the components are unions of channel
+                // classes, O(n + C²) with no geometry at all.
+                let mut first_on: HashMap<u8, usize> = HashMap::new();
+                let mut channels: Vec<u8> = Vec::new();
+                for i in 0..n {
+                    let ch = self.dcf.channel[i];
+                    match first_on.get(&ch) {
+                        Some(&rep) => Self::uf_union(&mut parent, rep, i),
+                        None => {
+                            first_on.insert(ch, i);
+                            channels.push(ch);
+                        }
+                    }
+                }
+                channels.sort_unstable();
+                for (ai, &ca) in channels.iter().enumerate() {
+                    for &cb in &channels[ai + 1..] {
+                        if Self::channel_overlap(ca, cb) > 0.0 {
+                            Self::uf_union(&mut parent, first_on[&ca], first_on[&cb]);
+                        }
+                    }
+                }
+                Some(self.shard_plan_finish(parent, f64::INFINITY))
+            }
+            Some(range) => {
+                // Coupled ⇒ within max(range, reach) ⇒ cell indices
+                // differ by at most one per axis ⇒ the 27-cell
+                // neighborhood enumerates every coupled pair.
+                let reach = self.audible_reach_m(now)?;
+                let cell = range.max(reach);
+                let grid = SpatialGrid::build(cell, self.stations.iter().map(|s| s.pos));
+                let mut hood = Vec::new();
+                for i in 0..n {
+                    hood.clear();
+                    grid.neighborhood_into(grid.cell_of(i), &mut hood);
+                    for &j in &hood {
+                        if j <= i {
+                            continue;
+                        }
+                        if Self::uf_find(&mut parent, i) == Self::uf_find(&mut parent, j) {
+                            continue;
+                        }
+                        if self.pair_coupled(i, j, range, now) {
+                            Self::uf_union(&mut parent, i, j);
+                        }
+                    }
+                }
+                Some(self.shard_plan_finish(parent, range))
+            }
+        }
+    }
+
+    /// The reference O(n²) pair scan (union-find root identity,
+    /// memoized spectral overlap, distance before any link-budget
+    /// evaluation). Public so the `fuzz --grid-diff` differential leg
+    /// can compare it against the grid planner on any world.
+    pub fn shard_plan_exhaustive(
+        &self,
+        now: SimTime,
+        max_interference_range_m: Option<f64>,
+    ) -> crate::shard::ShardPlan {
         let n = self.stations.len();
         let range = max_interference_range_m.unwrap_or(f64::INFINITY);
-
-        fn find(parent: &mut [usize], mut x: usize) -> usize {
-            while parent[x] != x {
-                parent[x] = parent[parent[x]];
-                x = parent[x];
-            }
-            x
-        }
         let mut parent: Vec<usize> = (0..n).collect();
 
         // Spectral overlap memo for the 2.4 GHz channel plan — the
@@ -1309,7 +1675,7 @@ impl WlanWorld {
 
         for i in 0..n {
             for j in (i + 1)..n {
-                if find(&mut parent, i) == find(&mut parent, j) {
+                if Self::uf_find(&mut parent, i) == Self::uf_find(&mut parent, j) {
                     continue;
                 }
                 if overlap(self.dcf.channel[i], self.dcf.channel[j]) <= 0.0 {
@@ -1320,20 +1686,26 @@ impl WlanWorld {
                     || self.audible_at(self.rx_power_at(i, j, now))
                     || self.audible_at(self.rx_power_at(j, i, now));
                 if coupled {
-                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
-                    parent[ri.max(rj)] = ri.min(rj);
+                    Self::uf_union(&mut parent, i, j);
                 }
             }
         }
+        self.shard_plan_finish(parent, range)
+    }
 
-        // Components in first-occurrence order: each shard's index is
-        // determined by its smallest member id, so the partition is a
-        // pure function of the deployment.
+    /// Renumbers a union-find forest into the canonical plan:
+    /// components in first-occurrence order (each shard's index is
+    /// determined by its smallest member id, so the partition is a
+    /// pure function of the deployment), plus the bounding-box
+    /// lookahead.
+    fn shard_plan_finish(&self, mut parent: Vec<usize>, range: f64) -> crate::shard::ShardPlan {
+        use crate::shard::propagation_delay;
+        let n = parent.len();
         let mut shard_of = vec![usize::MAX; n];
         let mut shards: Vec<Vec<StationId>> = Vec::new();
         let mut root_shard: HashMap<usize, usize> = HashMap::new();
         for (i, slot) in shard_of.iter_mut().enumerate() {
-            let r = find(&mut parent, i);
+            let r = Self::uf_find(&mut parent, i);
             let s = *root_shard.entry(r).or_insert_with(|| {
                 shards.push(Vec::new());
                 shards.len() - 1
@@ -1387,6 +1759,87 @@ impl WlanWorld {
         }
     }
 
+    /// Incrementally re-plans after one station moved — the handoff
+    /// boundary path (DESIGN.md §17). Only edges incident to the
+    /// mover changed, so shards not containing it survive as union
+    /// seeds; the mover's old shard is re-scanned internally (the
+    /// mover may have been its only bridge) and the mover re-couples
+    /// against its grid neighborhood. O(|old shard|² + k + K²)
+    /// instead of a fresh O(n·k) plan; debug builds assert the result
+    /// identical to a full re-plan.
+    pub fn shard_replan_station(
+        &self,
+        plan: &crate::shard::ShardPlan,
+        moved: StationId,
+        now: SimTime,
+    ) -> crate::shard::ShardPlan {
+        let n = self.stations.len();
+        assert_eq!(
+            plan.shard_of.len(),
+            n,
+            "incremental replan needs a plan for this deployment"
+        );
+        let range = plan.max_interference_range_m;
+        let mut parent: Vec<usize> = (0..n).collect();
+        let old = plan.shard_of[moved];
+        // Surviving shards: none of their internal edges involved the
+        // mover, and no new edge can appear between two stations that
+        // did not move, so each collapses to a single seed union.
+        for (s, members) in plan.shards.iter().enumerate() {
+            if s == old {
+                continue;
+            }
+            for &m in &members[1..] {
+                Self::uf_union(&mut parent, members[0], m);
+            }
+        }
+        // The mover's old shard may split without it: re-derive its
+        // internal connectivity from scratch.
+        let residue: Vec<StationId> = plan.shards[old]
+            .iter()
+            .copied()
+            .filter(|&m| m != moved)
+            .collect();
+        for (ai, &a) in residue.iter().enumerate() {
+            for &b in &residue[ai + 1..] {
+                if Self::uf_find(&mut parent, a) != Self::uf_find(&mut parent, b)
+                    && self.pair_coupled(a, b, range, now)
+                {
+                    Self::uf_union(&mut parent, a, b);
+                }
+            }
+        }
+        // The mover re-couples against every possible partner: its
+        // grid neighborhood when the geometry is indexable, everyone
+        // otherwise.
+        let candidates: Vec<StationId> = match (range.is_finite(), self.audible_reach_m(now)) {
+            (true, Some(reach)) if self.grid_index => {
+                let cell = range.max(reach);
+                let grid = SpatialGrid::build(cell, self.stations.iter().map(|s| s.pos));
+                let mut hood = Vec::new();
+                grid.neighborhood_into(grid.cell_of(moved), &mut hood);
+                hood
+            }
+            _ => (0..n).collect(),
+        };
+        for &c in &candidates {
+            if c != moved && self.pair_coupled(moved, c, range, now) {
+                Self::uf_union(&mut parent, moved, c);
+            }
+        }
+        let replanned = self.shard_plan_finish(parent, range);
+        #[cfg(debug_assertions)]
+        {
+            let fresh = self.shard_plan(now, if range.is_finite() { Some(range) } else { None });
+            debug_assert_eq!(
+                replanned.shard_of, fresh.shard_of,
+                "incremental replan diverged from a fresh plan"
+            );
+            debug_assert_eq!(replanned.lookahead, fresh.lookahead);
+        }
+        replanned
+    }
+
     /// Re-validates a [`ShardPlan`](crate::shard::ShardPlan) against
     /// the world's *current* state: station count unchanged, no
     /// coupled pair straddling shards, and every cross-shard pair's
@@ -1395,6 +1848,138 @@ impl WlanWorld {
     /// mobility patches move stations after the plan is computed, and
     /// a stale plan must be caught, not trusted.
     pub fn shard_plan_incoherence(
+        &self,
+        plan: &crate::shard::ShardPlan,
+        now: SimTime,
+    ) -> Option<crate::shard::ShardIncoherence> {
+        match self.shard_plan_incoherence_grid(plan, now) {
+            Some(verdict) => verdict,
+            None => self.shard_plan_incoherence_exhaustive(plan, now),
+        }
+    }
+
+    /// Grid-accelerated re-validation. Outer `None` means the world is
+    /// not grid eligible and the caller must fall back to the
+    /// exhaustive scan; `Some(verdict)` is authoritative. Both checks
+    /// are distance-bounded — coupling by `max(range, reach)` and the
+    /// lookahead claim by `lookahead · c` (`delay(d) < L ⇔ d < L·c`
+    /// because delay is a floor to integer nanoseconds) — so a sweep
+    /// over the 27-cell neighborhoods of a grid whose edge is the
+    /// larger bound enumerates every pair that could violate either.
+    /// An infinite interference range needs no geometry at all for
+    /// coupling: any spectral overlap couples, so cross-shard
+    /// violations reduce to channel classes straddling shards.
+    fn shard_plan_incoherence_grid(
+        &self,
+        plan: &crate::shard::ShardPlan,
+        now: SimTime,
+    ) -> Option<Option<crate::shard::ShardIncoherence>> {
+        use crate::shard::{propagation_delay, ShardIncoherence, METRES_PER_NANOSECOND};
+        use std::collections::BTreeMap;
+        if !self.grid_index {
+            return None;
+        }
+        let n = self.stations.len();
+        if plan.shard_of.len() != n {
+            return Some(Some(ShardIncoherence::StationCountChanged {
+                planned: plan.shard_of.len(),
+                actual: n,
+            }));
+        }
+        let range = plan.max_interference_range_m;
+        let coupling_cell = if range.is_finite() {
+            match self.audible_reach_m(now) {
+                Some(reach) => Some(range.max(reach)),
+                None => return None,
+            }
+        } else {
+            // Infinite range: every spectrally overlapping pair is
+            // coupled regardless of distance, so a cross-shard
+            // violation exists iff some overlapping channel pair
+            // straddles shards. BTreeMaps keep the scan — and the
+            // reported witness pair — deterministic.
+            let mut classes: BTreeMap<u8, BTreeMap<usize, StationId>> = BTreeMap::new();
+            for i in 0..n {
+                classes
+                    .entry(self.dcf.channel[i])
+                    .or_default()
+                    .entry(plan.shard_of[i])
+                    .or_insert(i);
+            }
+            let chans: Vec<u8> = classes.keys().copied().collect();
+            for (ai, &ca) in chans.iter().enumerate() {
+                for &cb in &chans[ai..] {
+                    if Self::channel_overlap(ca, cb) <= 0.0 {
+                        continue;
+                    }
+                    let witness = if ca == cb {
+                        let mut it = classes[&ca].values();
+                        it.next().copied().zip(it.next().copied())
+                    } else {
+                        classes[&ca].iter().find_map(|(&sa, &a)| {
+                            classes[&cb]
+                                .iter()
+                                .find(|&(&sb, _)| sb != sa)
+                                .map(|(_, &b)| (a, b))
+                        })
+                    };
+                    if let Some((a, b)) = witness {
+                        let (a, b) = (a.min(b), a.max(b));
+                        return Some(Some(ShardIncoherence::CoupledAcrossShards {
+                            a,
+                            b,
+                            dist_m: self.stations[a].pos.distance_to(self.stations[b].pos),
+                        }));
+                    }
+                }
+            }
+            None
+        };
+        let lookahead_dist = (plan.lookahead != SimDuration::MAX)
+            .then(|| plan.lookahead.as_nanos() as f64 * METRES_PER_NANOSECOND);
+        let cell = match (coupling_cell, lookahead_dist) {
+            (None, None) => return Some(None),
+            (a, b) => a.unwrap_or(0.0).max(b.unwrap_or(0.0)),
+        };
+        let grid = SpatialGrid::build(cell, self.stations.iter().map(|s| s.pos));
+        let mut hood = Vec::new();
+        for i in 0..n {
+            hood.clear();
+            grid.neighborhood_into(grid.cell_of(i), &mut hood);
+            for &j in &hood {
+                if j <= i || plan.shard_of[i] == plan.shard_of[j] {
+                    continue;
+                }
+                let d = self.stations[i].pos.distance_to(self.stations[j].pos);
+                if coupling_cell.is_some()
+                    && Self::channel_overlap(self.dcf.channel[i], self.dcf.channel[j]) > 0.0
+                {
+                    let coupled = d <= range
+                        || self.audible_at(self.rx_power_at(i, j, now))
+                        || self.audible_at(self.rx_power_at(j, i, now));
+                    if coupled {
+                        return Some(Some(ShardIncoherence::CoupledAcrossShards {
+                            a: i,
+                            b: j,
+                            dist_m: d,
+                        }));
+                    }
+                }
+                if plan.lookahead != SimDuration::MAX && propagation_delay(d) < plan.lookahead {
+                    return Some(Some(ShardIncoherence::LookaheadExceedsDelay {
+                        a: i,
+                        b: j,
+                        delay: propagation_delay(d),
+                    }));
+                }
+            }
+        }
+        Some(None)
+    }
+
+    /// The reference O(n²) re-validation scan; public so the fuzz
+    /// differential legs can compare it against the grid path.
+    pub fn shard_plan_incoherence_exhaustive(
         &self,
         plan: &crate::shard::ShardPlan,
         now: SimTime,
@@ -1444,19 +2029,10 @@ impl WlanWorld {
     /// cross-channel leakage is never stronger than raw power, so this
     /// is a superset of anything any receiver configuration can hear,
     /// and the per-member awake/channel/leak checks stay in the MAC.
-    #[allow(clippy::type_complexity)]
-    fn tx_powers(
-        &mut self,
-        id: StationId,
-        now: SimTime,
-    ) -> (Arc<Vec<Dbm>>, Option<Arc<Vec<f64>>>, Arc<Vec<StationId>>) {
+    fn tx_powers(&mut self, id: StationId, now: SimTime) -> (RxRow, Arc<Vec<StationId>>) {
         if self.neighbor_cache {
             self.ensure_neighbors(now);
-            return (
-                self.neighbors.row(id),
-                Some(self.neighbors.mw_row(id)),
-                self.neighbors.audible_list(id),
-            );
+            return (self.neighbors.row(id), self.neighbors.audible_list(id));
         }
         let n = self.stations.len();
         let mut row = Vec::with_capacity(n);
@@ -1472,7 +2048,7 @@ impl WlanWorld {
             }
             row.push(p);
         }
-        (Arc::new(row), None, Arc::new(candidates))
+        (RxRow::dense(Arc::new(row), None), Arc::new(candidates))
     }
 
     fn audible_at(&self, power: Dbm) -> bool {
@@ -1573,7 +2149,7 @@ impl WlanWorld {
                             continue;
                         }
                         let ov = Self::channel_overlap(rec.channel, channel);
-                        let heard = Self::leaked_power(rec.rx_power[id], ov)
+                        let heard = Self::leaked_power(rec.rx_power.get(id), ov)
                             .map(|p| self.audible_at(p))
                             .unwrap_or(false);
                         if heard {
@@ -1831,7 +2407,7 @@ impl WlanWorld {
         let dur = airtime(&timing, rate, wire_len);
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
-        let (rx_power, rx_mw, candidates) = self.tx_powers(id, now);
+        let (rx_power, candidates) = self.tx_powers(id, now);
         let channel = self.dcf.channel[id];
         self.trace.event(
             now,
@@ -1852,8 +2428,7 @@ impl WlanWorld {
             rate,
             start: now,
             end: now + dur,
-            rx_power: Arc::clone(&rx_power),
-            rx_mw,
+            rx_power: rx_power.clone(),
             candidates: Arc::clone(&candidates),
             done: false,
         });
@@ -1863,8 +2438,9 @@ impl WlanWorld {
         // Busy edges at every audible same-channel station — only the
         // candidate list can qualify, since leaked cross-channel power
         // never exceeds the raw power the list was thresholded on.
+        let mut cur = 0usize;
         for &r in candidates.iter() {
-            let power = rx_power[r];
+            let power = rx_power.get_seq(r, &mut cur);
             let overlap = Self::channel_overlap(channel, self.dcf.channel[r]);
             let heard = Self::leaked_power(power, overlap)
                 .map(|p| self.audible_at(p))
@@ -2003,7 +2579,7 @@ impl WlanWorld {
             (0..self.records.len())
                 .filter(|&o| self.records[o].start < rec_end && self.records[o].end > rec_start),
         );
-        let rx_power = Arc::clone(&self.records[idx].rx_power);
+        let rx_power = self.records[idx].rx_power.clone();
         let candidates = Arc::clone(&self.records[idx].candidates);
         // Half-duplex sources among the overlapping records, collected
         // once into a bitset so the per-receiver check is O(1) instead
@@ -2050,30 +2626,18 @@ impl WlanWorld {
             }
             intf_count += 1;
             if ov >= 1.0 {
-                match &rec_o.rx_mw {
-                    Some(m) => {
-                        for (a, &v) in intf_acc.iter_mut().zip(m.iter()) {
-                            *a += v;
-                        }
-                    }
-                    None => {
-                        for (a, &p) in intf_acc.iter_mut().zip(rec_o.rx_power.iter()) {
-                            *a += p.to_milliwatts();
-                        }
-                    }
-                }
+                rec_o.rx_power.accumulate_mw(&mut intf_acc);
             } else {
                 // Same per-entry expression as `leaked_power` followed
                 // by `to_milliwatts`; the dB shift is a pure function
                 // of the overlap, hoisted out of the row loop.
                 let shift = 10.0 * ov.log10();
-                for (a, &p) in intf_acc.iter_mut().zip(rec_o.rx_power.iter()) {
-                    *a += Dbm(p.value() + shift).to_milliwatts();
-                }
+                rec_o.rx_power.accumulate_shifted_mw(shift, &mut intf_acc);
             }
         }
+        let mut cur = 0usize;
         for &r in candidates.iter() {
-            let power = rx_power[r];
+            let power = rx_power.get_seq(r, &mut cur);
             let was_audible = self.dcf.audible[r].remove(tx_id);
             if !self.dcf.awake[r] || self.dcf.channel[r] != channel {
                 continue;
@@ -3250,17 +3814,7 @@ impl World for WlanWorld {
                 self.with_upper(station, now, sched, |u, ctx| u.on_timer(ctx, tag));
             }
             MacEvent::SetPosition { station, pos } => {
-                self.stations[station].pos = pos;
-                if self.neighbor_cache && self.neighbors.is_built() {
-                    // Mobility dirties exactly one row and one column;
-                    // rows snapshotted by in-flight records keep their
-                    // start-time values (copy-on-write).
-                    let mut cache = std::mem::take(&mut self.neighbors);
-                    cache.rebuild_station(station, self.cfg.cs_threshold, |a, b| {
-                        self.rx_power_at(a, b, now)
-                    });
-                    self.neighbors = cache;
-                }
+                self.set_position(station, pos, now);
             }
             MacEvent::Inject { station, frame } => {
                 self.staged -= 1;

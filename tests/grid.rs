@@ -1,0 +1,198 @@
+//! Spatial hash grid edge cases (DESIGN.md §17): the grid-backed
+//! sparse neighbor cache and grid shard planner must stay coherent —
+//! and agree with the dense/exhaustive reference paths — at cell
+//! boundaries, in degenerate one-cell worlds, in worlds where nothing
+//! is audible, and under mobility that hops stations across cells.
+
+use wireless_networks::core::scenarios::{metro_dcf_planning_world, CITY_DCF_RANGE_M};
+use wireless_networks::mac80211::sim::{MacConfig, NullUpper, WlanWorld};
+use wireless_networks::phy::geom::Point;
+use wireless_networks::phy::modulation::PhyStandard;
+use wireless_networks::sim::{Rng, SimTime};
+
+fn world_with(positions: &[Point], seed: u64) -> WlanWorld {
+    let mut cfg = MacConfig::new(PhyStandard::Dot11g);
+    cfg.seed = seed;
+    let mut world = WlanWorld::new(cfg);
+    world.add_stations(positions.len(), |i| positions[i], |_| Box::new(NullUpper));
+    world
+}
+
+/// Primes the cache and asserts every grid structural invariant plus
+/// pairwise power coherence against a fresh link-budget evaluation.
+fn assert_coherent(world: &mut WlanWorld, what: &str) {
+    world.prime_neighbor_cache(SimTime::ZERO);
+    let grid = world.grid_incoherence(SimTime::ZERO);
+    assert!(grid.is_empty(), "{what}: grid incoherent: {grid:?}");
+    assert!(
+        world.neighbor_cache_incoherence(SimTime::ZERO).is_none(),
+        "{what}: cached powers diverged from a fresh evaluation"
+    );
+}
+
+/// Asserts the grid planner and the exhaustive O(n²) planner produce
+/// the identical partition and lookahead on `world`.
+fn assert_planners_agree(world: &WlanWorld, range: Option<f64>, what: &str) {
+    let grid = world.shard_plan(SimTime::ZERO, range);
+    let exhaustive = world.shard_plan_exhaustive(SimTime::ZERO, range);
+    assert_eq!(
+        grid.shard_of, exhaustive.shard_of,
+        "{what}: planners disagree on the partition"
+    );
+    assert_eq!(
+        grid.lookahead, exhaustive.lookahead,
+        "{what}: planners disagree on the lookahead"
+    );
+    assert!(
+        world.shard_plan_incoherence(&grid, SimTime::ZERO).is_none(),
+        "{what}: plan failed re-validation"
+    );
+}
+
+/// Stations planted exactly on candidate cell boundaries — the origin,
+/// axis-aligned lattice points, and sign flips around zero (floor
+/// semantics put a boundary position in the higher cell). The cache
+/// must store the same powers a fresh evaluation produces and both
+/// planners must agree.
+#[test]
+fn boundary_positions_stay_coherent() {
+    let reach = {
+        let w = world_with(&[Point::new(0.0, 0.0)], 7);
+        w.audible_reach_m(SimTime::ZERO)
+            .expect("default loss model is isotropic")
+    };
+    // Lattice multiples of the audible reach are exactly the grid's
+    // cell edges; epsilon nudges straddle them from both sides.
+    let mut positions = Vec::new();
+    for i in -2i32..=2 {
+        let x = f64::from(i) * reach;
+        positions.push(Point::new(x, 0.0));
+        positions.push(Point::new(x + 1e-9, reach));
+        positions.push(Point::new(x - 1e-9, -reach));
+    }
+    let mut world = world_with(&positions, 7);
+    assert_coherent(&mut world, "boundary lattice");
+    assert_planners_agree(&world, Some(reach), "boundary lattice");
+    assert_planners_agree(&world, None, "boundary lattice, infinite range");
+}
+
+/// The degenerate world: every station inside one grid cell. The
+/// sparse build must store every ordered pair (nothing is truncated)
+/// and the planners must fuse everything into a single shard.
+#[test]
+fn one_cell_world_stores_every_pair() {
+    let mut rng = Rng::new(0xD1CE);
+    let n = 17usize;
+    let positions: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.f64_range(-5.0, 5.0), rng.f64_range(-5.0, 5.0)))
+        .collect();
+    let mut world = world_with(&positions, 3);
+    assert_coherent(&mut world, "one-cell cluster");
+    let (sparse, stored) = world.neighbor_cache_stats().expect("cache primed");
+    assert!(sparse, "grid worlds build sparse rows");
+    assert_eq!(
+        stored,
+        n * (n - 1),
+        "a one-cell cluster must keep the full pair set"
+    );
+    let plan = world.shard_plan(SimTime::ZERO, Some(10.0));
+    assert_eq!(plan.shards.len(), 1, "one cell, one shard");
+    assert_planners_agree(&world, Some(10.0), "one-cell cluster");
+}
+
+/// The opposite degenerate world: stations flung so far apart that no
+/// pair is audible. Sparse rows store nothing — and that emptiness is
+/// the coherent answer, because every fresh evaluation lands below the
+/// carrier-sense floor. With a finite coupling range every station is
+/// its own shard.
+#[test]
+fn inaudible_world_stores_nothing_and_never_fuses() {
+    let positions: Vec<Point> = (0..8)
+        .map(|i| Point::new(f64::from(i as u32) * 250_000.0, 0.0))
+        .collect();
+    let mut world = world_with(&positions, 11);
+    assert_coherent(&mut world, "inaudible spread");
+    let (sparse, stored) = world.neighbor_cache_stats().expect("cache primed");
+    assert!(sparse);
+    assert_eq!(stored, 0, "nothing is audible, nothing is stored");
+    let plan = world.shard_plan(SimTime::ZERO, Some(100.0));
+    assert_eq!(
+        plan.shards.len(),
+        positions.len(),
+        "uncoupled stations must each own a shard"
+    );
+    assert_planners_agree(&world, Some(100.0), "inaudible spread");
+}
+
+/// Seeded teleport storm: every hop lands before/after other hops at
+/// arbitrary scales, repeatedly crossing cell boundaries (including
+/// hops back into the same cell and hops across many cells at once).
+/// After every single move the grid structure, the cached powers and
+/// both planners must still agree — the incremental old-cell/new-cell
+/// patch has no stale corner.
+#[test]
+fn mobility_crossing_cells_stays_coherent() {
+    for seed in 0..8u64 {
+        let mut rng = Rng::new(0x6E1D ^ seed);
+        let n = 5 + rng.below(8) as usize;
+        let positions: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.f64_range(-400.0, 400.0), rng.f64_range(-400.0, 400.0)))
+            .collect();
+        let mut world = world_with(&positions, seed);
+        world.prime_neighbor_cache(SimTime::ZERO);
+        for hop in 0..24 {
+            let station = rng.below(n as u64) as usize;
+            // Mix short nudges (same cell) with kilometre leaps
+            // (several cells at once).
+            let scale = if rng.below(2) == 0 { 30.0 } else { 2_000.0 };
+            let pos = Point::new(rng.f64_range(-scale, scale), rng.f64_range(-scale, scale));
+            world.set_position(station, pos, SimTime::ZERO);
+            let grid = world.grid_incoherence(SimTime::ZERO);
+            assert!(
+                grid.is_empty(),
+                "seed {seed} hop {hop}: grid incoherent: {grid:?}"
+            );
+            assert!(
+                world.neighbor_cache_incoherence(SimTime::ZERO).is_none(),
+                "seed {seed} hop {hop}: stale cached power after the move"
+            );
+        }
+        assert_planners_agree(&world, Some(150.0), "post-mobility");
+    }
+}
+
+/// Incremental re-planning: after one station moves, patching the old
+/// plan through `shard_replan_station` must equal a from-scratch
+/// `shard_plan` — including when the mover was a cut vertex whose
+/// departure splits its old shard, and when it bridges two shards.
+#[test]
+fn incremental_replan_matches_fresh_plan() {
+    let world = metro_dcf_planning_world(2, 3, 4, 20, 9);
+    let range = Some(CITY_DCF_RANGE_M);
+    let mut plan = world.shard_plan(SimTime::ZERO, range);
+    let mut world = world;
+    let mut rng = Rng::new(0xBEEF);
+    let n = plan.shard_of.len();
+    for hop in 0..12 {
+        let station = rng.below(n as u64) as usize;
+        let pos = Point::new(rng.f64_range(-300.0, 900.0), rng.f64_range(-300.0, 700.0));
+        world.set_position(station, pos, SimTime::ZERO);
+        let patched = world.shard_replan_station(&plan, station, SimTime::ZERO);
+        let fresh = world.shard_plan(SimTime::ZERO, range);
+        assert_eq!(
+            patched.shard_of, fresh.shard_of,
+            "hop {hop}: incremental replan diverged from the fresh plan"
+        );
+        assert_eq!(
+            patched.lookahead, fresh.lookahead,
+            "hop {hop}: incremental replan picked a different lookahead"
+        );
+        assert!(
+            world
+                .shard_plan_incoherence(&patched, SimTime::ZERO)
+                .is_none(),
+            "hop {hop}: patched plan failed re-validation"
+        );
+        plan = patched;
+    }
+}
